@@ -1,0 +1,185 @@
+//! BCCC (BCube Connected Crossbars) — the dual-port predecessor of ABCCC.
+//!
+//! `BCCC(n, k)` is exactly `ABCCC(n, k, 2)`: every server has two NIC
+//! ports, one to its group crossbar and one to its single owned cube level,
+//! so groups have `m = k + 1` members. The implementation delegates to the
+//! [`abccc`] crate (the degeneration is verified structurally in tests),
+//! which keeps the two families consistent by construction while still
+//! giving BCCC its own name, parameter set and closed forms for the
+//! comparison tables.
+
+use abccc::{Abccc, AbcccParams};
+use netgraph::{FaultMask, Network, NetworkError, NodeId, Route, RouteError, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of a `BCCC(n, k)` network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BcccParams {
+    inner: AbcccParams,
+}
+
+impl BcccParams {
+    /// Creates and validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
+    pub fn new(n: u32, k: u32) -> Result<Self, NetworkError> {
+        Ok(BcccParams {
+            inner: AbcccParams::new(n, k, 2)?,
+        })
+    }
+
+    /// Switch radix `n`.
+    pub fn n(&self) -> u32 {
+        self.inner.n()
+    }
+
+    /// Order `k`.
+    pub fn k(&self) -> u32 {
+        self.inner.k()
+    }
+
+    /// Servers: `(k+1) · n^(k+1)`.
+    pub fn server_count(&self) -> u64 {
+        self.inner.server_count()
+    }
+
+    /// Switches: `n^(k+1)` crossbars plus `(k+1) · n^k` level switches.
+    pub fn switch_count(&self) -> u64 {
+        self.inner.switch_count()
+    }
+
+    /// Cables.
+    pub fn wire_count(&self) -> u64 {
+        self.inner.wire_count()
+    }
+
+    /// Diameter in server hops: `2(k + 1)`.
+    pub fn diameter(&self) -> u64 {
+        self.inner.diameter()
+    }
+
+    /// Bisection width in links for even `n`.
+    pub fn bisection_width(&self) -> Option<u64> {
+        self.inner.bisection_width()
+    }
+
+    /// The equivalent ABCCC parameterization (`h = 2`).
+    pub fn as_abccc(&self) -> AbcccParams {
+        self.inner
+    }
+}
+
+impl fmt::Display for BcccParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BCCC({},{})", self.n(), self.k())
+    }
+}
+
+/// A materialized `BCCC(n, k)` network.
+#[derive(Debug, Clone)]
+pub struct Bccc {
+    params: BcccParams,
+    inner: Abccc,
+}
+
+impl Bccc {
+    /// Builds the network with unit link capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooLarge`] above the materialization guard.
+    pub fn new(params: BcccParams) -> Result<Self, NetworkError> {
+        Ok(Bccc {
+            params,
+            inner: Abccc::new(params.inner)?,
+        })
+    }
+
+    /// The parameters this network was built from.
+    pub fn params(&self) -> &BcccParams {
+        &self.params
+    }
+
+    /// Access to the underlying ABCCC machinery (addresses, parallel paths,
+    /// expansion planning) — everything there applies verbatim to BCCC.
+    pub fn as_abccc(&self) -> &Abccc {
+        &self.inner
+    }
+}
+
+impl Topology for Bccc {
+    fn name(&self) -> String {
+        self.params.to_string()
+    }
+
+    fn network(&self) -> &Network {
+        self.inner.network()
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Result<Route, RouteError> {
+        self.inner.route(src, dst)
+    }
+
+    fn parallel_routes(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        want: usize,
+    ) -> Result<Vec<Route>, RouteError> {
+        self.inner.parallel_routes(src, dst, want)
+    }
+
+    fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        mask: &FaultMask,
+    ) -> Result<Route, RouteError> {
+        self.inner.route_avoiding(src, dst, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_dual_port() {
+        let p = BcccParams::new(3, 2).unwrap();
+        let t = Bccc::new(p).unwrap();
+        for s in t.network().server_ids() {
+            assert_eq!(t.network().degree(s), 2);
+        }
+    }
+
+    #[test]
+    fn counts_and_diameter() {
+        let p = BcccParams::new(4, 2).unwrap();
+        assert_eq!(p.server_count(), 3 * 64);
+        assert_eq!(p.switch_count(), 64 + 3 * 16);
+        assert_eq!(p.diameter(), 2 * 3);
+        let t = Bccc::new(p).unwrap();
+        assert_eq!(
+            netgraph::bfs::server_diameter(t.network()),
+            Some(p.diameter() as u32)
+        );
+    }
+
+    #[test]
+    fn routing_works() {
+        let p = BcccParams::new(2, 2).unwrap();
+        let t = Bccc::new(p).unwrap();
+        let last = NodeId((p.server_count() - 1) as u32);
+        let r = t.route(NodeId(0), last).unwrap();
+        r.validate(t.network(), None).unwrap();
+        assert!(r.server_hops(t.network()) as u64 <= p.diameter());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BcccParams::new(6, 3).unwrap().to_string(), "BCCC(6,3)");
+    }
+}

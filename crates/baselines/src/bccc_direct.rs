@@ -1,0 +1,131 @@
+//! An independent, from-scratch BCCC constructor used as a cross-check.
+//!
+//! The main [`crate::Bccc`] type delegates to `abccc` (BCCC ≡ ABCCC with
+//! `h = 2`), which keeps the two families consistent *by construction* —
+//! but that means a bug in the shared code would go unnoticed. This module
+//! rebuilds `BCCC(n, k)` through a deliberately different procedure
+//! (switch-centric, iterating switches and computing their member servers,
+//! instead of server-centric port wiring) and the test suite asserts the
+//! two constructions produce identical networks. An error in either
+//! reading of the reconstruction would surface as a mismatch here.
+
+use netgraph::{Network, NetworkError, NodeId};
+
+/// Builds `BCCC(n, k)` switch-by-switch:
+/// servers `(x, j)` with `x ∈ [0, n^(k+1))`, `j ∈ [0, k]`,
+/// id `x·(k+1) + j`; for every cube label one crossbar joining its `k + 1`
+/// servers; for every level `i` and `(k)`-digit rest one `n`-port switch
+/// joining the position-`i` servers of the `n` labels completing the rest.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::InvalidParameter`] for out-of-range parameters
+/// (same domain as [`crate::BcccParams`]).
+pub fn build_bccc_direct(n: u32, k: u32) -> Result<Network, NetworkError> {
+    if !(2..=1024).contains(&n) {
+        return Err(NetworkError::InvalidParameter {
+            name: "n",
+            reason: format!("switch radix must be in 2..=1024, got {n}"),
+        });
+    }
+    if k > 19 {
+        return Err(NetworkError::InvalidParameter {
+            name: "k",
+            reason: format!("order must be at most 19, got {k}"),
+        });
+    }
+    let n64 = u64::from(n);
+    let groups = n64.pow(k + 1);
+    let m = u64::from(k) + 1;
+    let servers = groups * m;
+
+    let mut net = Network::with_capacity(
+        (servers + groups + m * n64.pow(k)) as usize,
+        (servers + m * groups) as usize,
+    );
+    for _ in 0..servers {
+        net.add_server();
+    }
+    // Crossbars first (matching the abccc id layout), then level switches.
+    let mut crossbars = Vec::with_capacity(groups as usize);
+    for _ in 0..groups {
+        crossbars.push(net.add_switch());
+    }
+    // Crossbar membership: the m consecutive servers of each label.
+    for (x, &cb) in crossbars.iter().enumerate() {
+        for j in 0..m {
+            net.add_link(NodeId((x as u64 * m + j) as u32), cb, 1.0);
+        }
+    }
+    // Level switches: iterate (level, rest) and enumerate members by
+    // *digit-string assembly* (different arithmetic than CubeLabel).
+    for level in 0..=k {
+        for rest in 0..n64.pow(k) {
+            let sw = net.add_switch();
+            // Expand `rest` into k digits, then splice digit d at `level`.
+            let mut rest_digits = Vec::with_capacity(k as usize);
+            let mut acc = rest;
+            for _ in 0..k {
+                rest_digits.push(acc % n64);
+                acc /= n64;
+            }
+            for d in 0..n64 {
+                // Assemble the full digit string least-significant first.
+                let mut digits = Vec::with_capacity(k as usize + 1);
+                let mut it = rest_digits.iter();
+                for pos in 0..=k {
+                    if pos == level {
+                        digits.push(d);
+                    } else {
+                        digits.push(*it.next().expect("k rest digits"));
+                    }
+                }
+                // Horner evaluation, most-significant first.
+                let label = digits.iter().rev().fold(0u64, |a, &dg| a * n64 + dg);
+                // In BCCC position j owns level j.
+                let server = NodeId((label * m + u64::from(level)) as u32);
+                net.add_link(server, sw, 1.0);
+            }
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bccc, BcccParams};
+    use netgraph::Topology;
+
+    #[test]
+    fn independent_construction_matches_the_abccc_degeneration() {
+        for (n, k) in [(2, 1), (2, 2), (3, 1), (3, 2), (4, 1), (4, 2), (2, 3)] {
+            let direct = build_bccc_direct(n, k).unwrap();
+            let via_abccc = Bccc::new(BcccParams::new(n, k).unwrap()).unwrap();
+            let reference = via_abccc.network();
+            assert_eq!(direct.server_count(), reference.server_count(), "BCCC({n},{k})");
+            assert_eq!(direct.switch_count(), reference.switch_count(), "BCCC({n},{k})");
+            assert_eq!(direct.link_count(), reference.link_count(), "BCCC({n},{k})");
+            // Same id layout ⇒ identical adjacency, link for link.
+            for link in direct.links() {
+                assert!(
+                    reference.find_link(link.a, link.b).is_some(),
+                    "BCCC({n},{k}): link {} – {} missing from the abccc construction",
+                    link.a,
+                    link.b
+                );
+            }
+            for node in direct.node_ids() {
+                assert_eq!(direct.kind(node), reference.kind(node), "BCCC({n},{k})");
+                assert_eq!(direct.degree(node), reference.degree(node), "BCCC({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_validation_matches() {
+        assert!(build_bccc_direct(1, 1).is_err());
+        assert!(build_bccc_direct(2, 20).is_err());
+        assert!(build_bccc_direct(2, 0).is_ok());
+    }
+}

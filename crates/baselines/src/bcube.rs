@@ -1,0 +1,359 @@
+//! BCube (Guo et al., SIGCOMM 2009) — the ancestor ABCCC is measured
+//! against.
+//!
+//! `BCube(n, k)` has `n^(k+1)` servers with `k + 1` NIC ports each and
+//! `k + 1` levels of `n`-port switches (`n^k` per level); the level-`i`
+//! switch connects the `n` servers whose addresses differ only in digit
+//! `i`. Its diameter (`k + 1`) is unbeatable, but every expansion by one
+//! order retrofits a NIC into *every* existing server — the expansion cost
+//! the ABCCC paper attacks.
+
+use netgraph::{Network, NetworkError, NodeId, Route, RouteError, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of a `BCube(n, k)` network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BCubeParams {
+    n: u32,
+    k: u32,
+}
+
+impl BCubeParams {
+    /// Creates and validates parameters (`2 ≤ n ≤ 1024`, `k ≤ 19`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
+    pub fn new(n: u32, k: u32) -> Result<Self, NetworkError> {
+        if !(2..=1024).contains(&n) {
+            return Err(NetworkError::InvalidParameter {
+                name: "n",
+                reason: format!("switch radix must be in 2..=1024, got {n}"),
+            });
+        }
+        if k > 19 {
+            return Err(NetworkError::InvalidParameter {
+                name: "k",
+                reason: format!("order must be at most 19, got {k}"),
+            });
+        }
+        Ok(BCubeParams { n, k })
+    }
+
+    /// Switch radix `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Order `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Digit positions `k + 1`.
+    pub fn levels(&self) -> u32 {
+        self.k + 1
+    }
+
+    /// Servers: `n^(k+1)`.
+    pub fn server_count(&self) -> u64 {
+        u64::from(self.n).pow(self.levels())
+    }
+
+    /// Switches: `(k+1) · n^k`.
+    pub fn switch_count(&self) -> u64 {
+        u64::from(self.levels()) * u64::from(self.n).pow(self.k)
+    }
+
+    /// Cables: `(k+1) · n^(k+1)` (every server has a cable per level).
+    pub fn wire_count(&self) -> u64 {
+        u64::from(self.levels()) * self.server_count()
+    }
+
+    /// NIC ports per server: `k + 1`.
+    pub fn ports_per_server(&self) -> u32 {
+        self.levels()
+    }
+
+    /// Diameter in server hops: `k + 1`.
+    pub fn diameter(&self) -> u64 {
+        u64::from(self.levels())
+    }
+
+    /// Bisection width in links for even `n`: `n^(k+1) / 2`.
+    pub fn bisection_width(&self) -> Option<u64> {
+        self.n.is_multiple_of(2).then(|| self.server_count() / 2)
+    }
+
+    /// NICs that must be added to existing servers when growing to order
+    /// `k + 1`: one per existing server (the BCube expansion penalty).
+    pub fn expansion_nics_added(&self) -> u64 {
+        self.server_count()
+    }
+
+    fn digit(&self, label: u64, level: u32) -> u32 {
+        ((label / u64::from(self.n).pow(level)) % u64::from(self.n)) as u32
+    }
+
+    fn with_digit(&self, label: u64, level: u32, d: u32) -> u64 {
+        let pw = u64::from(self.n).pow(level) as i64;
+        let old = self.digit(label, level);
+        (label as i64 + (i64::from(d) - i64::from(old)) * pw) as u64
+    }
+
+    fn rest_index(&self, label: u64, level: u32) -> u64 {
+        let n = u64::from(self.n);
+        let pw = n.pow(level);
+        (label % pw) + (label / (pw * n)) * pw
+    }
+
+    fn switch_id(&self, level: u32, rest: u64) -> NodeId {
+        let per_level = u64::from(self.n).pow(self.k);
+        NodeId((self.server_count() + u64::from(level) * per_level + rest) as u32)
+    }
+}
+
+impl fmt::Display for BCubeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BCube({},{})", self.n, self.k)
+    }
+}
+
+/// A materialized `BCube(n, k)` network with its native single-path routing
+/// (digit correction in a fixed order).
+#[derive(Debug, Clone)]
+pub struct BCube {
+    params: BCubeParams,
+    net: Network,
+}
+
+impl BCube {
+    /// Builds the network with unit link capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooLarge`] above the materialization guard.
+    pub fn new(params: BCubeParams) -> Result<Self, NetworkError> {
+        let nodes = params.server_count() + params.switch_count();
+        if nodes > abccc::MAX_MATERIALIZED_NODES {
+            return Err(NetworkError::TooLarge {
+                nodes: u128::from(nodes),
+                limit: u128::from(abccc::MAX_MATERIALIZED_NODES),
+            });
+        }
+        let mut net = Network::with_capacity(nodes as usize, params.wire_count() as usize);
+        for _ in 0..params.server_count() {
+            net.add_server();
+        }
+        for _ in 0..params.switch_count() {
+            net.add_switch();
+        }
+        let n = u64::from(params.n);
+        for level in 0..params.levels() {
+            for rest in 0..n.pow(params.k) {
+                let sw = params.switch_id(level, rest);
+                for d in 0..params.n {
+                    // Reinsert digit d at `level` into `rest`.
+                    let pw = n.pow(level);
+                    let label = (rest / pw) * pw * n + u64::from(d) * pw + (rest % pw);
+                    net.add_link(NodeId(label as u32), sw, 1.0);
+                }
+            }
+        }
+        debug_assert_eq!(net.link_count() as u64, params.wire_count());
+        Ok(BCube { params, net })
+    }
+
+    /// The parameters this network was built from.
+    pub fn params(&self) -> &BCubeParams {
+        &self.params
+    }
+
+    /// BCubeRouting with an explicit level-correction order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the differing levels.
+    pub fn route_with_order(&self, src: NodeId, dst: NodeId, order: &[u32]) -> Route {
+        let p = &self.params;
+        let (a, b) = (u64::from(src.0), u64::from(dst.0));
+        let diff: Vec<u32> = (0..p.levels())
+            .filter(|&i| p.digit(a, i) != p.digit(b, i))
+            .collect();
+        {
+            let mut sorted = order.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, diff, "order must permute the differing levels");
+        }
+        let mut nodes = vec![src];
+        let mut cur = a;
+        for &level in order {
+            nodes.push(p.switch_id(level, p.rest_index(cur, level)));
+            cur = p.with_digit(cur, level, p.digit(b, level));
+            nodes.push(NodeId(cur as u32));
+        }
+        Route::new(nodes)
+    }
+}
+
+impl Topology for BCube {
+    fn name(&self) -> String {
+        self.params.to_string()
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Result<Route, RouteError> {
+        let p = &self.params;
+        if u64::from(src.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(src));
+        }
+        if u64::from(dst.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(dst));
+        }
+        let order: Vec<u32> = (0..p.levels())
+            .filter(|&i| p.digit(u64::from(src.0), i) != p.digit(u64::from(dst.0), i))
+            .collect();
+        Ok(self.route_with_order(src, dst, &order))
+    }
+
+    fn parallel_routes(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        want: usize,
+    ) -> Result<Vec<Route>, RouteError> {
+        // DPSP-style construction: rotations of the ascending correction
+        // order start each path through a different first-level switch; a
+        // greedy disjointness filter keeps an internally disjoint subset.
+        let p = &self.params;
+        if u64::from(src.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(src));
+        }
+        if u64::from(dst.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(dst));
+        }
+        if src == dst {
+            return Ok(vec![Route::new(vec![src])]);
+        }
+        let diff: Vec<u32> = (0..p.levels())
+            .filter(|&i| p.digit(u64::from(src.0), i) != p.digit(u64::from(dst.0), i))
+            .collect();
+        let mut chosen: Vec<Route> = Vec::new();
+        for r in 0..diff.len().max(1) {
+            if chosen.len() >= want {
+                break;
+            }
+            let mut order = diff.clone();
+            order.rotate_left(r);
+            let candidate = self.route_with_order(src, dst, &order);
+            if chosen
+                .iter()
+                .all(|c| candidate.is_internally_disjoint_from(c))
+            {
+                chosen.push(candidate);
+            }
+        }
+        Ok(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let p = BCubeParams::new(4, 1).unwrap();
+        assert_eq!(p.server_count(), 16);
+        assert_eq!(p.switch_count(), 8);
+        assert_eq!(p.wire_count(), 32);
+        let t = BCube::new(p).unwrap();
+        assert_eq!(t.network().server_count(), 16);
+        assert_eq!(t.network().switch_count(), 8);
+        assert_eq!(t.network().link_count(), 32);
+        assert!(t.network().is_servers_first());
+    }
+
+    #[test]
+    fn every_switch_has_radix_n() {
+        let p = BCubeParams::new(3, 2).unwrap();
+        let t = BCube::new(p).unwrap();
+        for sw in t.network().switch_ids() {
+            assert_eq!(t.network().degree(sw), 3);
+        }
+        for s in t.network().server_ids() {
+            assert_eq!(t.network().degree(s) as u32, p.ports_per_server());
+        }
+    }
+
+    #[test]
+    fn diameter_matches_bfs() {
+        for (n, k) in [(2, 1), (3, 1), (2, 2), (4, 1), (2, 3)] {
+            let p = BCubeParams::new(n, k).unwrap();
+            let t = BCube::new(p).unwrap();
+            assert_eq!(
+                netgraph::bfs::server_diameter(t.network()),
+                Some(p.diameter() as u32),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_shortest() {
+        let p = BCubeParams::new(3, 2).unwrap();
+        let t = BCube::new(p).unwrap();
+        for s in 0..p.server_count() {
+            let src = NodeId(s as u32);
+            let bfs = netgraph::bfs::server_hop_distances(t.network(), src, None);
+            for d in (0..p.server_count()).step_by(5) {
+                let dst = NodeId(d as u32);
+                let r = t.route(src, dst).unwrap();
+                r.validate(t.network(), None).unwrap();
+                assert_eq!(r.server_hops(t.network()) as u32, bfs[dst.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_exact_small() {
+        let p = BCubeParams::new(2, 1).unwrap(); // 4 servers
+        let t = BCube::new(p).unwrap();
+        // Canonical bipartition: by top digit.
+        let side: Vec<bool> = (0..t.network().node_count())
+            .map(|i| (i as u64) < p.server_count() && p.digit(i as u64, p.k()) == 0)
+            .collect();
+        assert_eq!(
+            netgraph::maxflow::bisection_width(t.network(), &side),
+            p.bisection_width().unwrap()
+        );
+    }
+
+    #[test]
+    fn matches_abccc_degenerate_endpoint() {
+        // BCube(n, k) must be structurally identical to ABCCC(n, k, k+2).
+        let p = BCubeParams::new(3, 1).unwrap();
+        let t = BCube::new(p).unwrap();
+        let ap = abccc::AbcccParams::new(3, 1, 3).unwrap();
+        let at = abccc::Abccc::new(ap).unwrap();
+        assert_eq!(t.network().server_count(), at.network().server_count());
+        assert_eq!(t.network().switch_count(), at.network().switch_count());
+        assert_eq!(t.network().link_count(), at.network().link_count());
+        // Same id layout ⇒ link sets must coincide exactly.
+        for link in t.network().links() {
+            assert!(at.network().find_link(link.a, link.b).is_some());
+        }
+    }
+
+    #[test]
+    fn route_rejects_switch_endpoint() {
+        let p = BCubeParams::new(2, 1).unwrap();
+        let t = BCube::new(p).unwrap();
+        let sw = NodeId(p.server_count() as u32);
+        assert!(t.route(sw, NodeId(0)).is_err());
+    }
+}

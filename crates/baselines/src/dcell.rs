@@ -1,0 +1,322 @@
+//! DCell (Guo et al., SIGCOMM 2008) — the recursively-defined
+//! server-centric baseline.
+//!
+//! `DCell_0` is `n` servers on one `n`-port switch; `DCell_l` is
+//! `t_{l-1} + 1` copies of `DCell_{l-1}` with one direct server–server
+//! cable between every pair of copies (sub-DCells `i < j` are joined by the
+//! cable between local server `j−1` of copy `i` and local server `i` of
+//! copy `j`). Servers use `k + 1` ports. Size grows doubly exponentially
+//! (`t_l = t_{l-1}(t_{l-1}+1)`), diameter is bounded by `2^(k+1) − 1`, and
+//! the native `DCellRouting` is near-shortest (not exactly shortest).
+
+use netgraph::{Network, NetworkError, NodeId, Route, RouteError, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of a `DCell(n, k)` network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DCellParams {
+    n: u32,
+    k: u32,
+    /// `t[l]` = servers in a `DCell_l`, for `l = 0..=k`.
+    t: Vec<u64>,
+}
+
+impl DCellParams {
+    /// Creates and validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] if `n < 2`, or if the
+    /// doubly-exponential size exceeds `u32` ids (k is effectively ≤ 3).
+    pub fn new(n: u32, k: u32) -> Result<Self, NetworkError> {
+        if !(2..=1024).contains(&n) {
+            return Err(NetworkError::InvalidParameter {
+                name: "n",
+                reason: format!("switch radix must be in 2..=1024, got {n}"),
+            });
+        }
+        let mut t = vec![u64::from(n)];
+        for _ in 0..k {
+            let prev = *t.last().expect("non-empty");
+            let next = prev.checked_mul(prev + 1).ok_or_else(|| {
+                NetworkError::InvalidParameter {
+                    name: "k",
+                    reason: format!("DCell({n},{k}) size overflows u64"),
+                }
+            })?;
+            if next > u64::from(u32::MAX) {
+                return Err(NetworkError::InvalidParameter {
+                    name: "k",
+                    reason: format!("DCell({n},{k}) has {next} servers — beyond u32 node ids"),
+                });
+            }
+            t.push(next);
+        }
+        Ok(DCellParams { n, k, t })
+    }
+
+    /// Switch radix `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Recursion depth `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Servers in a `DCell_l` (`t_l`).
+    pub fn t(&self, l: u32) -> u64 {
+        self.t[l as usize]
+    }
+
+    /// Total servers `t_k`.
+    pub fn server_count(&self) -> u64 {
+        *self.t.last().expect("non-empty")
+    }
+
+    /// Switches: one per `DCell_0`, `t_k / n`.
+    pub fn switch_count(&self) -> u64 {
+        self.server_count() / u64::from(self.n)
+    }
+
+    /// Cables: `t_k` server–switch cables plus one direct cable per pair of
+    /// sub-DCells at every level: `Σ_l (t_k / t_l) · C(t_{l-1}+1, 2)`.
+    pub fn wire_count(&self) -> u64 {
+        let mut wires = self.server_count(); // DCell_0 switch cables
+        for l in 1..=self.k {
+            let instances = self.server_count() / self.t(l);
+            let g = self.t(l - 1) + 1;
+            wires += instances * g * (g - 1) / 2;
+        }
+        wires
+    }
+
+    /// NIC ports per server: `k + 1`.
+    pub fn ports_per_server(&self) -> u32 {
+        self.k + 1
+    }
+
+    /// Upper bound on the diameter in server hops: `2^(k+1) − 1`.
+    pub fn diameter_bound(&self) -> u64 {
+        (1u64 << (self.k + 1)) - 1
+    }
+}
+
+impl fmt::Display for DCellParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DCell({},{})", self.n, self.k)
+    }
+}
+
+/// A materialized `DCell(n, k)` network with native `DCellRouting`.
+#[derive(Debug, Clone)]
+pub struct DCell {
+    params: DCellParams,
+    net: Network,
+}
+
+impl DCell {
+    /// Builds the network with unit link capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooLarge`] above the materialization guard.
+    pub fn new(params: DCellParams) -> Result<Self, NetworkError> {
+        let nodes = params.server_count() + params.switch_count();
+        if nodes > abccc::MAX_MATERIALIZED_NODES {
+            return Err(NetworkError::TooLarge {
+                nodes: u128::from(nodes),
+                limit: u128::from(abccc::MAX_MATERIALIZED_NODES),
+            });
+        }
+        let mut net = Network::with_capacity(nodes as usize, params.wire_count() as usize);
+        for _ in 0..params.server_count() {
+            net.add_server();
+        }
+        for _ in 0..params.switch_count() {
+            net.add_switch();
+        }
+        // DCell_0 stars.
+        for uid in 0..params.server_count() {
+            let sw = NodeId((params.server_count() + uid / u64::from(params.n)) as u32);
+            net.add_link(NodeId(uid as u32), sw, 1.0);
+        }
+        // Level-l pair cables. DCell_l instances occupy contiguous uid
+        // blocks of size t_l.
+        for l in 1..=params.k {
+            let tl = params.t(l);
+            let tp = params.t(l - 1);
+            let g = tp + 1;
+            for base in (0..params.server_count()).step_by(tl as usize) {
+                for i in 0..g {
+                    for j in (i + 1)..g {
+                        let a = base + i * tp + (j - 1);
+                        let b = base + j * tp + i;
+                        net.add_link(NodeId(a as u32), NodeId(b as u32), 1.0);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(net.link_count() as u64, params.wire_count());
+        Ok(DCell { params, net })
+    }
+
+    /// The parameters this network was built from.
+    pub fn params(&self) -> &DCellParams {
+        &self.params
+    }
+
+    /// The cable joining sub-DCells `i` and `j` (local indices) of the
+    /// `DCell_l` whose uid block starts at `base`, as `(server_in_i,
+    /// server_in_j)` global uids.
+    fn connecting_pair(&self, l: u32, base: u64, i: u64, j: u64) -> (u64, u64) {
+        debug_assert!(i != j);
+        let tp = self.params.t(l - 1);
+        if i < j {
+            (base + i * tp + (j - 1), base + j * tp + i)
+        } else {
+            let (b, a) = self.connecting_pair(l, base, j, i);
+            (a, b)
+        }
+    }
+
+    fn route_rec(&self, a: u64, b: u64, nodes: &mut Vec<NodeId>) {
+        if a == b {
+            return;
+        }
+        // Highest level whose sub-index differs.
+        let mut level = 0;
+        for l in (1..=self.params.k).rev() {
+            let tl = self.params.t(l);
+            if a / tl == b / tl && (a % tl) / self.params.t(l - 1) != (b % tl) / self.params.t(l - 1)
+            {
+                level = l;
+                break;
+            }
+        }
+        if level == 0 {
+            // Same DCell_0: one switch hop.
+            debug_assert_eq!(a / u64::from(self.params.n), b / u64::from(self.params.n));
+            let sw = self.params.server_count() + a / u64::from(self.params.n);
+            nodes.push(NodeId(sw as u32));
+            nodes.push(NodeId(b as u32));
+            return;
+        }
+        let tl = self.params.t(level);
+        let tp = self.params.t(level - 1);
+        let base = (a / tl) * tl;
+        let i = (a % tl) / tp;
+        let j = (b % tl) / tp;
+        let (n1, n2) = self.connecting_pair(level, base, i, j);
+        self.route_rec(a, n1, nodes);
+        nodes.push(NodeId(n2 as u32));
+        self.route_rec(n2, b, nodes);
+    }
+}
+
+impl Topology for DCell {
+    fn name(&self) -> String {
+        self.params.to_string()
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Result<Route, RouteError> {
+        if u64::from(src.0) >= self.params.server_count() {
+            return Err(RouteError::NotAServer(src));
+        }
+        if u64::from(dst.0) >= self.params.server_count() {
+            return Err(RouteError::NotAServer(dst));
+        }
+        let mut nodes = vec![src];
+        self.route_rec(u64::from(src.0), u64::from(dst.0), &mut nodes);
+        Ok(Route::new(nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let p = DCellParams::new(4, 1).unwrap();
+        assert_eq!(p.server_count(), 20);
+        assert_eq!(p.switch_count(), 5);
+        // 20 star cables + C(5,2) = 10 pair cables
+        assert_eq!(p.wire_count(), 30);
+        let p2 = DCellParams::new(2, 2).unwrap();
+        assert_eq!(p2.server_count(), 42);
+    }
+
+    #[test]
+    fn construction_matches_formulas() {
+        for (n, k) in [(2, 1), (3, 1), (4, 1), (2, 2), (3, 2)] {
+            let p = DCellParams::new(n, k).unwrap();
+            let t = DCell::new(p.clone()).unwrap();
+            assert_eq!(t.network().server_count() as u64, p.server_count(), "{p}");
+            assert_eq!(t.network().link_count() as u64, p.wire_count(), "{p}");
+            // Every server uses exactly k+1 ports.
+            for s in t.network().server_ids() {
+                assert_eq!(t.network().degree(s) as u32, p.ports_per_server(), "{p}");
+            }
+            assert!(netgraph::connectivity::servers_connected(t.network(), None));
+        }
+    }
+
+    #[test]
+    fn routing_is_valid_and_bounded() {
+        for (n, k) in [(2, 1), (4, 1), (2, 2), (3, 2)] {
+            let p = DCellParams::new(n, k).unwrap();
+            let t = DCell::new(p.clone()).unwrap();
+            let count = p.server_count();
+            for s in 0..count {
+                for d in (0..count).step_by(3) {
+                    let r = t.route(NodeId(s as u32), NodeId(d as u32)).unwrap();
+                    r.validate(t.network(), None)
+                        .unwrap_or_else(|e| panic!("{p} {s}->{d}: {e}"));
+                    assert!(
+                        (r.server_hops(t.network()) as u64) <= p.diameter_bound(),
+                        "{p}: {s}->{d} exceeded diameter bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_diameter_within_bound() {
+        let p = DCellParams::new(3, 1).unwrap();
+        let t = DCell::new(p.clone()).unwrap();
+        let d = netgraph::bfs::server_diameter(t.network()).unwrap();
+        assert!(u64::from(d) <= p.diameter_bound());
+        // DCell(3,1): known diameter 3 ≤ bound 3.
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn routing_near_shortest() {
+        // DCellRouting is not exactly shortest, but must stay close on
+        // small instances (≤ +2 hops here).
+        let p = DCellParams::new(3, 2).unwrap();
+        let t = DCell::new(p.clone()).unwrap();
+        let src = NodeId(0);
+        let bfs = netgraph::bfs::server_hop_distances(t.network(), src, None);
+        for d in (0..p.server_count()).step_by(7) {
+            let dst = NodeId(d as u32);
+            let r = t.route(src, dst).unwrap();
+            let got = r.server_hops(t.network()) as u32;
+            assert!(got <= bfs[dst.index()] + 2, "{d}: {got} vs {}", bfs[dst.index()]);
+        }
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        assert!(DCellParams::new(6, 4).is_err()); // ~1e13 servers
+        assert!(DCellParams::new(6, 3).is_ok()); // 3.26e6 servers — ids still fit
+    }
+}

@@ -1,0 +1,226 @@
+//! Generalized hypercube `GHC(n, d)` (Bhuyan & Agrawal) — the classic
+//! direct-network comparison point.
+//!
+//! `n^d` servers, no switches: two servers are cabled iff their base-`n`
+//! addresses differ in exactly one digit, giving degree `d(n−1)`. Superb
+//! diameter (`d`) and bisection, but the per-server port count is far
+//! beyond commodity NICs — the cost axis ABCCC's comparison tables
+//! highlight.
+
+use netgraph::{Network, NetworkError, NodeId, Route, RouteError, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of a generalized hypercube `GHC(n, d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HypercubeParams {
+    n: u32,
+    d: u32,
+}
+
+impl HypercubeParams {
+    /// Creates and validates parameters (`n ≥ 2`, `1 ≤ d ≤ 20`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
+    pub fn new(n: u32, d: u32) -> Result<Self, NetworkError> {
+        if !(2..=1024).contains(&n) {
+            return Err(NetworkError::InvalidParameter {
+                name: "n",
+                reason: format!("digit base must be in 2..=1024, got {n}"),
+            });
+        }
+        if d == 0 || d > 20 {
+            return Err(NetworkError::InvalidParameter {
+                name: "d",
+                reason: format!("dimension must be in 1..=20, got {d}"),
+            });
+        }
+        Ok(HypercubeParams { n, d })
+    }
+
+    /// Digit base `n` (binary hypercube: `n = 2`).
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Dimension `d`.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Servers: `n^d`.
+    pub fn server_count(&self) -> u64 {
+        u64::from(self.n).pow(self.d)
+    }
+
+    /// Cables: `n^d · d(n−1) / 2`.
+    pub fn wire_count(&self) -> u64 {
+        self.server_count() * u64::from(self.d) * u64::from(self.n - 1) / 2
+    }
+
+    /// NIC ports per server: `d(n−1)`.
+    pub fn ports_per_server(&self) -> u32 {
+        self.d * (self.n - 1)
+    }
+
+    /// Diameter: `d`.
+    pub fn diameter(&self) -> u64 {
+        u64::from(self.d)
+    }
+
+    /// Bisection width in links for even `n`: `n^(d-1) · n²/4 = N·n/4`.
+    pub fn bisection_width(&self) -> Option<u64> {
+        self.n.is_multiple_of(2).then(|| self.server_count() * u64::from(self.n) / 4)
+    }
+
+    fn digit(&self, label: u64, i: u32) -> u32 {
+        ((label / u64::from(self.n).pow(i)) % u64::from(self.n)) as u32
+    }
+
+    fn with_digit(&self, label: u64, i: u32, d: u32) -> u64 {
+        let pw = u64::from(self.n).pow(i) as i64;
+        (label as i64 + (i64::from(d) - i64::from(self.digit(label, i))) * pw) as u64
+    }
+}
+
+impl fmt::Display for HypercubeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GHC({},{})", self.n, self.d)
+    }
+}
+
+/// A materialized generalized hypercube with e-cube (dimension-ordered)
+/// routing.
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    params: HypercubeParams,
+    net: Network,
+}
+
+impl Hypercube {
+    /// Builds the network with unit link capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooLarge`] above the materialization guard.
+    pub fn new(params: HypercubeParams) -> Result<Self, NetworkError> {
+        if params.server_count() > abccc::MAX_MATERIALIZED_NODES {
+            return Err(NetworkError::TooLarge {
+                nodes: u128::from(params.server_count()),
+                limit: u128::from(abccc::MAX_MATERIALIZED_NODES),
+            });
+        }
+        let mut net =
+            Network::with_capacity(params.server_count() as usize, params.wire_count() as usize);
+        for _ in 0..params.server_count() {
+            net.add_server();
+        }
+        for label in 0..params.server_count() {
+            for i in 0..params.d {
+                let di = params.digit(label, i);
+                for v in (di + 1)..params.n {
+                    net.add_link(
+                        NodeId(label as u32),
+                        NodeId(params.with_digit(label, i, v) as u32),
+                        1.0,
+                    );
+                }
+            }
+        }
+        debug_assert_eq!(net.link_count() as u64, params.wire_count());
+        Ok(Hypercube { params, net })
+    }
+
+    /// The parameters this network was built from.
+    pub fn params(&self) -> &HypercubeParams {
+        &self.params
+    }
+}
+
+impl Topology for Hypercube {
+    fn name(&self) -> String {
+        self.params.to_string()
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Result<Route, RouteError> {
+        let p = &self.params;
+        if u64::from(src.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(src));
+        }
+        if u64::from(dst.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(dst));
+        }
+        let mut nodes = vec![src];
+        let mut cur = u64::from(src.0);
+        let dstv = u64::from(dst.0);
+        for i in 0..p.d {
+            let want = p.digit(dstv, i);
+            if p.digit(cur, i) != want {
+                cur = p.with_digit(cur, i, want);
+                nodes.push(NodeId(cur as u32));
+            }
+        }
+        Ok(Route::new(nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_cube() {
+        let p = HypercubeParams::new(2, 3).unwrap();
+        assert_eq!(p.server_count(), 8);
+        assert_eq!(p.wire_count(), 12);
+        assert_eq!(p.ports_per_server(), 3);
+        let t = Hypercube::new(p).unwrap();
+        assert_eq!(t.network().link_count(), 12);
+        assert_eq!(
+            netgraph::bfs::server_diameter(t.network()),
+            Some(p.diameter() as u32)
+        );
+    }
+
+    #[test]
+    fn generalized_degree() {
+        let p = HypercubeParams::new(4, 2).unwrap();
+        let t = Hypercube::new(p).unwrap();
+        for s in t.network().server_ids() {
+            assert_eq!(t.network().degree(s) as u32, p.ports_per_server());
+        }
+    }
+
+    #[test]
+    fn ecube_routing_is_shortest() {
+        let p = HypercubeParams::new(3, 3).unwrap();
+        let t = Hypercube::new(p).unwrap();
+        let src = NodeId(0);
+        let bfs = netgraph::bfs::server_hop_distances(t.network(), src, None);
+        for d in 0..p.server_count() {
+            let dst = NodeId(d as u32);
+            let r = t.route(src, dst).unwrap();
+            r.validate(t.network(), None).unwrap();
+            assert_eq!(r.server_hops(t.network()) as u32, bfs[dst.index()]);
+        }
+    }
+
+    #[test]
+    fn bisection_formula_exact_small() {
+        let p = HypercubeParams::new(2, 3).unwrap();
+        let t = Hypercube::new(p).unwrap();
+        let side: Vec<bool> = (0..t.network().node_count())
+            .map(|i| p.digit(i as u64, p.d() - 1) == 0)
+            .collect();
+        assert_eq!(
+            netgraph::maxflow::bisection_width(t.network(), &side),
+            p.bisection_width().unwrap()
+        );
+    }
+}

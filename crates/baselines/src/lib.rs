@@ -1,0 +1,47 @@
+//! # dcn-baselines — the comparison topologies of the ABCCC evaluation
+//!
+//! Full implementations (construction **and** native routing) of every
+//! structure the ABCCC paper compares against:
+//!
+//! * [`BCube`] — the multi-port server-centric cube (SIGCOMM 2009); best
+//!   diameter, worst expansion (every growth step retrofits a NIC into
+//!   every server);
+//! * [`Bccc`] — BCube Connected Crossbars, the dual-port predecessor;
+//!   implemented as the verified `h = 2` degeneration of [`abccc::Abccc`];
+//! * [`DCell`] — the recursively-defined server-centric network
+//!   (SIGCOMM 2008) with native near-shortest `DCellRouting`;
+//! * [`FatTree`] — the three-tier folded-Clos switch-centric baseline with
+//!   deterministic ECMP routing;
+//! * [`Hypercube`] — the generalized hypercube direct network, the
+//!   "unlimited ports" end of the design space.
+//!
+//! All of them implement [`netgraph::Topology`], so the metrics engine and
+//! both simulators treat them uniformly:
+//!
+//! ```
+//! use dcn_baselines::{BCube, BCubeParams};
+//! use netgraph::Topology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = BCube::new(BCubeParams::new(4, 1)?)?;
+//! let route = t.route(netgraph::NodeId(0), netgraph::NodeId(15))?;
+//! assert_eq!(route.server_hops(t.network()), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bccc;
+pub mod bccc_direct;
+pub mod bcube;
+pub mod dcell;
+pub mod fattree;
+pub mod hypercube;
+
+pub use bccc::{Bccc, BcccParams};
+pub use bcube::{BCube, BCubeParams};
+pub use dcell::{DCell, DCellParams};
+pub use fattree::{FatTree, FatTreeParams};
+pub use hypercube::{Hypercube, HypercubeParams};

@@ -1,0 +1,129 @@
+//! Property tests for the baseline families: native routing must always
+//! produce valid routes with the documented length guarantees.
+
+use dcn_baselines::*;
+use netgraph::{NodeId, Topology};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bcube_routing_is_always_shortest(
+        n in 2u32..=4,
+        k in 1u32..=2,
+        seed in any::<u64>(),
+    ) {
+        let p = BCubeParams::new(n, k).expect("params");
+        prop_assume!(p.server_count() <= 300);
+        let t = BCube::new(p).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let r = t.route(s, d).expect("route");
+            prop_assert!(r.validate(t.network(), None).is_ok());
+            let bfs = netgraph::bfs::server_hop_distances(t.network(), s, None);
+            prop_assert_eq!(r.server_hops(t.network()) as u32, bfs[d.index()]);
+        }
+    }
+
+    #[test]
+    fn bcube_parallel_routes_disjoint(
+        n in 2u32..=4,
+        k in 1u32..=2,
+        seed in any::<u64>(),
+    ) {
+        let p = BCubeParams::new(n, k).expect("params");
+        prop_assume!(p.server_count() <= 300);
+        let t = BCube::new(p).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        let routes = t.parallel_routes(s, d, 8).expect("routes");
+        prop_assert!(!routes.is_empty());
+        for r in &routes {
+            prop_assert!(r.validate(t.network(), None).is_ok());
+        }
+        for i in 0..routes.len() {
+            for j in (i + 1)..routes.len() {
+                prop_assert!(routes[i].is_internally_disjoint_from(&routes[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn dcell_routing_valid_and_bounded(
+        n in 2u32..=4,
+        k in 1u32..=2,
+        seed in any::<u64>(),
+    ) {
+        let p = DCellParams::new(n, k).expect("params");
+        prop_assume!(p.server_count() <= 500);
+        let t = DCell::new(p.clone()).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let r = t.route(s, d).expect("route");
+            prop_assert!(r.validate(t.network(), None).is_ok(), "{s}->{d}");
+            prop_assert!(r.server_hops(t.network()) as u64 <= p.diameter_bound());
+        }
+    }
+
+    #[test]
+    fn fattree_routes_valid_and_at_most_six_links(
+        p in prop::sample::select(vec![4u32, 6, 8]),
+        seed in any::<u64>(),
+    ) {
+        let fp = FatTreeParams::new(p).expect("params");
+        let t = FatTree::new(fp).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let s = NodeId(rng.gen_range(0..fp.server_count()) as u32);
+            let d = NodeId(rng.gen_range(0..fp.server_count()) as u32);
+            let r = t.route(s, d).expect("route");
+            prop_assert!(r.validate(t.network(), None).is_ok());
+            prop_assert!(r.link_hops() as u64 <= fp.link_diameter());
+        }
+    }
+
+    #[test]
+    fn hypercube_ecube_is_shortest(
+        n in 2u32..=4,
+        d in 1u32..=3,
+        seed in any::<u64>(),
+    ) {
+        let p = HypercubeParams::new(n, d).expect("params");
+        prop_assume!(p.server_count() <= 256);
+        let t = Hypercube::new(p).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let dst = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let r = t.route(s, dst).expect("route");
+            prop_assert!(r.validate(t.network(), None).is_ok());
+            let bfs = netgraph::bfs::server_hop_distances(t.network(), s, None);
+            prop_assert_eq!(r.server_hops(t.network()) as u32, bfs[dst.index()]);
+        }
+    }
+
+    #[test]
+    fn every_family_is_connected(
+        seed in any::<u64>(),
+    ) {
+        let _ = seed;
+        let nets: Vec<Box<dyn Topology>> = vec![
+            Box::new(BCube::new(BCubeParams::new(3, 1).expect("p")).expect("b")),
+            Box::new(Bccc::new(BcccParams::new(3, 1).expect("p")).expect("b")),
+            Box::new(DCell::new(DCellParams::new(3, 1).expect("p")).expect("b")),
+            Box::new(FatTree::new(FatTreeParams::new(4).expect("p")).expect("b")),
+            Box::new(Hypercube::new(HypercubeParams::new(3, 2).expect("p")).expect("b")),
+        ];
+        for t in &nets {
+            prop_assert!(netgraph::connectivity::servers_connected(t.network(), None),
+                "{}", t.name());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion: topology construction time across families and sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+
+    for (n, k, h) in [(4, 2, 2), (4, 3, 2), (4, 3, 3), (8, 2, 3)] {
+        let p = abccc::AbcccParams::new(n, k, h).expect("params");
+        g.bench_with_input(
+            BenchmarkId::new("abccc", format!("{p} ({} srv)", p.server_count())),
+            &p,
+            |b, p| b.iter(|| abccc::Abccc::new(*p).expect("build")),
+        );
+    }
+    for (n, k) in [(4, 2), (4, 3), (8, 2)] {
+        let p = dcn_baselines::BCubeParams::new(n, k).expect("params");
+        g.bench_with_input(
+            BenchmarkId::new("bcube", format!("{p} ({} srv)", p.server_count())),
+            &p,
+            |b, p| b.iter(|| dcn_baselines::BCube::new(*p).expect("build")),
+        );
+    }
+    {
+        let p = dcn_baselines::DCellParams::new(4, 2).expect("params");
+        g.bench_with_input(
+            BenchmarkId::new("dcell", format!("{p} ({} srv)", p.server_count())),
+            &p,
+            |b, p| b.iter(|| dcn_baselines::DCell::new(p.clone()).expect("build")),
+        );
+    }
+    {
+        let p = dcn_baselines::FatTreeParams::new(16).expect("params");
+        g.bench_with_input(
+            BenchmarkId::new("fattree", format!("{p} ({} srv)", p.server_count())),
+            &p,
+            |b, p| b.iter(|| dcn_baselines::FatTree::new(*p).expect("build")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

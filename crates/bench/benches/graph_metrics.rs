@@ -1,0 +1,37 @@
+//! Criterion: graph-metric engines — BFS diameter (parallel all-sources)
+//! and max-flow bisection.
+
+use abccc::{Abccc, AbcccParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgraph::Topology;
+
+fn bench_graph_metrics(c: &mut Criterion) {
+    let topo = Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build");
+
+    let mut g = c.benchmark_group("graph_metrics");
+    g.sample_size(10);
+    g.bench_function("bfs_single_source_192srv", |b| {
+        b.iter(|| netgraph::bfs::server_hop_distances(topo.network(), netgraph::NodeId(0), None))
+    });
+    g.bench_function("diameter_exact_192srv", |b| {
+        b.iter(|| netgraph::bfs::server_diameter(topo.network()).expect("connected"))
+    });
+    g.bench_function("bisection_maxflow_192srv", |b| {
+        b.iter(|| dcn_metrics::bisection::exact_bisection_by_id(topo.network()))
+    });
+    g.bench_function("vertex_disjoint_paths_exact", |b| {
+        b.iter(|| {
+            netgraph::paths::vertex_disjoint_paths(
+                topo.network(),
+                netgraph::NodeId(0),
+                netgraph::NodeId(191),
+                usize::MAX,
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_metrics);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion: one-to-one routing hot path — route construction per pair,
+//! per permutation strategy, parallel path sets, and fault-tolerant
+//! detours.
+
+use abccc::{Abccc, AbcccParams, PermStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::{NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn pairs(p: &AbcccParams, count: usize) -> Vec<(NodeId, NodeId)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    (0..count)
+        .map(|_| {
+            let a = rng.gen_range(0..p.server_count()) as u32;
+            let b = loop {
+                let b = rng.gen_range(0..p.server_count()) as u32;
+                if b != a {
+                    break b;
+                }
+            };
+            (NodeId(a), NodeId(b))
+        })
+        .collect()
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let p = AbcccParams::new(8, 3, 3).expect("params"); // 8192 servers
+    let sample = pairs(&p, 256);
+
+    let mut g = c.benchmark_group("route_one_to_one");
+    for strat in [
+        PermStrategy::DestinationAware,
+        PermStrategy::Ascending,
+        PermStrategy::Random(7),
+    ] {
+        g.bench_with_input(BenchmarkId::new("abccc_8192srv", strat.label()), &strat, |b, s| {
+            let mut i = 0;
+            b.iter(|| {
+                let (src, dst) = sample[i % sample.len()];
+                i += 1;
+                abccc::routing::route_ids(&p, src, dst, s).expect("route")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("route_extras");
+    g.sample_size(20);
+    let small = AbcccParams::new(4, 2, 2).expect("params");
+    let topo = Abccc::new(small).expect("build");
+    let small_pairs = pairs(&small, 64);
+    g.bench_function("parallel_routes_x4", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (src, dst) = small_pairs[i % small_pairs.len()];
+            i += 1;
+            abccc::parallel::parallel_routes(
+                &small,
+                abccc::ServerAddr::from_node_id(&small, src),
+                abccc::ServerAddr::from_node_id(&small, dst),
+                4,
+            )
+        })
+    });
+    let mut mask = netgraph::FaultMask::new(topo.network());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    for _ in 0..topo.network().server_count() / 10 {
+        mask.fail_node(NodeId(rng.gen_range(0..topo.network().server_count()) as u32));
+    }
+    g.bench_function("broadcast_one_to_all_192srv", |b| {
+        b.iter(|| abccc::broadcast::one_to_all(&small, NodeId(0)).expect("tree"))
+    });
+    g.bench_function("fault_tolerant_route_10pct", |b| {
+        let alive: Vec<(NodeId, NodeId)> = small_pairs
+            .iter()
+            .copied()
+            .filter(|&(s, d)| mask.node_alive(s) && mask.node_alive(d))
+            .collect();
+        let mut i = 0;
+        b.iter(|| {
+            let (src, dst) = alive[i % alive.len()];
+            i += 1;
+            let _ = topo.route_avoiding(src, dst, &mask);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

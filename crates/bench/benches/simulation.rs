@@ -1,0 +1,51 @@
+//! Criterion: simulator throughput — max-min fair allocation and the
+//! packet-level event loop.
+
+use abccc::{Abccc, AbcccParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgraph::Topology;
+use rand::SeedableRng;
+
+fn bench_simulation(c: &mut Criterion) {
+    let topo = Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build");
+    let n = topo.network().server_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let perm = dcn_workloads::traffic::random_permutation(n, &mut rng);
+
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(20);
+    g.bench_function("flowsim_maxmin_permutation_192flows", |b| {
+        b.iter(|| flowsim::FlowSim::new(&topo).run(&perm).expect("run"))
+    });
+
+    let flows: Vec<packetsim::FlowSpec> = perm
+        .iter()
+        .take(32)
+        .map(|&(s, d)| packetsim::FlowSpec::bulk(s, d, 50))
+        .collect();
+    g.bench_function("packetsim_32flows_x50pkts", |b| {
+        b.iter(|| {
+            packetsim::PacketSim::new(&topo, packetsim::PacketSimConfig::default())
+                .run(&flows)
+                .expect("run")
+        })
+    });
+    g.bench_function("packetsim_aimd_32flows_x50pkts", |b| {
+        b.iter(|| {
+            packetsim::PacketSim::new(&topo, packetsim::PacketSimConfig::default())
+                .run_aimd(&flows, packetsim::AimdConfig::default())
+                .expect("run")
+        })
+    });
+    g.bench_function("flowsim_multipath_x2", |b| {
+        b.iter(|| {
+            flowsim::FlowSim::new(&topo)
+                .run_multipath(&perm, 2)
+                .expect("run")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

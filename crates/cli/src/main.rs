@@ -1,0 +1,460 @@
+//! `abccc-cli` — build, inspect, route and simulate ABCCC and baseline
+//! topologies from the command line.
+//!
+//! ```text
+//! abccc-cli props    abccc 4 2 3            # structural properties
+//! abccc-cli route    abccc 4 2 3 0 127      # one-to-one route with addresses
+//! abccc-cli parallel abccc 4 2 3 0 127      # disjoint parallel paths
+//! abccc-cli simulate abccc 4 2 3 --pattern permutation --seed 7
+//! abccc-cli expand   4 2 3 --steps 3        # expansion plan
+//! abccc-cli capex    abccc 4 2 3            # cost breakdown
+//! ```
+//!
+//! Families: `abccc n k h`, `bccc n k`, `bcube n k`, `dcell n k`,
+//! `fattree p`, `ghc n d`.
+
+use abccc::{Abccc, AbcccParams};
+use dcn_baselines::*;
+use netgraph::{NodeId, Topology};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Exiting quietly when stdout closes early (`abccc-cli … | head`) is
+    // friendlier than the default broken-pipe panic.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("Broken pipe"));
+        if !broken_pipe {
+            default_hook(info);
+        }
+    }));
+    let outcome = std::panic::catch_unwind(|| run(&args));
+    match outcome {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if msg.contains("Broken pipe") {
+                ExitCode::SUCCESS
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  abccc-cli props    <family…>              structural properties (+diameter for small nets)
+  abccc-cli route    <family…> <src> <dst>  one-to-one route (native algorithm)
+  abccc-cli parallel <family…> <src> <dst>  vertex-disjoint parallel paths (abccc/bccc only)
+  abccc-cli simulate <family…> [--pattern permutation|bisection|alltoall] [--seed N]
+  abccc-cli expand   <n> <k> <h> [--steps N]  ABCCC expansion plan
+  abccc-cli capex    <family…>              CAPEX breakdown (default cost model)
+  abccc-cli dot      <family…> [<src> <dst>]  Graphviz DOT (route highlighted if given)
+  abccc-cli broadcast <n> <k> <h> <src>      one-to-all tree statistics
+  abccc-cli svg      <family…> [<src> <dst>] [--out FILE]  SVG rendering
+  abccc-cli trace    <family…> --file TRACE.csv            replay a CSV flow trace
+  abccc-cli design   <target-servers> [--objective cost|latency|bandwidth]
+
+families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d";
+
+type DynTopo = Box<dyn Topology>;
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("{what}: expected a number, got `{s}`"))
+}
+
+/// Parses `family params…` and returns the topology plus how many args it
+/// consumed.
+fn parse_topology(args: &[String]) -> Result<(DynTopo, usize), String> {
+    let family = args.first().ok_or("missing topology family")?;
+    let need = |n: usize| -> Result<Vec<u32>, String> {
+        if args.len() < 1 + n {
+            return Err(format!("{family} needs {n} numeric parameter(s)"));
+        }
+        args[1..1 + n].iter().map(|s| parse_u32(s, "parameter")).collect()
+    };
+    let err = |e: netgraph::NetworkError| e.to_string();
+    match family.as_str() {
+        "abccc" => {
+            let v = need(3)?;
+            let p = AbcccParams::new(v[0], v[1], v[2]).map_err(err)?;
+            Ok((Box::new(Abccc::new(p).map_err(err)?), 4))
+        }
+        "bccc" => {
+            let v = need(2)?;
+            let p = BcccParams::new(v[0], v[1]).map_err(err)?;
+            Ok((Box::new(Bccc::new(p).map_err(err)?), 3))
+        }
+        "bcube" => {
+            let v = need(2)?;
+            let p = BCubeParams::new(v[0], v[1]).map_err(err)?;
+            Ok((Box::new(BCube::new(p).map_err(err)?), 3))
+        }
+        "dcell" => {
+            let v = need(2)?;
+            let p = DCellParams::new(v[0], v[1]).map_err(err)?;
+            Ok((Box::new(DCell::new(p).map_err(err)?), 3))
+        }
+        "fattree" => {
+            let v = need(1)?;
+            let p = FatTreeParams::new(v[0]).map_err(err)?;
+            Ok((Box::new(FatTree::new(p).map_err(err)?), 2))
+        }
+        "ghc" => {
+            let v = need(2)?;
+            let p = HypercubeParams::new(v[0], v[1]).map_err(err)?;
+            Ok((Box::new(Hypercube::new(p).map_err(err)?), 3))
+        }
+        other => Err(format!("unknown family `{other}`")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "props" => props(rest),
+        "route" => route(rest),
+        "parallel" => parallel(rest),
+        "simulate" => simulate(rest),
+        "expand" => expand(rest),
+        "capex" => capex(rest),
+        "dot" => dot(rest),
+        "svg" => svg_cmd(rest),
+        "trace" => trace_cmd(rest),
+        "design" => design_cmd(rest),
+        "broadcast" => broadcast_cmd(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn props(args: &[String]) -> Result<(), String> {
+    let (topo, _) = parse_topology(args)?;
+    let small = topo.network().server_count() <= 2048;
+    let stats = if small {
+        dcn_metrics::TopologyStats::measure(topo.as_ref())
+    } else {
+        dcn_metrics::TopologyStats::quick(topo.as_ref())
+    };
+    println!("{}", stats.name);
+    println!("  servers           {}", stats.servers);
+    println!("  switches          {}", stats.switches);
+    for (radix, count) in &stats.switch_radix_histogram {
+        println!("    radix {radix:<4}      × {count}");
+    }
+    println!("  cables            {}", stats.wires);
+    println!("  NIC ports/server  ≤ {}", stats.max_server_ports);
+    match stats.diameter_server_hops {
+        Some(d) => println!("  diameter          {d} server hops (exact BFS)"),
+        None => println!("  diameter          (skipped: network too large for exact BFS)"),
+    }
+    if let Some(apl) = stats.avg_path_length {
+        println!("  avg path length   {apl:.3}");
+    }
+    if small {
+        let b = dcn_metrics::bisection::exact_bisection_by_id(topo.network());
+        println!("  bisection         {b} links (exact min-cut)");
+    }
+    Ok(())
+}
+
+fn endpoints(topo: &dyn Topology, args: &[String], at: usize) -> Result<(NodeId, NodeId), String> {
+    let n = topo.network().server_count() as u32;
+    let s = parse_u32(args.get(at).ok_or("missing <src>")?, "src")?;
+    let d = parse_u32(args.get(at + 1).ok_or("missing <dst>")?, "dst")?;
+    if s >= n || d >= n {
+        return Err(format!("server ids must be < {n}"));
+    }
+    Ok((NodeId(s), NodeId(d)))
+}
+
+fn route(args: &[String]) -> Result<(), String> {
+    let (topo, used) = parse_topology(args)?;
+    let (src, dst) = endpoints(topo.as_ref(), args, used)?;
+    let r = topo.route(src, dst).map_err(|e| e.to_string())?;
+    r.validate(topo.network(), None)?;
+    println!(
+        "{}: {} → {} in {} server hops ({} links)",
+        topo.name(),
+        src,
+        dst,
+        r.server_hops(topo.network()),
+        r.link_hops()
+    );
+    for node in r.nodes() {
+        let kind = topo.network().kind(*node);
+        println!("  {kind:<6} {node}");
+    }
+    Ok(())
+}
+
+fn parallel(args: &[String]) -> Result<(), String> {
+    let family = args.first().ok_or("missing topology family")?.clone();
+    if family != "abccc" && family != "bccc" {
+        return Err("parallel paths are implemented for abccc/bccc".into());
+    }
+    let (topo, used) = parse_topology(args)?;
+    let (src, dst) = endpoints(topo.as_ref(), args, used)?;
+    if src == dst {
+        return Err("src and dst must differ".into());
+    }
+    // Reconstruct the ABCCC parameterization for the native constructor.
+    let v: Vec<u32> = args[1..used]
+        .iter()
+        .map(|s| parse_u32(s, "parameter"))
+        .collect::<Result<_, _>>()?;
+    let p = if family == "abccc" {
+        AbcccParams::new(v[0], v[1], v[2]).map_err(|e| e.to_string())?
+    } else {
+        AbcccParams::new(v[0], v[1], 2).map_err(|e| e.to_string())?
+    };
+    let routes = abccc::parallel::parallel_routes(
+        &p,
+        abccc::ServerAddr::from_node_id(&p, src),
+        abccc::ServerAddr::from_node_id(&p, dst),
+        usize::MAX,
+    );
+    let exact = netgraph::paths::vertex_disjoint_paths(topo.network(), src, dst, usize::MAX, None);
+    println!(
+        "{}: {} internally disjoint paths constructed (exact maximum: {})",
+        topo.name(),
+        routes.len(),
+        exact.len()
+    );
+    for (i, r) in routes.iter().enumerate() {
+        println!("  path {i}: {} hops", abccc::routing::hops(r));
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let (topo, _) = parse_topology(args)?;
+    let pattern = flag_value(args, "--pattern").unwrap_or_else(|| "permutation".into());
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "--seed expects a number"))
+        .transpose()?
+        .unwrap_or(1);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = topo.network().server_count();
+    let pairs = match pattern.as_str() {
+        "permutation" => dcn_workloads::traffic::random_permutation(n, &mut rng),
+        "bisection" => dcn_workloads::traffic::bisection_pairs(n, &mut rng),
+        "alltoall" => {
+            if n > 256 {
+                return Err("alltoall is quadratic; use a network with ≤ 256 servers".into());
+            }
+            dcn_workloads::traffic::all_to_all(n)
+        }
+        other => return Err(format!("unknown pattern `{other}`")),
+    };
+    let report = flowsim::FlowSim::new(topo.as_ref())
+        .run(&pairs)
+        .map_err(|e| e.to_string())?;
+    println!("{} under `{pattern}` (seed {seed})", report.topology);
+    println!("  flows            {}", report.flows);
+    println!("  aggregate        {:.2} Gbps", report.aggregate_rate);
+    println!("  per-flow mean    {:.4} Gbps", report.mean_rate);
+    println!("  per-flow min     {:.4} Gbps", report.min_rate);
+    println!("  ABT              {:.2} Gbps", report.abt);
+    println!("  mean hops        {:.2}", report.mean_hops);
+    Ok(())
+}
+
+fn expand(args: &[String]) -> Result<(), String> {
+    if args.len() < 3 {
+        return Err("expand needs <n> <k> <h>".into());
+    }
+    let n = parse_u32(&args[0], "n")?;
+    let k = parse_u32(&args[1], "k")?;
+    let h = parse_u32(&args[2], "h")?;
+    let steps: u32 = flag_value(args, "--steps")
+        .map(|s| s.parse().map_err(|_| "--steps expects a number"))
+        .transpose()?
+        .unwrap_or(1);
+    let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+    let plan = abccc::ExpansionStep::schedule(p, steps).map_err(|e| e.to_string())?;
+    for s in &plan {
+        println!("{} → {}", s.from, s.to);
+        println!(
+            "  servers            {} → {}",
+            s.from.server_count(),
+            s.to.server_count()
+        );
+        println!("  + servers          {}", s.new_servers);
+        println!("  + crossbars        {}", s.new_crossbar_switches);
+        println!("  + level switches   {}", s.new_level_switches);
+        println!("  + cables           {}", s.new_cables);
+        println!(
+            "  legacy NICs added  {} (cables into spare ports: {})",
+            s.legacy_nics_added, s.legacy_server_ports_newly_used
+        );
+        assert!(s.legacy_untouched());
+    }
+    println!("(every step leaves legacy hardware untouched)");
+    Ok(())
+}
+
+fn dot(args: &[String]) -> Result<(), String> {
+    let (topo, used) = parse_topology(args)?;
+    if topo.network().node_count() > 4096 {
+        return Err("network too large to render usefully (> 4096 nodes)".into());
+    }
+    let mut opts = netgraph::dot::DotOptions {
+        name: topo.name().replace(['(', ')', ','], "_"),
+        ..Default::default()
+    };
+    if args.len() >= used + 2 {
+        let (src, dst) = endpoints(topo.as_ref(), args, used)?;
+        opts.highlight = vec![topo.route(src, dst).map_err(|e| e.to_string())?];
+    }
+    print!("{}", netgraph::dot::to_dot(topo.network(), &opts));
+    Ok(())
+}
+
+fn svg_cmd(args: &[String]) -> Result<(), String> {
+    let (topo, used) = parse_topology(args)?;
+    if topo.network().node_count() > 2048 {
+        return Err("network too large to render usefully (> 2048 nodes)".into());
+    }
+    let mut opts = netgraph::svg::SvgOptions::default();
+    if args.len() > used + 1 && !args[used].starts_with("--") {
+        let (src, dst) = endpoints(topo.as_ref(), args, used)?;
+        opts.highlight = vec![topo.route(src, dst).map_err(|e| e.to_string())?];
+    }
+    let svg = netgraph::svg::to_svg(topo.network(), &opts);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &svg).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path} ({} bytes)", svg.len());
+        }
+        None => print!("{svg}"),
+    }
+    Ok(())
+}
+
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let (topo, _) = parse_topology(args)?;
+    let path = flag_value(args, "--file").ok_or("trace needs --file TRACE.csv")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let flows = dcn_workloads::trace::parse_trace(&text, topo.network().server_count() as u64)
+        .map_err(|e| e.to_string())?;
+    if flows.is_empty() {
+        return Err("trace contains no flows".into());
+    }
+    let pairs: Vec<_> = flows.iter().map(dcn_workloads::trace::TraceFlow::pair).collect();
+    let report = flowsim::FlowSim::new(topo.as_ref())
+        .run(&pairs)
+        .map_err(|e| e.to_string())?;
+    println!("{}: replayed {} flows from {path}", report.topology, report.flows);
+    println!("  aggregate     {:.2} Gbps", report.aggregate_rate);
+    println!("  per-flow mean {:.4} Gbps", report.mean_rate);
+    println!("  per-flow min  {:.4} Gbps", report.min_rate);
+    println!("  fairness      {:.3}", report.fairness_index());
+    println!("  mean hops     {:.2}", report.mean_hops);
+    Ok(())
+}
+
+fn broadcast_cmd(args: &[String]) -> Result<(), String> {
+    if args.len() < 4 {
+        return Err("broadcast needs <n> <k> <h> <src>".into());
+    }
+    let n = parse_u32(&args[0], "n")?;
+    let k = parse_u32(&args[1], "k")?;
+    let h = parse_u32(&args[2], "h")?;
+    let src = parse_u32(&args[3], "src")?;
+    let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+    if u64::from(src) >= p.server_count() {
+        return Err(format!("src must be < {}", p.server_count()));
+    }
+    let tree = abccc::broadcast::one_to_all(&p, NodeId(src)).map_err(|e| e.to_string())?;
+    tree.validate(&p)?;
+    println!("{p}: one-to-all from server {src}");
+    println!("  servers covered  {}", tree.member_count());
+    println!("  tree depth       {} hops", tree.depth());
+    println!("  messages sent    {}", tree.member_count() - 1);
+    let unicast: u64 = (0..p.server_count())
+        .map(|d| {
+            abccc::routing::distance(
+                &p,
+                abccc::ServerAddr::from_node_id(&p, NodeId(src)),
+                abccc::ServerAddr::from_node_id(&p, NodeId(d as u32)),
+            )
+        })
+        .sum();
+    println!("  unicast cost     {unicast} messages (for comparison)");
+    Ok(())
+}
+
+fn design_cmd(args: &[String]) -> Result<(), String> {
+    let target: u64 = args
+        .first()
+        .ok_or("design needs <target-servers>")?
+        .parse()
+        .map_err(|_| "target-servers must be a number".to_string())?;
+    let objective = match flag_value(args, "--objective").as_deref() {
+        None | Some("cost") => dcn_metrics::design::Objective::Cost,
+        Some("latency") => dcn_metrics::design::Objective::Latency,
+        Some("bandwidth") => dcn_metrics::design::Objective::Bandwidth,
+        Some(other) => return Err(format!("unknown objective `{other}`")),
+    };
+    let cost = dcn_metrics::CostModel::default();
+    let cands = dcn_metrics::design::recommend(target, &[4, 8, 16, 24, 48], 6, &cost, objective);
+    println!("candidates reaching ≥ {target} servers (best first):");
+    println!(
+        "{:<16} {:>9} {:>9} {:>6} {:>10} {:>12}",
+        "config", "servers", "diameter", "ports", "$/server", "bisect/srv"
+    );
+    for c in cands.iter().take(12) {
+        println!(
+            "{:<16} {:>9} {:>9} {:>6} {:>10.2} {:>12}",
+            c.params.to_string(),
+            c.servers,
+            c.diameter,
+            c.ports,
+            c.capex_per_server,
+            c.bisection_per_server
+                .map_or("—".to_string(), |b| format!("{b:.4}")),
+        );
+    }
+    Ok(())
+}
+
+fn capex(args: &[String]) -> Result<(), String> {
+    let (topo, _) = parse_topology(args)?;
+    let stats = dcn_metrics::TopologyStats::quick(topo.as_ref());
+    let c = dcn_metrics::CostModel::default().capex(&stats);
+    println!("{} — CAPEX (default 2015-commodity model)", c.name);
+    println!("  switches   ${:>12.2}", c.switches_usd);
+    println!("  NICs       ${:>12.2}", c.nics_usd);
+    println!("  cables     ${:>12.2}", c.cables_usd);
+    println!("  total      ${:>12.2}", c.total());
+    println!("  per server ${:>12.2}", c.per_server());
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! End-to-end smoke tests of the `abccc-cli` binary: every subcommand is
+//! invoked through a real process and its stdout/stderr checked.
+
+use std::process::Command;
+
+fn cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_abccc-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(args: &[&str]) -> String {
+    let out = cli(args);
+    assert!(
+        out.status.success(),
+        "`{args:?}` failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8")
+}
+
+#[test]
+fn props_prints_structure() {
+    let out = stdout(&["props", "abccc", "4", "1", "2"]);
+    assert!(out.contains("ABCCC(4,1,2)"));
+    assert!(out.contains("servers           32"));
+    assert!(out.contains("diameter          4 server hops"));
+    assert!(out.contains("bisection"));
+}
+
+#[test]
+fn route_lists_hops() {
+    let out = stdout(&["route", "bcube", "3", "1", "0", "8"]);
+    assert!(out.contains("BCube(3,1)"));
+    assert!(out.contains("server n0"));
+    assert!(out.contains("switch"));
+    assert!(out.contains("server n8"));
+}
+
+#[test]
+fn parallel_reports_exact_maximum() {
+    let out = stdout(&["parallel", "abccc", "3", "1", "2", "0", "17"]);
+    assert!(out.contains("disjoint paths constructed"));
+    assert!(out.contains("exact maximum"));
+}
+
+#[test]
+fn simulate_reports_rates() {
+    let out = stdout(&["simulate", "abccc", "2", "1", "2", "--pattern", "permutation"]);
+    assert!(out.contains("aggregate"));
+    assert!(out.contains("ABT"));
+}
+
+#[test]
+fn expand_reports_legacy_untouched() {
+    let out = stdout(&["expand", "4", "1", "3", "--steps", "2"]);
+    assert!(out.contains("legacy NICs added  0"));
+    assert!(out.contains("untouched"));
+}
+
+#[test]
+fn capex_breaks_down_costs() {
+    let out = stdout(&["capex", "fattree", "4"]);
+    assert!(out.contains("switches"));
+    assert!(out.contains("per server"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = stdout(&["dot", "abccc", "2", "1", "2"]);
+    assert!(out.starts_with("graph "));
+    assert!(out.contains(" -- "));
+}
+
+#[test]
+fn svg_emits_markup() {
+    let out = stdout(&["svg", "bcube", "2", "1"]);
+    assert!(out.starts_with("<svg"));
+    assert!(out.trim_end().ends_with("</svg>"));
+}
+
+#[test]
+fn broadcast_reports_tree() {
+    let out = stdout(&["broadcast", "3", "1", "2", "0"]);
+    assert!(out.contains("one-to-all from server 0"));
+    assert!(out.contains("tree depth"));
+}
+
+#[test]
+fn trace_replays_csv() {
+    let dir = std::env::temp_dir().join("abccc_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("trace.csv");
+    std::fs::write(&path, "# demo\n0,5,100,0\n3,1,10,50\n").expect("write");
+    let out = stdout(&["trace", "bcube", "3", "1", "--file", path.to_str().expect("utf-8")]);
+    assert!(out.contains("replayed 2 flows"));
+    assert!(out.contains("fairness"));
+}
+
+#[test]
+fn design_ranks_candidates() {
+    let out = stdout(&["design", "1000", "--objective", "latency"]);
+    assert!(out.contains("candidates reaching"));
+    assert!(out.contains("ABCCC("));
+}
+
+#[test]
+fn bad_family_fails_with_usage() {
+    let out = cli(&["props", "nonsense", "1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown family"));
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = stdout(&["help"]);
+    assert!(out.contains("abccc-cli props"));
+    assert!(out.contains("families:"));
+}
+
+#[test]
+fn out_of_range_server_id_rejected() {
+    let out = cli(&["route", "abccc", "2", "1", "2", "0", "999"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("server ids must be <"));
+}

@@ -1,0 +1,348 @@
+//! The ABCCC addressing scheme.
+//!
+//! A server is addressed `(x, j)` where `x = x_k x_{k-1} … x_0` is the
+//! **cube label** (`k + 1` digits in base `n`) and `j` is the **group
+//! position** (`0 ≤ j < m`). Switches are addressed either as the crossbar
+//! of a cube label or as the level-`i` switch of a label-with-digit-`i`
+//! deleted ("rest").
+//!
+//! Flat [`NodeId`]s are laid out servers-first (crate convention):
+//!
+//! ```text
+//! server   (x, j)        ↦ x·m + j                            (0 .. N)
+//! crossbar C_x           ↦ N + x                              (next n^(k+1), absent when m = 1)
+//! level sw S_(i, rest)   ↦ N + #crossbars + i·n^k + rest
+//! ```
+
+use crate::AbcccParams;
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cube label: the index form of the digit string `x_k … x_0`
+/// (`index = Σ x_i · n^i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CubeLabel(pub u64);
+
+impl CubeLabel {
+    /// Builds a label from digits, least-significant (level 0) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digit count is not `k + 1` or any digit is `≥ n`.
+    pub fn from_digits(p: &AbcccParams, digits: &[u32]) -> Self {
+        assert_eq!(
+            digits.len(),
+            p.levels() as usize,
+            "expected {} digits",
+            p.levels()
+        );
+        let mut acc = 0u64;
+        for (i, &d) in digits.iter().enumerate().rev() {
+            assert!(d < p.n(), "digit {d} at level {i} out of base {}", p.n());
+            acc = acc * u64::from(p.n()) + u64::from(d);
+        }
+        CubeLabel(acc)
+    }
+
+    /// The digit at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > k`.
+    #[inline]
+    pub fn digit(self, p: &AbcccParams, level: u32) -> u32 {
+        assert!(level <= p.k(), "level {level} out of range");
+        let n = u64::from(p.n());
+        ((self.0 / n.pow(level)) % n) as u32
+    }
+
+    /// A copy of this label with the digit at `level` replaced by `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > k` or `d ≥ n`.
+    #[inline]
+    pub fn with_digit(self, p: &AbcccParams, level: u32, d: u32) -> CubeLabel {
+        assert!(d < p.n(), "digit {d} out of base {}", p.n());
+        let n = u64::from(p.n());
+        let pw = n.pow(level);
+        let old = self.digit(p, level);
+        let delta = (i64::from(d) - i64::from(old)) * pw as i64;
+        CubeLabel((self.0 as i64 + delta) as u64)
+    }
+
+    /// All digits, least-significant (level 0) first.
+    pub fn digits(self, p: &AbcccParams) -> Vec<u32> {
+        (0..p.levels()).map(|i| self.digit(p, i)).collect()
+    }
+
+    /// The "rest" index: this label with the digit at `level` deleted,
+    /// interpreted as a `k`-digit base-`n` number. Two labels map to the
+    /// same `(level, rest)` iff they differ only in digit `level` — i.e.
+    /// they share a level-`level` switch.
+    pub fn rest_index(self, p: &AbcccParams, level: u32) -> u64 {
+        let n = u64::from(p.n());
+        let pw = n.pow(level);
+        let low = self.0 % pw;
+        let high = self.0 / (pw * n);
+        high * pw + low
+    }
+
+    /// Inverse of [`CubeLabel::rest_index`]: reinserts digit `d` at `level`.
+    pub fn from_rest(p: &AbcccParams, level: u32, rest: u64, d: u32) -> CubeLabel {
+        let n = u64::from(p.n());
+        let pw = n.pow(level);
+        let low = rest % pw;
+        let high = rest / pw;
+        CubeLabel(high * pw * n + u64::from(d) * pw + low)
+    }
+
+    /// Set of levels where `self` and `other` differ (ascending).
+    pub fn differing_levels(self, p: &AbcccParams, other: CubeLabel) -> Vec<u32> {
+        (0..p.levels())
+            .filter(|&i| self.digit(p, i) != other.digit(p, i))
+            .collect()
+    }
+}
+
+/// A server address `(x, j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServerAddr {
+    /// Cube label.
+    pub label: CubeLabel,
+    /// Group position, `0 ≤ pos < m`.
+    pub pos: u32,
+}
+
+impl ServerAddr {
+    /// Creates a server address, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label or position is out of range for `p`.
+    pub fn new(p: &AbcccParams, label: CubeLabel, pos: u32) -> Self {
+        assert!(label.0 < p.label_space(), "label out of range");
+        assert!(pos < p.group_size(), "position {pos} out of range");
+        ServerAddr { label, pos }
+    }
+
+    /// The flat node id of this server.
+    #[inline]
+    pub fn node_id(self, p: &AbcccParams) -> NodeId {
+        NodeId((self.label.0 * u64::from(p.group_size()) + u64::from(self.pos)) as u32)
+    }
+
+    /// Decodes a flat node id back into a server address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a server id of `p`.
+    pub fn from_node_id(p: &AbcccParams, id: NodeId) -> Self {
+        let m = u64::from(p.group_size());
+        let flat = u64::from(id.0);
+        assert!(flat < p.server_count(), "{id} is not a server id");
+        ServerAddr {
+            label: CubeLabel(flat / m),
+            pos: (flat % m) as u32,
+        }
+    }
+
+    /// Formats with explicit digits, e.g. `s(1,0,3):0` (most-significant
+    /// digit first).
+    pub fn display(self, p: &AbcccParams) -> String {
+        let digits: Vec<String> = self
+            .label
+            .digits(p)
+            .iter()
+            .rev()
+            .map(u32::to_string)
+            .collect();
+        format!("s({}):{}", digits.join(","), self.pos)
+    }
+}
+
+/// A switch address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchAddr {
+    /// The crossbar of cube label `x` (absent when the group size is 1).
+    Crossbar(CubeLabel),
+    /// The level-`level` switch shared by labels with the given rest index.
+    Level {
+        /// Cube level `0 ≤ level ≤ k`.
+        level: u32,
+        /// Label with digit `level` deleted.
+        rest: u64,
+    },
+}
+
+impl SwitchAddr {
+    /// The flat node id of this switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`SwitchAddr::Crossbar`] when `p.group_size() == 1`
+    /// (degenerate crossbars are not materialized), or for out-of-range
+    /// fields.
+    pub fn node_id(self, p: &AbcccParams) -> NodeId {
+        let servers = p.server_count();
+        match self {
+            SwitchAddr::Crossbar(label) => {
+                assert!(p.group_size() > 1, "no crossbars when m = 1");
+                assert!(label.0 < p.label_space(), "label out of range");
+                NodeId((servers + label.0) as u32)
+            }
+            SwitchAddr::Level { level, rest } => {
+                assert!(level <= p.k(), "level out of range");
+                assert!(rest < p.rest_space(), "rest out of range");
+                let base = servers + p.crossbar_count();
+                NodeId((base + u64::from(level) * p.rest_space() + rest) as u32)
+            }
+        }
+    }
+
+    /// Decodes a flat node id back into a switch address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a server id or beyond the switch range.
+    pub fn from_node_id(p: &AbcccParams, id: NodeId) -> Self {
+        let flat = u64::from(id.0);
+        let servers = p.server_count();
+        assert!(flat >= servers, "{id} is a server id");
+        let off = flat - servers;
+        if off < p.crossbar_count() {
+            SwitchAddr::Crossbar(CubeLabel(off))
+        } else {
+            let off = off - p.crossbar_count();
+            let level = (off / p.rest_space()) as u32;
+            assert!(level <= p.k(), "{id} beyond the switch range");
+            SwitchAddr::Level {
+                level,
+                rest: off % p.rest_space(),
+            }
+        }
+    }
+}
+
+impl fmt::Display for SwitchAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchAddr::Crossbar(l) => write!(f, "C[{}]", l.0),
+            SwitchAddr::Level { level, rest } => write!(f, "S[{level},{rest}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> AbcccParams {
+        AbcccParams::new(4, 2, 3).unwrap() // L = 3, m = 2, 128 servers
+    }
+
+    #[test]
+    fn digit_roundtrip() {
+        let p = p();
+        let l = CubeLabel::from_digits(&p, &[3, 0, 2]); // x0=3, x1=0, x2=2
+        assert_eq!(l.digit(&p, 0), 3);
+        assert_eq!(l.digit(&p, 1), 0);
+        assert_eq!(l.digit(&p, 2), 2);
+        assert_eq!(l.digits(&p), vec![3, 0, 2]);
+        assert_eq!(l.0, 3 + 2 * 16);
+    }
+
+    #[test]
+    fn with_digit() {
+        let p = p();
+        let l = CubeLabel::from_digits(&p, &[3, 0, 2]);
+        let l2 = l.with_digit(&p, 1, 3);
+        assert_eq!(l2.digits(&p), vec![3, 3, 2]);
+        assert_eq!(l2.with_digit(&p, 1, 0), l);
+    }
+
+    #[test]
+    fn rest_roundtrip() {
+        let p = p();
+        for raw in 0..p.label_space() {
+            let l = CubeLabel(raw);
+            for level in 0..p.levels() {
+                let rest = l.rest_index(&p, level);
+                assert!(rest < p.rest_space());
+                let back = CubeLabel::from_rest(&p, level, rest, l.digit(&p, level));
+                assert_eq!(back, l);
+            }
+        }
+    }
+
+    #[test]
+    fn same_switch_iff_differ_in_one_digit() {
+        let p = p();
+        let a = CubeLabel::from_digits(&p, &[1, 2, 3]);
+        let b = a.with_digit(&p, 1, 0);
+        assert_eq!(a.rest_index(&p, 1), b.rest_index(&p, 1));
+        assert_ne!(a.rest_index(&p, 0), b.rest_index(&p, 0));
+    }
+
+    #[test]
+    fn differing_levels() {
+        let p = p();
+        let a = CubeLabel::from_digits(&p, &[1, 2, 3]);
+        let b = CubeLabel::from_digits(&p, &[1, 0, 0]);
+        assert_eq!(a.differing_levels(&p, b), vec![1, 2]);
+        assert_eq!(a.differing_levels(&p, a), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn server_id_roundtrip() {
+        let p = p();
+        for raw in 0..p.server_count() {
+            let id = NodeId(raw as u32);
+            let addr = ServerAddr::from_node_id(&p, id);
+            assert_eq!(addr.node_id(&p), id);
+        }
+    }
+
+    #[test]
+    fn switch_id_roundtrip() {
+        let p = p();
+        let total = p.server_count() + p.switch_count();
+        for raw in p.server_count()..total {
+            let id = NodeId(raw as u32);
+            let addr = SwitchAddr::from_node_id(&p, id);
+            assert_eq!(addr.node_id(&p), id);
+        }
+    }
+
+    #[test]
+    fn id_ranges_do_not_overlap() {
+        let p = p();
+        let sv = ServerAddr::new(&p, CubeLabel(5), 1).node_id(&p);
+        let cb = SwitchAddr::Crossbar(CubeLabel(5)).node_id(&p);
+        let lv = SwitchAddr::Level { level: 0, rest: 5 }.node_id(&p);
+        assert!(u64::from(sv.0) < p.server_count());
+        assert!(u64::from(cb.0) >= p.server_count());
+        assert!(u64::from(lv.0) >= p.server_count() + p.crossbar_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "no crossbars")]
+    fn degenerate_crossbar_id_panics() {
+        let p = AbcccParams::new(4, 1, 4).unwrap(); // m = 1
+        SwitchAddr::Crossbar(CubeLabel(0)).node_id(&p);
+    }
+
+    #[test]
+    fn server_display() {
+        let p = p();
+        let a = ServerAddr::new(&p, CubeLabel::from_digits(&p, &[3, 0, 2]), 1);
+        assert_eq!(a.display(&p), "s(2,0,3):1");
+    }
+
+    #[test]
+    fn switch_display() {
+        assert_eq!(SwitchAddr::Crossbar(CubeLabel(7)).to_string(), "C[7]");
+        assert_eq!(SwitchAddr::Level { level: 2, rest: 9 }.to_string(), "S[2,9]");
+    }
+}

@@ -1,0 +1,434 @@
+//! One-to-all and one-to-many routing — the GBC3 (journal-version)
+//! extension of ABCCC.
+//!
+//! The broadcast tree follows the structure of the one-to-one routing:
+//! from the source, cube digits are corrected in ascending level order, so
+//! every label `y` is reached through the label that agrees with the
+//! source on `y`'s highest differing level ("prev label"), arriving at the
+//! group position that owns that level; the local crossbar then fans the
+//! message out to the rest of the group. The union of these deterministic
+//! paths is a spanning tree of all servers.
+
+use crate::{AbcccParams, CubeLabel, ServerAddr, SwitchAddr};
+use netgraph::{NodeId, RouteError};
+use serde::{Deserialize, Serialize};
+
+/// A spanning broadcast tree rooted at a source server.
+///
+/// `parent[s]` is `None` for the root and for servers outside the tree
+/// (only possible in [`one_to_many`] pruned trees); otherwise it holds the
+/// parent server and the switch the hop crosses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastTree {
+    root: NodeId,
+    parent: Vec<Option<(NodeId, NodeId)>>,
+    depth: u32,
+    members: usize,
+}
+
+impl BroadcastTree {
+    /// The source server.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent server and connecting switch of `server`, or `None` for the
+    /// root / non-members.
+    pub fn parent(&self, server: NodeId) -> Option<(NodeId, NodeId)> {
+        self.parent[server.index()]
+    }
+
+    /// Maximum hop depth of the tree (= broadcast latency in store-and-
+    /// forward rounds along the critical path).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of servers in the tree (including the root).
+    pub fn member_count(&self) -> usize {
+        self.members
+    }
+
+    /// `true` if `server` is covered by this tree.
+    pub fn contains(&self, server: NodeId) -> bool {
+        server == self.root || self.parent[server.index()].is_some()
+    }
+
+    /// The hop path from the root to `server` (server nodes only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is not a member.
+    pub fn path_to(&self, server: NodeId) -> Vec<NodeId> {
+        assert!(self.contains(server), "{server} is not in the tree");
+        let mut path = vec![server];
+        let mut cur = server;
+        while let Some((p, _)) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Validates the tree against the ABCCC parameterization: acyclic,
+    /// every edge physically exists, depth is consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self, p: &AbcccParams) -> Result<(), String> {
+        let mut seen_depth = 0u32;
+        for raw in 0..p.server_count() {
+            let id = NodeId(raw as u32);
+            if !self.contains(id) {
+                continue;
+            }
+            let path = self.path_to(id); // panics on cycles via stack overflow
+            if path.len() > p.server_count() as usize {
+                return Err(format!("path to {id} longer than the server count"));
+            }
+            if path[0] != self.root {
+                return Err(format!("path to {id} does not start at the root"));
+            }
+            seen_depth = seen_depth.max((path.len() - 1) as u32);
+            if let Some((parent, via)) = self.parent[id.index()] {
+                // The connecting switch must be adjacent to both ends.
+                let pa = ServerAddr::from_node_id(p, parent);
+                let ca = ServerAddr::from_node_id(p, id);
+                let ok = match SwitchAddr::from_node_id(p, via) {
+                    SwitchAddr::Crossbar(l) => pa.label == l && ca.label == l,
+                    SwitchAddr::Level { level, rest } => {
+                        pa.pos == p.owner(level)
+                            && ca.pos == p.owner(level)
+                            && pa.label.rest_index(p, level) == rest
+                            && ca.label.rest_index(p, level) == rest
+                    }
+                };
+                if !ok {
+                    return Err(format!("edge {parent} –{via}– {id} is not physical"));
+                }
+            }
+        }
+        if seen_depth != self.depth {
+            return Err(format!("depth {} but longest path {seen_depth}", self.depth));
+        }
+        Ok(())
+    }
+}
+
+/// Builds the one-to-all broadcast tree from `src`, covering every server.
+///
+/// The depth is at most `diameter + 1` and every server receives the
+/// message exactly once (verified by [`BroadcastTree::validate`] in the
+/// test suite).
+///
+/// # Errors
+///
+/// Returns [`RouteError::NotAServer`] if `src` is not a server id.
+pub fn one_to_all(p: &AbcccParams, src: NodeId) -> Result<BroadcastTree, RouteError> {
+    if u64::from(src.0) >= p.server_count() {
+        return Err(RouteError::NotAServer(src));
+    }
+    let sa = ServerAddr::from_node_id(p, src);
+    let m = p.group_size();
+    let mut parent: Vec<Option<(NodeId, NodeId)>> = vec![None; p.server_count() as usize];
+
+    // Arrival position of a label: where the message first lands there.
+    let arrival = |label: CubeLabel| -> u32 {
+        if label == sa.label {
+            sa.pos
+        } else {
+            let max_diff = *sa
+                .label
+                .differing_levels(p, label)
+                .last()
+                .expect("labels differ");
+            p.owner(max_diff)
+        }
+    };
+
+    for raw_label in 0..p.label_space() {
+        let label = CubeLabel(raw_label);
+        let arr = arrival(label);
+        // Cube edge into this label (for non-source labels).
+        if label != sa.label {
+            let max_diff = *sa
+                .label
+                .differing_levels(p, label)
+                .last()
+                .expect("labels differ");
+            let prev = label.with_digit(p, max_diff, sa.label.digit(p, max_diff));
+            let via = SwitchAddr::Level {
+                level: max_diff,
+                rest: label.rest_index(p, max_diff),
+            }
+            .node_id(p);
+            let from = ServerAddr::new(p, prev, arr).node_id(p);
+            let to = ServerAddr::new(p, label, arr).node_id(p);
+            parent[to.index()] = Some((from, via));
+        }
+        // Crossbar fan-out within the group.
+        if m > 1 {
+            let hub = ServerAddr::new(p, label, arr).node_id(p);
+            let via = SwitchAddr::Crossbar(label).node_id(p);
+            for j in 0..m {
+                if j == arr {
+                    continue;
+                }
+                let member = ServerAddr::new(p, label, j).node_id(p);
+                parent[member.index()] = Some((hub, via));
+            }
+        }
+    }
+
+    finish_tree(p, src, parent)
+}
+
+/// Builds a one-to-many tree: the one-to-all tree pruned to the branches
+/// needed to reach `dests` (a Steiner-tree-style subtree).
+///
+/// # Errors
+///
+/// Returns [`RouteError::NotAServer`] if `src` or any destination is not a
+/// server id.
+pub fn one_to_many(
+    p: &AbcccParams,
+    src: NodeId,
+    dests: &[NodeId],
+) -> Result<BroadcastTree, RouteError> {
+    let full = one_to_all(p, src)?;
+    let mut keep = vec![false; p.server_count() as usize];
+    keep[src.index()] = true;
+    for &d in dests {
+        if u64::from(d.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(d));
+        }
+        let mut cur = d;
+        while !keep[cur.index()] {
+            keep[cur.index()] = true;
+            match full.parent(cur) {
+                Some((par, _)) => cur = par,
+                None => break,
+            }
+        }
+    }
+    let parent = (0..p.server_count() as usize)
+        .map(|i| if keep[i] { full.parent[i] } else { None })
+        .collect();
+    finish_tree(p, src, parent)
+}
+
+impl BroadcastTree {
+    /// The tree read in reverse: an **aggregation** (all-to-one) schedule.
+    /// Returns the servers grouped by depth, deepest first — running the
+    /// rounds in this order lets every server combine its children's
+    /// partial results before forwarding one message to its parent (the
+    /// in-network reduction pattern of MapReduce/all-reduce workloads).
+    pub fn aggregation_rounds(&self) -> Vec<Vec<NodeId>> {
+        let mut depth_of = std::collections::HashMap::new();
+        let mut max_depth = 0usize;
+        for idx in 0..self.parent.len() {
+            let id = NodeId(idx as u32);
+            if !self.contains(id) {
+                continue;
+            }
+            let d = self.path_to(id).len() - 1;
+            depth_of.insert(id, d);
+            max_depth = max_depth.max(d);
+        }
+        let mut rounds: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth];
+        for (id, d) in depth_of {
+            if d > 0 {
+                rounds[max_depth - d].push(id);
+            }
+        }
+        for r in &mut rounds {
+            r.sort_unstable();
+        }
+        rounds
+    }
+}
+
+/// Computes depth/membership and packages the tree.
+fn finish_tree(
+    p: &AbcccParams,
+    src: NodeId,
+    parent: Vec<Option<(NodeId, NodeId)>>,
+) -> Result<BroadcastTree, RouteError> {
+    let mut depth_cache = vec![u32::MAX; p.server_count() as usize];
+    depth_cache[src.index()] = 0;
+    let mut max_depth = 0;
+    let mut members = 1usize;
+    for raw in 0..p.server_count() as usize {
+        if parent[raw].is_none() {
+            continue;
+        }
+        // Walk up until a cached depth, then unwind.
+        let mut stack = Vec::new();
+        let mut cur = raw;
+        while depth_cache[cur] == u32::MAX {
+            stack.push(cur);
+            cur = match parent[cur] {
+                Some((par, _)) => par.index(),
+                None => break,
+            };
+        }
+        let mut d = depth_cache[cur];
+        while let Some(node) = stack.pop() {
+            d += 1;
+            depth_cache[node] = d;
+            members += 1;
+            max_depth = max_depth.max(d);
+        }
+    }
+    Ok(BroadcastTree {
+        root: src,
+        parent,
+        depth: max_depth,
+        members,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Abccc;
+    use netgraph::Topology;
+
+    fn check_full(p: AbcccParams) {
+        let tree = one_to_all(&p, NodeId(3 % p.server_count() as u32)).unwrap();
+        tree.validate(&p).unwrap();
+        assert_eq!(tree.member_count() as u64, p.server_count());
+        // Depth is bounded by diameter + 1 (final crossbar fan-out).
+        assert!(
+            u64::from(tree.depth()) <= p.diameter() + 1,
+            "{p}: depth {} > diameter {} + 1",
+            tree.depth(),
+            p.diameter()
+        );
+        // Tree paths are real paths of the materialized network.
+        let topo = Abccc::new(p).unwrap();
+        for raw in (0..p.server_count()).step_by(5) {
+            let id = NodeId(raw as u32);
+            let path = tree.path_to(id);
+            for w in path.windows(2) {
+                let (parent, via) = tree.parent(w[1]).unwrap();
+                assert_eq!(parent, w[0]);
+                assert!(topo.network().find_link(w[0], via).is_some());
+                assert!(topo.network().find_link(via, w[1]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_all_spans_everything() {
+        for (n, k, h) in [(2, 1, 2), (3, 2, 2), (2, 3, 3), (3, 1, 3), (2, 2, 4)] {
+            check_full(AbcccParams::new(n, k, h).unwrap());
+        }
+    }
+
+    #[test]
+    fn one_to_all_depth_near_eccentricity() {
+        // Depth must be within +2 of the BFS eccentricity (crossbar
+        // fan-outs at source and destination labels).
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let src = NodeId(0);
+        let tree = one_to_all(&p, src).unwrap();
+        let ecc = netgraph::bfs::server_eccentricity(topo.network(), src).unwrap();
+        assert!(tree.depth() >= ecc);
+        assert!(tree.depth() <= ecc + 2, "depth {} vs ecc {ecc}", tree.depth());
+    }
+
+    #[test]
+    fn every_nonroot_has_exactly_one_parent() {
+        let p = AbcccParams::new(2, 2, 2).unwrap();
+        let tree = one_to_all(&p, NodeId(7)).unwrap();
+        for raw in 0..p.server_count() {
+            let id = NodeId(raw as u32);
+            if id == tree.root() {
+                assert!(tree.parent(id).is_none());
+            } else {
+                assert!(tree.parent(id).is_some(), "{id} unreached");
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_many_covers_exactly_the_needed_branches() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let src = NodeId(0);
+        let dests = [NodeId(11), NodeId(42), NodeId(80)];
+        let tree = one_to_many(&p, src, &dests).unwrap();
+        tree.validate(&p).unwrap();
+        for d in dests {
+            assert!(tree.contains(d));
+            assert_eq!(tree.path_to(d)[0], src);
+        }
+        // Strictly smaller than the full broadcast.
+        let full = one_to_all(&p, src).unwrap();
+        assert!(tree.member_count() < full.member_count());
+        // Every member lies on a root→dest path (no dangling branches).
+        let mut on_path = std::collections::HashSet::new();
+        for d in dests {
+            on_path.extend(tree.path_to(d));
+        }
+        on_path.insert(src);
+        for raw in 0..p.server_count() {
+            let id = NodeId(raw as u32);
+            if tree.contains(id) {
+                assert!(on_path.contains(&id), "{id} dangles");
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_many_with_all_servers_is_one_to_all() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let all: Vec<NodeId> = (0..p.server_count()).map(|r| NodeId(r as u32)).collect();
+        let many = one_to_many(&p, NodeId(0), &all).unwrap();
+        let full = one_to_all(&p, NodeId(0)).unwrap();
+        assert_eq!(many, full);
+    }
+
+    #[test]
+    fn aggregation_rounds_reduce_everything_once() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let tree = one_to_all(&p, NodeId(5)).unwrap();
+        let rounds = tree.aggregation_rounds();
+        assert_eq!(rounds.len() as u32, tree.depth());
+        // Every non-root server appears in exactly one round.
+        let mut seen = std::collections::HashSet::new();
+        for round in &rounds {
+            for &s in round {
+                assert!(seen.insert(s), "{s} reduced twice");
+                assert_ne!(s, tree.root());
+            }
+        }
+        assert_eq!(seen.len() as u64, p.server_count() - 1);
+        // A node's parent is never scheduled in an earlier round than the
+        // node itself (children reduce first).
+        let mut round_of = std::collections::HashMap::new();
+        for (i, round) in rounds.iter().enumerate() {
+            for &s in round {
+                round_of.insert(s, i);
+            }
+        }
+        for (&s, &r) in &round_of {
+            if let Some((parent, _)) = tree.parent(s) {
+                if parent != tree.root() {
+                    assert!(round_of[&parent] > r, "{parent} before child {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_endpoints() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let sw = NodeId(p.server_count() as u32);
+        assert!(one_to_all(&p, sw).is_err());
+        assert!(one_to_many(&p, NodeId(0), &[sw]).is_err());
+    }
+}

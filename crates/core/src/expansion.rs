@@ -1,0 +1,286 @@
+//! Incremental expansion — the headline property of ABCCC.
+//!
+//! Growing `ABCCC(n, k, h)` to `ABCCC(n, k+1, h)` requires **adding
+//! components only**: new servers, new switches and new cables. Existing
+//! cables are never re-plugged and existing servers never gain NICs (their
+//! spare, already-purchased ports may be newly cabled). This contrasts with
+//! BCube, where growing the order retrofits a NIC into *every* existing
+//! server, and with fat-trees, which must be rebuilt for a bigger radix.
+//!
+//! The old network embeds into the grown one as the labels whose new
+//! most-significant digit is 0; [`verify_embedding`] checks, link by link,
+//! that the embedding is exact.
+
+use crate::{Abccc, AbcccParams, ServerAddr};
+use netgraph::NetworkError;
+use serde::{Deserialize, Serialize};
+
+/// The bill of materials and legacy impact of one expansion step
+/// (`k → k + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpansionStep {
+    /// Parameters before the step.
+    pub from: AbcccParams,
+    /// Parameters after the step.
+    pub to: AbcccParams,
+    /// Servers purchased.
+    pub new_servers: u64,
+    /// Crossbar switches purchased.
+    pub new_crossbar_switches: u64,
+    /// Cube-level switches purchased.
+    pub new_level_switches: u64,
+    /// Cables pulled.
+    pub new_cables: u64,
+    /// Spare NIC ports on *existing* servers that get a new cable
+    /// (allowed: the port was already there).
+    pub legacy_server_ports_newly_used: u64,
+    /// Free ports on *existing* crossbar switches that get a new cable.
+    pub legacy_crossbar_ports_newly_used: u64,
+    /// NICs that must be retrofitted into existing servers.
+    /// **Always 0 for ABCCC** — this is the cost BCube pays.
+    pub legacy_nics_added: u64,
+    /// Existing cables that must be unplugged and rewired.
+    /// **Always 0 for ABCCC.**
+    pub legacy_cables_rewired: u64,
+}
+
+impl ExpansionStep {
+    /// Plans the growth of `from` by one order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation if the grown network exceeds the
+    /// supported address space.
+    pub fn grow_order(from: AbcccParams) -> Result<Self, NetworkError> {
+        let to = from.grown()?;
+        let m = from.group_size();
+        let m2 = to.group_size();
+        debug_assert!(m2 == m || m2 == m + 1);
+
+        let (legacy_server_ports, legacy_crossbar_ports) = if m2 == m {
+            // New level k+1 is owned by an existing position: each legacy
+            // label's owner server cables up to a new level switch.
+            (from.label_space(), 0)
+        } else if m == 1 {
+            // Groups grow 1 → 2: crossbars appear; each legacy server
+            // cables its spare port to its (new) crossbar.
+            (from.label_space(), 0)
+        } else {
+            // A new position joins each legacy group through the legacy
+            // crossbar's free port.
+            (0, from.label_space())
+        };
+
+        Ok(ExpansionStep {
+            from,
+            to,
+            new_servers: to.server_count() - from.server_count(),
+            new_crossbar_switches: to.crossbar_count() - from.crossbar_count(),
+            new_level_switches: to.level_switch_count() - from.level_switch_count(),
+            new_cables: to.wire_count() - from.wire_count(),
+            legacy_server_ports_newly_used: legacy_server_ports,
+            legacy_crossbar_ports_newly_used: legacy_crossbar_ports,
+            legacy_nics_added: 0,
+            legacy_cables_rewired: 0,
+        })
+    }
+
+    /// Plans a multi-step growth schedule of `steps` consecutive orders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from intermediate parameterizations.
+    pub fn schedule(from: AbcccParams, steps: u32) -> Result<Vec<ExpansionStep>, NetworkError> {
+        let mut plan = Vec::with_capacity(steps as usize);
+        let mut cur = from;
+        for _ in 0..steps {
+            let step = ExpansionStep::grow_order(cur)?;
+            cur = step.to;
+            plan.push(step);
+        }
+        Ok(plan)
+    }
+
+    /// `true` iff the step touches no legacy hardware beyond cabling spare
+    /// ports — the ABCCC expandability claim.
+    pub fn legacy_untouched(&self) -> bool {
+        self.legacy_nics_added == 0 && self.legacy_cables_rewired == 0
+    }
+}
+
+/// Maps an old server address into the grown network (new most-significant
+/// digit 0). The numeric label index and position are unchanged.
+pub fn embed_server(addr: ServerAddr) -> ServerAddr {
+    addr
+}
+
+/// Verifies, on materialized networks, that `old` embeds exactly into
+/// `new`: every old cable is present in the grown network, no legacy server
+/// grew beyond the planned port usage, and the bill of materials matches.
+///
+/// # Errors
+///
+/// Returns a description of the first discrepancy found.
+pub fn verify_embedding(old: &Abccc, new: &Abccc) -> Result<(), String> {
+    use crate::SwitchAddr;
+    use netgraph::Topology;
+
+    let po = *old.params();
+    let pn = *new.params();
+    if pn.n() != po.n() || pn.h() != po.h() || pn.k() != po.k() + 1 {
+        return Err(format!("{pn} is not {po} grown by one order"));
+    }
+    let step = ExpansionStep::grow_order(po).map_err(|e| e.to_string())?;
+
+    // Node mapping old → new.
+    let map_node = |id: netgraph::NodeId| -> netgraph::NodeId {
+        let flat = u64::from(id.0);
+        if flat < po.server_count() {
+            // Same label index (leading digit 0) and position.
+            let a = ServerAddr::from_node_id(&po, id);
+            ServerAddr::new(&pn, a.label, a.pos).node_id(&pn)
+        } else {
+            match SwitchAddr::from_node_id(&po, id) {
+                SwitchAddr::Crossbar(l) => SwitchAddr::Crossbar(l).node_id(&pn),
+                // Rest indices are numerically identical under a leading 0.
+                SwitchAddr::Level { level, rest } => {
+                    SwitchAddr::Level { level, rest }.node_id(&pn)
+                }
+            }
+        }
+    };
+
+    for link in old.network().links() {
+        let (a, b) = (map_node(link.a), map_node(link.b));
+        if new.network().find_link(a, b).is_none() {
+            return Err(format!(
+                "legacy cable {} – {} missing in the grown network",
+                link.a, link.b
+            ));
+        }
+    }
+
+    // Legacy servers keep their old cables and gain at most the planned
+    // extra ports.
+    let mut extra_ports = 0u64;
+    for sraw in 0..po.server_count() {
+        let id = netgraph::NodeId(sraw as u32);
+        let d_old = old.network().degree(id) as u64;
+        let d_new = new.network().degree(map_node(id)) as u64;
+        if d_new < d_old {
+            return Err(format!("legacy server {id} lost cables ({d_old} -> {d_new})"));
+        }
+        if d_new - d_old > 1 {
+            return Err(format!(
+                "legacy server {id} gained {} cables (max 1 allowed)",
+                d_new - d_old
+            ));
+        }
+        extra_ports += d_new - d_old;
+    }
+    if extra_ports != step.legacy_server_ports_newly_used {
+        return Err(format!(
+            "legacy server ports newly used: counted {extra_ports}, planned {}",
+            step.legacy_server_ports_newly_used
+        ));
+    }
+
+    // Bill of materials.
+    let got_new_cables = new.network().link_count() as u64 - old.network().link_count() as u64;
+    if got_new_cables != step.new_cables {
+        return Err(format!(
+            "new cables: counted {got_new_cables}, planned {}",
+            step.new_cables
+        ));
+    }
+    let got_new_servers =
+        new.network().server_count() as u64 - old.network().server_count() as u64;
+    if got_new_servers != step.new_servers {
+        return Err(format!(
+            "new servers: counted {got_new_servers}, planned {}",
+            step.new_servers
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_counts_add_up() {
+        let p = AbcccParams::new(4, 2, 3).unwrap();
+        let s = ExpansionStep::grow_order(p).unwrap();
+        assert_eq!(s.to.k(), 3);
+        assert_eq!(
+            s.new_servers,
+            s.to.server_count() - p.server_count()
+        );
+        assert!(s.legacy_untouched());
+    }
+
+    #[test]
+    fn embedding_same_group_size() {
+        // h=3: L 2→3, m stays ceil(2/2)=1 → wait, use L 3→4: m=2→2.
+        let p = AbcccParams::new(2, 2, 3).unwrap();
+        assert_eq!(p.group_size(), 2);
+        let g = p.grown().unwrap();
+        assert_eq!(g.group_size(), 2);
+        let old = Abccc::new(p).unwrap();
+        let new = Abccc::new(g).unwrap();
+        verify_embedding(&old, &new).unwrap();
+        let s = ExpansionStep::grow_order(p).unwrap();
+        assert_eq!(s.legacy_server_ports_newly_used, p.label_space());
+        assert_eq!(s.legacy_crossbar_ports_newly_used, 0);
+    }
+
+    #[test]
+    fn embedding_group_grows() {
+        // h=2: m = k+1 grows every step.
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let g = p.grown().unwrap();
+        assert_eq!(g.group_size(), p.group_size() + 1);
+        let old = Abccc::new(p).unwrap();
+        let new = Abccc::new(g).unwrap();
+        verify_embedding(&old, &new).unwrap();
+        let s = ExpansionStep::grow_order(p).unwrap();
+        assert_eq!(s.legacy_server_ports_newly_used, 0);
+        assert_eq!(s.legacy_crossbar_ports_newly_used, p.label_space());
+    }
+
+    #[test]
+    fn embedding_from_bcube_endpoint() {
+        // m 1 → 2: crossbars appear, legacy spare ports get cabled.
+        let p = AbcccParams::new(2, 1, 3).unwrap();
+        assert_eq!(p.group_size(), 1);
+        let g = p.grown().unwrap();
+        assert_eq!(g.group_size(), 2);
+        let old = Abccc::new(p).unwrap();
+        let new = Abccc::new(g).unwrap();
+        verify_embedding(&old, &new).unwrap();
+        let s = ExpansionStep::grow_order(p).unwrap();
+        assert_eq!(s.legacy_server_ports_newly_used, p.label_space());
+        assert_eq!(s.new_crossbar_switches, g.label_space());
+    }
+
+    #[test]
+    fn schedule_chains() {
+        let p = AbcccParams::new(3, 0, 2).unwrap();
+        let plan = ExpansionStep::schedule(p, 3).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0].from, p);
+        for w in plan.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(plan[2].to.k(), 3);
+        assert!(plan.iter().all(ExpansionStep::legacy_untouched));
+    }
+
+    #[test]
+    fn wrong_growth_rejected() {
+        let a = Abccc::new(AbcccParams::new(2, 1, 2).unwrap()).unwrap();
+        let b = Abccc::new(AbcccParams::new(2, 3, 2).unwrap()).unwrap();
+        assert!(verify_embedding(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Fault-tolerant routing: permutation retry, proxy detours, BFS fallback.
+//!
+//! ABCCC inherits the parallel-path structure of BCCC, so when the primary
+//! route hits a failed element there is usually an alternative that merely
+//! corrects the digits in a different order or detours through a proxy
+//! group. The scheme here, in order:
+//!
+//! 1. try the deterministic permutation strategies;
+//! 2. try randomized permutations (different digit orders explore
+//!    physically disjoint intermediate groups);
+//! 3. try random proxy servers `w`, concatenating `src → w → dst`;
+//! 4. fall back to omniscient BFS on the surviving graph — this keeps the
+//!    router *complete* (it fails only if the pair is truly disconnected),
+//!    while steps 1–3 are the cheap local strategies a real deployment
+//!    would use.
+
+use crate::{routing, Abccc, PermStrategy};
+use netgraph::{FaultMask, NodeId, Route, RouteError, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// How many randomized permutations to try before proxying.
+const RANDOM_PERM_ATTEMPTS: u64 = 8;
+/// How many random proxies to try before falling back to BFS.
+const PROXY_ATTEMPTS: usize = 16;
+
+/// Fault-tolerant one-to-one routing (see module docs for the scheme).
+///
+/// # Errors
+///
+/// * [`RouteError::NotAServer`] — an endpoint is not a server id;
+/// * [`RouteError::Unreachable`] — an endpoint is failed, or the pair is
+///   genuinely disconnected in the surviving graph.
+pub fn route_avoiding(
+    topo: &Abccc,
+    src: NodeId,
+    dst: NodeId,
+    mask: &FaultMask,
+) -> Result<Route, RouteError> {
+    let p = *topo.params();
+    if u64::from(src.0) >= p.server_count() {
+        return Err(RouteError::NotAServer(src));
+    }
+    if u64::from(dst.0) >= p.server_count() {
+        return Err(RouteError::NotAServer(dst));
+    }
+    if !mask.node_alive(src) || !mask.node_alive(dst) {
+        return Err(RouteError::Unreachable { src, dst });
+    }
+    let net = topo.network();
+
+    // 1. Deterministic strategies.
+    for strat in [
+        PermStrategy::DestinationAware,
+        PermStrategy::CyclicFromSource,
+        PermStrategy::Ascending,
+        PermStrategy::Descending,
+        PermStrategy::Greedy,
+    ] {
+        let r = routing::route_ids(&p, src, dst, &strat)?;
+        if r.validate(net, Some(mask)).is_ok() {
+            return Ok(r);
+        }
+    }
+
+    // 2. Randomized permutations.
+    for seed in 0..RANDOM_PERM_ATTEMPTS {
+        let r = routing::route_ids(&p, src, dst, &PermStrategy::Random(seed))?;
+        if r.validate(net, Some(mask)).is_ok() {
+            return Ok(r);
+        }
+    }
+
+    // 3. Random proxies.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(
+        0x_FA17_u64 ^ (u64::from(src.0) << 32) ^ u64::from(dst.0),
+    );
+    for _ in 0..PROXY_ATTEMPTS {
+        let w = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        if w == src || w == dst || !mask.node_alive(w) {
+            continue;
+        }
+        let first = routing::route_ids(&p, src, w, &PermStrategy::DestinationAware)?;
+        let second = routing::route_ids(&p, w, dst, &PermStrategy::DestinationAware)?;
+        let mut nodes = first.nodes().to_vec();
+        nodes.extend_from_slice(&second.nodes()[1..]);
+        let candidate = Route::new(nodes);
+        // validate() also rejects non-simple concatenations.
+        if candidate.validate(net, Some(mask)).is_ok() {
+            return Ok(candidate);
+        }
+    }
+
+    // 4. Complete fallback.
+    netgraph::bfs::shortest_path(net, src, dst, Some(mask))
+        .map(Route::new)
+        .ok_or(RouteError::Unreachable { src, dst })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AbcccParams;
+
+    fn topo() -> Abccc {
+        Abccc::new(AbcccParams::new(3, 2, 2).unwrap()).unwrap() // 81 labels, m=3
+    }
+
+    #[test]
+    fn no_faults_returns_primary() {
+        let t = topo();
+        let mask = FaultMask::new(t.network());
+        let a = NodeId(0);
+        let b = NodeId((t.params().server_count() - 1) as u32);
+        let r = route_avoiding(&t, a, b, &mask).unwrap();
+        let primary = t.route(a, b).unwrap();
+        assert_eq!(r, primary);
+    }
+
+    #[test]
+    fn detours_around_failed_intermediate() {
+        let t = topo();
+        let a = NodeId(0);
+        let b = NodeId((t.params().server_count() - 1) as u32);
+        let primary = t.route(a, b).unwrap();
+        // Fail every interior node of the primary route.
+        let mut mask = FaultMask::new(t.network());
+        for &n in &primary.nodes()[1..primary.nodes().len() - 1] {
+            mask.fail_node(n);
+        }
+        let r = route_avoiding(&t, a, b, &mask).unwrap();
+        r.validate(t.network(), Some(&mask)).unwrap();
+        assert_eq!(r.src(), a);
+        assert_eq!(r.dst(), b);
+    }
+
+    #[test]
+    fn failed_endpoint_is_unreachable() {
+        let t = topo();
+        let mut mask = FaultMask::new(t.network());
+        mask.fail_node(NodeId(5));
+        assert!(matches!(
+            route_avoiding(&t, NodeId(5), NodeId(0), &mask),
+            Err(RouteError::Unreachable { .. })
+        ));
+        assert!(matches!(
+            route_avoiding(&t, NodeId(0), NodeId(5), &mask),
+            Err(RouteError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn isolated_destination_is_unreachable() {
+        let t = topo();
+        let b = NodeId(7);
+        let mut mask = FaultMask::new(t.network());
+        // Cut every cable of b.
+        for &(_, l) in t.network().neighbors(b) {
+            mask.fail_link(l);
+        }
+        assert!(matches!(
+            route_avoiding(&t, NodeId(0), b, &mask),
+            Err(RouteError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn survives_heavy_random_failures_when_connected() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let t = topo();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let servers: Vec<NodeId> = t.network().server_ids().collect();
+        let mut mask = FaultMask::new(t.network());
+        // Fail 10% of servers.
+        for s in servers.choose_multiple(&mut rng, servers.len() / 10) {
+            mask.fail_node(*s);
+        }
+        let alive: Vec<NodeId> = servers
+            .iter()
+            .copied()
+            .filter(|&s| mask.node_alive(s))
+            .collect();
+        let mut routed = 0;
+        for pair in alive.chunks(2).take(40) {
+            if pair.len() < 2 {
+                continue;
+            }
+            match route_avoiding(&t, pair[0], pair[1], &mask) {
+                Ok(r) => {
+                    r.validate(t.network(), Some(&mask)).unwrap();
+                    routed += 1;
+                }
+                Err(RouteError::Unreachable { .. }) => {
+                    // Acceptable only if BFS agrees.
+                    assert!(netgraph::bfs::shortest_path(
+                        t.network(),
+                        pair[0],
+                        pair[1],
+                        Some(&mask)
+                    )
+                    .is_none());
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(routed > 0);
+    }
+
+    #[test]
+    fn rejects_switch_endpoint() {
+        let t = topo();
+        let mask = FaultMask::new(t.network());
+        let sw = NodeId(t.params().server_count() as u32);
+        assert!(matches!(
+            route_avoiding(&t, sw, NodeId(0), &mask),
+            Err(RouteError::NotAServer(_))
+        ));
+    }
+}

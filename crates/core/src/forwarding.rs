@@ -1,0 +1,229 @@
+//! Hop-by-hop forwarding — the data-plane view of ABCCC routing.
+//!
+//! The routing algorithm is *source-routed* in the BCube tradition: the
+//! sender computes the digit-correction order once and stamps it into a
+//! small fixed-size header; every intermediate server then makes an O(1)
+//! local decision from the header and its own address — no routing tables,
+//! no global state. This module implements that data plane and proves (in
+//! tests) that the per-hop walk reconstructs exactly the path the
+//! source-route computed.
+
+use crate::{AbcccParams, PermStrategy, ServerAddr, SwitchAddr};
+use netgraph::{NodeId, RouteError};
+use serde::{Deserialize, Serialize};
+
+/// The forwarding header a source stamps onto a packet: destination plus
+/// the remaining digit-correction order. At most `k + 1` one-byte-ish
+/// entries — comparable to BCube's source-routing header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardingHeader {
+    /// Final destination.
+    pub dst: ServerAddr,
+    /// Levels still to correct, front = next.
+    pub pending: Vec<u32>,
+}
+
+impl ForwardingHeader {
+    /// Builds the header at the source, choosing the correction order with
+    /// `strategy`.
+    pub fn new(
+        p: &AbcccParams,
+        src: ServerAddr,
+        dst: ServerAddr,
+        strategy: &PermStrategy,
+    ) -> Self {
+        ForwardingHeader {
+            dst,
+            pending: strategy.order(p, src, dst),
+        }
+    }
+
+    /// `true` once every digit is corrected.
+    pub fn digits_done(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Header size in bytes under the paper-style encoding (2 bytes flat
+    /// destination id per digit group + 1 byte per pending level).
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.pending.len()
+    }
+}
+
+/// One forwarding decision: which switch to hand the packet to and which
+/// server it will reach there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopDecision {
+    /// The switch the current server transmits into.
+    pub via: SwitchAddr,
+    /// The next server.
+    pub next: ServerAddr,
+}
+
+/// The local forwarding function: given the current server and the packet
+/// header, decide the next hop (and pop the header when a digit is
+/// corrected). Returns `None` when `here` already is the destination.
+///
+/// The decision uses only `here`, the header and the static parameters —
+/// exactly the information a real ABCCC server NIC would hold.
+pub fn next_hop(
+    p: &AbcccParams,
+    here: ServerAddr,
+    header: &mut ForwardingHeader,
+) -> Option<HopDecision> {
+    let dst = header.dst;
+    if (here.label, here.pos) == (dst.label, dst.pos) {
+        return None;
+    }
+    match header.pending.first().copied() {
+        Some(level) => {
+            let owner = p.owner(level);
+            if here.pos != owner {
+                // First reach the group member that owns the level.
+                let next = ServerAddr::new(p, here.label, owner);
+                Some(HopDecision {
+                    via: SwitchAddr::Crossbar(here.label),
+                    next,
+                })
+            } else {
+                // Correct the digit across the level switch.
+                header.pending.remove(0);
+                let next_label = here.label.with_digit(p, level, dst.label.digit(p, level));
+                Some(HopDecision {
+                    via: SwitchAddr::Level {
+                        level,
+                        rest: here.label.rest_index(p, level),
+                    },
+                    next: ServerAddr::new(p, next_label, owner),
+                })
+            }
+        }
+        None => {
+            // Digits done; final crossbar hop to the destination position.
+            debug_assert_eq!(here.label, dst.label);
+            Some(HopDecision {
+                via: SwitchAddr::Crossbar(here.label),
+                next: dst,
+            })
+        }
+    }
+}
+
+/// Drives [`next_hop`] from `src` until delivery and returns the full node
+/// path (servers and switches) — the data-plane replay of the control
+/// plane's route.
+///
+/// # Errors
+///
+/// Returns [`RouteError::GaveUp`] if forwarding loops longer than the
+/// theoretical worst case (cannot happen for well-formed headers; guards
+/// against corrupted ones).
+pub fn forward(
+    p: &AbcccParams,
+    src: ServerAddr,
+    mut header: ForwardingHeader,
+) -> Result<Vec<NodeId>, RouteError> {
+    let mut nodes = vec![src.node_id(p)];
+    let mut here = src;
+    let max_hops = 2 * (p.levels() as usize + 1) + 2;
+    for _ in 0..max_hops {
+        match next_hop(p, here, &mut header) {
+            None => return Ok(nodes),
+            Some(d) => {
+                nodes.push(d.via.node_id(p));
+                nodes.push(d.next.node_id(p));
+                here = d.next;
+            }
+        }
+    }
+    Err(RouteError::GaveUp {
+        src: src.node_id(p),
+        dst: header.dst.node_id(p),
+        attempts: max_hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{routing, CubeLabel};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn data_plane_replays_control_plane_exactly() {
+        for (n, k, h) in [(3, 2, 2), (2, 3, 3), (4, 1, 3), (2, 2, 4)] {
+            let p = AbcccParams::new(n, k, h).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+            for _ in 0..64 {
+                let s = rng.gen_range(0..p.server_count());
+                let d = rng.gen_range(0..p.server_count());
+                let src = ServerAddr::from_node_id(&p, NodeId(s as u32));
+                let dst = ServerAddr::from_node_id(&p, NodeId(d as u32));
+                for strat in [PermStrategy::DestinationAware, PermStrategy::Ascending] {
+                    let control = routing::route_addrs(&p, src, dst, &strat);
+                    let header = ForwardingHeader::new(&p, src, dst, &strat);
+                    let data = forward(&p, src, header).unwrap();
+                    assert_eq!(control.nodes(), &data[..], "{p} {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_to_self_is_empty() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let a = ServerAddr::new(&p, CubeLabel(1), 1);
+        let mut h = ForwardingHeader::new(&p, a, a, &PermStrategy::Ascending);
+        assert!(h.digits_done());
+        assert_eq!(next_hop(&p, a, &mut h), None);
+        assert_eq!(forward(&p, a, h).unwrap(), vec![a.node_id(&p)]);
+    }
+
+    #[test]
+    fn header_shrinks_monotonically() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let src = ServerAddr::new(&p, CubeLabel::from_digits(&p, &[0, 0, 0]), 0);
+        let dst = ServerAddr::new(&p, CubeLabel::from_digits(&p, &[2, 2, 2]), 2);
+        let mut header = ForwardingHeader::new(&p, src, dst, &PermStrategy::DestinationAware);
+        let initial = header.pending.len();
+        assert_eq!(initial, 3);
+        let mut here = src;
+        let mut sizes = vec![header.pending.len()];
+        while let Some(d) = next_hop(&p, here, &mut header) {
+            here = d.next;
+            sizes.push(header.pending.len());
+        }
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+        assert!(header.digits_done());
+        assert_eq!((here.label, here.pos), (dst.label, dst.pos));
+    }
+
+    #[test]
+    fn corrupted_header_is_caught() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let src = ServerAddr::new(&p, CubeLabel(0), 0);
+        let dst = ServerAddr::new(&p, CubeLabel(3), 1);
+        // A header that claims no pending digits but a different label
+        // would make the final crossbar assertion fire in debug; with a
+        // bogus repeated level it must hit the hop guard in release.
+        let bogus = ForwardingHeader {
+            dst: ServerAddr::new(&p, src.label, 1), // reachable: same label
+            pending: vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        };
+        // Levels keep toggling digit 0 forever → guard trips.
+        assert!(matches!(
+            forward(&p, src, bogus),
+            Err(RouteError::GaveUp { .. })
+        ));
+        let _ = dst;
+    }
+
+    #[test]
+    fn wire_bytes_are_small() {
+        let p = AbcccParams::new(4, 5, 2).unwrap();
+        let src = ServerAddr::from_node_id(&p, NodeId(0));
+        let dst = ServerAddr::from_node_id(&p, NodeId((p.server_count() - 1) as u32));
+        let h = ForwardingHeader::new(&p, src, dst, &PermStrategy::DestinationAware);
+        assert!(h.wire_bytes() <= 8 + p.levels() as usize);
+    }
+}

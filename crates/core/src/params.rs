@@ -1,0 +1,384 @@
+//! ABCCC parameters and derived structural quantities.
+
+use netgraph::NetworkError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of an `ABCCC(n, k, h)` network.
+///
+/// * `n` — radix of the cube-level COTS switches (and number of values each
+///   address digit takes), `n ≥ 2`;
+/// * `k` — the **order**: addresses have `k + 1` digits; the network grows
+///   by incrementing `k`, `k ≥ 0`;
+/// * `h` — number of NIC ports per server, `h ≥ 2`. Every server uses one
+///   port towards its group crossbar and up to `h − 1` ports towards cube
+///   levels.
+///
+/// Degenerate endpoints: `h = 2` yields BCCC(n, k); `h ≥ k + 2` yields
+/// BCube(n, k) (group size 1, crossbars vanish).
+///
+/// ```
+/// use abccc::AbcccParams;
+/// let p = AbcccParams::new(4, 2, 3).unwrap();
+/// assert_eq!(p.levels(), 3);       // k + 1 digit positions
+/// assert_eq!(p.group_size(), 2);   // ceil(3 / (3 - 1))
+/// assert_eq!(p.server_count(), 2 * 4u64.pow(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AbcccParams {
+    n: u32,
+    k: u32,
+    h: u32,
+}
+
+impl AbcccParams {
+    /// Creates and validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] if `n < 2`, `h < 2`, or
+    /// the address space `n^(k+1)` would overflow `u64` practicality
+    /// bounds (we cap digit count at 20 and `n` at 1024).
+    pub fn new(n: u32, k: u32, h: u32) -> Result<Self, NetworkError> {
+        if !(2..=1024).contains(&n) {
+            return Err(NetworkError::InvalidParameter {
+                name: "n",
+                reason: format!("switch radix must be in 2..=1024, got {n}"),
+            });
+        }
+        if h < 2 {
+            return Err(NetworkError::InvalidParameter {
+                name: "h",
+                reason: format!("servers need at least 2 NIC ports, got {h}"),
+            });
+        }
+        if k > 19 {
+            return Err(NetworkError::InvalidParameter {
+                name: "k",
+                reason: format!("order must be at most 19, got {k}"),
+            });
+        }
+        let p = AbcccParams { n, k, h };
+        if p.label_space() == 0 {
+            return Err(NetworkError::InvalidParameter {
+                name: "k",
+                reason: format!("address space n^(k+1) = {n}^{} overflows u64", k + 1),
+            });
+        }
+        // Flat node ids are u32 (see `crate::address`); reject configs whose
+        // id space would not fit rather than let the codecs truncate.
+        let nodes = p
+            .server_count().saturating_add(p.switch_count());
+        if nodes > u64::from(u32::MAX) {
+            return Err(NetworkError::InvalidParameter {
+                name: "k",
+                reason: format!("{nodes} nodes exceed the u32 id space"),
+            });
+        }
+        Ok(p)
+    }
+
+    /// Switch radix / digit base `n`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Order `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// NIC ports per server `h`.
+    #[inline]
+    pub fn h(&self) -> u32 {
+        self.h
+    }
+
+    /// Number of cube levels `L = k + 1` (digit positions).
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.k + 1
+    }
+
+    /// Group size `m = ceil(L / (h − 1))`: servers per crossbar.
+    #[inline]
+    pub fn group_size(&self) -> u32 {
+        self.levels().div_ceil(self.h - 1)
+    }
+
+    /// Number of distinct cube labels `n^(k+1)`, or 0 on overflow.
+    pub fn label_space(&self) -> u64 {
+        let mut acc: u64 = 1;
+        for _ in 0..self.levels() {
+            acc = match acc.checked_mul(u64::from(self.n)) {
+                Some(v) => v,
+                None => return 0,
+            };
+        }
+        acc
+    }
+
+    /// `n^k` — the number of level switches per level.
+    pub fn rest_space(&self) -> u64 {
+        self.label_space() / u64::from(self.n)
+    }
+
+    /// Total number of servers `m · n^(k+1)` (saturating; out-of-range
+    /// configurations are rejected by [`AbcccParams::new`]).
+    pub fn server_count(&self) -> u64 {
+        u64::from(self.group_size()).saturating_mul(self.label_space())
+    }
+
+    /// Number of crossbar switches (`n^(k+1)`, or 0 when the group size is
+    /// 1 and crossbars degenerate away).
+    pub fn crossbar_count(&self) -> u64 {
+        if self.group_size() == 1 {
+            0
+        } else {
+            self.label_space()
+        }
+    }
+
+    /// Number of cube-level switches `(k+1) · n^k`.
+    pub fn level_switch_count(&self) -> u64 {
+        u64::from(self.levels()).saturating_mul(self.rest_space())
+    }
+
+    /// Total switches.
+    pub fn switch_count(&self) -> u64 {
+        self.crossbar_count().saturating_add(self.level_switch_count())
+    }
+
+    /// Total cables: `m · n^(k+1)` crossbar cables (0 if no crossbars) plus
+    /// `(k+1) · n^(k+1)` level cables.
+    pub fn wire_count(&self) -> u64 {
+        let crossbar = if self.group_size() == 1 {
+            0
+        } else {
+            u64::from(self.group_size()).saturating_mul(self.label_space())
+        };
+        crossbar.saturating_add(u64::from(self.levels()).saturating_mul(self.label_space()))
+    }
+
+    /// The group position that owns cube level `i` —
+    /// `owner(i) = floor(i / (h − 1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > k`.
+    #[inline]
+    pub fn owner(&self, level: u32) -> u32 {
+        assert!(level <= self.k, "level {level} out of range 0..={}", self.k);
+        level / (self.h - 1)
+    }
+
+    /// The inclusive range of levels owned by group position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= group_size()`.
+    pub fn owned_levels(&self, j: u32) -> std::ops::RangeInclusive<u32> {
+        assert!(j < self.group_size(), "position {j} out of range");
+        let lo = j * (self.h - 1);
+        let hi = (lo + self.h - 2).min(self.k);
+        lo..=hi
+    }
+
+    /// Number of NIC ports used by the server at group position `j`
+    /// (crossbar port, if crossbars exist, plus owned levels).
+    pub fn ports_used(&self, j: u32) -> u32 {
+        let owned = {
+            let r = self.owned_levels(j);
+            r.end() - r.start() + 1
+        };
+        if self.group_size() == 1 {
+            owned
+        } else {
+            owned + 1
+        }
+    }
+
+    /// Closed-form diameter in server hops (validated against BFS in the
+    /// test suite):
+    /// `k + 1` when `m = 1` (BCube), else `(k + 1) + m`.
+    pub fn diameter(&self) -> u64 {
+        let m = u64::from(self.group_size());
+        let l = u64::from(self.levels());
+        if m == 1 {
+            l
+        } else {
+            l + m
+        }
+    }
+
+    /// Closed-form bisection width in links for even `n`: `n^(k+1) / 2`
+    /// (cut one level's stars in half). Returns `None` for odd `n`, where
+    /// the balanced-cut expression is not this clean — use
+    /// `dcn_metrics::bisection` for an exact small-instance value.
+    pub fn bisection_width(&self) -> Option<u64> {
+        if self.n.is_multiple_of(2) {
+            Some(self.label_space() / 2)
+        } else {
+            None
+        }
+    }
+
+    /// Bisection links *per server* `1 / (2m)` for even `n` — the
+    /// tunable-tradeoff headline of the paper (larger `h` ⇒ smaller `m` ⇒
+    /// proportionally more bisection per server).
+    pub fn bisection_per_server(&self) -> Option<f64> {
+        self.bisection_width()
+            .map(|b| b as f64 / self.server_count() as f64)
+    }
+
+    /// Parameters one expansion step later (`k + 1`, same `n`, `h`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation error if the grown network would exceed
+    /// the supported address space.
+    pub fn grown(&self) -> Result<AbcccParams, NetworkError> {
+        AbcccParams::new(self.n, self.k + 1, self.h)
+    }
+}
+
+impl fmt::Display for AbcccParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ABCCC({},{},{})", self.n, self.k, self.h)
+    }
+}
+
+impl std::str::FromStr for AbcccParams {
+    type Err = NetworkError;
+
+    /// Parses the [`fmt::Display`] form, case-insensitively and with
+    /// optional whitespace: `"ABCCC(4,2,3)"`, `"abccc(4, 2, 3)"` or the
+    /// bare triple `"4,2,3"`.
+    ///
+    /// ```
+    /// use abccc::AbcccParams;
+    /// let p: AbcccParams = "ABCCC(4,2,3)".parse().unwrap();
+    /// assert_eq!(p.to_string(), "ABCCC(4,2,3)");
+    /// assert_eq!("4,2,3".parse::<AbcccParams>().unwrap(), p);
+    /// assert!("ABCCC(1,0,0)".parse::<AbcccParams>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let inner = s
+            .trim()
+            .strip_prefix("ABCCC(")
+            .or_else(|| s.trim().strip_prefix("abccc("))
+            .map_or(s.trim(), |rest| rest.trim_end_matches(')'));
+        let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(NetworkError::InvalidParameter {
+                name: "params",
+                reason: format!("expected `ABCCC(n,k,h)` or `n,k,h`, got `{s}`"),
+            });
+        }
+        let num = |t: &str, name: &'static str| -> Result<u32, NetworkError> {
+            t.parse().map_err(|_| NetworkError::InvalidParameter {
+                name,
+                reason: format!("`{t}` is not a number"),
+            })
+        };
+        AbcccParams::new(num(parts[0], "n")?, num(parts[1], "k")?, num(parts[2], "h")?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(AbcccParams::new(1, 0, 2).is_err());
+        assert!(AbcccParams::new(2, 0, 1).is_err());
+        assert!(AbcccParams::new(2, 25, 2).is_err());
+        assert!(AbcccParams::new(2, 0, 2).is_ok());
+        assert!(AbcccParams::new(1025, 0, 2).is_err());
+        // u32 id-space guard: configs whose flat ids would truncate are
+        // rejected at construction, not at materialization.
+        assert!(AbcccParams::new(8, 19, 2).is_err()); // 8^20 labels
+        assert!(AbcccParams::new(16, 7, 2).is_err()); // 16^8 ≈ 4.3e9 labels
+        assert!(AbcccParams::new(2, 19, 2).is_ok()); // ~33M nodes fits u32
+    }
+
+    #[test]
+    fn bccc_endpoint() {
+        // h = 2: one level per server, m = k + 1.
+        let p = AbcccParams::new(4, 3, 2).unwrap();
+        assert_eq!(p.group_size(), 4);
+        assert_eq!(p.server_count(), 4 * 256);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(3), 3);
+        assert_eq!(p.ports_used(0), 2);
+        assert_eq!(p.diameter(), 4 + 4);
+    }
+
+    #[test]
+    fn bcube_endpoint() {
+        // h = k + 2: single-server groups, crossbars vanish.
+        let p = AbcccParams::new(4, 2, 4).unwrap();
+        assert_eq!(p.group_size(), 1);
+        assert_eq!(p.crossbar_count(), 0);
+        assert_eq!(p.server_count(), 64);
+        assert_eq!(p.ports_used(0), 3); // k+1 level ports, no crossbar port
+        assert_eq!(p.diameter(), 3); // BCube diameter k+1
+        assert_eq!(p.wire_count(), 3 * 64);
+    }
+
+    #[test]
+    fn intermediate_h() {
+        let p = AbcccParams::new(4, 3, 3).unwrap(); // L=4, h-1=2, m=2
+        assert_eq!(p.group_size(), 2);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(1), 0);
+        assert_eq!(p.owner(2), 1);
+        assert_eq!(p.owner(3), 1);
+        assert_eq!(p.owned_levels(0), 0..=1);
+        assert_eq!(p.owned_levels(1), 2..=3);
+        assert_eq!(p.ports_used(0), 3);
+        assert_eq!(p.server_count(), 2 * 256);
+        assert_eq!(p.switch_count(), 256 + 4 * 64);
+        assert_eq!(p.wire_count(), 2 * 256 + 4 * 256);
+    }
+
+    #[test]
+    fn ragged_last_position() {
+        // L = 5, h-1 = 3 → m = 2, last position owns only levels 3..=4.
+        let p = AbcccParams::new(2, 4, 4).unwrap();
+        assert_eq!(p.group_size(), 2);
+        assert_eq!(p.owned_levels(0), 0..=2);
+        assert_eq!(p.owned_levels(1), 3..=4);
+        assert_eq!(p.ports_used(0), 4);
+        assert_eq!(p.ports_used(1), 3);
+    }
+
+    #[test]
+    fn bisection() {
+        let p = AbcccParams::new(4, 2, 2).unwrap();
+        assert_eq!(p.bisection_width(), Some(32));
+        let odd = AbcccParams::new(3, 2, 2).unwrap();
+        assert_eq!(odd.bisection_width(), None);
+        // per-server bisection = 1/(2m)
+        let p2 = AbcccParams::new(4, 3, 3).unwrap();
+        assert!((p2.bisection_per_server().unwrap() - 1.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grown_increments_order() {
+        let p = AbcccParams::new(4, 2, 3).unwrap();
+        let g = p.grown().unwrap();
+        assert_eq!(g.k(), 3);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.h(), 3);
+    }
+
+    #[test]
+    fn display() {
+        let p = AbcccParams::new(6, 2, 3).unwrap();
+        assert_eq!(p.to_string(), "ABCCC(6,2,3)");
+    }
+}

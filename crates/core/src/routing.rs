@@ -1,0 +1,268 @@
+//! One-to-one routing in ABCCC.
+//!
+//! `route_addrs` walks the differing address digits in the order chosen by
+//! a [`PermStrategy`]: a digit at level `i` can only be corrected by the
+//! group member that owns level `i`, so the walk interleaves crossbar hops
+//! (to reach the owner) with level-switch hops (to correct the digit), and
+//! finishes with at most one crossbar hop to the destination's position.
+//!
+//! With the [`PermStrategy::DestinationAware`] order the produced path is a
+//! *shortest* path (verified against BFS in the test suite), and
+//! [`distance`] gives its length in closed form.
+
+use crate::{AbcccParams, PermStrategy, ServerAddr, SwitchAddr};
+use netgraph::{NodeId, Route, RouteError};
+
+/// Routes between two server addresses. Always succeeds on a fault-free
+/// network.
+pub fn route_addrs(
+    p: &AbcccParams,
+    src: ServerAddr,
+    dst: ServerAddr,
+    strategy: &PermStrategy,
+) -> Route {
+    let order = strategy.order(p, src, dst);
+    route_with_order(p, src, dst, &order)
+}
+
+/// Routes between two server node ids.
+///
+/// # Errors
+///
+/// Returns [`RouteError::NotAServer`] if an endpoint is not a server id of
+/// this parameterization.
+pub fn route_ids(
+    p: &AbcccParams,
+    src: NodeId,
+    dst: NodeId,
+    strategy: &PermStrategy,
+) -> Result<Route, RouteError> {
+    if u64::from(src.0) >= p.server_count() {
+        return Err(RouteError::NotAServer(src));
+    }
+    if u64::from(dst.0) >= p.server_count() {
+        return Err(RouteError::NotAServer(dst));
+    }
+    Ok(route_addrs(
+        p,
+        ServerAddr::from_node_id(p, src),
+        ServerAddr::from_node_id(p, dst),
+        strategy,
+    ))
+}
+
+/// Routes with an explicit correction order.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of exactly the levels where the
+/// two labels differ.
+pub fn route_with_order(
+    p: &AbcccParams,
+    src: ServerAddr,
+    dst: ServerAddr,
+    order: &[u32],
+) -> Route {
+    {
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            src.label.differing_levels(p, dst.label),
+            "order must be a permutation of the differing levels"
+        );
+    }
+    let mut nodes = vec![src.node_id(p)];
+    let mut cur = src;
+    for &level in order {
+        let owner = p.owner(level);
+        if cur.pos != owner {
+            nodes.push(SwitchAddr::Crossbar(cur.label).node_id(p));
+            cur.pos = owner;
+            nodes.push(cur.node_id(p));
+        }
+        nodes.push(
+            SwitchAddr::Level {
+                level,
+                rest: cur.label.rest_index(p, level),
+            }
+            .node_id(p),
+        );
+        cur.label = cur.label.with_digit(p, level, dst.label.digit(p, level));
+        nodes.push(cur.node_id(p));
+    }
+    if cur.pos != dst.pos {
+        nodes.push(SwitchAddr::Crossbar(cur.label).node_id(p));
+        nodes.push(dst.node_id(p));
+    }
+    Route::new(nodes)
+}
+
+/// Server-hop length of an ABCCC route without needing the materialized
+/// network (routes alternate server/switch nodes).
+pub fn hops(route: &Route) -> usize {
+    route.link_hops() / 2
+}
+
+/// Closed-form shortest-path length (server hops) between two servers —
+/// the distance realized by [`PermStrategy::DestinationAware`] routing and
+/// verified equal to BFS in the test suite.
+///
+/// Derivation: every differing digit costs one level-switch hop; in
+/// addition the walk must visit each owner position with work, paying one
+/// crossbar hop per position change. With `g` distinct owners among the
+/// differing levels the position moves are `g − 1` transitions plus one
+/// initial move if the source's position owns no work plus one final move
+/// if the walk cannot end at the destination's position.
+pub fn distance(p: &AbcccParams, src: ServerAddr, dst: ServerAddr) -> u64 {
+    let diff = src.label.differing_levels(p, dst.label);
+    if diff.is_empty() {
+        return u64::from(src.pos != dst.pos);
+    }
+    let mut owners: Vec<u32> = diff.iter().map(|&i| p.owner(i)).collect();
+    owners.dedup(); // diff ascending ⇒ owners non-decreasing
+    let g = owners.len() as u64;
+    let src_in = owners.contains(&src.pos);
+    let dst_in = owners.contains(&dst.pos);
+    let moves = match (src_in, dst_in) {
+        (true, true) => {
+            if src.pos != dst.pos {
+                g - 1
+            } else if g == 1 {
+                0
+            } else {
+                g
+            }
+        }
+        (true, false) | (false, true) => g,
+        (false, false) => g + 1,
+    };
+    diff.len() as u64 + moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Abccc, CubeLabel};
+    use netgraph::Topology;
+
+    fn all_pairs_check(n: u32, k: u32, h: u32) {
+        let p = AbcccParams::new(n, k, h).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let net = topo.network();
+        for s_raw in 0..p.server_count() {
+            let src_id = NodeId(s_raw as u32);
+            let bfs = netgraph::bfs::server_hop_distances(net, src_id, None);
+            let src = ServerAddr::from_node_id(&p, src_id);
+            for d_raw in 0..p.server_count() {
+                let dst_id = NodeId(d_raw as u32);
+                let dst = ServerAddr::from_node_id(&p, dst_id);
+                let route = route_addrs(&p, src, dst, &PermStrategy::DestinationAware);
+                route.validate(net, None).unwrap_or_else(|e| {
+                    panic!("{p}: invalid route {src:?}->{dst:?}: {e}");
+                });
+                assert_eq!(route.src(), src_id);
+                assert_eq!(route.dst(), dst_id);
+                let exact = u64::from(bfs[dst_id.index()]);
+                assert_eq!(
+                    distance(&p, src, dst),
+                    exact,
+                    "{p}: distance formula wrong for {} -> {}",
+                    src.display(&p),
+                    dst.display(&p)
+                );
+                assert_eq!(
+                    hops(&route) as u64,
+                    exact,
+                    "{p}: DestinationAware not optimal for {} -> {}",
+                    src.display(&p),
+                    dst.display(&p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn destination_aware_is_shortest_bccc_like() {
+        all_pairs_check(2, 2, 2); // m = 3
+        all_pairs_check(3, 1, 2); // m = 2
+    }
+
+    #[test]
+    fn destination_aware_is_shortest_intermediate_h() {
+        all_pairs_check(2, 3, 3); // L = 4, m = 2
+        all_pairs_check(2, 4, 4); // L = 5, m = 2, ragged ownership
+    }
+
+    #[test]
+    fn destination_aware_is_shortest_bcube_endpoint() {
+        all_pairs_check(3, 1, 3); // m = 1 (BCube)
+        all_pairs_check(2, 2, 4); // m = 1 (BCube)
+    }
+
+    #[test]
+    fn every_strategy_produces_valid_routes() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let net = topo.network();
+        let src = ServerAddr::new(&p, CubeLabel::from_digits(&p, &[0, 1, 2]), 0);
+        let dst = ServerAddr::new(&p, CubeLabel::from_digits(&p, &[2, 1, 0]), 2);
+        for strat in PermStrategy::all() {
+            let r = route_addrs(&p, src, dst, &strat);
+            r.validate(net, None)
+                .unwrap_or_else(|e| panic!("{}: {e}", strat.label()));
+            assert!(hops(&r) as u64 >= distance(&p, src, dst));
+        }
+    }
+
+    #[test]
+    fn trivial_and_intragroup_routes() {
+        let p = AbcccParams::new(4, 2, 2).unwrap();
+        let a = ServerAddr::new(&p, CubeLabel(17), 0);
+        let b = ServerAddr::new(&p, CubeLabel(17), 2);
+        let r_self = route_addrs(&p, a, a, &PermStrategy::DestinationAware);
+        assert_eq!(hops(&r_self), 0);
+        let r = route_addrs(&p, a, b, &PermStrategy::DestinationAware);
+        assert_eq!(hops(&r), 1); // one crossbar hop
+        assert_eq!(distance(&p, a, b), 1);
+    }
+
+    #[test]
+    fn route_ids_rejects_switch_endpoints() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let sw = NodeId(p.server_count() as u32); // first switch
+        assert!(matches!(
+            route_ids(&p, sw, NodeId(0), &PermStrategy::Ascending),
+            Err(RouteError::NotAServer(_))
+        ));
+        assert!(matches!(
+            route_ids(&p, NodeId(0), sw, &PermStrategy::Ascending),
+            Err(RouteError::NotAServer(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation of the differing levels")]
+    fn wrong_order_panics() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let a = ServerAddr::new(&p, CubeLabel(0), 0);
+        let b = ServerAddr::new(&p, CubeLabel(3), 0); // differs at levels 0,1
+        route_with_order(&p, a, b, &[0]);
+    }
+
+    #[test]
+    fn worst_case_matches_diameter_formula() {
+        for (n, k, h) in [(2, 2, 2), (3, 1, 2), (2, 3, 3), (3, 1, 3), (2, 4, 4)] {
+            let p = AbcccParams::new(n, k, h).unwrap();
+            let mut worst = 0u64;
+            for s in 0..p.server_count() {
+                for d in 0..p.server_count() {
+                    let a = ServerAddr::from_node_id(&p, NodeId(s as u32));
+                    let b = ServerAddr::from_node_id(&p, NodeId(d as u32));
+                    worst = worst.max(distance(&p, a, b));
+                }
+            }
+            assert_eq!(worst, p.diameter(), "{p}");
+        }
+    }
+}

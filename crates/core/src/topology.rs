@@ -1,0 +1,258 @@
+//! Materialization of the ABCCC physical network.
+
+use crate::{AbcccParams, CubeLabel, ServerAddr, SwitchAddr};
+use netgraph::{FaultMask, Network, NetworkError, NodeId, Route, RouteError, Topology};
+
+/// Hard guard on materialized size (nodes); formulas and routing work far
+/// beyond this, but building an explicit graph above it is a mistake.
+pub const MAX_MATERIALIZED_NODES: u64 = 8_000_000;
+
+/// A fully materialized `ABCCC(n, k, h)` network.
+///
+/// The physical graph follows the id layout of [`crate::address`]: servers
+/// first, then crossbar switches, then level switches, so `NodeId`s can be
+/// translated to addresses and back in O(1).
+///
+/// ```
+/// use abccc::{Abccc, AbcccParams};
+/// use netgraph::Topology;
+///
+/// let topo = Abccc::new(AbcccParams::new(4, 1, 2).unwrap()).unwrap();
+/// assert_eq!(topo.network().server_count(), 32); // m=2, n^2=16
+/// let r = topo.route(netgraph::NodeId(0), netgraph::NodeId(31)).unwrap();
+/// r.validate(topo.network(), None).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Abccc {
+    params: AbcccParams,
+    net: Network,
+}
+
+impl Abccc {
+    /// Builds the network with unit link capacity (1 Gbit/s in simulator
+    /// units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooLarge`] if the node count exceeds
+    /// [`MAX_MATERIALIZED_NODES`].
+    pub fn new(params: AbcccParams) -> Result<Self, NetworkError> {
+        Self::with_link_capacity(params, 1.0)
+    }
+
+    /// Builds the network with the given uniform link capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooLarge`] if the node count exceeds
+    /// [`MAX_MATERIALIZED_NODES`], or [`NetworkError::InvalidParameter`]
+    /// if `capacity` is not positive and finite.
+    pub fn with_link_capacity(params: AbcccParams, capacity: f64) -> Result<Self, NetworkError> {
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(NetworkError::InvalidParameter {
+                name: "capacity",
+                reason: format!("must be positive and finite, got {capacity}"),
+            });
+        }
+        let nodes = params.server_count() + params.switch_count();
+        if nodes > MAX_MATERIALIZED_NODES {
+            return Err(NetworkError::TooLarge {
+                nodes: u128::from(nodes),
+                limit: u128::from(MAX_MATERIALIZED_NODES),
+            });
+        }
+
+        let mut net = Network::with_capacity(nodes as usize, params.wire_count() as usize);
+        for _ in 0..params.server_count() {
+            net.add_server();
+        }
+        for _ in 0..params.switch_count() {
+            net.add_switch();
+        }
+
+        let m = params.group_size();
+        // Crossbar cables: each group member to its crossbar.
+        if m > 1 {
+            for raw in 0..params.label_space() {
+                let label = CubeLabel(raw);
+                let cb = SwitchAddr::Crossbar(label).node_id(&params);
+                for j in 0..m {
+                    let sv = ServerAddr::new(&params, label, j).node_id(&params);
+                    net.add_link(sv, cb, capacity);
+                }
+            }
+        }
+        // Level cables: every server of the owning position to its level
+        // switch.
+        for level in 0..params.levels() {
+            let owner = params.owner(level);
+            for rest in 0..params.rest_space() {
+                let sw = SwitchAddr::Level { level, rest }.node_id(&params);
+                for d in 0..params.n() {
+                    let label = CubeLabel::from_rest(&params, level, rest, d);
+                    let sv = ServerAddr::new(&params, label, owner).node_id(&params);
+                    net.add_link(sv, sw, capacity);
+                }
+            }
+        }
+        debug_assert_eq!(net.link_count() as u64, params.wire_count());
+        Ok(Abccc { params, net })
+    }
+
+    /// The parameters this network was built from.
+    pub fn params(&self) -> &AbcccParams {
+        &self.params
+    }
+
+    /// Address of server node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a server id.
+    pub fn server_addr(&self, id: NodeId) -> ServerAddr {
+        ServerAddr::from_node_id(&self.params, id)
+    }
+
+    /// Node id of server address `addr`.
+    pub fn server_id(&self, addr: ServerAddr) -> NodeId {
+        addr.node_id(&self.params)
+    }
+
+    /// Iterator over all server addresses.
+    pub fn server_addrs(&self) -> impl Iterator<Item = ServerAddr> + '_ {
+        let p = self.params;
+        (0..p.server_count()).map(move |raw| ServerAddr::from_node_id(&p, NodeId(raw as u32)))
+    }
+}
+
+impl Topology for Abccc {
+    fn name(&self) -> String {
+        self.params.to_string()
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Result<Route, RouteError> {
+        crate::routing::route_ids(
+            &self.params,
+            src,
+            dst,
+            &crate::PermStrategy::DestinationAware,
+        )
+    }
+
+    fn parallel_routes(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        want: usize,
+    ) -> Result<Vec<Route>, RouteError> {
+        if u64::from(src.0) >= self.params.server_count() {
+            return Err(RouteError::NotAServer(src));
+        }
+        if u64::from(dst.0) >= self.params.server_count() {
+            return Err(RouteError::NotAServer(dst));
+        }
+        if src == dst {
+            return Ok(vec![Route::new(vec![src])]);
+        }
+        Ok(crate::parallel::parallel_routes(
+            &self.params,
+            self.server_addr(src),
+            self.server_addr(dst),
+            want,
+        ))
+    }
+
+    fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        mask: &FaultMask,
+    ) -> Result<Route, RouteError> {
+        crate::fault::route_avoiding(self, src, dst, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        for (n, k, h) in [(2, 1, 2), (3, 2, 2), (4, 1, 3), (2, 3, 3), (4, 2, 4)] {
+            let p = AbcccParams::new(n, k, h).unwrap();
+            let t = Abccc::new(p).unwrap();
+            assert_eq!(t.network().server_count() as u64, p.server_count(), "{p}");
+            assert_eq!(t.network().switch_count() as u64, p.switch_count(), "{p}");
+            assert_eq!(t.network().link_count() as u64, p.wire_count(), "{p}");
+            assert!(t.network().is_servers_first());
+        }
+    }
+
+    #[test]
+    fn server_degrees_match_ports_used() {
+        let p = AbcccParams::new(3, 2, 3).unwrap(); // L=3, m=2, ragged
+        let t = Abccc::new(p).unwrap();
+        for addr in t.server_addrs() {
+            let deg = t.network().degree(t.server_id(addr));
+            assert_eq!(deg as u32, p.ports_used(addr.pos), "{}", addr.display(&p));
+            assert!(deg as u32 <= p.h());
+        }
+    }
+
+    #[test]
+    fn switch_radixes() {
+        let p = AbcccParams::new(4, 2, 3).unwrap();
+        let t = Abccc::new(p).unwrap();
+        for raw in p.server_count()..p.server_count() + p.switch_count() {
+            let id = NodeId(raw as u32);
+            let deg = t.network().degree(id) as u32;
+            match SwitchAddr::from_node_id(&p, id) {
+                SwitchAddr::Crossbar(_) => assert_eq!(deg, p.group_size()),
+                SwitchAddr::Level { .. } => assert_eq!(deg, p.n()),
+            }
+        }
+    }
+
+    #[test]
+    fn bcube_endpoint_has_no_crossbars() {
+        let p = AbcccParams::new(3, 1, 3).unwrap(); // h = k+2 → m = 1
+        let t = Abccc::new(p).unwrap();
+        assert_eq!(p.crossbar_count(), 0);
+        assert_eq!(t.network().switch_count() as u64, p.level_switch_count());
+        // Every server uses exactly k+1 = 2 ports.
+        for s in t.network().server_ids() {
+            assert_eq!(t.network().degree(s), 2);
+        }
+    }
+
+    #[test]
+    fn network_is_connected() {
+        for (n, k, h) in [(2, 1, 2), (3, 1, 2), (2, 2, 3), (4, 1, 3)] {
+            let p = AbcccParams::new(n, k, h).unwrap();
+            let t = Abccc::new(p).unwrap();
+            assert!(
+                netgraph::connectivity::servers_connected(t.network(), None),
+                "{p} disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn size_guard() {
+        // ~14.7M servers: fits u32 ids (params accept it) but exceeds the
+        // materialization guard.
+        let p = AbcccParams::new(8, 6, 2).unwrap();
+        assert!(matches!(Abccc::new(p), Err(NetworkError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn bad_capacity_rejected() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        assert!(Abccc::with_link_capacity(p, f64::NAN).is_err());
+        assert!(Abccc::with_link_capacity(p, -1.0).is_err());
+    }
+}

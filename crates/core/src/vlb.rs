@@ -1,0 +1,187 @@
+//! Valiant load balancing (VLB) — two-stage randomized routing.
+//!
+//! Deterministic shortest-path routing concentrates adversarial traffic
+//! (e.g. every flow correcting the same digit) onto few switches. VLB
+//! fixes the worst case by routing via a uniformly random intermediate
+//! group: `src → w → dst`, each stage with the shortest-path router. The
+//! price is up to 2× path length on benign traffic; the win is that *any*
+//! permutation spreads like uniform random traffic (experiment F17).
+
+use crate::{routing, AbcccParams, CubeLabel, PermStrategy, ServerAddr};
+use netgraph::{NodeId, Route, RouteError};
+use rand::Rng;
+
+/// Routes `src → dst` through a uniformly random intermediate server
+/// (excluding the endpoints' own labels to keep the path simple). Falls
+/// back to direct routing if no valid intermediate is found quickly
+/// (only possible in tiny networks).
+pub fn route_vlb(
+    p: &AbcccParams,
+    src: ServerAddr,
+    dst: ServerAddr,
+    rng: &mut impl Rng,
+) -> Route {
+    for _ in 0..16 {
+        let label = CubeLabel(rng.gen_range(0..p.label_space()));
+        if label == src.label || label == dst.label {
+            continue;
+        }
+        let pos = rng.gen_range(0..p.group_size());
+        let mid = ServerAddr::new(p, label, pos);
+        let first = routing::route_addrs(p, src, mid, &PermStrategy::DestinationAware);
+        let second = routing::route_addrs(p, mid, dst, &PermStrategy::DestinationAware);
+        let mut nodes = first.nodes().to_vec();
+        nodes.extend_from_slice(&second.nodes()[1..]);
+        // Stages can intersect (they share digit corrections); only accept
+        // simple concatenations.
+        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+        if nodes.iter().all(|n| seen.insert(*n)) {
+            return Route::new(nodes);
+        }
+    }
+    routing::route_addrs(p, src, dst, &PermStrategy::DestinationAware)
+}
+
+/// Id-based convenience wrapper.
+///
+/// # Errors
+///
+/// Returns [`RouteError::NotAServer`] for non-server endpoints.
+pub fn route_vlb_ids(
+    p: &AbcccParams,
+    src: NodeId,
+    dst: NodeId,
+    rng: &mut impl Rng,
+) -> Result<Route, RouteError> {
+    if u64::from(src.0) >= p.server_count() {
+        return Err(RouteError::NotAServer(src));
+    }
+    if u64::from(dst.0) >= p.server_count() {
+        return Err(RouteError::NotAServer(dst));
+    }
+    Ok(route_vlb(
+        p,
+        ServerAddr::from_node_id(p, src),
+        ServerAddr::from_node_id(p, dst),
+        rng,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Abccc;
+    use netgraph::Topology;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vlb_routes_are_valid_and_bounded() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            if s == d {
+                continue;
+            }
+            let r = route_vlb_ids(&p, s, d, &mut rng).unwrap();
+            r.validate(topo.network(), None).unwrap();
+            assert_eq!(r.src(), s);
+            assert_eq!(r.dst(), d);
+            // Two stages ⇒ at most 2× diameter.
+            assert!(routing::hops(&r) as u64 <= 2 * p.diameter());
+        }
+    }
+
+    /// The convergent permutation: every group sends all `m` of its flows
+    /// through its position-0 level-0 uplink under deterministic routing
+    /// (`(x, j) → (x ± digit0, j)` must cross `S_0` at position 0).
+    fn convergent_pairs(p: &AbcccParams) -> Vec<(ServerAddr, ServerAddr)> {
+        let mut pairs = Vec::new();
+        for raw in 0..p.label_space() {
+            let label = CubeLabel(raw);
+            let d0 = label.digit(p, 0);
+            let dst_label = label.with_digit(p, 0, (d0 + 1) % p.n());
+            for j in 0..p.group_size() {
+                pairs.push((
+                    ServerAddr::new(p, label, j),
+                    ServerAddr::new(p, dst_label, j),
+                ));
+            }
+        }
+        pairs
+    }
+
+    fn max_directed_load(net: &netgraph::Network, routes: &[Route]) -> u32 {
+        let mut load = vec![0u32; net.link_count() * 2];
+        for r in routes {
+            for w in r.nodes().windows(2) {
+                let l = net.find_link(w[0], w[1]).expect("adjacent");
+                load[l.index() * 2 + usize::from(net.link(l).a == w[0])] += 1;
+            }
+        }
+        load.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn direct_routing_concentrates_the_convergent_pattern() {
+        let p = AbcccParams::new(4, 2, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let routes: Vec<Route> = convergent_pairs(&p)
+            .iter()
+            .map(|&(s, d)| routing::route_addrs(&p, s, d, &PermStrategy::DestinationAware))
+            .collect();
+        // All m flows of each group share the position-0 S0 uplink.
+        assert_eq!(
+            max_directed_load(topo.network(), &routes),
+            p.group_size()
+        );
+    }
+
+    #[test]
+    fn vlb_is_oblivious_to_the_traffic_pattern() {
+        // VLB's hot-link load on the crafted convergent pattern stays close
+        // to its load on a random permutation of the same size — the
+        // obliviousness guarantee deterministic routing lacks.
+        let p = AbcccParams::new(4, 2, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let net = topo.network();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let adv: Vec<Route> = convergent_pairs(&p)
+            .iter()
+            .map(|&(s, d)| route_vlb(&p, s, d, &mut rng))
+            .collect();
+        // Random permutation with the same flow count, also through VLB.
+        use rand::seq::SliceRandom;
+        let mut dsts: Vec<u32> = (0..p.server_count() as u32).collect();
+        dsts.shuffle(&mut rng);
+        let rand_routes: Vec<Route> = dsts
+            .iter()
+            .enumerate()
+            .filter(|(i, &d)| *i as u32 != d)
+            .map(|(i, &d)| {
+                route_vlb(
+                    &p,
+                    ServerAddr::from_node_id(&p, NodeId(i as u32)),
+                    ServerAddr::from_node_id(&p, NodeId(d)),
+                    &mut rng,
+                )
+            })
+            .collect();
+        let adv_load = max_directed_load(net, &adv);
+        let rand_load = max_directed_load(net, &rand_routes);
+        assert!(
+            f64::from(adv_load) <= 2.5 * f64::from(rand_load),
+            "adversarial {adv_load} vs random {rand_load}"
+        );
+    }
+
+    #[test]
+    fn rejects_switch_endpoint() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let sw = NodeId(p.server_count() as u32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(route_vlb_ids(&p, sw, NodeId(0), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # flowsim — flow-level simulator with max-min fair allocation
+//!
+//! The ABCCC paper evaluates structures with flow-level simulation: route
+//! every flow with the family's native routing algorithm, then give the
+//! flow set the **max-min fair** bandwidth allocation (progressive
+//! filling, the steady state TCP-fair sharing approximates). Links are
+//! full duplex: each cable carries its capacity independently per
+//! direction.
+//!
+//! ```
+//! use abccc::{Abccc, AbcccParams};
+//! use flowsim::FlowSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = Abccc::new(AbcccParams::new(2, 1, 2)?)?;
+//! let pairs = [(netgraph::NodeId(0), netgraph::NodeId(7))];
+//! let report = FlowSim::new(&topo).run(&pairs)?;
+//! assert_eq!(report.flows, 1);
+//! assert!((report.min_rate - 1.0).abs() < 1e-9); // lone flow gets the full link
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod maxmin;
+mod sim;
+
+pub use maxmin::{max_min_allocation, DirectedLink};
+pub use sim::{FlowSim, FlowSimReport};

@@ -1,0 +1,230 @@
+//! Progressive-filling max-min fair allocation.
+
+use netgraph::{LinkId, Network, Route};
+#[cfg(test)]
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A directed traversal of a physical cable (cables are full duplex: the
+/// two directions have independent capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DirectedLink {
+    /// The underlying cable.
+    pub link: LinkId,
+    /// `true` when traversed from `link.a` to `link.b`.
+    pub forward: bool,
+}
+
+impl DirectedLink {
+    /// Dense index for table lookups: `2·link + direction`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.link.index() * 2 + usize::from(self.forward)
+    }
+
+    /// Resolves the directed traversals of a route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive route nodes are not adjacent in `net`.
+    pub fn of_route(net: &Network, route: &Route) -> Vec<DirectedLink> {
+        route
+            .nodes()
+            .windows(2)
+            .map(|w| {
+                let l = net
+                    .find_link(w[0], w[1])
+                    .unwrap_or_else(|| panic!("route nodes {} and {} not adjacent", w[0], w[1]));
+                DirectedLink {
+                    link: l,
+                    forward: net.link(l).a == w[0],
+                }
+            })
+            .collect()
+    }
+}
+
+/// Computes the max-min fair rate for each flow (a flow is the list of
+/// directed links it crosses). Flows with an empty path (src == dst) get
+/// `f64::INFINITY`.
+///
+/// Progressive filling: all unfrozen flows grow at the same rate; when a
+/// directed link saturates, the flows crossing it freeze at the current
+/// level; repeat until every flow is frozen.
+pub fn max_min_allocation(net: &Network, flows: &[Vec<DirectedLink>]) -> Vec<f64> {
+    let n_dir = net.link_count() * 2;
+    let mut remaining = vec![0.0f64; n_dir];
+    for (i, link) in net.links().iter().enumerate() {
+        remaining[2 * i] = link.capacity;
+        remaining[2 * i + 1] = link.capacity;
+    }
+    let mut active = vec![0usize; n_dir];
+    for f in flows {
+        for dl in f {
+            active[dl.index()] += 1;
+        }
+    }
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    for (i, f) in flows.iter().enumerate() {
+        if f.is_empty() {
+            rate[i] = f64::INFINITY;
+            frozen[i] = true;
+        }
+    }
+    const EPS: f64 = 1e-12;
+    loop {
+        // Smallest per-flow headroom over links with active flows.
+        let mut delta = f64::INFINITY;
+        for d in 0..n_dir {
+            if active[d] > 0 {
+                delta = delta.min(remaining[d] / active[d] as f64);
+            }
+        }
+        if !delta.is_finite() {
+            break; // no active links ⇒ all flows frozen
+        }
+        let delta = delta.max(0.0);
+        // Grow every unfrozen flow and charge the links.
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                rate[i] += delta;
+                for dl in f {
+                    remaining[dl.index()] -= delta;
+                }
+            }
+        }
+        // Freeze flows on saturated links.
+        let mut any_frozen = false;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] && f.iter().any(|dl| remaining[dl.index()] <= EPS) {
+                frozen[i] = true;
+                for dl in f {
+                    active[dl.index()] -= 1;
+                }
+                any_frozen = true;
+            }
+        }
+        if !any_frozen {
+            break; // numerical safety; should not happen with delta > 0
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_servers_one_link() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        net.add_link(a, b, 1.0);
+        (net, a, b)
+    }
+
+    fn dl(net: &Network, from: NodeId, to: NodeId) -> DirectedLink {
+        let l = net.find_link(from, to).unwrap();
+        DirectedLink {
+            link: l,
+            forward: net.link(l).a == from,
+        }
+    }
+
+    #[test]
+    fn two_flows_share_a_link() {
+        let (net, a, b) = two_servers_one_link();
+        let f = vec![dl(&net, a, b)];
+        let rates = max_min_allocation(&net, &[f.clone(), f]);
+        assert!((rates[0] - 0.5).abs() < 1e-9);
+        assert!((rates[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_duplex_directions_are_independent() {
+        let (net, a, b) = two_servers_one_link();
+        let fwd = vec![dl(&net, a, b)];
+        let bwd = vec![dl(&net, b, a)];
+        let rates = max_min_allocation(&net, &[fwd, bwd]);
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_is_infinite() {
+        let (net, _, _) = two_servers_one_link();
+        let rates = max_min_allocation(&net, &[vec![]]);
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn incast_bottleneck() {
+        // 3 senders → 1 sink through a switch: the sink's downlink caps
+        // each flow at 1/3.
+        let mut net = Network::new();
+        let s: Vec<NodeId> = (0..3).map(|_| net.add_server()).collect();
+        let sink = net.add_server();
+        let sw = net.add_switch();
+        for &x in &s {
+            net.add_link(x, sw, 1.0);
+        }
+        net.add_link(sink, sw, 1.0);
+        let flows: Vec<Vec<DirectedLink>> = s
+            .iter()
+            .map(|&x| vec![dl(&net, x, sw), dl(&net, sw, sink)])
+            .collect();
+        let rates = max_min_allocation(&net, &flows);
+        for r in rates {
+            assert!((r - 1.0 / 3.0).abs() < 1e-9, "{r}");
+        }
+    }
+
+    #[test]
+    fn max_min_unfreezes_capacity_for_short_flows() {
+        // Classic: flows A (x→y), B (y→z), C (x→y→z). C is capped by
+        // sharing both links; A and B then grow to fill the rest.
+        let mut net = Network::new();
+        let x = net.add_server();
+        let y = net.add_server();
+        let z = net.add_server();
+        net.add_link(x, y, 1.0);
+        net.add_link(y, z, 1.0);
+        let fa = vec![dl(&net, x, y)];
+        let fb = vec![dl(&net, y, z)];
+        let fc = vec![dl(&net, x, y), dl(&net, y, z)];
+        let rates = max_min_allocation(&net, &[fa, fb, fc]);
+        assert!((rates[2] - 0.5).abs() < 1e-9, "C = {}", rates[2]);
+        assert!((rates[0] - 0.5).abs() < 1e-9, "A = {}", rates[0]);
+        assert!((rates[1] - 0.5).abs() < 1e-9, "B = {}", rates[1]);
+    }
+
+    #[test]
+    fn no_link_oversubscribed() {
+        let mut net = Network::new();
+        let s: Vec<NodeId> = (0..4).map(|_| net.add_server()).collect();
+        let sw = net.add_switch();
+        for &x in &s {
+            net.add_link(x, sw, 1.0);
+        }
+        let flows: Vec<Vec<DirectedLink>> = (0..4)
+            .flat_map(|i| {
+                (0..4).filter(move |&j| j != i).map(move |j| (i, j))
+            })
+            .map(|(i, j)| vec![dl(&net, s[i], sw), dl(&net, sw, s[j])])
+            .collect();
+        let rates = max_min_allocation(&net, &flows);
+        let mut load = std::collections::HashMap::new();
+        for (f, r) in flows.iter().zip(rates.iter()) {
+            for dlk in f {
+                *load.entry(dlk.index()).or_insert(0.0) += r;
+            }
+        }
+        for (_, l) in load {
+            assert!(l <= 1.0 + 1e-6, "oversubscribed: {l}");
+        }
+    }
+}

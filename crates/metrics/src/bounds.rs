@@ -1,0 +1,136 @@
+//! Theoretical throughput upper bounds.
+//!
+//! Sanity ceilings the simulators must respect (and asserted so in tests):
+//!
+//! * **NIC bound** — a server cannot send or receive faster than its
+//!   attached port capacity;
+//! * **capacity bound** — aggregate throughput ≤ total directed link
+//!   capacity ÷ mean path length (in links), the classic network-capacity
+//!   argument;
+//! * **bisection bound** — traffic crossing a server bipartition ≤ the
+//!   cut's total link capacity (per direction).
+
+use netgraph::{NodeId, Topology};
+
+/// Sum of NIC capacities of server `s` (its maximum injection or delivery
+/// rate).
+pub fn nic_capacity<T: Topology + ?Sized>(topo: &T, s: NodeId) -> f64 {
+    topo.network()
+        .neighbors(s)
+        .iter()
+        .map(|&(_, l)| topo.network().link(l).capacity)
+        .sum()
+}
+
+/// Upper bound on the aggregate rate of `pairs`: each flow is limited by
+/// its endpoints' NICs, and each NIC is shared by the flows using it.
+pub fn nic_bound<T: Topology + ?Sized>(topo: &T, pairs: &[(NodeId, NodeId)]) -> f64 {
+    let net = topo.network();
+    let mut out_load = vec![0u32; net.node_count()];
+    let mut in_load = vec![0u32; net.node_count()];
+    for &(s, d) in pairs {
+        if s != d {
+            out_load[s.index()] += 1;
+            in_load[d.index()] += 1;
+        }
+    }
+    // Aggregate ≤ Σ_servers min(out NIC cap, …): each server's sends are
+    // capped by its NIC capacity; same for receives. Take the tighter side.
+    let send: f64 = net
+        .server_ids()
+        .filter(|s| out_load[s.index()] > 0)
+        .map(|s| nic_capacity(topo, s))
+        .sum();
+    let recv: f64 = net
+        .server_ids()
+        .filter(|s| in_load[s.index()] > 0)
+        .map(|s| nic_capacity(topo, s))
+        .sum();
+    send.min(recv)
+}
+
+/// Upper bound on aggregate throughput from total capacity and the mean
+/// path length of the routed flows (in links): every unit of flow consumes
+/// `mean_link_hops` units of directed link capacity.
+///
+/// # Panics
+///
+/// Panics if routing fails (fault-free networks never fail).
+pub fn capacity_bound<T: Topology + ?Sized>(topo: &T, pairs: &[(NodeId, NodeId)]) -> f64 {
+    let net = topo.network();
+    let mut total_hops = 0usize;
+    let mut flows = 0usize;
+    for &(s, d) in pairs {
+        if s == d {
+            continue;
+        }
+        let r = topo.route(s, d).expect("routing failed on fault-free network");
+        total_hops += r.link_hops();
+        flows += 1;
+    }
+    if flows == 0 || total_hops == 0 {
+        return f64::INFINITY;
+    }
+    let directed_capacity: f64 = net.links().iter().map(|l| 2.0 * l.capacity).sum();
+    let mean_hops = total_hops as f64 / flows as f64;
+    directed_capacity / mean_hops
+}
+
+/// Upper bound on the rate crossing the id-canonical bipartition, per
+/// direction: the exact min-cut capacity (unit capacities assumed by the
+/// evaluation; scaled by `link_capacity`).
+pub fn bisection_bound<T: Topology + ?Sized>(topo: &T, link_capacity: f64) -> f64 {
+    crate::bisection::exact_bisection_by_id(topo.network()) as f64 * link_capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abccc::{Abccc, AbcccParams};
+    use flowsim::FlowSim;
+    use rand::SeedableRng;
+
+    fn topo() -> Abccc {
+        Abccc::new(AbcccParams::new(2, 2, 2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nic_capacity_equals_degree_at_unit_caps() {
+        let t = topo();
+        assert_eq!(nic_capacity(&t, NodeId(0)), 2.0);
+    }
+
+    #[test]
+    fn simulated_rates_respect_all_bounds() {
+        let t = topo();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let n = netgraph::Topology::network(&t).server_count();
+        for pairs in [
+            dcn_workloads::traffic::random_permutation(n, &mut rng),
+            dcn_workloads::traffic::bisection_pairs(n, &mut rng),
+        ] {
+            let report = FlowSim::new(&t).run(&pairs).unwrap();
+            assert!(report.aggregate_rate <= nic_bound(&t, &pairs) + 1e-6);
+            assert!(report.aggregate_rate <= capacity_bound(&t, &pairs) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn bisection_traffic_respects_cut() {
+        let t = topo();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = netgraph::Topology::network(&t).server_count();
+        let pairs = dcn_workloads::traffic::bisection_pairs(n, &mut rng);
+        let report = FlowSim::new(&t).run(&pairs).unwrap();
+        // All pairs cross the canonical cut; both directions are loaded, so
+        // the aggregate is bounded by twice the per-direction cut.
+        assert!(report.aggregate_rate <= 2.0 * bisection_bound(&t, 1.0) + 1e-6);
+    }
+
+    #[test]
+    fn empty_pairs_are_unbounded() {
+        let t = topo();
+        assert_eq!(capacity_bound(&t, &[]), f64::INFINITY);
+        assert_eq!(nic_bound(&t, &[]), 0.0);
+    }
+}

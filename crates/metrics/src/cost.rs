@@ -1,0 +1,180 @@
+//! The CAPEX cost model for the paper's capital-expenditure comparison.
+//!
+//! Prices are configurable; the defaults are 2015-era commodity list
+//! prices in USD of the kind the BCube/BCCC papers assume: cheap
+//! small-radix COTS switches, per-port NICs, copper cabling. Server
+//! chassis cost is excluded — it is identical across all structures at
+//! equal server count and would only dilute the comparison.
+
+use crate::TopologyStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-component prices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one server NIC port (USD).
+    pub nic_port: f64,
+    /// Price of one cable, pulled and terminated (USD).
+    pub cable: f64,
+    /// Per-port switch price tiers as `(max_radix, usd_per_port)`, sorted
+    /// ascending by radix; larger-radix switches cost disproportionately
+    /// more per port (the economics that motivate server-centric designs).
+    pub switch_port_tiers: Vec<(usize, f64)>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            nic_port: 15.0,
+            cable: 5.0,
+            switch_port_tiers: vec![(8, 10.0), (24, 15.0), (48, 25.0), (usize::MAX, 50.0)],
+        }
+    }
+}
+
+impl CostModel {
+    /// Price of a whole switch of the given radix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` exceeds every configured tier (the default model
+    /// has a catch-all tier).
+    pub fn switch_price(&self, radix: usize) -> f64 {
+        let per_port = self
+            .switch_port_tiers
+            .iter()
+            .find(|(max, _)| radix <= *max)
+            .unwrap_or_else(|| panic!("no price tier covers radix {radix}"))
+            .1;
+        per_port * radix as f64
+    }
+
+    /// Full CAPEX breakdown for a measured topology.
+    pub fn capex(&self, stats: &TopologyStats) -> Capex {
+        let switches: f64 = stats
+            .switch_radix_histogram
+            .iter()
+            .map(|(radix, count)| self.switch_price(*radix) * *count as f64)
+            .sum();
+        let nics = stats.server_ports_in_use() as f64 * self.nic_port;
+        let cables = stats.wires as f64 * self.cable;
+        Capex {
+            name: stats.name.clone(),
+            servers: stats.servers,
+            switches_usd: switches,
+            nics_usd: nics,
+            cables_usd: cables,
+        }
+    }
+}
+
+/// CAPEX broken down by component class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Capex {
+    /// Family name.
+    pub name: String,
+    /// Server count (for per-server normalization).
+    pub servers: u64,
+    /// Switch spend (USD).
+    pub switches_usd: f64,
+    /// NIC spend (USD).
+    pub nics_usd: f64,
+    /// Cabling spend (USD).
+    pub cables_usd: f64,
+}
+
+impl Capex {
+    /// Total network CAPEX.
+    pub fn total(&self) -> f64 {
+        self.switches_usd + self.nics_usd + self.cables_usd
+    }
+
+    /// CAPEX per server — the paper's comparison axis.
+    pub fn per_server(&self) -> f64 {
+        self.total() / self.servers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abccc::{Abccc, AbcccParams};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn capex_is_monotone_in_prices(
+            nic in 1.0f64..100.0,
+            cable in 0.5f64..50.0,
+            bump in 1.0f64..20.0,
+        ) {
+            let p = AbcccParams::new(3, 1, 2).unwrap();
+            let stats = crate::TopologyStats::quick(&Abccc::new(p).unwrap());
+            let base = CostModel { nic_port: nic, cable, ..Default::default() };
+            let pricier = CostModel {
+                nic_port: nic + bump,
+                cable: cable + bump,
+                ..Default::default()
+            };
+            prop_assert!(pricier.capex(&stats).total() > base.capex(&stats).total());
+        }
+
+        #[test]
+        fn capex_scales_linearly_with_all_prices(scale in 1.1f64..10.0) {
+            let p = AbcccParams::new(3, 1, 2).unwrap();
+            let stats = crate::TopologyStats::quick(&Abccc::new(p).unwrap());
+            let base = CostModel::default();
+            let scaled = CostModel {
+                nic_port: base.nic_port * scale,
+                cable: base.cable * scale,
+                switch_port_tiers: base
+                    .switch_port_tiers
+                    .iter()
+                    .map(|&(r, usd)| (r, usd * scale))
+                    .collect(),
+            };
+            let a = base.capex(&stats).total() * scale;
+            let b = scaled.capex(&stats).total();
+            prop_assert!((a - b).abs() < 1e-6 * a.max(1.0));
+        }
+    }
+
+    #[test]
+    fn tiers_are_monotone_per_port() {
+        let m = CostModel::default();
+        assert_eq!(m.switch_price(4), 40.0);
+        assert_eq!(m.switch_price(8), 80.0);
+        assert_eq!(m.switch_price(9), 135.0);
+        assert!(m.switch_price(48) < m.switch_price(49));
+    }
+
+    #[test]
+    fn capex_breakdown_adds_up() {
+        let p = AbcccParams::new(4, 1, 2).unwrap(); // 32 servers, m=2
+        let t = Abccc::new(p).unwrap();
+        let stats = TopologyStats::quick(&t);
+        let m = CostModel::default();
+        let c = m.capex(&stats);
+        // 16 crossbars radix 2 + 2*4 level switches radix 4.
+        assert_eq!(c.switches_usd, 16.0 * 20.0 + 8.0 * 40.0);
+        // Every cable has one server end: wires = 2*16 + 2*16 = 64.
+        assert_eq!(c.nics_usd, 64.0 * 15.0);
+        assert_eq!(c.cables_usd, 64.0 * 5.0);
+        assert!((c.total() - (c.switches_usd + c.nics_usd + c.cables_usd)).abs() < 1e-9);
+        assert!((c.per_server() - c.total() / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_h_costs_more_per_server_but_shrinks_diameter() {
+        // The paper's tunable trade-off, in miniature.
+        let m = CostModel::default();
+        let cheap = AbcccParams::new(4, 2, 2).unwrap();
+        let fast = AbcccParams::new(4, 2, 4).unwrap();
+        let c_cheap = m.capex(&TopologyStats::quick(&Abccc::new(cheap).unwrap()));
+        let c_fast = m.capex(&TopologyStats::quick(&Abccc::new(fast).unwrap()));
+        assert!(c_fast.per_server() > c_cheap.per_server());
+        assert!(fast.diameter() < cheap.diameter());
+    }
+}

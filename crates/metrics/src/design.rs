@@ -1,0 +1,171 @@
+//! Design-space exploration — the "fine tuning its parameters" claim as a
+//! tool.
+//!
+//! Given a target server count, enumerate the `(n, k, h)` configurations
+//! that reach it and rank them by the axis the operator cares about:
+//! CAPEX per server, diameter, per-server bisection, or NIC ports. This is
+//! the concrete workflow behind the abstract's "ABCCC suits many different
+//! applications by fine tuning its parameters".
+
+use crate::{expansion, CostModel};
+use abccc::AbcccParams;
+use serde::{Deserialize, Serialize};
+
+/// One candidate configuration with its headline metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The configuration.
+    pub params: AbcccParams,
+    /// Servers it provides.
+    pub servers: u64,
+    /// Diameter in server hops.
+    pub diameter: u64,
+    /// Bisection links per server (even `n` only).
+    pub bisection_per_server: Option<f64>,
+    /// NIC ports per server.
+    pub ports: u32,
+    /// CAPEX per server under the given cost model.
+    pub capex_per_server: f64,
+}
+
+/// What to optimize when ranking candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Cheapest per server.
+    Cost,
+    /// Shortest diameter (ties: cheapest).
+    Latency,
+    /// Highest per-server bisection (ties: cheapest).
+    Bandwidth,
+}
+
+/// Enumerates every `ABCCC(n, k, h)` with `n ∈ switch_radixes`,
+/// `h ∈ 2..=max_ports`, smallest `k` reaching `target_servers`, and
+/// returns them sorted by `objective`.
+///
+/// # Panics
+///
+/// Panics if `target_servers == 0`, `switch_radixes` is empty, or
+/// `max_ports < 2`.
+pub fn recommend(
+    target_servers: u64,
+    switch_radixes: &[u32],
+    max_ports: u32,
+    cost: &CostModel,
+    objective: Objective,
+) -> Vec<Candidate> {
+    assert!(target_servers > 0, "target must be positive");
+    assert!(!switch_radixes.is_empty(), "need at least one switch radix");
+    assert!(max_ports >= 2, "servers need at least two ports");
+    let mut out = Vec::new();
+    for &n in switch_radixes {
+        for h in 2..=max_ports {
+            // Smallest k whose server count reaches the target.
+            for k in 0..=19u32 {
+                let Ok(p) = AbcccParams::new(n, k, h) else { break };
+                if p.server_count() >= target_servers {
+                    let stats = crate::TopologyStats {
+                        name: p.to_string(),
+                        servers: p.server_count(),
+                        switches: p.switch_count(),
+                        switch_radix_histogram: expansion::abccc_radix_histogram(&p),
+                        wires: p.wire_count(),
+                        max_server_ports: h,
+                        diameter_server_hops: None,
+                        avg_path_length: None,
+                    };
+                    let capex = cost.capex(&stats);
+                    out.push(Candidate {
+                        params: p,
+                        servers: p.server_count(),
+                        diameter: p.diameter(),
+                        bisection_per_server: p.bisection_per_server(),
+                        ports: h,
+                        capex_per_server: capex.per_server(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    // Deduplicate identical parameterizations (h beyond k+2 degenerates).
+    out.dedup_by(|a, b| {
+        a.params.group_size() == b.params.group_size()
+            && a.params.n() == b.params.n()
+            && a.params.k() == b.params.k()
+            && a.servers == b.servers
+    });
+    match objective {
+        Objective::Cost => out.sort_by(|a, b| {
+            a.capex_per_server
+                .total_cmp(&b.capex_per_server)
+                .then(a.diameter.cmp(&b.diameter))
+        }),
+        Objective::Latency => out.sort_by(|a, b| {
+            a.diameter
+                .cmp(&b.diameter)
+                .then(a.capex_per_server.total_cmp(&b.capex_per_server))
+        }),
+        Objective::Bandwidth => out.sort_by(|a, b| {
+            b.bisection_per_server
+                .unwrap_or(0.0)
+                .total_cmp(&a.bisection_per_server.unwrap_or(0.0))
+                .then(a.capex_per_server.total_cmp(&b.capex_per_server))
+        }),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_the_target_with_every_candidate() {
+        let cost = CostModel::default();
+        let cands = recommend(1000, &[4, 8], 4, &cost, Objective::Cost);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.servers >= 1000, "{}", c.params);
+        }
+        // Sorted by cost.
+        for w in cands.windows(2) {
+            assert!(w[0].capex_per_server <= w[1].capex_per_server + 1e-9);
+        }
+    }
+
+    #[test]
+    fn latency_objective_puts_bcube_like_first() {
+        let cost = CostModel::default();
+        let cands = recommend(500, &[4], 5, &cost, Objective::Latency);
+        // The shortest-diameter candidate has the largest h (smallest m).
+        let first = &cands[0];
+        for c in &cands[1..] {
+            assert!(first.diameter <= c.diameter);
+        }
+        assert!(first.params.group_size() <= cands.last().expect("non-empty").params.group_size());
+    }
+
+    #[test]
+    fn bandwidth_objective_maximizes_per_server_bisection() {
+        let cost = CostModel::default();
+        let cands = recommend(500, &[4], 5, &cost, Objective::Bandwidth);
+        for w in cands.windows(2) {
+            assert!(
+                w[0].bisection_per_server.unwrap_or(0.0)
+                    >= w[1].bisection_per_server.unwrap_or(0.0) - 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn cost_and_latency_disagree() {
+        // The trade-off is real: the cheapest candidate is not the fastest.
+        let cost = CostModel::default();
+        let by_cost = recommend(1000, &[4], 5, &cost, Objective::Cost);
+        let by_latency = recommend(1000, &[4], 5, &cost, Objective::Latency);
+        assert_ne!(by_cost[0].params, by_latency[0].params);
+        assert!(by_cost[0].capex_per_server < by_latency[0].capex_per_server);
+        assert!(by_latency[0].diameter < by_cost[0].diameter);
+    }
+}

@@ -1,0 +1,247 @@
+//! Expansion-cost comparison across families (experiment F4).
+//!
+//! "Expansion cost" has two components the paper distinguishes:
+//! the CAPEX of the *new* components (unavoidable — you are buying more
+//! network), and the **legacy impact**: NICs retrofitted into servers that
+//! are already racked and serving traffic, and existing cables that must
+//! be unplugged. ABCCC/BCCC grow with zero legacy impact; BCube and DCell
+//! retrofit a NIC into every existing server per order; a fat-tree cannot
+//! grow beyond its radix at all and must be rebuilt.
+
+use crate::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// The ledger of one family-level expansion step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionLedger {
+    /// Family name with parameters, e.g. `"BCube(4,1)→(4,2)"`.
+    pub name: String,
+    /// Servers before.
+    pub from_servers: u64,
+    /// Servers after.
+    pub to_servers: u64,
+    /// CAPEX of newly purchased components (USD).
+    pub new_capex_usd: f64,
+    /// NICs retrofitted into existing servers.
+    pub legacy_nics_added: u64,
+    /// Existing cables unplugged/rewired.
+    pub legacy_cables_rewired: u64,
+    /// Existing switches discarded.
+    pub legacy_switches_discarded: u64,
+}
+
+impl ExpansionLedger {
+    /// Fraction of pre-existing servers whose hardware must be touched.
+    pub fn legacy_touch_fraction(&self) -> f64 {
+        self.legacy_nics_added as f64 / self.from_servers as f64
+    }
+
+    /// `true` if the step leaves all legacy hardware untouched (the ABCCC
+    /// expandability property).
+    pub fn legacy_untouched(&self) -> bool {
+        self.legacy_nics_added == 0
+            && self.legacy_cables_rewired == 0
+            && self.legacy_switches_discarded == 0
+    }
+}
+
+fn capex_delta(cost: &CostModel, from: &crate::TopologyStats, to: &crate::TopologyStats) -> f64 {
+    // Components are never removed in incremental growth, so the delta of
+    // the component-class breakdowns prices exactly the new purchases.
+    let c_from = cost.capex(from);
+    let c_to = cost.capex(to);
+    c_to.total() - c_from.total()
+}
+
+/// ABCCC growth `k → k+1` (also covers BCCC with `h = 2`).
+///
+/// # Errors
+///
+/// Propagates parameter-validation failures from the grown configuration.
+pub fn abccc_expansion(
+    from: abccc::AbcccParams,
+    cost: &CostModel,
+) -> Result<ExpansionLedger, netgraph::NetworkError> {
+    let step = abccc::ExpansionStep::grow_order(from)?;
+    // Price the delta from closed-form stats (no materialization needed).
+    let stats = |p: abccc::AbcccParams| crate::TopologyStats {
+        name: p.to_string(),
+        servers: p.server_count(),
+        switches: p.switch_count(),
+        switch_radix_histogram: abccc_radix_histogram(&p),
+        wires: p.wire_count(),
+        max_server_ports: p.h(),
+        diameter_server_hops: None,
+        avg_path_length: None,
+    };
+    Ok(ExpansionLedger {
+        name: format!("{}→({},{},{})", from, from.n(), from.k() + 1, from.h()),
+        from_servers: from.server_count(),
+        to_servers: step.to.server_count(),
+        new_capex_usd: capex_delta(cost, &stats(from), &stats(step.to)),
+        legacy_nics_added: step.legacy_nics_added,
+        legacy_cables_rewired: step.legacy_cables_rewired,
+        legacy_switches_discarded: 0,
+    })
+}
+
+/// Switch radix histogram of an ABCCC parameterization from closed forms.
+pub fn abccc_radix_histogram(
+    p: &abccc::AbcccParams,
+) -> std::collections::BTreeMap<usize, usize> {
+    let mut h = std::collections::BTreeMap::new();
+    if p.crossbar_count() > 0 {
+        *h.entry(p.group_size() as usize).or_insert(0) += p.crossbar_count() as usize;
+    }
+    *h.entry(p.n() as usize).or_insert(0) += p.level_switch_count() as usize;
+    h
+}
+
+/// BCube growth `k → k+1`: every legacy server gains a NIC and a cable.
+///
+/// # Errors
+///
+/// Propagates parameter-validation failures from the grown configuration.
+pub fn bcube_expansion(
+    from: dcn_baselines::BCubeParams,
+    cost: &CostModel,
+) -> Result<ExpansionLedger, netgraph::NetworkError> {
+    let to = dcn_baselines::BCubeParams::new(from.n(), from.k() + 1)?;
+    let stats = |p: dcn_baselines::BCubeParams| {
+        let mut hist = std::collections::BTreeMap::new();
+        hist.insert(p.n() as usize, p.switch_count() as usize);
+        crate::TopologyStats {
+            name: p.to_string(),
+            servers: p.server_count(),
+            switches: p.switch_count(),
+            switch_radix_histogram: hist,
+            wires: p.wire_count(),
+            max_server_ports: p.ports_per_server(),
+            diameter_server_hops: None,
+            avg_path_length: None,
+        }
+    };
+    Ok(ExpansionLedger {
+        name: format!("{from}→({},{})", from.n(), from.k() + 1),
+        from_servers: from.server_count(),
+        to_servers: to.server_count(),
+        new_capex_usd: capex_delta(cost, &stats(from), &stats(to)),
+        legacy_nics_added: from.expansion_nics_added(),
+        legacy_cables_rewired: 0,
+        legacy_switches_discarded: 0,
+    })
+}
+
+/// DCell growth `k → k+1`: like BCube, every legacy server gains a NIC
+/// (the new level's direct cables), and the network explodes in size.
+///
+/// # Errors
+///
+/// Propagates parameter-validation failures from the grown configuration.
+pub fn dcell_expansion(
+    from: dcn_baselines::DCellParams,
+    cost: &CostModel,
+) -> Result<ExpansionLedger, netgraph::NetworkError> {
+    let to = dcn_baselines::DCellParams::new(from.n(), from.k() + 1)?;
+    let stats = |p: &dcn_baselines::DCellParams| {
+        let mut hist = std::collections::BTreeMap::new();
+        hist.insert(p.n() as usize, p.switch_count() as usize);
+        crate::TopologyStats {
+            name: p.to_string(),
+            servers: p.server_count(),
+            switches: p.switch_count(),
+            switch_radix_histogram: hist,
+            wires: p.wire_count(),
+            max_server_ports: p.ports_per_server(),
+            diameter_server_hops: None,
+            avg_path_length: None,
+        }
+    };
+    Ok(ExpansionLedger {
+        name: format!("{from}→({},{})", from.n(), from.k() + 1),
+        from_servers: from.server_count(),
+        to_servers: to.server_count(),
+        new_capex_usd: capex_delta(cost, &stats(&from), &stats(&to)),
+        legacy_nics_added: from.server_count(),
+        legacy_cables_rewired: 0,
+        legacy_switches_discarded: 0,
+    })
+}
+
+/// Fat-tree growth `p → p'`: the entire switch fabric is replaced (a
+/// radix-`p` fat-tree cannot host a single extra server), and every legacy
+/// cable is re-pulled.
+///
+/// # Errors
+///
+/// Propagates parameter-validation failures from the grown configuration.
+pub fn fattree_expansion(
+    from: dcn_baselines::FatTreeParams,
+    to_p: u32,
+    cost: &CostModel,
+) -> Result<ExpansionLedger, netgraph::NetworkError> {
+    let to = dcn_baselines::FatTreeParams::new(to_p)?;
+    // New build: all switches + all cables are new; server NICs reused.
+    let new_switches = cost.switch_price(to.p() as usize) * to.switch_count() as f64;
+    let new_cables = cost.cable * to.wire_count() as f64;
+    let new_nics = cost.nic_port * (to.server_count() - from.server_count()) as f64;
+    Ok(ExpansionLedger {
+        name: format!("{from}→({to_p})"),
+        from_servers: from.server_count(),
+        to_servers: to.server_count(),
+        new_capex_usd: new_switches + new_cables + new_nics,
+        legacy_nics_added: 0,
+        legacy_cables_rewired: from.wire_count(),
+        legacy_switches_discarded: from.switch_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abccc_zero_legacy_touch() {
+        let cost = CostModel::default();
+        let l = abccc_expansion(abccc::AbcccParams::new(4, 2, 3).unwrap(), &cost).unwrap();
+        assert!(l.legacy_untouched());
+        assert!(l.new_capex_usd > 0.0);
+        assert!(l.to_servers > l.from_servers);
+    }
+
+    #[test]
+    fn bcube_touches_every_server() {
+        let cost = CostModel::default();
+        let l = bcube_expansion(dcn_baselines::BCubeParams::new(4, 1).unwrap(), &cost).unwrap();
+        assert_eq!(l.legacy_nics_added, 16);
+        assert!((l.legacy_touch_fraction() - 1.0).abs() < 1e-12);
+        assert!(!l.legacy_untouched());
+    }
+
+    #[test]
+    fn dcell_touches_every_server() {
+        let cost = CostModel::default();
+        let l = dcell_expansion(dcn_baselines::DCellParams::new(3, 1).unwrap(), &cost).unwrap();
+        assert_eq!(l.legacy_nics_added, 12);
+    }
+
+    #[test]
+    fn fattree_discards_fabric() {
+        let cost = CostModel::default();
+        let from = dcn_baselines::FatTreeParams::new(4).unwrap();
+        let l = fattree_expansion(from, 6, &cost).unwrap();
+        assert_eq!(l.legacy_switches_discarded, from.switch_count());
+        assert_eq!(l.legacy_cables_rewired, from.wire_count());
+        assert!(l.new_capex_usd > 0.0);
+    }
+
+    #[test]
+    fn abccc_radix_histogram_matches_materialized() {
+        let p = abccc::AbcccParams::new(3, 2, 2).unwrap();
+        let t = abccc::Abccc::new(p).unwrap();
+        assert_eq!(
+            abccc_radix_histogram(&p),
+            netgraph::Topology::network(&t).switch_radix_histogram()
+        );
+    }
+}

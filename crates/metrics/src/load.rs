@@ -1,0 +1,130 @@
+//! Link-load balance analysis.
+//!
+//! The ICC'15 companion paper's second axis (after path length) is **load
+//! balance**: a good permutation generator spreads flows across the
+//! level/crossbar fabric instead of piling them onto few links. This
+//! module measures the distribution of flows over directed links for any
+//! set of routes.
+
+use netgraph::{Network, Route};
+use serde::{Deserialize, Serialize};
+
+/// Distribution statistics of flows-per-directed-link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    /// Number of directed links carrying at least one flow.
+    pub used_links: usize,
+    /// Total directed links.
+    pub total_links: usize,
+    /// Maximum flows on any directed link.
+    pub max_load: u32,
+    /// Mean flows per *used* directed link.
+    pub mean_load: f64,
+    /// Coefficient of variation over used links (std/mean): 0 = perfectly
+    /// even.
+    pub cv: f64,
+}
+
+impl LoadStats {
+    /// Ratio of the hottest link to the mean — the paper-style imbalance
+    /// factor (1.0 = perfect balance).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_load == 0.0 {
+            1.0
+        } else {
+            f64::from(self.max_load) / self.mean_load
+        }
+    }
+}
+
+/// Measures the flows-per-directed-link distribution of `routes`.
+///
+/// # Panics
+///
+/// Panics if a route traverses nodes that are not adjacent in `net`.
+pub fn link_load(net: &Network, routes: &[Route]) -> LoadStats {
+    let mut load = vec![0u32; net.link_count() * 2];
+    for r in routes {
+        for w in r.nodes().windows(2) {
+            let l = net
+                .find_link(w[0], w[1])
+                .unwrap_or_else(|| panic!("route nodes {} – {} not adjacent", w[0], w[1]));
+            let dir = usize::from(net.link(l).a == w[0]);
+            load[l.index() * 2 + dir] += 1;
+        }
+    }
+    let used: Vec<u32> = load.iter().copied().filter(|&x| x > 0).collect();
+    let max_load = used.iter().copied().max().unwrap_or(0);
+    let mean = if used.is_empty() {
+        0.0
+    } else {
+        used.iter().map(|&x| f64::from(x)).sum::<f64>() / used.len() as f64
+    };
+    let var = if used.is_empty() {
+        0.0
+    } else {
+        used.iter()
+            .map(|&x| (f64::from(x) - mean).powi(2))
+            .sum::<f64>()
+            / used.len() as f64
+    };
+    LoadStats {
+        used_links: used.len(),
+        total_links: load.len(),
+        max_load,
+        mean_load: mean,
+        cv: if mean == 0.0 { 0.0 } else { var.sqrt() / mean },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::Network;
+
+    fn star() -> (Network, Vec<netgraph::NodeId>, netgraph::NodeId) {
+        let mut net = Network::new();
+        let s: Vec<_> = (0..4).map(|_| net.add_server()).collect();
+        let sw = net.add_switch();
+        for &x in &s {
+            net.add_link(x, sw, 1.0);
+        }
+        (net, s, sw)
+    }
+
+    #[test]
+    fn balanced_star_traffic() {
+        let (net, s, sw) = star();
+        // Ring of flows: 0→1, 1→2, 2→3, 3→0 — each link carries exactly
+        // one flow per direction.
+        let routes: Vec<Route> = (0..4)
+            .map(|i| Route::new(vec![s[i], sw, s[(i + 1) % 4]]))
+            .collect();
+        let stats = link_load(&net, &routes);
+        assert_eq!(stats.max_load, 1);
+        assert_eq!(stats.mean_load, 1.0);
+        assert_eq!(stats.cv, 0.0);
+        assert_eq!(stats.imbalance(), 1.0);
+        assert_eq!(stats.used_links, 8);
+    }
+
+    #[test]
+    fn incast_is_imbalanced() {
+        let (net, s, sw) = star();
+        let routes: Vec<Route> = (1..4)
+            .map(|i| Route::new(vec![s[i], sw, s[0]]))
+            .collect();
+        let stats = link_load(&net, &routes);
+        assert_eq!(stats.max_load, 3); // sw → s0 carries all flows
+        assert!(stats.imbalance() > 1.5);
+        assert!(stats.cv > 0.0);
+    }
+
+    #[test]
+    fn empty_routes() {
+        let (net, _, _) = star();
+        let stats = link_load(&net, &[]);
+        assert_eq!(stats.used_links, 0);
+        assert_eq!(stats.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Structural property measurement for any [`Topology`].
+
+use netgraph::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Structural properties of a materialized topology — the columns of the
+/// paper's comparison table (T1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Family name with parameters.
+    pub name: String,
+    /// Number of servers.
+    pub servers: u64,
+    /// Number of switches.
+    pub switches: u64,
+    /// Switch radix → count.
+    pub switch_radix_histogram: BTreeMap<usize, usize>,
+    /// Number of cables.
+    pub wires: u64,
+    /// Maximum NIC ports used by any server.
+    pub max_server_ports: u32,
+    /// Exact diameter in server hops (`None` when skipped or disconnected).
+    pub diameter_server_hops: Option<u32>,
+    /// Exact average server-hop path length over ordered pairs.
+    pub avg_path_length: Option<f64>,
+}
+
+impl TopologyStats {
+    /// Measures cheap structural counts only (O(network size)).
+    pub fn quick<T: Topology + ?Sized>(topo: &T) -> Self {
+        let net = topo.network();
+        TopologyStats {
+            name: topo.name(),
+            servers: net.server_count() as u64,
+            switches: net.switch_count() as u64,
+            switch_radix_histogram: net.switch_radix_histogram(),
+            wires: net.link_count() as u64,
+            max_server_ports: net.max_server_degree() as u32,
+            diameter_server_hops: None,
+            avg_path_length: None,
+        }
+    }
+
+    /// Measures everything including the exact diameter and average path
+    /// length (all-sources BFS — quadratic, for small/medium instances).
+    pub fn measure<T: Topology + ?Sized>(topo: &T) -> Self {
+        let mut stats = Self::quick(topo);
+        stats.diameter_server_hops = netgraph::bfs::server_diameter(topo.network());
+        stats.avg_path_length = netgraph::bfs::average_server_path_length(topo.network());
+        stats
+    }
+
+    /// Total switch ports (Σ radix × count) — a cost-model input.
+    pub fn total_switch_ports(&self) -> u64 {
+        self.switch_radix_histogram
+            .iter()
+            .map(|(radix, count)| (*radix as u64) * (*count as u64))
+            .sum()
+    }
+
+    /// Total server NIC ports in use (= cables minus switch-to-switch
+    /// cables; for server-centric families every cable has a server end,
+    /// so this equals `wires` there, while fat-trees have switch-switch
+    /// tiers).
+    pub fn server_ports_in_use(&self) -> u64 {
+        2 * self.wires - self.total_switch_ports()
+    }
+}
+
+/// Measured routing quality of a family's *native* routing algorithm
+/// against the BFS-optimal baseline, over sampled pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingQuality {
+    /// Family name.
+    pub name: String,
+    /// Pairs sampled.
+    pub pairs: usize,
+    /// Mean native path length (server hops).
+    pub native_mean: f64,
+    /// Mean BFS-optimal path length.
+    pub optimal_mean: f64,
+    /// Maximum native path length observed.
+    pub native_max: u32,
+    /// Mean stretch (native / optimal, over pairs with optimal > 0).
+    pub mean_stretch: f64,
+}
+
+/// Samples `pairs` random ordered server pairs and compares native routing
+/// with BFS-optimal lengths.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two servers or native routing
+/// fails on a connected fault-free network.
+pub fn routing_quality<T: Topology + ?Sized>(
+    topo: &T,
+    pairs: usize,
+    rng: &mut impl rand::Rng,
+) -> RoutingQuality {
+    let net = topo.network();
+    let n = net.server_count();
+    assert!(n >= 2, "need at least two servers");
+    let mut native_sum = 0u64;
+    let mut opt_sum = 0u64;
+    let mut native_max = 0u32;
+    let mut stretch_sum = 0.0;
+    let mut stretch_count = 0usize;
+    // Group samples by source so one BFS serves several pairs.
+    let sources = pairs.div_ceil(8).max(1);
+    let mut done = 0usize;
+    for _ in 0..sources {
+        if done >= pairs {
+            break;
+        }
+        let src = netgraph::NodeId(rng.gen_range(0..n) as u32);
+        let dist = netgraph::bfs::server_hop_distances(net, src, None);
+        for _ in 0..8 {
+            if done >= pairs {
+                break;
+            }
+            let dst = netgraph::NodeId(rng.gen_range(0..n) as u32);
+            if dst == src {
+                continue;
+            }
+            let route = topo
+                .route(src, dst)
+                .expect("native routing failed on fault-free network");
+            let native = route.server_hops(net) as u32;
+            let opt = dist[dst.index()];
+            assert_ne!(opt, netgraph::bfs::UNREACHABLE, "disconnected topology");
+            native_sum += u64::from(native);
+            opt_sum += u64::from(opt);
+            native_max = native_max.max(native);
+            if opt > 0 {
+                stretch_sum += f64::from(native) / f64::from(opt);
+                stretch_count += 1;
+            }
+            done += 1;
+        }
+    }
+    RoutingQuality {
+        name: topo.name(),
+        pairs: done,
+        native_mean: native_sum as f64 / done as f64,
+        optimal_mean: opt_sum as f64 / done as f64,
+        native_max,
+        mean_stretch: stretch_sum / stretch_count.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abccc::{Abccc, AbcccParams};
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_match_formulas() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let t = Abccc::new(p).unwrap();
+        let s = TopologyStats::measure(&t);
+        assert_eq!(s.servers, p.server_count());
+        assert_eq!(s.switches, p.switch_count());
+        assert_eq!(s.wires, p.wire_count());
+        assert_eq!(s.max_server_ports, 2);
+        assert_eq!(s.diameter_server_hops, Some(p.diameter() as u32));
+        assert!(s.avg_path_length.unwrap() > 0.0);
+        assert!(s.avg_path_length.unwrap() <= p.diameter() as f64);
+    }
+
+    #[test]
+    fn port_accounting() {
+        let p = AbcccParams::new(2, 1, 2).unwrap();
+        let t = Abccc::new(p).unwrap();
+        let s = TopologyStats::quick(&t);
+        // Server-centric: every cable has exactly one server end.
+        assert_eq!(s.server_ports_in_use(), s.wires);
+        let ft = dcn_baselines::FatTree::new(dcn_baselines::FatTreeParams::new(4).unwrap())
+            .unwrap();
+        let fs = TopologyStats::quick(&ft);
+        // Fat-tree: only the bottom tier touches servers.
+        assert_eq!(fs.server_ports_in_use(), fs.servers);
+    }
+
+    #[test]
+    fn routing_quality_optimal_for_abccc() {
+        let p = AbcccParams::new(3, 1, 2).unwrap();
+        let t = Abccc::new(p).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let q = routing_quality(&t, 64, &mut rng);
+        assert!((q.mean_stretch - 1.0).abs() < 1e-12, "{q:?}");
+        assert!(q.native_max as u64 <= p.diameter());
+    }
+
+    #[test]
+    fn routing_quality_dcell_stretch_bounded() {
+        let t = dcn_baselines::DCell::new(dcn_baselines::DCellParams::new(3, 2).unwrap()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let q = routing_quality(&t, 64, &mut rng);
+        assert!(q.mean_stretch >= 1.0);
+        assert!(q.mean_stretch < 1.8, "{q:?}");
+    }
+}

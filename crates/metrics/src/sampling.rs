@@ -1,0 +1,142 @@
+//! Sampling estimators for networks too large for exact all-pairs BFS.
+//!
+//! The figure binaries use closed forms for ABCCC (they are proven equal
+//! to BFS on small instances), but arbitrary topologies at large N need
+//! estimators: sampled average path length with a standard error, and the
+//! classic double-sweep diameter lower bound (exact on many structured
+//! graphs, including every ABCCC instance we test).
+
+use netgraph::{NodeId, Topology};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A sampled-mean estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Samples used.
+    pub samples: usize,
+}
+
+/// Estimates the average server-hop path length from `sources` random
+/// single-source BFS sweeps (each sweep contributes all its distances, so
+/// the effective sample is large).
+///
+/// # Panics
+///
+/// Panics if the topology has under two servers, `sources` is zero, or
+/// some pair is disconnected.
+pub fn sampled_apl<T: Topology + ?Sized>(
+    topo: &T,
+    sources: usize,
+    rng: &mut impl Rng,
+) -> Estimate {
+    let net = topo.network();
+    let n = net.server_count();
+    assert!(n >= 2, "need at least two servers");
+    assert!(sources > 0, "need at least one source");
+    let mut per_source_means = Vec::with_capacity(sources);
+    for _ in 0..sources {
+        let src = NodeId(rng.gen_range(0..n) as u32);
+        let dist = netgraph::bfs::server_hop_distances(net, src, None);
+        let mut sum = 0u64;
+        for v in net.server_ids() {
+            let d = dist[v.index()];
+            assert_ne!(d, netgraph::bfs::UNREACHABLE, "disconnected topology");
+            sum += u64::from(d);
+        }
+        per_source_means.push(sum as f64 / (n as f64 - 1.0));
+    }
+    let mean = per_source_means.iter().sum::<f64>() / sources as f64;
+    let var = per_source_means
+        .iter()
+        .map(|m| (m - mean).powi(2))
+        .sum::<f64>()
+        / sources as f64;
+    Estimate {
+        mean,
+        std_error: (var / sources as f64).sqrt(),
+        samples: sources,
+    }
+}
+
+/// Double-sweep diameter lower bound: BFS from a random server, then BFS
+/// from the farthest server found; repeats `sweeps` times and returns the
+/// best bound. Exact on trees and empirically tight on the cube families.
+///
+/// # Panics
+///
+/// Panics if the topology has under two servers or is disconnected.
+pub fn double_sweep_diameter<T: Topology + ?Sized>(
+    topo: &T,
+    sweeps: usize,
+    rng: &mut impl Rng,
+) -> u32 {
+    let net = topo.network();
+    let n = net.server_count();
+    assert!(n >= 2, "need at least two servers");
+    let mut best = 0u32;
+    for _ in 0..sweeps.max(1) {
+        let start = NodeId(rng.gen_range(0..n) as u32);
+        let d1 = netgraph::bfs::server_hop_distances(net, start, None);
+        let far = net
+            .server_ids()
+            .max_by_key(|v| d1[v.index()])
+            .expect("non-empty");
+        assert_ne!(d1[far.index()], netgraph::bfs::UNREACHABLE, "disconnected");
+        let d2 = netgraph::bfs::server_hop_distances(net, far, None);
+        let ecc = net
+            .server_ids()
+            .map(|v| d2[v.index()])
+            .max()
+            .expect("non-empty");
+        best = best.max(ecc);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abccc::{Abccc, AbcccParams};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_apl_matches_exact_when_sampling_everything() {
+        let t = Abccc::new(AbcccParams::new(3, 1, 2).unwrap()).unwrap();
+        let exact = netgraph::bfs::average_server_path_length(
+            netgraph::Topology::network(&t),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let est = sampled_apl(&t, 64, &mut rng);
+        assert!((est.mean - exact).abs() < 0.1, "{} vs {exact}", est.mean);
+        assert!(est.std_error < 0.1);
+        assert_eq!(est.samples, 64);
+    }
+
+    #[test]
+    fn double_sweep_finds_the_exact_diameter_on_abccc() {
+        for (n, k, h) in [(2, 2, 2), (3, 1, 2), (2, 3, 3), (3, 1, 3)] {
+            let p = AbcccParams::new(n, k, h).unwrap();
+            let t = Abccc::new(p).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let bound = double_sweep_diameter(&t, 4, &mut rng);
+            assert_eq!(u64::from(bound), p.diameter(), "{p}");
+        }
+    }
+
+    #[test]
+    fn double_sweep_is_a_lower_bound_on_dcell() {
+        let t = dcn_baselines::DCell::new(dcn_baselines::DCellParams::new(3, 2).unwrap())
+            .unwrap();
+        let exact = netgraph::bfs::server_diameter(netgraph::Topology::network(&t)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let bound = double_sweep_diameter(&t, 3, &mut rng);
+        assert!(bound <= exact);
+        assert!(bound >= exact - 1, "bound {bound} far from exact {exact}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Breadth-first metrics: distances, shortest paths, diameter, average path
+//! length — all in the **server-hop** metric of the server-centric DCN
+//! literature (a `server → switch → server` traversal counts as one hop,
+//! and so does a direct `server → server` cable).
+//!
+//! Server-hop distances are computed with 0–1 BFS on the physical node
+//! graph: stepping *into* a server costs 1, stepping into a switch costs 0.
+
+use crate::{FaultMask, Network, NodeId};
+use std::collections::VecDeque;
+
+/// Unreachable marker in distance vectors.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+fn usable(net: &Network, mask: Option<&FaultMask>, from: NodeId, to: NodeId, l: crate::LinkId) -> bool {
+    let _ = (net, from);
+    match mask {
+        None => true,
+        Some(m) => m.link_alive(l) && m.node_alive(to),
+    }
+}
+
+/// Plain BFS link-hop distances from `src` to every node.
+///
+/// Index the result by [`NodeId::index`]; unreachable nodes hold
+/// [`UNREACHABLE`]. If `src` itself is failed under `mask`, everything
+/// (except `src`, at distance 0) is unreachable.
+pub fn link_distances(net: &Network, src: NodeId, mask: Option<&FaultMask>) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; net.node_count()];
+    if let Some(m) = mask {
+        if !m.node_alive(src) {
+            dist[src.index()] = 0;
+            return dist;
+        }
+    }
+    dist[src.index()] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for &(v, l) in net.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE && usable(net, mask, u, v, l) {
+                dist[v.index()] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Server-hop distances from server `src` to every node (0–1 BFS).
+///
+/// For a server `v`, `result[v.index()]` is the minimum number of server
+/// hops from `src` to `v`. Values at switch indices are the cost of
+/// reaching that switch and are mainly useful internally.
+pub fn server_hop_distances(net: &Network, src: NodeId, mask: Option<&FaultMask>) -> Vec<u32> {
+    let (dist, _) = server_hop_search(net, src, mask, false);
+    dist
+}
+
+fn server_hop_search(
+    net: &Network,
+    src: NodeId,
+    mask: Option<&FaultMask>,
+    track_parents: bool,
+) -> (Vec<u32>, Vec<NodeId>) {
+    let mut dist = vec![UNREACHABLE; net.node_count()];
+    let mut parent = if track_parents {
+        vec![NodeId(u32::MAX); net.node_count()]
+    } else {
+        Vec::new()
+    };
+    if let Some(m) = mask {
+        if !m.node_alive(src) {
+            dist[src.index()] = 0;
+            return (dist, parent);
+        }
+    }
+    dist[src.index()] = 0;
+    let mut dq = VecDeque::new();
+    dq.push_back(src);
+    while let Some(u) = dq.pop_front() {
+        let du = dist[u.index()];
+        for &(v, l) in net.neighbors(u) {
+            if !usable(net, mask, u, v, l) {
+                continue;
+            }
+            let w = if net.is_server(v) { 1 } else { 0 };
+            let nd = du + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                if track_parents {
+                    parent[v.index()] = u;
+                }
+                if w == 0 {
+                    dq.push_front(v);
+                } else {
+                    dq.push_back(v);
+                }
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Shortest path (minimum server hops) from server `src` to server `dst` as
+/// the full node sequence including switches, or `None` if unreachable.
+pub fn shortest_path(
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    mask: Option<&FaultMask>,
+) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let (dist, parent) = server_hop_search(net, src, mask, true);
+    if dist[dst.index()] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur.index()];
+        debug_assert_ne!(cur.0, u32::MAX, "broken parent chain");
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// The eccentricity (max server-hop distance to any *reachable* server) of
+/// server `src`. Returns `None` if some server is unreachable.
+pub fn server_eccentricity(net: &Network, src: NodeId) -> Option<u32> {
+    let dist = server_hop_distances(net, src, None);
+    let mut ecc = 0;
+    for v in net.server_ids() {
+        let d = dist[v.index()];
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter in server hops, computed by all-sources BFS in parallel.
+///
+/// Returns `None` if the server set is not mutually reachable (or empty).
+pub fn server_diameter(net: &Network) -> Option<u32> {
+    let results = for_each_server_parallel(net, |dist| {
+        let mut ecc = 0u32;
+        for v in net.server_ids() {
+            let d = dist[v.index()];
+            if d == UNREACHABLE {
+                return None;
+            }
+            ecc = ecc.max(d);
+        }
+        Some(ecc)
+    });
+    results.into_iter().collect::<Option<Vec<_>>>()?.into_iter().max()
+}
+
+/// Exact average server-hop path length over all ordered server pairs,
+/// computed by all-sources BFS in parallel.
+///
+/// Returns `None` if servers are not mutually reachable or there are fewer
+/// than two servers.
+pub fn average_server_path_length(net: &Network) -> Option<f64> {
+    let n_servers = net.server_count();
+    if n_servers < 2 {
+        return None;
+    }
+    let sums = for_each_server_parallel(net, |dist| {
+        let mut sum = 0u64;
+        for v in net.server_ids() {
+            let d = dist[v.index()];
+            if d == UNREACHABLE {
+                return None;
+            }
+            sum += u64::from(d);
+        }
+        Some(sum)
+    });
+    let total: u64 = sums.into_iter().collect::<Option<Vec<_>>>()?.iter().sum();
+    Some(total as f64 / (n_servers as f64 * (n_servers as f64 - 1.0)))
+}
+
+/// Runs `f` on the server-hop distance vector of every server, in parallel,
+/// returning results in server-id order.
+fn for_each_server_parallel<T, F>(net: &Network, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[u32]) -> T + Sync,
+{
+    let servers: Vec<NodeId> = net.server_ids().collect();
+    if servers.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(servers.len());
+    let chunk = servers.len().div_ceil(threads);
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(servers.len()).collect();
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        for (srv_chunk, out_chunk) in servers.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (s, o) in srv_chunk.iter().zip(out_chunk.iter_mut()) {
+                    let dist = server_hop_distances(net, *s, None);
+                    *o = Some(f(&dist));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+
+    /// Two switch stars bridged by a server:  (s0,s1)-swA-(b)-swB-(s2,s3)
+    fn dumbbell() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let s0 = net.add_server();
+        let s1 = net.add_server();
+        let b = net.add_server();
+        let s2 = net.add_server();
+        let s3 = net.add_server();
+        let swa = net.add_switch();
+        let swb = net.add_switch();
+        for &s in &[s0, s1, b] {
+            net.add_link(s, swa, 1.0);
+        }
+        for &s in &[b, s2, s3] {
+            net.add_link(s, swb, 1.0);
+        }
+        (net, vec![s0, s1, b, s2, s3, swa, swb])
+    }
+
+    #[test]
+    fn server_hops_count_switch_transits_once() {
+        let (net, n) = dumbbell();
+        let d = server_hop_distances(&net, n[0], None);
+        assert_eq!(d[n[1].index()], 1); // s0 -swA- s1
+        assert_eq!(d[n[2].index()], 1); // s0 -swA- b
+        assert_eq!(d[n[3].index()], 2); // s0 -swA- b -swB- s2
+    }
+
+    #[test]
+    fn link_distances_differ_from_server_hops() {
+        let (net, n) = dumbbell();
+        let d = link_distances(&net, n[0], None);
+        assert_eq!(d[n[3].index()], 4);
+    }
+
+    #[test]
+    fn shortest_path_includes_switches() {
+        let (net, n) = dumbbell();
+        let p = shortest_path(&net, n[0], n[3], None).unwrap();
+        assert_eq!(p, vec![n[0], n[5], n[2], n[6], n[3]]);
+        let r = crate::Route::new(p);
+        assert_eq!(r.server_hops(&net), 2);
+        r.validate(&net, None).unwrap();
+    }
+
+    #[test]
+    fn shortest_path_to_self() {
+        let (net, n) = dumbbell();
+        assert_eq!(shortest_path(&net, n[0], n[0], None), Some(vec![n[0]]));
+    }
+
+    #[test]
+    fn mask_cuts_the_bridge() {
+        let (net, n) = dumbbell();
+        let mut mask = crate::FaultMask::new(&net);
+        mask.fail_node(n[2]); // the bridge server
+        assert_eq!(shortest_path(&net, n[0], n[3], Some(&mask)), None);
+        let d = server_hop_distances(&net, n[0], Some(&mask));
+        assert_eq!(d[n[1].index()], 1);
+        assert_eq!(d[n[3].index()], UNREACHABLE);
+    }
+
+    #[test]
+    fn failed_source_reaches_nothing() {
+        let (net, n) = dumbbell();
+        let mut mask = crate::FaultMask::new(&net);
+        mask.fail_node(n[0]);
+        let d = server_hop_distances(&net, n[0], Some(&mask));
+        assert_eq!(d[n[0].index()], 0);
+        assert_eq!(d[n[1].index()], UNREACHABLE);
+    }
+
+    #[test]
+    fn diameter_and_apl() {
+        let (net, _) = dumbbell();
+        assert_eq!(server_diameter(&net), Some(2));
+        // pairs at distance 1: (s0,s1),(s0,b),(s1,b),(s2,s3),(s2,b),(s3,b) ×2 dirs = 12
+        // pairs at distance 2: (s0,s2),(s0,s3),(s1,s2),(s1,s3) ×2 = 8
+        // APL = (12*1 + 8*2) / 20 = 1.4
+        let apl = average_server_path_length(&net).unwrap();
+        assert!((apl - 1.4).abs() < 1e-12, "apl = {apl}");
+    }
+
+    #[test]
+    fn disconnected_network_has_no_diameter() {
+        let mut net = Network::new();
+        net.add_server();
+        net.add_server();
+        assert_eq!(server_diameter(&net), None);
+        assert_eq!(average_server_path_length(&net), None);
+    }
+
+    #[test]
+    fn eccentricity() {
+        let (net, n) = dumbbell();
+        assert_eq!(server_eccentricity(&net, n[2]), Some(1));
+        assert_eq!(server_eccentricity(&net, n[0]), Some(2));
+    }
+
+    #[test]
+    fn direct_server_links_cost_one_hop() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let c = net.add_server();
+        net.add_link(a, b, 1.0);
+        net.add_link(b, c, 1.0);
+        let d = server_hop_distances(&net, a, None);
+        assert_eq!(d[c.index()], 2);
+        assert_eq!(server_diameter(&net), Some(2));
+    }
+}

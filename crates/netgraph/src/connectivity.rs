@@ -1,0 +1,147 @@
+//! Connected components and survivability under failures.
+
+use crate::{FaultMask, Network, NodeId};
+
+/// Component label for each node (usize::MAX for failed nodes). Labels are
+/// dense and assigned in discovery order.
+pub fn components(net: &Network, mask: Option<&FaultMask>) -> Vec<usize> {
+    let mut label = vec![usize::MAX; net.node_count()];
+    let mut next = 0usize;
+    for start in net.node_ids() {
+        if label[start.index()] != usize::MAX {
+            continue;
+        }
+        if let Some(m) = mask {
+            if !m.node_alive(start) {
+                continue;
+            }
+        }
+        label[start.index()] = next;
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(start);
+        while let Some(u) = q.pop_front() {
+            for &(v, l) in net.neighbors(u) {
+                let ok = match mask {
+                    None => true,
+                    Some(m) => m.link_alive(l) && m.node_alive(v),
+                };
+                if ok && label[v.index()] == usize::MAX {
+                    label[v.index()] = next;
+                    q.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// `true` if every pair of *alive* servers is mutually connected.
+pub fn servers_connected(net: &Network, mask: Option<&FaultMask>) -> bool {
+    let label = components(net, mask);
+    let mut first = None;
+    for s in net.server_ids() {
+        if let Some(m) = mask {
+            if !m.node_alive(s) {
+                continue;
+            }
+        }
+        match first {
+            None => first = Some(label[s.index()]),
+            Some(f) => {
+                if label[s.index()] != f {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Fraction of alive servers in the largest connected component
+/// (1.0 when all alive servers are mutually connected; 0.0 if none alive).
+pub fn largest_component_server_fraction(net: &Network, mask: Option<&FaultMask>) -> f64 {
+    let label = components(net, mask);
+    let mut counts = std::collections::HashMap::new();
+    let mut alive = 0usize;
+    for s in net.server_ids() {
+        if let Some(m) = mask {
+            if !m.node_alive(s) {
+                continue;
+            }
+        }
+        alive += 1;
+        *counts.entry(label[s.index()]).or_insert(0usize) += 1;
+    }
+    if alive == 0 {
+        return 0.0;
+    }
+    let biggest = counts.values().copied().max().unwrap_or(0);
+    biggest as f64 / alive as f64
+}
+
+/// Ids of servers reachable from `src` (including `src`) under `mask`.
+pub fn reachable_servers(net: &Network, src: NodeId, mask: Option<&FaultMask>) -> Vec<NodeId> {
+    let dist = crate::bfs::link_distances(net, src, mask);
+    net.server_ids()
+        .filter(|s| dist[s.index()] != crate::bfs::UNREACHABLE)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+
+    fn two_islands() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let c = net.add_server();
+        let d = net.add_server();
+        net.add_link(a, b, 1.0);
+        net.add_link(c, d, 1.0);
+        (net, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn labels_partition_islands() {
+        let (net, n) = two_islands();
+        let l = components(&net, None);
+        assert_eq!(l[n[0].index()], l[n[1].index()]);
+        assert_eq!(l[n[2].index()], l[n[3].index()]);
+        assert_ne!(l[n[0].index()], l[n[2].index()]);
+        assert!(!servers_connected(&net, None));
+        assert_eq!(largest_component_server_fraction(&net, None), 0.5);
+    }
+
+    #[test]
+    fn bridge_failure_splits() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let c = net.add_server();
+        net.add_link(a, b, 1.0);
+        let l = net.add_link(b, c, 1.0);
+        assert!(servers_connected(&net, None));
+        let mut mask = FaultMask::new(&net);
+        mask.fail_link(l);
+        assert!(!servers_connected(&net, Some(&mask)));
+        assert_eq!(
+            largest_component_server_fraction(&net, Some(&mask)),
+            2.0 / 3.0
+        );
+        assert_eq!(reachable_servers(&net, a, Some(&mask)), vec![a, b]);
+    }
+
+    #[test]
+    fn dead_servers_do_not_count() {
+        let (net, n) = two_islands();
+        let mut mask = FaultMask::new(&net);
+        mask.fail_node(n[2]);
+        mask.fail_node(n[3]);
+        // All alive servers (a, b) are mutually connected.
+        assert!(servers_connected(&net, Some(&mask)));
+        assert_eq!(largest_component_server_fraction(&net, Some(&mask)), 1.0);
+    }
+}

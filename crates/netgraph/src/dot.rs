@@ -1,0 +1,158 @@
+//! Graphviz DOT export — for papers, debugging and documentation.
+
+use crate::{FaultMask, Network, NodeKind, Route};
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Highlight these routes (each gets a distinct pen color).
+    pub highlight: Vec<Route>,
+    /// Gray out failed elements instead of omitting them.
+    pub mask: Option<FaultMask>,
+    /// Graph name (`dcn` if empty).
+    pub name: String,
+}
+
+/// Renders the network as an undirected Graphviz graph: servers as boxes,
+/// switches as circles, failed elements dashed-gray, highlighted routes in
+/// color.
+///
+/// ```
+/// # use netgraph::{Network, dot};
+/// let mut net = Network::new();
+/// let a = net.add_server();
+/// let sw = net.add_switch();
+/// net.add_link(a, sw, 1.0);
+/// let out = dot::to_dot(&net, &dot::DotOptions::default());
+/// assert!(out.contains("graph dcn {"));
+/// assert!(out.contains("n0 -- n1"));
+/// ```
+pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
+    const PALETTE: [&str; 6] = ["red", "blue", "darkgreen", "orange", "purple", "brown"];
+    let mut out = String::new();
+    let name = if opts.name.is_empty() { "dcn" } else { &opts.name };
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    for n in net.node_ids() {
+        let dead = opts
+            .mask
+            .as_ref()
+            .map(|m| !m.node_alive(n))
+            .unwrap_or(false);
+        let (shape, fill) = match net.kind(n) {
+            NodeKind::Server => ("box", "lightblue"),
+            NodeKind::Switch => ("circle", "lightgray"),
+        };
+        let style = if dead {
+            "style=\"filled,dashed\", fillcolor=gray, fontcolor=gray40"
+        } else {
+            "style=filled"
+        };
+        let _ = writeln!(
+            out,
+            "  {n} [shape={shape}, fillcolor={fill}, {style}, label=\"{n}\"];"
+        );
+    }
+    // Route-edge → color index.
+    let mut colored = std::collections::HashMap::new();
+    for (ri, route) in opts.highlight.iter().enumerate() {
+        for w in route.nodes().windows(2) {
+            let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+            colored.entry(key).or_insert(ri % PALETTE.len());
+        }
+    }
+    for link in net.links() {
+        let key = if link.a <= link.b {
+            (link.a, link.b)
+        } else {
+            (link.b, link.a)
+        };
+        let dead = opts
+            .mask
+            .as_ref()
+            .map(|m| {
+                !m.link_alive(net.find_link(link.a, link.b).expect("own link"))
+                    || !m.node_alive(link.a)
+                    || !m.node_alive(link.b)
+            })
+            .unwrap_or(false);
+        let attrs = if let Some(&ci) = colored.get(&key) {
+            format!(" [color={}, penwidth=2.5]", PALETTE[ci])
+        } else if dead {
+            " [color=gray, style=dashed]".to_string()
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "  {} -- {}{attrs};", link.a, link.b);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Network, Vec<crate::NodeId>) {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let sw = net.add_switch();
+        net.add_link(a, sw, 1.0);
+        net.add_link(sw, b, 1.0);
+        (net, vec![a, b, sw])
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let (net, n) = tiny();
+        let dot = to_dot(&net, &DotOptions::default());
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains(&format!("{} -- {}", n[0], n[2])));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlights_routes() {
+        let (net, n) = tiny();
+        let route = Route::new(vec![n[0], n[2], n[1]]);
+        let dot = to_dot(
+            &net,
+            &DotOptions {
+                highlight: vec![route],
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn masks_render_dashed() {
+        let (net, n) = tiny();
+        let mut mask = FaultMask::new(&net);
+        mask.fail_node(n[2]);
+        let dot = to_dot(
+            &net,
+            &DotOptions {
+                mask: Some(mask),
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("dashed"));
+    }
+
+    #[test]
+    fn custom_name() {
+        let (net, _) = tiny();
+        let dot = to_dot(
+            &net,
+            &DotOptions {
+                name: "abccc".into(),
+                ..Default::default()
+            },
+        );
+        assert!(dot.starts_with("graph abccc {"));
+    }
+}

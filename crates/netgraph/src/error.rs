@@ -1,0 +1,105 @@
+//! Error types.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors raised while constructing or validating a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A topology parameter was out of its legal range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Human-readable explanation of the constraint that failed.
+        reason: String,
+    },
+    /// The requested network would exceed the construction size guard.
+    TooLarge {
+        /// Number of nodes the construction would need.
+        nodes: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NetworkError::TooLarge { nodes, limit } => {
+                write!(f, "network too large to materialize: {nodes} nodes > limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Errors raised while routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// The source or destination id does not name a server of the topology.
+    NotAServer(NodeId),
+    /// No path exists between the endpoints (under the active fault mask).
+    Unreachable {
+        /// Source server.
+        src: NodeId,
+        /// Destination server.
+        dst: NodeId,
+    },
+    /// The routing algorithm gave up (e.g. detour budget exhausted) even
+    /// though a path might exist.
+    GaveUp {
+        /// Source server.
+        src: NodeId,
+        /// Destination server.
+        dst: NodeId,
+        /// How many detour attempts were made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NotAServer(n) => write!(f, "{n} is not a server"),
+            RouteError::Unreachable { src, dst } => {
+                write!(f, "no usable path from {src} to {dst}")
+            }
+            RouteError::GaveUp { src, dst, attempts } => {
+                write!(f, "routing {src} -> {dst} gave up after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetworkError::InvalidParameter {
+            name: "n",
+            reason: "must be >= 2".into(),
+        };
+        assert!(e.to_string().contains('n') && e.to_string().contains(">= 2"));
+        let r = RouteError::Unreachable {
+            src: NodeId(1),
+            dst: NodeId(2),
+        };
+        assert!(r.to_string().contains("n1") && r.to_string().contains("n2"));
+        let g = RouteError::GaveUp {
+            src: NodeId(0),
+            dst: NodeId(3),
+            attempts: 7,
+        };
+        assert!(g.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,119 @@
+//! Failure overlays.
+
+use crate::{LinkId, Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A cheap overlay marking nodes and links as failed, without mutating the
+/// underlying [`Network`].
+///
+/// A failed node implicitly fails every traversal through it; its links are
+/// *not* marked failed individually (they come back if the node recovers).
+///
+/// ```
+/// # use netgraph::{Network, FaultMask};
+/// let mut net = Network::new();
+/// let a = net.add_server();
+/// let b = net.add_server();
+/// let l = net.add_link(a, b, 1.0);
+/// let mut mask = FaultMask::new(&net);
+/// assert!(mask.link_alive(l) && mask.node_alive(a));
+/// mask.fail_node(a);
+/// assert!(!mask.node_alive(a));
+/// assert!(!mask.edge_usable(&net, l)); // an endpoint died
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMask {
+    node_down: Vec<bool>,
+    link_down: Vec<bool>,
+}
+
+impl FaultMask {
+    /// Creates an all-alive mask sized for `net`.
+    pub fn new(net: &Network) -> Self {
+        FaultMask {
+            node_down: vec![false; net.node_count()],
+            link_down: vec![false; net.link_count()],
+        }
+    }
+
+    /// Marks node `n` failed.
+    pub fn fail_node(&mut self, n: NodeId) {
+        self.node_down[n.index()] = true;
+    }
+
+    /// Marks node `n` alive again.
+    pub fn restore_node(&mut self, n: NodeId) {
+        self.node_down[n.index()] = false;
+    }
+
+    /// Marks link `l` failed.
+    pub fn fail_link(&mut self, l: LinkId) {
+        self.link_down[l.index()] = true;
+    }
+
+    /// `true` if node `n` is alive.
+    #[inline]
+    pub fn node_alive(&self, n: NodeId) -> bool {
+        !self.node_down[n.index()]
+    }
+
+    /// `true` if link `l` itself is alive (endpoints not considered).
+    #[inline]
+    pub fn link_alive(&self, l: LinkId) -> bool {
+        !self.link_down[l.index()]
+    }
+
+    /// `true` if link `l` and both of its endpoints are alive — i.e. the
+    /// edge can actually carry traffic.
+    #[inline]
+    pub fn edge_usable(&self, net: &Network, l: LinkId) -> bool {
+        if !self.link_alive(l) {
+            return false;
+        }
+        let link = net.link(l);
+        self.node_alive(link.a) && self.node_alive(link.b)
+    }
+
+    /// Number of failed nodes.
+    pub fn failed_node_count(&self) -> usize {
+        self.node_down.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of failed links (not counting links dead via endpoints).
+    pub fn failed_link_count(&self) -> usize {
+        self.link_down.iter().filter(|&&d| d).count()
+    }
+
+    /// Iterator over failed node ids.
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_down
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_and_restore() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let l = net.add_link(a, b, 1.0);
+        let mut m = FaultMask::new(&net);
+        assert_eq!(m.failed_node_count(), 0);
+        m.fail_node(b);
+        assert!(!m.edge_usable(&net, l));
+        assert_eq!(m.failed_nodes().collect::<Vec<_>>(), vec![b]);
+        m.restore_node(b);
+        assert!(m.edge_usable(&net, l));
+        m.fail_link(l);
+        assert!(!m.edge_usable(&net, l));
+        assert!(m.node_alive(a) && m.node_alive(b));
+        assert_eq!(m.failed_link_count(), 1);
+    }
+}

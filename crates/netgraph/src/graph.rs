@@ -1,0 +1,400 @@
+//! The core [`Network`] multigraph type and its identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node (server or switch) inside a [`Network`].
+///
+/// `NodeId`s are dense: they run from `0` to `network.node_count() - 1`.
+/// By crate-wide convention every topology builder adds **all servers
+/// first**, so server ids occupy `0..server_count` (see
+/// [`Network::is_servers_first`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    ///
+    /// ```
+    /// # use netgraph::NodeId;
+    /// assert_eq!(NodeId(7).index(), 7);
+    /// ```
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Index of an undirected physical link (cable) inside a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Whether a node is a server (traffic endpoint, may forward) or a switch
+/// (pure crossbar, never a traffic endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A commodity server with a small number of NIC ports.
+    Server,
+    /// A commodity off-the-shelf (COTS) switch.
+    Switch,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Server => f.write_str("server"),
+            NodeKind::Switch => f.write_str("switch"),
+        }
+    }
+}
+
+/// An undirected physical cable between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Capacity in abstract bandwidth units (the simulators treat this as
+    /// Gbit/s). Must be finite and positive.
+    pub capacity: f64,
+}
+
+impl Link {
+    /// Given one endpoint of the link, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this link.
+    #[inline]
+    pub fn other_end(&self, from: NodeId) -> NodeId {
+        if from == self.a {
+            self.b
+        } else if from == self.b {
+            self.a
+        } else {
+            panic!("{from} is not an endpoint of link {self:?}");
+        }
+    }
+}
+
+/// A typed multigraph of servers, switches and cables.
+///
+/// The structure is append-only: nodes and links can be added but never
+/// removed (failures are modelled with [`crate::FaultMask`] overlays, which
+/// is both cheaper and closer to how the ABCCC paper treats faults — the
+/// physical topology stays, elements merely stop forwarding).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    kinds: Vec<NodeKind>,
+    server_count: usize,
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+    links: Vec<Link>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty network with capacity hints for `nodes` nodes and
+    /// `links` links.
+    pub fn with_capacity(nodes: usize, links: usize) -> Self {
+        Network {
+            kinds: Vec::with_capacity(nodes),
+            server_count: 0,
+            adj: Vec::with_capacity(nodes),
+            links: Vec::with_capacity(links),
+        }
+    }
+
+    /// Adds a server node and returns its id.
+    pub fn add_server(&mut self) -> NodeId {
+        self.server_count += 1;
+        self.add_node(NodeKind::Server)
+    }
+
+    /// Adds a switch node and returns its id.
+    pub fn add_switch(&mut self) -> NodeId {
+        self.add_node(NodeKind::Switch)
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.kinds.len()).expect("more than u32::MAX nodes"));
+        self.kinds.push(kind);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between `a` and `b` with the given capacity
+    /// and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range, if `a == b` (self-loop
+    /// cables do not exist in a data center), or if `capacity` is not
+    /// strictly positive and finite.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity: f64) -> LinkId {
+        assert!(a.index() < self.kinds.len(), "node {a} out of range");
+        assert!(b.index() < self.kinds.len(), "node {b} out of range");
+        assert_ne!(a, b, "self-loop link at {a}");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive and finite, got {capacity}"
+        );
+        let id = LinkId(u32::try_from(self.links.len()).expect("more than u32::MAX links"));
+        self.links.push(Link { a, b, capacity });
+        self.adj[a.index()].push((b, id));
+        self.adj[b.index()].push((a, id));
+        id
+    }
+
+    /// Number of nodes (servers + switches).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of server nodes.
+    #[inline]
+    pub fn server_count(&self) -> usize {
+        self.server_count
+    }
+
+    /// Number of switch nodes.
+    #[inline]
+    pub fn switch_count(&self) -> usize {
+        self.kinds.len() - self.server_count
+    }
+
+    /// Number of links (cables).
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The kind of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// `true` if `n` is a server.
+    #[inline]
+    pub fn is_server(&self, n: NodeId) -> bool {
+        self.kind(n) == NodeKind::Server
+    }
+
+    /// The neighbors of `n` as `(neighbor, connecting link)` pairs, in
+    /// insertion order (ports are therefore stable across runs).
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[n.index()]
+    }
+
+    /// The degree (number of attached cables) of node `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// The link with id `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[inline]
+    pub fn link(&self, l: LinkId) -> Link {
+        self.links[l.index()]
+    }
+
+    /// All links.
+    #[inline]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all server node ids.
+    pub fn server_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(move |&n| self.is_server(n))
+    }
+
+    /// Iterator over all switch node ids.
+    pub fn switch_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(move |&n| !self.is_server(n))
+    }
+
+    /// Returns the link connecting `a` and `b`, if any (first match in `a`'s
+    /// adjacency if parallel links exist).
+    pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adj[a.index()]
+            .iter()
+            .find(|&&(nb, _)| nb == b)
+            .map(|&(_, l)| l)
+    }
+
+    /// `true` if every server id precedes every switch id — the crate-wide
+    /// builder convention that lets simulators index per-server state by
+    /// `NodeId` directly.
+    pub fn is_servers_first(&self) -> bool {
+        let first_switch = self
+            .kinds
+            .iter()
+            .position(|&k| k == NodeKind::Switch)
+            .unwrap_or(self.kinds.len());
+        self.kinds[first_switch..]
+            .iter()
+            .all(|&k| k == NodeKind::Switch)
+    }
+
+    /// A histogram of switch radixes (degree → number of switches with that
+    /// degree), used by the CAPEX cost model.
+    pub fn switch_radix_histogram(&self) -> std::collections::BTreeMap<usize, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for sw in self.switch_ids() {
+            *h.entry(self.degree(sw)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Maximum number of NIC ports used by any server.
+    pub fn max_server_degree(&self) -> usize {
+        self.server_ids().map(|s| self.degree(s)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> (Network, Vec<NodeId>, NodeId) {
+        let mut net = Network::new();
+        let servers: Vec<_> = (0..4).map(|_| net.add_server()).collect();
+        let sw = net.add_switch();
+        for &s in &servers {
+            net.add_link(s, sw, 1.0);
+        }
+        (net, servers, sw)
+    }
+
+    #[test]
+    fn counts_and_kinds() {
+        let (net, servers, sw) = star();
+        assert_eq!(net.node_count(), 5);
+        assert_eq!(net.server_count(), 4);
+        assert_eq!(net.switch_count(), 1);
+        assert_eq!(net.link_count(), 4);
+        assert!(net.is_server(servers[0]));
+        assert!(!net.is_server(sw));
+        assert!(net.is_servers_first());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (net, servers, sw) = star();
+        for &s in &servers {
+            assert_eq!(net.neighbors(s), &[(sw, net.find_link(s, sw).unwrap())]);
+        }
+        assert_eq!(net.degree(sw), 4);
+        for &(nb, l) in net.neighbors(sw) {
+            assert!(servers.contains(&nb));
+            assert_eq!(net.link(l).other_end(sw), nb);
+        }
+    }
+
+    #[test]
+    fn radix_histogram() {
+        let (net, _, _) = star();
+        let h = net.switch_radix_histogram();
+        assert_eq!(h.get(&4), Some(&1));
+        assert_eq!(h.len(), 1);
+        assert_eq!(net.max_server_degree(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut net = Network::new();
+        let s = net.add_server();
+        net.add_link(s, s, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn bad_capacity_rejected() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        net.add_link(a, b, 0.0);
+    }
+
+    #[test]
+    fn parallel_links_allowed() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_switch();
+        let l1 = net.add_link(a, b, 1.0);
+        let l2 = net.add_link(a, b, 1.0);
+        assert_ne!(l1, l2);
+        assert_eq!(net.degree(a), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_structure() {
+        let (net, _, _) = star();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_count(), net.node_count());
+        assert_eq!(back.server_count(), net.server_count());
+        assert_eq!(back.link_count(), net.link_count());
+        for n in net.node_ids() {
+            assert_eq!(back.kind(n), net.kind(n));
+            assert_eq!(back.neighbors(n), net.neighbors(n));
+        }
+    }
+
+    #[test]
+    fn servers_first_detects_interleaving() {
+        let mut net = Network::new();
+        net.add_server();
+        net.add_switch();
+        net.add_server();
+        assert!(!net.is_servers_first());
+    }
+}

@@ -1,0 +1,162 @@
+//! Vertex-disjoint path extraction.
+//!
+//! The parallel-path property of ABCCC/BCCC ("multiple near-equal parallel
+//! paths between any pair of servers") is exercised by extracting a maximum
+//! set of internally vertex-disjoint paths with max-flow and decomposing
+//! the flow back into concrete [`Route`]s.
+
+use crate::maxflow::vertex_split_graph;
+use crate::{FaultMask, Network, NodeId, Route};
+
+/// Extracts up to `limit` internally vertex-disjoint routes between servers
+/// `s` and `t` (pass `usize::MAX` for all of them). Switches count as
+/// capacity-1 interior vertices, so two returned routes never share a switch
+/// either — they are fully physically independent.
+///
+/// Returns an empty vector if `s` and `t` are disconnected (under `mask`).
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+pub fn vertex_disjoint_paths(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    limit: usize,
+    mask: Option<&FaultMask>,
+) -> Vec<Route> {
+    let cap = u64::try_from(limit).unwrap_or(u64::MAX / 8);
+    let (mut fg, s_out, t_in) = vertex_split_graph(net, s, t, mask, cap);
+    // Flow enters through s's internal arc (capacity = `limit`) so the
+    // requested bound actually constrains the flow value.
+    let s_in = s_out - 1;
+    let t_out = t_in + 1;
+    let flow = fg.max_flow(s_in, t_out);
+    if flow == 0 {
+        return Vec::new();
+    }
+
+    // Decompose: every interior node carries ≤ 1 unit, so walking positive-
+    // flow arcs from s_in yields simple paths. Per-arc remaining flow is
+    // decremented as it is consumed (terminal internal arcs carry several
+    // units).
+    let mut rem: Vec<u64> = (0..fg.arc_count()).map(|ai| fg.flow_on(ai)).collect();
+    let mut routes = Vec::with_capacity(flow as usize);
+    for _ in 0..flow {
+        let mut nodes = vec![s];
+        let mut cur = s_in;
+        while cur != t_in {
+            let Some(ai) = next_flow_arc(&fg, cur, &rem) else { break };
+            rem[ai] -= 1;
+            cur = fg.arc_head(ai);
+            // Node-split mapping: even index = v_in, odd = v_out of node v/2.
+            if cur % 2 == 0 {
+                nodes.push(NodeId((cur / 2) as u32));
+            }
+        }
+        if cur == t_in {
+            debug_assert_eq!(*nodes.last().expect("non-empty"), t);
+            routes.push(Route::new(nodes));
+        }
+    }
+    routes
+}
+
+/// First outgoing forward arc of `u` with remaining (undecomposed) flow.
+fn next_flow_arc(fg: &crate::maxflow::FlowGraph, u: usize, rem: &[u64]) -> Option<usize> {
+    fg.out_arcs(u)
+        .iter()
+        .map(|&a| a as usize)
+        .find(|&ai| ai % 2 == 0 && rem[ai] > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+
+    /// K4 on servers: 3 disjoint paths between any pair.
+    fn k4() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let n: Vec<_> = (0..4).map(|_| net.add_server()).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                net.add_link(n[i], n[j], 1.0);
+            }
+        }
+        (net, n)
+    }
+
+    #[test]
+    fn k4_has_three_disjoint_paths() {
+        let (net, n) = k4();
+        let paths = vertex_disjoint_paths(&net, n[0], n[3], usize::MAX, None);
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            p.validate(&net, None).unwrap();
+            assert_eq!(p.src(), n[0]);
+            assert_eq!(p.dst(), n[3]);
+        }
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                assert!(paths[i].is_internally_disjoint_from(&paths[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let (net, n) = k4();
+        let paths = vertex_disjoint_paths(&net, n[0], n[3], 2, None);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn switch_interior_counts_as_shared() {
+        // Two servers joined by two distinct switches: 2 disjoint paths;
+        // joined by one switch with parallel cables: only 1 (switch shared).
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let sw1 = net.add_switch();
+        let sw2 = net.add_switch();
+        net.add_link(a, sw1, 1.0);
+        net.add_link(sw1, b, 1.0);
+        net.add_link(a, sw2, 1.0);
+        net.add_link(sw2, b, 1.0);
+        let paths = vertex_disjoint_paths(&net, a, b, usize::MAX, None);
+        assert_eq!(paths.len(), 2);
+
+        let mut net2 = Network::new();
+        let a2 = net2.add_server();
+        let b2 = net2.add_server();
+        let sw = net2.add_switch();
+        net2.add_link(a2, sw, 1.0);
+        net2.add_link(sw, b2, 1.0);
+        net2.add_link(a2, sw, 1.0);
+        net2.add_link(sw, b2, 1.0);
+        let paths2 = vertex_disjoint_paths(&net2, a2, b2, usize::MAX, None);
+        assert_eq!(paths2.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_yields_empty() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let _ = (a, b);
+        assert!(vertex_disjoint_paths(&net, a, b, usize::MAX, None).is_empty());
+    }
+
+    #[test]
+    fn mask_removes_paths() {
+        let (net, n) = k4();
+        let mut mask = crate::FaultMask::new(&net);
+        mask.fail_node(n[1]);
+        let paths = vertex_disjoint_paths(&net, n[0], n[3], usize::MAX, Some(&mask));
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            p.validate(&net, Some(&mask)).unwrap();
+        }
+    }
+}

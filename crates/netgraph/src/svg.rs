@@ -1,0 +1,182 @@
+//! Self-contained SVG rendering — no Graphviz needed.
+//!
+//! Lays servers on an inner ring and switches on an outer ring (stable,
+//! deterministic positions keyed by node id), draws cables as lines, and
+//! can highlight routes and gray out failed elements. Good enough to eyeball
+//! a few hundred nodes; use [`crate::dot`] + Graphviz for publication
+//! figures.
+
+use crate::{FaultMask, Network, NodeKind, Route};
+use std::fmt::Write as _;
+
+/// Options for [`to_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Canvas width/height in pixels.
+    pub size: u32,
+    /// Routes to highlight (distinct colors, drawn on top).
+    pub highlight: Vec<Route>,
+    /// Gray out failed elements.
+    pub mask: Option<FaultMask>,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            size: 800,
+            highlight: Vec::new(),
+            mask: None,
+        }
+    }
+}
+
+fn positions(net: &Network, size: f64) -> Vec<(f64, f64)> {
+    let center = size / 2.0;
+    let servers: Vec<usize> = net.server_ids().map(|n| n.index()).collect();
+    let switches: Vec<usize> = net.switch_ids().map(|n| n.index()).collect();
+    let mut pos = vec![(0.0, 0.0); net.node_count()];
+    let place = |ids: &[usize], radius: f64, pos: &mut Vec<(f64, f64)>| {
+        let count = ids.len().max(1) as f64;
+        for (i, &idx) in ids.iter().enumerate() {
+            let angle = std::f64::consts::TAU * i as f64 / count;
+            pos[idx] = (center + radius * angle.cos(), center + radius * angle.sin());
+        }
+    };
+    place(&servers, size * 0.28, &mut pos);
+    place(&switches, size * 0.42, &mut pos);
+    pos
+}
+
+/// Renders the network to an SVG string.
+pub fn to_svg(net: &Network, opts: &SvgOptions) -> String {
+    const PALETTE: [&str; 5] = ["#d62728", "#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd"];
+    let size = f64::from(opts.size);
+    let pos = positions(net, size);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{0}" height="{0}" viewBox="0 0 {0} {0}">"#,
+        opts.size
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    // Cables first (under the nodes).
+    for (i, link) in net.links().iter().enumerate() {
+        let dead = opts.mask.as_ref().is_some_and(|m| {
+            !m.edge_usable(net, crate::LinkId(i as u32))
+        });
+        let (x1, y1) = pos[link.a.index()];
+        let (x2, y2) = pos[link.b.index()];
+        let style = if dead {
+            r##"stroke="#cccccc" stroke-dasharray="4 3""##
+        } else {
+            r##"stroke="#999999""##
+        };
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" {style} stroke-width="1"/>"#
+        );
+    }
+    // Highlighted routes.
+    for (ri, route) in opts.highlight.iter().enumerate() {
+        let color = PALETTE[ri % PALETTE.len()];
+        for w in route.nodes().windows(2) {
+            let (x1, y1) = pos[w[0].index()];
+            let (x2, y2) = pos[w[1].index()];
+            let _ = writeln!(
+                out,
+                r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="3" opacity="0.85"/>"#
+            );
+        }
+    }
+    // Nodes.
+    for n in net.node_ids() {
+        let (x, y) = pos[n.index()];
+        let dead = opts.mask.as_ref().is_some_and(|m| !m.node_alive(n));
+        match net.kind(n) {
+            NodeKind::Server => {
+                let fill = if dead { "#dddddd" } else { "#7eb6ff" };
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{:.1}" y="{:.1}" width="8" height="8" fill="{fill}" stroke="black" stroke-width="0.5"><title>{n}</title></rect>"#,
+                    x - 4.0,
+                    y - 4.0
+                );
+            }
+            NodeKind::Switch => {
+                let fill = if dead { "#eeeeee" } else { "#c9c9c9" };
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="{fill}" stroke="black" stroke-width="0.5"><title>{n}</title></circle>"#
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Network, Vec<crate::NodeId>) {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let sw = net.add_switch();
+        net.add_link(a, sw, 1.0);
+        net.add_link(sw, b, 1.0);
+        (net, vec![a, b, sw])
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let (net, _) = tiny();
+        let svg = to_svg(&net, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect x=").count(), 2); // two servers
+        assert_eq!(svg.matches("<circle").count(), 1); // one switch
+        assert_eq!(svg.matches("<line").count(), 2); // two cables
+    }
+
+    #[test]
+    fn highlight_draws_thick_lines() {
+        let (net, n) = tiny();
+        let svg = to_svg(
+            &net,
+            &SvgOptions {
+                highlight: vec![Route::new(vec![n[0], n[2], n[1]])],
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains(r##"stroke="#d62728""##));
+        assert!(svg.contains(r#"stroke-width="3""#));
+    }
+
+    #[test]
+    fn mask_grays_out() {
+        let (net, n) = tiny();
+        let mut mask = FaultMask::new(&net);
+        mask.fail_node(n[2]);
+        let svg = to_svg(
+            &net,
+            &SvgOptions {
+                mask: Some(mask),
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("#eeeeee"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (net, _) = tiny();
+        assert_eq!(
+            to_svg(&net, &SvgOptions::default()),
+            to_svg(&net, &SvgOptions::default())
+        );
+    }
+}

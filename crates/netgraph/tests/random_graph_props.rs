@@ -1,0 +1,225 @@
+//! Property tests validating the graph engines against independent
+//! brute-force implementations on random networks.
+
+use netgraph::{FaultMask, Network, NodeId};
+use proptest::prelude::*;
+
+/// A random connected-ish mixed network: `servers` servers, `switches`
+/// switches, and each extra edge chosen uniformly (server–server,
+/// server–switch or switch–switch forbidden only when identical).
+fn random_network(
+    servers: usize,
+    switches: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> Network {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    let mut nodes = Vec::new();
+    for _ in 0..servers {
+        nodes.push(net.add_server());
+    }
+    for _ in 0..switches {
+        nodes.push(net.add_switch());
+    }
+    // Random spanning chain first so most instances are connected.
+    for i in 1..nodes.len() {
+        let j = rng.gen_range(0..i);
+        net.add_link(nodes[i], nodes[j], 1.0);
+    }
+    for _ in 0..extra_edges {
+        let a = nodes[rng.gen_range(0..nodes.len())];
+        let b = nodes[rng.gen_range(0..nodes.len())];
+        if a != b {
+            net.add_link(a, b, 1.0);
+        }
+    }
+    net
+}
+
+/// Brute-force server-hop distances via Floyd–Warshall on the 0/1-weighted
+/// node graph (cost of entering a server is 1, a switch 0).
+fn floyd_warshall_server_hops(net: &Network, src: NodeId) -> Vec<u32> {
+    let n = net.node_count();
+    const INF: u32 = u32::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for (v, row) in d.iter_mut().enumerate() {
+        row[v] = 0;
+    }
+    for link in net.links() {
+        let (a, b) = (link.a.index(), link.b.index());
+        let wa = if net.is_server(link.a) { 1 } else { 0 };
+        let wb = if net.is_server(link.b) { 1 } else { 0 };
+        d[a][b] = d[a][b].min(wb);
+        d[b][a] = d[b][a].min(wa);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k] == INF {
+                continue;
+            }
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d[src.index()]
+        .iter()
+        .map(|&x| if x >= INF { u32::MAX } else { x })
+        .collect()
+}
+
+/// Brute-force min edge cut between s and t by enumerating edge subsets
+/// (only for tiny networks).
+fn brute_force_min_cut(net: &Network, s: NodeId, t: NodeId) -> u64 {
+    let m = net.link_count();
+    assert!(m <= 12, "brute force only for tiny networks");
+    'outer: for cut_size in 0..=m {
+        // All subsets of links with exactly cut_size members.
+        for subset in 0u32..(1 << m) {
+            if subset.count_ones() as usize != cut_size {
+                continue;
+            }
+            let mut mask = FaultMask::new(net);
+            for l in 0..m {
+                if subset & (1 << l) != 0 {
+                    mask.fail_link(netgraph::LinkId(l as u32));
+                }
+            }
+            let dist = netgraph::bfs::link_distances(net, s, Some(&mask));
+            if dist[t.index()] == netgraph::bfs::UNREACHABLE {
+                return cut_size as u64;
+            }
+        }
+        if cut_size == m {
+            break 'outer;
+        }
+    }
+    m as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bfs_matches_floyd_warshall(
+        servers in 2usize..8,
+        switches in 0usize..5,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(servers, switches, extra, seed);
+        for src in net.server_ids() {
+            let fast = netgraph::bfs::server_hop_distances(&net, src, None);
+            let slow = floyd_warshall_server_hops(&net, src);
+            for v in net.server_ids() {
+                prop_assert_eq!(fast[v.index()], slow[v.index()],
+                    "src {} dst {}", src, v);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_length_matches_distance(
+        servers in 2usize..8,
+        switches in 0usize..5,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(servers, switches, extra, seed);
+        let servers_v: Vec<NodeId> = net.server_ids().collect();
+        let (s, t) = (servers_v[0], *servers_v.last().expect("non-empty"));
+        let dist = netgraph::bfs::server_hop_distances(&net, s, None);
+        match netgraph::bfs::shortest_path(&net, s, t, None) {
+            Some(path) => {
+                let r = netgraph::Route::new(path);
+                prop_assert!(r.validate(&net, None).is_ok());
+                prop_assert_eq!(r.server_hops(&net) as u32, dist[t.index()]);
+            }
+            None => prop_assert_eq!(dist[t.index()], u32::MAX),
+        }
+    }
+
+    #[test]
+    fn dinic_matches_brute_force_min_cut(
+        servers in 2usize..5,
+        extra in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(servers, 0, extra, seed);
+        prop_assume!(net.link_count() <= 12);
+        let servers_v: Vec<NodeId> = net.server_ids().collect();
+        let (s, t) = (servers_v[0], *servers_v.last().expect("non-empty"));
+        prop_assume!(s != t);
+        prop_assert_eq!(
+            netgraph::maxflow::edge_connectivity_pair(&net, s, t),
+            brute_force_min_cut(&net, s, t)
+        );
+    }
+
+    #[test]
+    fn disjoint_paths_count_equals_vertex_connectivity(
+        servers in 2usize..7,
+        switches in 0usize..4,
+        extra in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(servers, switches, extra, seed);
+        let servers_v: Vec<NodeId> = net.server_ids().collect();
+        let (s, t) = (servers_v[0], *servers_v.last().expect("non-empty"));
+        prop_assume!(s != t);
+        prop_assume!(net.find_link(s, t).is_none()); // vertex connectivity defined
+        let k = netgraph::maxflow::vertex_connectivity_pair(&net, s, t, None);
+        let paths = netgraph::paths::vertex_disjoint_paths(&net, s, t, usize::MAX, None);
+        prop_assert_eq!(paths.len() as u64, k);
+        for p in &paths {
+            prop_assert!(p.validate(&net, None).is_ok());
+        }
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                prop_assert!(paths[i].is_internally_disjoint_from(&paths[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_and_respect_masks(
+        servers in 2usize..8,
+        switches in 0usize..5,
+        extra in 0usize..8,
+        seed in any::<u64>(),
+        kill in 0usize..3,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let net = random_network(servers, switches, extra, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let mut mask = FaultMask::new(&net);
+        for _ in 0..kill {
+            mask.fail_node(NodeId(rng.gen_range(0..net.node_count()) as u32));
+        }
+        let labels = netgraph::connectivity::components(&net, Some(&mask));
+        // Two alive adjacent nodes share a label; dead nodes have none.
+        for (i, link) in net.links().iter().enumerate() {
+            if mask.edge_usable(&net, netgraph::LinkId(i as u32)) {
+                prop_assert_eq!(labels[link.a.index()], labels[link.b.index()]);
+            }
+        }
+        for v in net.node_ids() {
+            prop_assert_eq!(labels[v.index()] == usize::MAX, !mask.node_alive(v));
+        }
+        // Reachability agrees with labels.
+        for s in net.server_ids().take(2) {
+            if !mask.node_alive(s) {
+                continue;
+            }
+            let reach = netgraph::connectivity::reachable_servers(&net, s, Some(&mask));
+            for r in reach {
+                prop_assert_eq!(labels[r.index()], labels[s.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Closed-loop (AIMD) packet injection.
+//!
+//! The open-loop [`crate::PacketSim::run`] injects at line rate regardless
+//! of loss — useful for stress shapes, but real transfers run a transport.
+//! This module adds a windowed AIMD sender (additive increase on delivery,
+//! multiplicative decrease on loss, instant loss signal), which is the
+//! standard abstraction the DCN simulation literature uses for TCP-like
+//! behaviour without modelling retransmission timers.
+
+use crate::{FlowOutcome, FlowSpec, PacketSim, PacketSimReport};
+use netgraph::{NodeId, RouteError, Topology};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// AIMD parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AimdConfig {
+    /// Initial congestion window (packets in flight).
+    pub initial_window: f64,
+    /// Window cap (packets).
+    pub max_window: f64,
+    /// Multiplicative decrease factor on loss (e.g. 0.5).
+    pub decrease: f64,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            initial_window: 2.0,
+            max_window: 64.0,
+            decrease: 0.5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    remaining: u64,
+    in_flight: u32,
+    window: f64,
+    delivered: u64,
+    dropped_total: u64,
+    completion_ns: u64,
+}
+
+// Event: (time, seq, flow, inject_ns, hop). hop == TRY_SEND is a sender
+// wake-up rather than a packet arrival.
+type Event = (u64, u64, u32, u64, u32);
+const TRY_SEND: u32 = u32::MAX;
+
+impl<'a, T: Topology + ?Sized> PacketSim<'a, T> {
+    /// Runs the flow set with AIMD closed-loop senders: each flow keeps at
+    /// most `window` packets in flight, growing the window by `1/window`
+    /// per delivery and multiplying it by `decrease` per loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors (e.g. a non-server endpoint).
+    pub fn run_aimd(
+        &self,
+        flows: &[FlowSpec],
+        aimd: AimdConfig,
+    ) -> Result<PacketSimReport, RouteError> {
+        let net = self.topo().network();
+        let cfg = self.config();
+        let tx = cfg.tx_time_ns();
+        // Per-flow directed-link paths (same encoding as the open loop).
+        let mut paths: Vec<Vec<(NodeId, Option<usize>)>> = Vec::with_capacity(flows.len());
+        for f in flows {
+            let route = self.topo().route(f.src, f.dst)?;
+            let nodes = route.nodes();
+            let mut hops = Vec::with_capacity(nodes.len());
+            for (i, &node) in nodes.iter().enumerate() {
+                let out = if i + 1 < nodes.len() {
+                    let l = net.find_link(node, nodes[i + 1]).expect("validated");
+                    Some(l.index() * 2 + usize::from(net.link(l).a == node))
+                } else {
+                    None
+                };
+                hops.push((node, out));
+            }
+            paths.push(hops);
+        }
+
+        let mut busy_until = vec![0u64; net.link_count() * 2];
+        let mut state: Vec<FlowState> = flows
+            .iter()
+            .map(|f| FlowState {
+                remaining: f.packets,
+                in_flight: 0,
+                window: aimd.initial_window,
+                delivered: 0,
+                dropped_total: 0,
+                completion_ns: 0,
+            })
+            .collect();
+
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (fi, f) in flows.iter().enumerate() {
+            heap.push(Reverse((f.start_ns, seq, fi as u32, 0, TRY_SEND)));
+            seq += 1;
+        }
+
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut dropped = 0u64;
+        let mut last_delivery = 0u64;
+        let buffer_ns = u64::from(cfg.buffer_packets) * tx;
+
+        while let Some(Reverse((now, _, flow, inject_ns, hop))) = heap.pop() {
+            let fi = flow as usize;
+            if hop == TRY_SEND {
+                let st = &mut state[fi];
+                if st.remaining > 0 && f64::from(st.in_flight) < st.window.floor() {
+                    st.remaining -= 1;
+                    st.in_flight += 1;
+                    heap.push(Reverse((now, seq, flow, now, 0)));
+                    seq += 1;
+                    // Pace the next injection one serialization time later.
+                    if st.remaining > 0 {
+                        heap.push(Reverse((now + tx, seq, flow, 0, TRY_SEND)));
+                        seq += 1;
+                    }
+                }
+                continue;
+            }
+            let (_, out) = paths[fi][hop as usize];
+            match out {
+                None => {
+                    latencies.push(now - inject_ns);
+                    last_delivery = last_delivery.max(now);
+                    let st = &mut state[fi];
+                    st.in_flight -= 1;
+                    st.delivered += 1;
+                    st.completion_ns = st.completion_ns.max(now);
+                    // Additive increase, then try to send more.
+                    st.window = (st.window + 1.0 / st.window).min(aimd.max_window);
+                    heap.push(Reverse((now, seq, flow, 0, TRY_SEND)));
+                    seq += 1;
+                }
+                Some(dlink) => {
+                    let backlog = busy_until[dlink].saturating_sub(now);
+                    if backlog >= buffer_ns {
+                        dropped += 1;
+                        let st = &mut state[fi];
+                        st.in_flight -= 1;
+                        st.dropped_total += 1;
+                        // Multiplicative decrease (instant loss signal).
+                        st.window = (st.window * aimd.decrease).max(1.0);
+                        heap.push(Reverse((now + tx, seq, flow, 0, TRY_SEND)));
+                        seq += 1;
+                        continue;
+                    }
+                    let start = busy_until[dlink].max(now);
+                    let done = start + tx;
+                    busy_until[dlink] = done;
+                    heap.push(Reverse((
+                        done + cfg.prop_delay_ns,
+                        seq,
+                        flow,
+                        inject_ns,
+                        hop + 1,
+                    )));
+                    seq += 1;
+                }
+            }
+        }
+
+        let per_flow: Vec<FlowOutcome> = flows
+            .iter()
+            .zip(&state)
+            .map(|(f, st)| FlowOutcome {
+                src: f.src,
+                dst: f.dst,
+                offered: f.packets,
+                delivered: st.delivered,
+                dropped: st.dropped_total,
+                completion_ns: st.completion_ns,
+            })
+            .collect();
+        Ok(PacketSimReport::from_samples(
+            self.topo().name(),
+            latencies,
+            dropped,
+            last_delivery,
+            *cfg,
+            per_flow,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketSimConfig;
+    use abccc::{Abccc, AbcccParams};
+
+    fn topo() -> Abccc {
+        Abccc::new(AbcccParams::new(2, 1, 2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn aimd_keeps_offered_packets_accounted() {
+        // AIMD retries nothing (dropped is dropped), so delivered + dropped
+        // equals offered.
+        let t = topo();
+        let flows: Vec<FlowSpec> = (1..8)
+            .map(|s| FlowSpec::bulk(NodeId(s), NodeId(0), 100))
+            .collect();
+        let cfg = PacketSimConfig {
+            buffer_packets: 4,
+            ..Default::default()
+        };
+        let r = PacketSim::new(&t, cfg).run_aimd(&flows, AimdConfig::default()).unwrap();
+        let offered = 7 * 100;
+        assert_eq!(r.delivered + r.dropped, offered);
+    }
+
+    #[test]
+    fn aimd_loses_far_less_than_open_loop_under_incast() {
+        let t = topo();
+        let flows: Vec<FlowSpec> = (1..8)
+            .map(|s| FlowSpec::burst(NodeId(s), NodeId(0), 100, 0))
+            .collect();
+        let cfg = PacketSimConfig {
+            buffer_packets: 4,
+            ..Default::default()
+        };
+        let open = PacketSim::new(&t, cfg).run(&flows).unwrap();
+        let aimd = PacketSim::new(&t, cfg)
+            .run_aimd(&flows, AimdConfig::default())
+            .unwrap();
+        assert!(open.loss_rate() > 0.1, "incast must stress the open loop");
+        assert!(
+            aimd.loss_rate() < open.loss_rate() / 2.0,
+            "aimd {} vs open {}",
+            aimd.loss_rate(),
+            open.loss_rate()
+        );
+    }
+
+    #[test]
+    fn lone_aimd_flow_completes_losslessly() {
+        let t = topo();
+        let r = PacketSim::new(&t, PacketSimConfig::default())
+            .run_aimd(&[FlowSpec::bulk(NodeId(0), NodeId(7), 200)], AimdConfig::default())
+            .unwrap();
+        assert_eq!(r.delivered, 200);
+        assert_eq!(r.dropped, 0);
+        assert!(r.per_flow[0].complete());
+    }
+
+    #[test]
+    fn window_cap_limits_inflight_latency() {
+        // A tiny max window keeps queues shallow → lower p99 than a huge one.
+        let t = topo();
+        let flows: Vec<FlowSpec> = (1..8)
+            .map(|s| FlowSpec::bulk(NodeId(s), NodeId(0), 100))
+            .collect();
+        let cfg = PacketSimConfig {
+            buffer_packets: 1024,
+            ..Default::default()
+        };
+        let small = PacketSim::new(&t, cfg)
+            .run_aimd(
+                &flows,
+                AimdConfig {
+                    max_window: 2.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let big = PacketSim::new(&t, cfg)
+            .run_aimd(
+                &flows,
+                AimdConfig {
+                    max_window: 512.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(small.p99_latency_ns < big.p99_latency_ns);
+    }
+}

@@ -1,0 +1,161 @@
+//! Packet-level statistics.
+
+use crate::PacketSimConfig;
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Per-flow outcome of a packet-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// Source server.
+    pub src: NodeId,
+    /// Destination server.
+    pub dst: NodeId,
+    /// Packets offered by the flow.
+    pub offered: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Time of the flow's last delivery (ns) — its completion time when
+    /// `delivered == offered`.
+    pub completion_ns: u64,
+}
+
+impl FlowOutcome {
+    /// `true` if every offered packet arrived.
+    pub fn complete(&self) -> bool {
+        self.delivered == self.offered
+    }
+}
+
+/// Result of one packet-level simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketSimReport {
+    /// Topology name.
+    pub topology: String,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets tail-dropped.
+    pub dropped: u64,
+    /// Mean end-to-end latency (ns) over delivered packets.
+    pub mean_latency_ns: f64,
+    /// Median latency (ns).
+    pub p50_latency_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_latency_ns: u64,
+    /// Maximum latency (ns).
+    pub max_latency_ns: u64,
+    /// Time of the last delivery (ns) — the makespan.
+    pub makespan_ns: u64,
+    /// Configuration the run used.
+    pub config: PacketSimConfig,
+    /// Per-flow outcomes, in input order.
+    pub per_flow: Vec<FlowOutcome>,
+}
+
+impl PacketSimReport {
+    /// Builds a report from raw latency samples.
+    pub(crate) fn from_samples(
+        topology: String,
+        mut latencies: Vec<u64>,
+        dropped: u64,
+        makespan_ns: u64,
+        config: PacketSimConfig,
+        per_flow: Vec<FlowOutcome>,
+    ) -> Self {
+        latencies.sort_unstable();
+        let delivered = latencies.len() as u64;
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / delivered as f64
+        };
+        let pct = |q: f64| -> u64 {
+            if latencies.is_empty() {
+                0
+            } else {
+                // Nearest-rank percentile.
+                let idx = (latencies.len() as f64 * q).ceil() as usize;
+                latencies[idx.clamp(1, latencies.len()) - 1]
+            }
+        };
+        PacketSimReport {
+            topology,
+            delivered,
+            dropped,
+            mean_latency_ns: mean,
+            p50_latency_ns: pct(0.50),
+            p99_latency_ns: pct(0.99),
+            max_latency_ns: latencies.last().copied().unwrap_or(0),
+            makespan_ns,
+            config,
+            per_flow,
+        }
+    }
+
+    /// Mean flow completion time (ns) over flows that finished completely;
+    /// `None` when no flow completed.
+    pub fn mean_fct_ns(&self) -> Option<f64> {
+        let done: Vec<u64> = self
+            .per_flow
+            .iter()
+            .filter(|f| f.complete() && f.offered > 0)
+            .map(|f| f.completion_ns)
+            .collect();
+        if done.is_empty() {
+            None
+        } else {
+            Some(done.iter().sum::<u64>() as f64 / done.len() as f64)
+        }
+    }
+
+    /// Loss rate over offered packets.
+    pub fn loss_rate(&self) -> f64 {
+        let offered = self.delivered + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+
+    /// Delivered goodput in Gbit/s, normalized by the number of concurrent
+    /// flows (pass 1 for aggregate).
+    pub fn goodput_gbps(&self, flows: u64) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        let bits = self.delivered as f64 * f64::from(self.config.packet_bytes) * 8.0;
+        bits / self.makespan_ns as f64 / flows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_rates() {
+        let cfg = PacketSimConfig::default();
+        let lat: Vec<u64> = (1..=100).collect();
+        let r = PacketSimReport::from_samples("t".into(), lat, 25, 1_000_000, cfg, vec![]);
+        assert_eq!(r.delivered, 100);
+        assert_eq!(r.p50_latency_ns, 50);
+        assert_eq!(r.p99_latency_ns, 99);
+        assert_eq!(r.max_latency_ns, 100);
+        assert!((r.mean_latency_ns - 50.5).abs() < 1e-9);
+        assert!((r.loss_rate() - 0.2).abs() < 1e-12);
+        assert!(r.goodput_gbps(1) > 0.0);
+    }
+
+    #[test]
+    fn empty_run() {
+        let cfg = PacketSimConfig::default();
+        let r = PacketSimReport::from_samples("t".into(), vec![], 0, 0, cfg, vec![]);
+        assert_eq!(r.mean_fct_ns(), None);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.loss_rate(), 0.0);
+        assert_eq!(r.goodput_gbps(1), 0.0);
+    }
+}

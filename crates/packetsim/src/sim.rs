@@ -1,0 +1,327 @@
+//! The discrete-event engine.
+
+use crate::PacketSimReport;
+use netgraph::{LinkId, NodeId, RouteError, Topology};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketSimConfig {
+    /// Link rate in Gbit/s (every link; the topology's capacities are
+    /// interpreted as multiples of this).
+    pub link_gbps: f64,
+    /// Packet size in bytes (headers included).
+    pub packet_bytes: u32,
+    /// Output-queue capacity per directed link, in packets (tail drop).
+    pub buffer_packets: u32,
+    /// Per-hop propagation delay in nanoseconds.
+    pub prop_delay_ns: u64,
+}
+
+impl Default for PacketSimConfig {
+    fn default() -> Self {
+        PacketSimConfig {
+            link_gbps: 1.0,
+            packet_bytes: 1500,
+            buffer_packets: 64,
+            prop_delay_ns: 500,
+        }
+    }
+}
+
+impl PacketSimConfig {
+    /// Serialization time of one packet on one link, in ns.
+    pub fn tx_time_ns(&self) -> u64 {
+        ((f64::from(self.packet_bytes) * 8.0) / self.link_gbps).round() as u64
+    }
+}
+
+/// One flow: a packet train from `src` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source server.
+    pub src: NodeId,
+    /// Destination server.
+    pub dst: NodeId,
+    /// Number of packets.
+    pub packets: u64,
+    /// Injection start time (ns).
+    pub start_ns: u64,
+    /// Inter-packet injection gap (ns); `None` paces at line rate.
+    pub gap_ns: Option<u64>,
+}
+
+impl FlowSpec {
+    /// A bulk transfer paced at line rate starting at t = 0.
+    pub fn bulk(src: NodeId, dst: NodeId, packets: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            packets,
+            start_ns: 0,
+            gap_ns: None,
+        }
+    }
+
+    /// An unpaced burst: all packets offered at `start_ns` simultaneously
+    /// (stresses buffers; models incast micro-bursts).
+    pub fn burst(src: NodeId, dst: NodeId, packets: u64, start_ns: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            packets,
+            start_ns,
+            gap_ns: Some(0),
+        }
+    }
+}
+
+/// Discrete-event packet simulator bound to one topology.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketSim<'a, T: Topology + ?Sized> {
+    topo: &'a T,
+    config: PacketSimConfig,
+}
+
+/// Heap entry: `(time, seq, flow, inject_ns, hop)` — all integers so the
+/// tuple's derived `Ord` gives deterministic time-then-insertion ordering.
+type Event = (u64, u64, u32, u64, u32);
+
+impl<'a, T: Topology + ?Sized> PacketSim<'a, T> {
+    /// Creates a simulator over `topo`.
+    pub fn new(topo: &'a T, config: PacketSimConfig) -> Self {
+        PacketSim { topo, config }
+    }
+
+    /// The topology this simulator drives.
+    pub fn topo(&self) -> &'a T {
+        self.topo
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &PacketSimConfig {
+        &self.config
+    }
+
+    /// Runs the flow set to completion and reports packet-level statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors (e.g. a non-server endpoint).
+    pub fn run(&self, flows: &[FlowSpec]) -> Result<PacketSimReport, RouteError> {
+        let net = self.topo.network();
+        let tx = self.config.tx_time_ns();
+        // Per-flow node paths and directed-link sequences.
+        let mut paths: Vec<Vec<(NodeId, Option<usize>)>> = Vec::with_capacity(flows.len());
+        for f in flows {
+            let route = self.topo.route(f.src, f.dst)?;
+            let mut hops: Vec<(NodeId, Option<usize>)> = Vec::new();
+            let nodes = route.nodes();
+            for (i, &node) in nodes.iter().enumerate() {
+                let out = if i + 1 < nodes.len() {
+                    let l: LinkId = net
+                        .find_link(node, nodes[i + 1])
+                        .expect("route validated by construction");
+                    Some(l.index() * 2 + usize::from(net.link(l).a == node))
+                } else {
+                    None
+                };
+                hops.push((node, out));
+            }
+            paths.push(hops);
+        }
+
+        // Directed-link state: when the transmitter frees up.
+        let mut busy_until = vec![0u64; net.link_count() * 2];
+
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (fi, f) in flows.iter().enumerate() {
+            let gap = f.gap_ns.unwrap_or(tx);
+            for p in 0..f.packets {
+                let t = f.start_ns + p * gap;
+                heap.push(Reverse((t, seq, fi as u32, t, 0)));
+                seq += 1;
+            }
+        }
+
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut dropped = 0u64;
+        let mut last_delivery = 0u64;
+        let buffer_ns = u64::from(self.config.buffer_packets) * tx;
+        let mut per_flow: Vec<crate::FlowOutcome> = flows
+            .iter()
+            .map(|f| crate::FlowOutcome {
+                src: f.src,
+                dst: f.dst,
+                offered: f.packets,
+                delivered: 0,
+                dropped: 0,
+                completion_ns: 0,
+            })
+            .collect();
+
+        while let Some(Reverse((now, _, flow, inject_ns, hop))) = heap.pop() {
+            let path = &paths[flow as usize];
+            let (_, out) = path[hop as usize];
+            match out {
+                None => {
+                    // Delivered.
+                    latencies.push(now - inject_ns);
+                    last_delivery = last_delivery.max(now);
+                    let fo = &mut per_flow[flow as usize];
+                    fo.delivered += 1;
+                    fo.completion_ns = fo.completion_ns.max(now);
+                }
+                Some(dlink) => {
+                    // Tail-drop if the output queue (measured in pending
+                    // serialization time) is full.
+                    let backlog = busy_until[dlink].saturating_sub(now);
+                    if backlog >= buffer_ns {
+                        dropped += 1;
+                        per_flow[flow as usize].dropped += 1;
+                        continue;
+                    }
+                    let start = busy_until[dlink].max(now);
+                    let done = start + tx;
+                    busy_until[dlink] = done;
+                    heap.push(Reverse((
+                        done + self.config.prop_delay_ns,
+                        seq,
+                        flow,
+                        inject_ns,
+                        hop + 1,
+                    )));
+                    seq += 1;
+                }
+            }
+        }
+
+        Ok(PacketSimReport::from_samples(
+            self.topo.name(),
+            latencies,
+            dropped,
+            last_delivery,
+            self.config,
+            per_flow,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abccc::{Abccc, AbcccParams};
+
+    fn topo() -> Abccc {
+        Abccc::new(AbcccParams::new(2, 1, 2).unwrap()).unwrap() // 8 servers
+    }
+
+    #[test]
+    fn lone_flow_is_lossless_at_line_rate() {
+        let t = topo();
+        let cfg = PacketSimConfig::default();
+        let r = PacketSim::new(&t, cfg)
+            .run(&[FlowSpec::bulk(NodeId(0), NodeId(7), 500)])
+            .unwrap();
+        assert_eq!(r.delivered, 500);
+        assert_eq!(r.dropped, 0);
+        assert!(r.mean_latency_ns > 0.0);
+        // Goodput ≈ line rate for a long-enough train.
+        assert!(r.goodput_gbps(1) > 0.9, "{}", r.goodput_gbps(1));
+    }
+
+    #[test]
+    fn latency_grows_with_hops() {
+        let t = topo();
+        let cfg = PacketSimConfig::default();
+        // 1-hop pair: same label, different position ⇒ ids 0 and 1.
+        let near = PacketSim::new(&t, cfg)
+            .run(&[FlowSpec::bulk(NodeId(0), NodeId(1), 1)])
+            .unwrap();
+        let far = PacketSim::new(&t, cfg)
+            .run(&[FlowSpec::bulk(NodeId(0), NodeId(7), 1)])
+            .unwrap();
+        assert!(far.mean_latency_ns > near.mean_latency_ns);
+    }
+
+    #[test]
+    fn incast_burst_drops_with_tiny_buffers() {
+        let t = topo();
+        let cfg = PacketSimConfig {
+            buffer_packets: 2,
+            ..Default::default()
+        };
+        let flows: Vec<FlowSpec> = (1..8)
+            .map(|s| FlowSpec::burst(NodeId(s), NodeId(0), 50, 0))
+            .collect();
+        let r = PacketSim::new(&t, cfg).run(&flows).unwrap();
+        assert!(r.dropped > 0, "expected tail drops under incast burst");
+        assert!(r.delivered > 0);
+        assert_eq!(r.delivered + r.dropped, 350);
+    }
+
+    #[test]
+    fn bigger_buffers_reduce_drops() {
+        let t = topo();
+        let small = PacketSimConfig {
+            buffer_packets: 2,
+            ..Default::default()
+        };
+        let big = PacketSimConfig {
+            buffer_packets: 256,
+            ..Default::default()
+        };
+        let flows: Vec<FlowSpec> = (1..8)
+            .map(|s| FlowSpec::burst(NodeId(s), NodeId(0), 50, 0))
+            .collect();
+        let r_small = PacketSim::new(&t, small).run(&flows).unwrap();
+        let r_big = PacketSim::new(&t, big).run(&flows).unwrap();
+        assert!(r_big.dropped < r_small.dropped);
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = topo();
+        let cfg = PacketSimConfig::default();
+        let flows = [FlowSpec::bulk(NodeId(0), NodeId(6), 100)];
+        let a = PacketSim::new(&t, cfg).run(&flows).unwrap();
+        let b = PacketSim::new(&t, cfg).run(&flows).unwrap();
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+    }
+
+    #[test]
+    fn per_flow_outcomes_are_consistent() {
+        let t = topo();
+        let flows = [
+            FlowSpec::bulk(NodeId(0), NodeId(7), 40),
+            FlowSpec::bulk(NodeId(2), NodeId(5), 10),
+        ];
+        let r = PacketSim::new(&t, PacketSimConfig::default()).run(&flows).unwrap();
+        assert_eq!(r.per_flow.len(), 2);
+        for (fo, spec) in r.per_flow.iter().zip(&flows) {
+            assert_eq!(fo.src, spec.src);
+            assert_eq!(fo.dst, spec.dst);
+            assert_eq!(fo.offered, spec.packets);
+            assert_eq!(fo.delivered + fo.dropped, fo.offered);
+        }
+        let total: u64 = r.per_flow.iter().map(|f| f.delivered).sum();
+        assert_eq!(total, r.delivered);
+        // FCT of the longer flow dominates the mean makespan accounting.
+        let fct = r.mean_fct_ns().unwrap();
+        assert!(fct > 0.0 && fct <= r.makespan_ns as f64);
+        assert!(r.per_flow[0].completion_ns >= r.per_flow[1].completion_ns);
+    }
+
+    #[test]
+    fn rejects_switch_endpoint() {
+        let t = topo();
+        let sw = NodeId(t.params().server_count() as u32);
+        assert!(PacketSim::new(&t, PacketSimConfig::default())
+            .run(&[FlowSpec::bulk(sw, NodeId(0), 1)])
+            .is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Failure-scenario generators.
+
+use netgraph::{FaultMask, Network, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Independent failure rates for each element class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureScenario {
+    /// Fraction of servers to fail (0.0–1.0).
+    pub server_rate: f64,
+    /// Fraction of switches to fail.
+    pub switch_rate: f64,
+    /// Fraction of links to fail.
+    pub link_rate: f64,
+}
+
+impl FailureScenario {
+    /// Only servers fail.
+    pub fn servers(rate: f64) -> Self {
+        FailureScenario {
+            server_rate: rate,
+            switch_rate: 0.0,
+            link_rate: 0.0,
+        }
+    }
+
+    /// Only switches fail.
+    pub fn switches(rate: f64) -> Self {
+        FailureScenario {
+            server_rate: 0.0,
+            switch_rate: rate,
+            link_rate: 0.0,
+        }
+    }
+
+    /// Only links fail.
+    pub fn links(rate: f64) -> Self {
+        FailureScenario {
+            server_rate: 0.0,
+            switch_rate: 0.0,
+            link_rate: rate,
+        }
+    }
+
+    /// Samples a concrete fault mask: exactly `round(rate · population)`
+    /// elements of each class, chosen uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`.
+    pub fn sample(&self, net: &Network, rng: &mut impl Rng) -> FaultMask {
+        for (name, r) in [
+            ("server_rate", self.server_rate),
+            ("switch_rate", self.switch_rate),
+            ("link_rate", self.link_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} must be in [0,1], got {r}");
+        }
+        let mut mask = FaultMask::new(net);
+        let servers: Vec<NodeId> = net.server_ids().collect();
+        let kill = (self.server_rate * servers.len() as f64).round() as usize;
+        for s in servers.choose_multiple(rng, kill) {
+            mask.fail_node(*s);
+        }
+        let switches: Vec<NodeId> = net.switch_ids().collect();
+        let kill = (self.switch_rate * switches.len() as f64).round() as usize;
+        for s in switches.choose_multiple(rng, kill) {
+            mask.fail_node(*s);
+        }
+        let links: Vec<u32> = (0..net.link_count() as u32).collect();
+        let kill = (self.link_rate * links.len() as f64).round() as usize;
+        for l in links.choose_multiple(rng, kill) {
+            mask.fail_link(netgraph::LinkId(*l));
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn star(n: usize) -> Network {
+        let mut net = Network::new();
+        let servers: Vec<_> = (0..n).map(|_| net.add_server()).collect();
+        let sw = net.add_switch();
+        for s in servers {
+            net.add_link(s, sw, 1.0);
+        }
+        net
+    }
+
+    #[test]
+    fn exact_counts() {
+        let net = star(20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mask = FailureScenario::servers(0.25).sample(&net, &mut rng);
+        assert_eq!(mask.failed_node_count(), 5);
+        assert_eq!(mask.failed_link_count(), 0);
+    }
+
+    #[test]
+    fn switch_failures_only_hit_switches() {
+        let net = star(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mask = FailureScenario::switches(1.0).sample(&net, &mut rng);
+        assert_eq!(mask.failed_node_count(), 1);
+        for s in net.server_ids() {
+            assert!(mask.node_alive(s));
+        }
+    }
+
+    #[test]
+    fn link_failures() {
+        let net = star(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mask = FailureScenario::links(0.5).sample(&net, &mut rng);
+        assert_eq!(mask.failed_link_count(), 5);
+        assert_eq!(mask.failed_node_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn bad_rate_panics() {
+        let net = star(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        FailureScenario::servers(1.5).sample(&net, &mut rng);
+    }
+}

@@ -1,0 +1,172 @@
+//! Flow-trace replay.
+//!
+//! Loads sized, timed flow traces from a simple CSV dialect so recorded
+//! (or synthesized) workloads can be replayed through either simulator:
+//!
+//! ```text
+//! # src,dst,size_units,start_ns      — '#' comments and blank lines ok
+//! 0,17,1000,0
+//! 3,42,10,250000
+//! ```
+
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceFlow {
+    /// Source server.
+    pub src: NodeId,
+    /// Destination server.
+    pub dst: NodeId,
+    /// Flow size in abstract units (packets for the packet simulator).
+    pub size: u64,
+    /// Start time in nanoseconds.
+    pub start_ns: u64,
+}
+
+/// Trace parse errors with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses a CSV trace (see module docs). `n_servers` bounds the endpoint
+/// ids; self-flows are rejected.
+///
+/// # Errors
+///
+/// Returns the first malformed line with its number.
+pub fn parse_trace(text: &str, n_servers: u64) -> Result<Vec<TraceFlow>, TraceParseError> {
+    let mut flows = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(TraceParseError {
+                line,
+                reason: format!("expected 4 comma-separated fields, got {}", fields.len()),
+            });
+        }
+        let num = |s: &str, what: &str| -> Result<u64, TraceParseError> {
+            s.parse().map_err(|_| TraceParseError {
+                line,
+                reason: format!("{what}: `{s}` is not a number"),
+            })
+        };
+        let src = num(fields[0], "src")?;
+        let dst = num(fields[1], "dst")?;
+        let size = num(fields[2], "size")?;
+        let start_ns = num(fields[3], "start_ns")?;
+        if src >= n_servers || dst >= n_servers {
+            return Err(TraceParseError {
+                line,
+                reason: format!("endpoint out of range (< {n_servers})"),
+            });
+        }
+        if src == dst {
+            return Err(TraceParseError {
+                line,
+                reason: "self-flow (src == dst)".into(),
+            });
+        }
+        if size == 0 {
+            return Err(TraceParseError {
+                line,
+                reason: "zero-size flow".into(),
+            });
+        }
+        flows.push(TraceFlow {
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            size,
+            start_ns,
+        });
+    }
+    Ok(flows)
+}
+
+/// Renders flows back to the CSV dialect (inverse of [`parse_trace`]).
+pub fn write_trace(flows: &[TraceFlow]) -> String {
+    let mut out = String::from("# src,dst,size_units,start_ns\n");
+    for f in flows {
+        out.push_str(&format!("{},{},{},{}\n", f.src.0, f.dst.0, f.size, f.start_ns));
+    }
+    out
+}
+
+impl TraceFlow {
+    /// The `(src, dst)` pair (for the flow-level simulator, which ignores
+    /// sizes and timing).
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        (self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# header\n\n0,1,100,0\n  2 , 3 , 50 , 1000 \n";
+        let flows = parse_trace(text, 10).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].src, NodeId(0));
+        assert_eq!(flows[1].size, 50);
+        assert_eq!(flows[1].start_ns, 1000);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "0,1,100,0\n2,3,50,1000\n";
+        let flows = parse_trace(text, 10).unwrap();
+        let back = parse_trace(&write_trace(&flows), 10).unwrap();
+        assert_eq!(flows, back);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_trace("0,1,100,0\nbogus line\n", 10).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+
+        let e = parse_trace("0,1,100\n", 10).unwrap_err();
+        assert!(e.reason.contains("4 comma-separated"));
+
+        let e = parse_trace("0,99,100,0\n", 10).unwrap_err();
+        assert!(e.reason.contains("out of range"));
+
+        let e = parse_trace("1,1,100,0\n", 10).unwrap_err();
+        assert!(e.reason.contains("self-flow"));
+
+        let e = parse_trace("0,1,0,0\n", 10).unwrap_err();
+        assert!(e.reason.contains("zero-size"));
+
+        let e = parse_trace("0,1,x,0\n", 10).unwrap_err();
+        assert!(e.reason.contains("not a number"));
+    }
+
+    #[test]
+    fn pairs_feed_the_flow_simulator() {
+        let flows = parse_trace("0,1,100,0\n1,0,10,5\n", 4).unwrap();
+        let pairs: Vec<_> = flows.iter().map(TraceFlow::pair).collect();
+        assert_eq!(pairs, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]);
+    }
+}

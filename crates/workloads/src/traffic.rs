@@ -1,0 +1,310 @@
+//! Traffic-pattern generators.
+//!
+//! All generators produce ordered `(src, dst)` server pairs over the id
+//! range `0..n_servers` (the crate-wide servers-first convention) and are
+//! deterministic given the caller's RNG.
+
+use netgraph::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random permutation workload: every server sends to exactly one other
+/// server and receives from exactly one (derangement-style; no self-pairs).
+///
+/// # Panics
+///
+/// Panics if `n_servers < 2`.
+pub fn random_permutation(n_servers: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
+    assert!(n_servers >= 2, "need at least two servers");
+    let mut dsts: Vec<u32> = (0..n_servers as u32).collect();
+    loop {
+        dsts.shuffle(rng);
+        if dsts.iter().enumerate().all(|(i, &d)| i as u32 != d) {
+            break;
+        }
+        // Fix the fixed points by rotating them amongst themselves.
+        let fixed: Vec<usize> = dsts
+            .iter()
+            .enumerate()
+            .filter(|(i, &d)| *i as u32 == d)
+            .map(|(i, _)| i)
+            .collect();
+        if fixed.len() >= 2 {
+            for w in fixed.windows(2) {
+                dsts.swap(w[0], w[1]);
+            }
+            if dsts.iter().enumerate().all(|(i, &d)| i as u32 != d) {
+                break;
+            }
+        } else if fixed.len() == 1 {
+            let f = fixed[0];
+            let other = (f + 1) % n_servers;
+            dsts.swap(f, other);
+            break;
+        }
+    }
+    dsts.iter()
+        .enumerate()
+        .map(|(s, &d)| (NodeId(s as u32), NodeId(d)))
+        .collect()
+}
+
+/// All-to-all: every ordered pair (n·(n−1) flows). Quadratic — intended for
+/// small instances.
+pub fn all_to_all(n_servers: usize) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::with_capacity(n_servers * n_servers.saturating_sub(1));
+    for s in 0..n_servers as u32 {
+        for d in 0..n_servers as u32 {
+            if s != d {
+                pairs.push((NodeId(s), NodeId(d)));
+            }
+        }
+    }
+    pairs
+}
+
+/// `flows` uniformly random ordered pairs (with replacement, no
+/// self-pairs).
+///
+/// # Panics
+///
+/// Panics if `n_servers < 2`.
+pub fn uniform_random(
+    n_servers: usize,
+    flows: usize,
+    rng: &mut impl Rng,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(n_servers >= 2, "need at least two servers");
+    (0..flows)
+        .map(|_| loop {
+            let s = rng.gen_range(0..n_servers as u32);
+            let d = rng.gen_range(0..n_servers as u32);
+            if s != d {
+                break (NodeId(s), NodeId(d));
+            }
+        })
+        .collect()
+}
+
+/// Incast: `fan_in` random distinct senders towards one random sink — the
+/// MapReduce-shuffle hotspot pattern.
+///
+/// # Panics
+///
+/// Panics if `fan_in >= n_servers`.
+pub fn many_to_one(
+    n_servers: usize,
+    fan_in: usize,
+    rng: &mut impl Rng,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(fan_in < n_servers, "fan-in must leave room for the sink");
+    let sink = rng.gen_range(0..n_servers as u32);
+    let mut senders: Vec<u32> = (0..n_servers as u32).filter(|&s| s != sink).collect();
+    senders.shuffle(rng);
+    senders
+        .into_iter()
+        .take(fan_in)
+        .map(|s| (NodeId(s), NodeId(sink)))
+        .collect()
+}
+
+/// One-to-many: one random source towards `fan_out` random distinct sinks
+/// (data-distribution / chunk-replication pattern).
+///
+/// # Panics
+///
+/// Panics if `fan_out >= n_servers`.
+pub fn one_to_many(
+    n_servers: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Vec<(NodeId, NodeId)> {
+    many_to_one(n_servers, fan_out, rng)
+        .into_iter()
+        .map(|(a, b)| (b, a))
+        .collect()
+}
+
+/// Bisection stress: pairs each server of the first id-half with a random
+/// partner in the second half (both directions), saturating the canonical
+/// cut.
+///
+/// # Panics
+///
+/// Panics if `n_servers < 2`.
+pub fn bisection_pairs(n_servers: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
+    assert!(n_servers >= 2, "need at least two servers");
+    let half = n_servers / 2;
+    let mut right: Vec<u32> = (half as u32..n_servers as u32).collect();
+    right.shuffle(rng);
+    let mut pairs = Vec::with_capacity(2 * half);
+    for (l, &r) in (0..half as u32).zip(right.iter()) {
+        pairs.push((NodeId(l), NodeId(r)));
+        pairs.push((NodeId(r), NodeId(l)));
+    }
+    pairs
+}
+
+/// A MapReduce-style shuffle: `mappers` random sources each send to every
+/// one of `reducers` random sinks (sources and sinks disjoint). This is
+/// the workload the server-centric papers use to motivate high bisection.
+///
+/// # Panics
+///
+/// Panics if `mappers + reducers > n_servers`.
+pub fn shuffle(
+    n_servers: usize,
+    mappers: usize,
+    reducers: usize,
+    rng: &mut impl Rng,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(
+        mappers + reducers <= n_servers,
+        "mappers + reducers exceed the server count"
+    );
+    let mut ids: Vec<u32> = (0..n_servers as u32).collect();
+    ids.shuffle(rng);
+    let maps = &ids[..mappers];
+    let reds = &ids[mappers..mappers + reducers];
+    let mut pairs = Vec::with_capacity(mappers * reducers);
+    for &m in maps {
+        for &r in reds {
+            pairs.push((NodeId(m), NodeId(r)));
+        }
+    }
+    pairs
+}
+
+/// A sized flow: `(src, dst, size_units)`. Sizes are abstract units — the
+/// packet simulator interprets them as packet counts.
+pub type SizedFlow = (NodeId, NodeId, u64);
+
+/// An elephant/mice mix: `flows` random pairs where a fraction
+/// `elephant_ratio` are elephants of `elephant_size` units and the rest
+/// are mice of `mouse_size` units — the classic heavy-tailed DC traffic
+/// shape.
+///
+/// # Panics
+///
+/// Panics if `n_servers < 2` or `elephant_ratio` is outside `[0, 1]`.
+pub fn elephant_mice(
+    n_servers: usize,
+    flows: usize,
+    elephant_ratio: f64,
+    elephant_size: u64,
+    mouse_size: u64,
+    rng: &mut impl Rng,
+) -> Vec<SizedFlow> {
+    assert!(
+        (0.0..=1.0).contains(&elephant_ratio),
+        "elephant_ratio must be in [0,1]"
+    );
+    uniform_random(n_servers, flows, rng)
+        .into_iter()
+        .map(|(s, d)| {
+            let size = if rng.gen_bool(elephant_ratio) {
+                elephant_size
+            } else {
+                mouse_size
+            };
+            (s, d, size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        for n in [2, 3, 7, 64] {
+            let pairs = random_permutation(n, &mut rng());
+            assert_eq!(pairs.len(), n);
+            let mut seen_dst = std::collections::HashSet::new();
+            for (s, d) in &pairs {
+                assert_ne!(s, d);
+                assert!(seen_dst.insert(*d));
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_count() {
+        let pairs = all_to_all(5);
+        assert_eq!(pairs.len(), 20);
+        assert!(pairs.iter().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn uniform_random_no_self() {
+        let pairs = uniform_random(10, 100, &mut rng());
+        assert_eq!(pairs.len(), 100);
+        assert!(pairs.iter().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn incast_shares_sink() {
+        let pairs = many_to_one(20, 7, &mut rng());
+        assert_eq!(pairs.len(), 7);
+        let sink = pairs[0].1;
+        assert!(pairs.iter().all(|(s, d)| *d == sink && *s != sink));
+        let senders: std::collections::HashSet<_> = pairs.iter().map(|(s, _)| s).collect();
+        assert_eq!(senders.len(), 7);
+    }
+
+    #[test]
+    fn one_to_many_shares_source() {
+        let pairs = one_to_many(20, 5, &mut rng());
+        let src = pairs[0].0;
+        assert!(pairs.iter().all(|(s, d)| *s == src && *d != src));
+    }
+
+    #[test]
+    fn bisection_pairs_cross_halves() {
+        let pairs = bisection_pairs(10, &mut rng());
+        assert_eq!(pairs.len(), 10);
+        for (s, d) in pairs {
+            assert_ne!(s.0 < 5, d.0 < 5, "pair does not cross the cut");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_bipartite_complete() {
+        let pairs = shuffle(30, 4, 5, &mut rng());
+        assert_eq!(pairs.len(), 20);
+        let maps: std::collections::HashSet<_> = pairs.iter().map(|(s, _)| *s).collect();
+        let reds: std::collections::HashSet<_> = pairs.iter().map(|(_, d)| *d).collect();
+        assert_eq!(maps.len(), 4);
+        assert_eq!(reds.len(), 5);
+        assert!(maps.is_disjoint(&reds));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the server count")]
+    fn shuffle_bounds_checked() {
+        shuffle(8, 5, 5, &mut rng());
+    }
+
+    #[test]
+    fn elephant_mice_sizes() {
+        let flows = elephant_mice(20, 200, 0.1, 1000, 10, &mut rng());
+        assert_eq!(flows.len(), 200);
+        let elephants = flows.iter().filter(|(_, _, s)| *s == 1000).count();
+        let mice = flows.iter().filter(|(_, _, s)| *s == 10).count();
+        assert_eq!(elephants + mice, 200);
+        // ~10% elephants with generous slack.
+        assert!((5..=40).contains(&elephants), "{elephants}");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        assert_eq!(random_permutation(16, &mut rng()), random_permutation(16, &mut rng()));
+        assert_eq!(uniform_random(16, 8, &mut rng()), uniform_random(16, 8, &mut rng()));
+    }
+}

@@ -1,0 +1,92 @@
+//! Capacity-planning scenario: a cluster that starts at a few hundred
+//! servers and must grow past 5 000 without downtime.
+//!
+//! The operator compares ABCCC (pay-as-you-grow, zero legacy impact)
+//! against BCube (every expansion opens every chassis) and a fat-tree
+//! (fork-lift fabric replacement), using the repository's cost model.
+//!
+//! ```text
+//! cargo run --example expansion_planning
+//! ```
+
+use abccc_suite::prelude::*;
+use dcn_metrics::expansion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cost = CostModel::default();
+    let target = 5_000u64;
+
+    println!("== goal: grow from a few hundred servers past {target} ==\n");
+
+    // --- ABCCC track: n=4 switches, 3-port servers, grow k.
+    println!("ABCCC track (n=4, h=3):");
+    let mut p = AbcccParams::new(4, 1, 3)?;
+    let mut abccc_spend = 0.0;
+    while p.server_count() < target {
+        let ledger = expansion::abccc_expansion(p, &cost)?;
+        println!(
+            "  {:>24}: {:>5} → {:>5} servers, new spend ${:>8.0}, legacy touched: {}",
+            ledger.name,
+            ledger.from_servers,
+            ledger.to_servers,
+            ledger.new_capex_usd,
+            if ledger.legacy_untouched() { "none" } else { "YES" }
+        );
+        assert!(ledger.legacy_untouched());
+        abccc_spend += ledger.new_capex_usd;
+        p = p.grown()?;
+    }
+    println!("  reached {} servers; growth spend ${abccc_spend:.0}\n", p.server_count());
+
+    // --- BCube track: same switches, grow k — and open every server.
+    println!("BCube track (n=4):");
+    let mut b = BCubeParams::new(4, 1)?;
+    let mut bcube_spend = 0.0;
+    let mut bcube_touched = 0u64;
+    while b.server_count() < target {
+        let ledger = expansion::bcube_expansion(b, &cost)?;
+        println!(
+            "  {:>24}: {:>5} → {:>5} servers, new spend ${:>8.0}, NICs retrofitted: {}",
+            ledger.name,
+            ledger.from_servers,
+            ledger.to_servers,
+            ledger.new_capex_usd,
+            ledger.legacy_nics_added
+        );
+        bcube_spend += ledger.new_capex_usd;
+        bcube_touched += ledger.legacy_nics_added;
+        b = BCubeParams::new(4, b.k() + 1)?;
+    }
+    println!(
+        "  reached {} servers; growth spend ${bcube_spend:.0}, {} legacy chassis opened\n",
+        b.server_count(),
+        bcube_touched
+    );
+
+    // --- Fat-tree track: each growth step is a fork-lift upgrade.
+    println!("Fat-tree track:");
+    let mut ft_spend = 0.0;
+    let mut prev = FatTreeParams::new(8)?;
+    for next in [16u32, 24, 32] {
+        if prev.server_count() >= target {
+            break;
+        }
+        let ledger = expansion::fattree_expansion(prev, next, &cost)?;
+        println!(
+            "  {:>24}: {:>5} → {:>5} servers, new spend ${:>8.0}, switches discarded: {}",
+            ledger.name,
+            ledger.from_servers,
+            ledger.to_servers,
+            ledger.new_capex_usd,
+            ledger.legacy_switches_discarded
+        );
+        ft_spend += ledger.new_capex_usd;
+        prev = FatTreeParams::new(next)?;
+    }
+    println!("  reached {} servers; growth spend ${ft_spend:.0}\n", prev.server_count());
+
+    println!("== summary ==");
+    println!("ABCCC grows in place: no chassis opened, no cable re-pulled, no switch discarded.");
+    println!("BCube opens {bcube_touched} chassis along the way; the fat-tree discards its fabric each step.");
+    Ok(())
+}

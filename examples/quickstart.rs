@@ -1,0 +1,72 @@
+//! Quickstart: build an ABCCC network, look around, route, and run a
+//! small simulation.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use abccc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ABCCC(n=4, k=2, h=3): 4-port COTS switches, 3-digit addresses,
+    // 3 NIC ports per server → groups of m = 2 servers per crossbar.
+    let params = AbcccParams::new(4, 2, 3)?;
+    println!("building {params} …");
+    println!("  servers   : {}", params.server_count());
+    println!("  switches  : {}", params.switch_count());
+    println!("  diameter  : {} server hops (closed form)", params.diameter());
+
+    let topo = Abccc::new(params)?;
+
+    // Addressing: node ids ↔ (cube label, group position).
+    let src = NodeId(0);
+    let dst = NodeId((params.server_count() - 1) as u32);
+    println!(
+        "routing {} → {}",
+        topo.server_addr(src).display(&params),
+        topo.server_addr(dst).display(&params)
+    );
+
+    // One-to-one routing (permutation-driven, provably shortest).
+    let route = topo.route(src, dst)?;
+    route.validate(topo.network(), None).map_err(|e| e.to_string())?;
+    println!(
+        "  path: {} server hops, {} links",
+        route.server_hops(topo.network()),
+        route.link_hops()
+    );
+
+    // Multiple disjoint parallel paths between the same pair.
+    let paths = abccc::parallel::parallel_routes(
+        &params,
+        topo.server_addr(src),
+        topo.server_addr(dst),
+        4,
+    );
+    println!("  {} internally disjoint parallel paths", paths.len());
+
+    // Flow-level simulation of a random permutation workload.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let pairs = dcn_workloads::traffic::random_permutation(
+        topo.network().server_count(),
+        &mut rng,
+    );
+    let report = FlowSim::new(&topo).run(&pairs)?;
+    println!(
+        "permutation workload: {} flows, {:.1} Gbps aggregate, {:.3} Gbps per flow",
+        report.flows, report.aggregate_rate, report.mean_rate
+    );
+
+    // And the headline property: growing the network touches nothing.
+    let step = ExpansionStep::grow_order(params)?;
+    println!(
+        "expansion to {}: +{} servers, +{} switches, {} legacy NICs touched",
+        step.to,
+        step.new_servers,
+        step.new_crossbar_switches + step.new_level_switches,
+        step.legacy_nics_added
+    );
+    assert!(step.legacy_untouched());
+    Ok(())
+}

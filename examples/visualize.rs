@@ -1,0 +1,69 @@
+//! Visualizing a topology: writes SVG and Graphviz DOT renderings of a
+//! small ABCCC network to `target/viz/`, with a highlighted route pair and
+//! a failure overlay.
+//!
+//! ```text
+//! cargo run --example visualize
+//! open target/viz/abccc_routes.svg
+//! ```
+
+use abccc_suite::prelude::*;
+use netgraph::{dot, svg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = AbcccParams::new(3, 1, 2)?; // 18 servers — readable
+    let topo = Abccc::new(params)?;
+    let out = std::path::Path::new("target/viz");
+    std::fs::create_dir_all(out)?;
+
+    // Two disjoint routes between opposite corners.
+    let src = NodeId(0);
+    let dst = NodeId((params.server_count() - 1) as u32);
+    let routes = abccc::parallel::parallel_routes(
+        &params,
+        topo.server_addr(src),
+        topo.server_addr(dst),
+        2,
+    );
+    println!("{}: highlighting {} disjoint routes {src} → {dst}", params, routes.len());
+
+    let svg_text = svg::to_svg(
+        topo.network(),
+        &svg::SvgOptions {
+            highlight: routes.clone(),
+            ..Default::default()
+        },
+    );
+    std::fs::write(out.join("abccc_routes.svg"), &svg_text)?;
+
+    let dot_text = dot::to_dot(
+        topo.network(),
+        &dot::DotOptions {
+            highlight: routes,
+            name: "abccc".into(),
+            ..Default::default()
+        },
+    );
+    std::fs::write(out.join("abccc_routes.dot"), &dot_text)?;
+
+    // A failure overlay: one group down.
+    let mut mask = FaultMask::new(topo.network());
+    for pos in 0..params.group_size() {
+        mask.fail_node(ServerAddr::new(&params, abccc::CubeLabel(4), pos).node_id(&params));
+    }
+    let svg_faults = svg::to_svg(
+        topo.network(),
+        &svg::SvgOptions {
+            mask: Some(mask),
+            ..Default::default()
+        },
+    );
+    std::fs::write(out.join("abccc_faults.svg"), &svg_faults)?;
+
+    println!("wrote:");
+    for f in ["abccc_routes.svg", "abccc_routes.dot", "abccc_faults.svg"] {
+        let path = out.join(f);
+        println!("  {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    }
+    Ok(())
+}

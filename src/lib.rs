@@ -1,0 +1,47 @@
+//! # abccc-suite — umbrella crate for the ABCCC reproduction
+//!
+//! This crate re-exports the whole workspace behind one dependency and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration and property tests (`tests/`). For the individual pieces
+//! see:
+//!
+//! * [`abccc`] — the paper's contribution (topology, routing, expansion);
+//! * [`dcn_baselines`] — BCube, BCCC, DCell, fat-tree, hypercube;
+//! * [`netgraph`] — the graph substrate (BFS, max-flow, disjoint paths);
+//! * [`dcn_metrics`] — diameter/bisection/CAPEX/expansion metrics;
+//! * [`flowsim`] / [`packetsim`] — the two simulators;
+//! * [`dcn_workloads`] — traffic and failure generators.
+//!
+//! ```
+//! use abccc_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = Abccc::new(AbcccParams::new(4, 1, 2)?)?;
+//! assert_eq!(topo.network().server_count(), 32);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use abccc;
+pub use dcn_baselines;
+pub use dcn_metrics;
+pub use dcn_workloads;
+pub use flowsim;
+pub use netgraph;
+pub use packetsim;
+
+/// The common imports for examples and quick experiments.
+pub mod prelude {
+    pub use abccc::{Abccc, AbcccParams, CubeLabel, ExpansionStep, PermStrategy, ServerAddr};
+    pub use dcn_baselines::{
+        BCube, BCubeParams, Bccc, BcccParams, DCell, DCellParams, FatTree, FatTreeParams,
+        Hypercube, HypercubeParams,
+    };
+    pub use dcn_metrics::{CostModel, TopologyStats};
+    pub use flowsim::FlowSim;
+    pub use netgraph::{FaultMask, Network, NodeId, Route, Topology};
+    pub use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
+}

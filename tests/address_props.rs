@@ -1,0 +1,97 @@
+//! Property tests for the addressing scheme over random parameterizations
+//! — the codec layer everything else stands on.
+
+use abccc::{AbcccParams, CubeLabel, ServerAddr, SwitchAddr};
+use netgraph::NodeId;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = AbcccParams> {
+    (2u32..=6, 0u32..=4, 2u32..=6)
+        .prop_map(|(n, k, h)| AbcccParams::new(n, k, h).expect("valid"))
+        .prop_filter("bounded ids", |p| {
+            p.server_count() + p.switch_count() <= u64::from(u32::MAX)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn server_id_codec_roundtrips(p in params_strategy(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let raw = rng.gen_range(0..p.server_count());
+            let id = NodeId(raw as u32);
+            let addr = ServerAddr::from_node_id(&p, id);
+            prop_assert!(addr.label.0 < p.label_space());
+            prop_assert!(addr.pos < p.group_size());
+            prop_assert_eq!(addr.node_id(&p), id);
+        }
+    }
+
+    #[test]
+    fn switch_id_codec_roundtrips(p in params_strategy(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        prop_assume!(p.switch_count() > 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let raw = p.server_count() + rng.gen_range(0..p.switch_count());
+            let id = NodeId(raw as u32);
+            let addr = SwitchAddr::from_node_id(&p, id);
+            prop_assert_eq!(addr.node_id(&p), id);
+        }
+    }
+
+    #[test]
+    fn digits_and_labels_are_inverse(p in params_strategy(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let label = CubeLabel(rng.gen_range(0..p.label_space()));
+            let digits = label.digits(&p);
+            prop_assert_eq!(digits.len() as u32, p.levels());
+            prop_assert!(digits.iter().all(|&d| d < p.n()));
+            prop_assert_eq!(CubeLabel::from_digits(&p, &digits), label);
+        }
+    }
+
+    #[test]
+    fn with_digit_changes_exactly_one_position(p in params_strategy(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let label = CubeLabel(rng.gen_range(0..p.label_space()));
+        let level = rng.gen_range(0..p.levels());
+        let d = rng.gen_range(0..p.n());
+        let new = label.with_digit(&p, level, d);
+        prop_assert_eq!(new.digit(&p, level), d);
+        for i in 0..p.levels() {
+            if i != level {
+                prop_assert_eq!(new.digit(&p, i), label.digit(&p, i));
+            }
+        }
+        // rest_index is invariant under digit changes at that level.
+        prop_assert_eq!(new.rest_index(&p, level), label.rest_index(&p, level));
+    }
+
+    #[test]
+    fn differing_levels_is_symmetric_and_exact(p in params_strategy(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = CubeLabel(rng.gen_range(0..p.label_space()));
+        let b = CubeLabel(rng.gen_range(0..p.label_space()));
+        let dab = a.differing_levels(&p, b);
+        prop_assert_eq!(&dab, &b.differing_levels(&p, a));
+        for i in 0..p.levels() {
+            prop_assert_eq!(dab.contains(&i), a.digit(&p, i) != b.digit(&p, i));
+        }
+        prop_assert_eq!(dab.is_empty(), a == b);
+    }
+
+    #[test]
+    fn params_display_parse_roundtrip(p in params_strategy()) {
+        let text = p.to_string();
+        let back: AbcccParams = text.parse().expect("parse own display");
+        prop_assert_eq!(back, p);
+    }
+}

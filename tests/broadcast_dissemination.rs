@@ -1,0 +1,128 @@
+//! Cross-crate integration: disseminating a block along the broadcast tree
+//! at packet level, and reducing it back along the aggregation schedule.
+
+use abccc::{broadcast, Abccc, AbcccParams};
+use netgraph::NodeId;
+use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
+
+/// Every tree edge becomes one parent→child transfer; rounds are staggered
+/// by depth so a child only forwards after it could have received.
+fn tree_flows(
+    p: &AbcccParams,
+    tree: &broadcast::BroadcastTree,
+    packets_per_edge: u64,
+    round_ns: u64,
+) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for raw in 0..p.server_count() {
+        let id = NodeId(raw as u32);
+        if !tree.contains(id) {
+            continue;
+        }
+        if let Some((parent, _)) = tree.parent(id) {
+            let depth = (tree.path_to(id).len() - 1) as u64;
+            flows.push(FlowSpec {
+                src: parent,
+                dst: id,
+                packets: packets_per_edge,
+                start_ns: (depth - 1) * round_ns,
+                gap_ns: None,
+            });
+        }
+    }
+    flows
+}
+
+#[test]
+fn broadcast_dissemination_delivers_to_every_server() {
+    let p = AbcccParams::new(3, 1, 2).unwrap(); // 18 servers
+    let topo = Abccc::new(p).unwrap();
+    let src = NodeId(0);
+    let tree = broadcast::one_to_all(&p, src).unwrap();
+    let cfg = PacketSimConfig {
+        buffer_packets: 256,
+        ..Default::default()
+    };
+    let packets_per_edge = 20;
+    // One round ≈ time to push the block one hop (2 links per server hop).
+    let round_ns = 2 * (packets_per_edge + 2) * cfg.tx_time_ns();
+    let flows = tree_flows(&p, &tree, packets_per_edge, round_ns);
+    assert_eq!(flows.len() as u64, p.server_count() - 1);
+
+    let report = PacketSim::new(&topo, cfg).run(&flows).unwrap();
+    assert_eq!(report.dropped, 0, "dissemination must be lossless");
+    assert_eq!(
+        report.delivered,
+        (p.server_count() - 1) * packets_per_edge
+    );
+    // Completion is bounded by depth rounds plus slack for contention.
+    let bound = u64::from(tree.depth()) * round_ns * 2;
+    assert!(
+        report.makespan_ns <= bound,
+        "makespan {} exceeds {} (depth {})",
+        report.makespan_ns,
+        bound,
+        tree.depth()
+    );
+}
+
+#[test]
+fn broadcast_beats_naive_unicast_star_in_sender_load() {
+    // The tree sends N−1 messages spread over the fabric; a unicast star
+    // pushes N−1 full transfers through the source's h NICs. Compare the
+    // source's transmitted packet count.
+    let p = AbcccParams::new(3, 1, 2).unwrap();
+    let tree = broadcast::one_to_all(&p, NodeId(0)).unwrap();
+    let mut tree_src_sends = 0u64;
+    for raw in 0..p.server_count() {
+        let id = NodeId(raw as u32);
+        if id != NodeId(0) && tree.contains(id) {
+            if let Some((parent, _)) = tree.parent(id) {
+                if parent == NodeId(0) {
+                    tree_src_sends += 1;
+                }
+            }
+        }
+    }
+    let unicast_src_sends = p.server_count() - 1;
+    // Direct children: up to m−1 via the crossbar plus n−1 per owned level.
+    let child_bound =
+        u64::from(p.group_size() - 1) + u64::from(p.h() - 1) * u64::from(p.n() - 1);
+    assert!(
+        tree_src_sends <= child_bound,
+        "tree source fan-out {tree_src_sends} exceeds the structural bound {child_bound}"
+    );
+    assert!(tree_src_sends < unicast_src_sends / 2);
+}
+
+#[test]
+fn aggregation_schedule_is_packet_feasible() {
+    // Run the aggregation rounds deepest-first as packet flows; every
+    // partial result reaches the root losslessly.
+    let p = AbcccParams::new(2, 2, 2).unwrap(); // 24 servers
+    let topo = Abccc::new(p).unwrap();
+    let root = NodeId(3);
+    let tree = broadcast::one_to_all(&p, root).unwrap();
+    let rounds = tree.aggregation_rounds();
+    let cfg = PacketSimConfig {
+        buffer_packets: 256,
+        ..Default::default()
+    };
+    let round_ns = 40 * cfg.tx_time_ns();
+    let mut flows = Vec::new();
+    for (i, round) in rounds.iter().enumerate() {
+        for &node in round {
+            let (parent, _) = tree.parent(node).unwrap();
+            flows.push(FlowSpec {
+                src: node,
+                dst: parent,
+                packets: 5,
+                start_ns: i as u64 * round_ns,
+                gap_ns: None,
+            });
+        }
+    }
+    let report = PacketSim::new(&topo, cfg).run(&flows).unwrap();
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.delivered, (p.server_count() - 1) * 5);
+}

@@ -1,0 +1,77 @@
+//! Cross-crate structural identities: the ABCCC family must degenerate to
+//! its two published endpoints *exactly* — same id layout, same link set —
+//! and the BCCC wrapper must be the `h = 2` member.
+
+use abccc::{Abccc, AbcccParams};
+use dcn_baselines::{BCube, BCubeParams, Bccc, BcccParams};
+use netgraph::Topology;
+
+fn assert_same_network(a: &netgraph::Network, b: &netgraph::Network) {
+    assert_eq!(a.server_count(), b.server_count());
+    assert_eq!(a.switch_count(), b.switch_count());
+    assert_eq!(a.link_count(), b.link_count());
+    for link in a.links() {
+        assert!(
+            b.find_link(link.a, link.b).is_some(),
+            "link {} – {} missing",
+            link.a,
+            link.b
+        );
+    }
+}
+
+#[test]
+fn abccc_h2_is_bccc() {
+    for (n, k) in [(2, 1), (2, 2), (3, 1), (3, 2), (4, 1), (4, 2)] {
+        let a = Abccc::new(AbcccParams::new(n, k, 2).unwrap()).unwrap();
+        let b = Bccc::new(BcccParams::new(n, k).unwrap()).unwrap();
+        assert_same_network(a.network(), b.network());
+    }
+}
+
+#[test]
+fn abccc_hk2_is_bcube() {
+    for (n, k) in [(2, 1), (2, 2), (3, 1), (3, 2), (4, 1), (4, 2), (2, 3)] {
+        let a = Abccc::new(AbcccParams::new(n, k, k + 2).unwrap()).unwrap();
+        let b = BCube::new(BCubeParams::new(n, k).unwrap()).unwrap();
+        assert_same_network(a.network(), b.network());
+    }
+}
+
+#[test]
+fn oversized_h_also_degenerates_to_bcube() {
+    // Any h ≥ k + 2 gives group size 1; extra ports simply stay unused.
+    let a = Abccc::new(AbcccParams::new(3, 1, 8).unwrap()).unwrap();
+    let b = BCube::new(BCubeParams::new(3, 1).unwrap()).unwrap();
+    assert_same_network(a.network(), b.network());
+}
+
+#[test]
+fn abccc_routing_agrees_with_bcube_routing_at_the_endpoint() {
+    let pa = AbcccParams::new(3, 2, 4).unwrap();
+    let a = Abccc::new(pa).unwrap();
+    let b = BCube::new(BCubeParams::new(3, 2).unwrap()).unwrap();
+    for s in 0..pa.server_count() {
+        for d in (0..pa.server_count()).step_by(7) {
+            let (s, d) = (netgraph::NodeId(s as u32), netgraph::NodeId(d as u32));
+            let ra = a.route(s, d).unwrap();
+            let rb = b.route(s, d).unwrap();
+            // Same length always (both shortest); same node sequence when
+            // the correction orders coincide (ascending == cyclic at m=1).
+            assert_eq!(ra.server_hops(a.network()), rb.server_hops(b.network()));
+        }
+    }
+}
+
+#[test]
+fn bccc_diameter_formula_is_2k_plus_2() {
+    for (n, k) in [(2, 1), (2, 2), (3, 1), (4, 2)] {
+        let p = BcccParams::new(n, k).unwrap();
+        assert_eq!(p.diameter(), 2 * u64::from(k) + 2);
+        let t = Bccc::new(p).unwrap();
+        assert_eq!(
+            netgraph::bfs::server_diameter(t.network()),
+            Some(2 * k + 2)
+        );
+    }
+}

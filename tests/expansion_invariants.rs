@@ -1,0 +1,81 @@
+//! Property tests for incremental expansion: the grown network must embed
+//! the old one exactly, the bill of materials must add up, and legacy
+//! hardware must never be touched.
+
+use abccc::{expansion, Abccc, AbcccParams, ExpansionStep};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = AbcccParams> {
+    (2u32..=4, 1u32..=2, 2u32..=4)
+        .prop_map(|(n, k, h)| AbcccParams::new(n, k, h).expect("valid"))
+        .prop_filter("grown size materializable", |p| {
+            p.grown().map(|g| g.server_count() <= 2000).unwrap_or(false)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grown_network_embeds_old_exactly(p in params_strategy()) {
+        let old = Abccc::new(p).expect("build");
+        let new = Abccc::new(p.grown().expect("grow")).expect("build");
+        prop_assert!(expansion::verify_embedding(&old, &new).is_ok(),
+            "{:?}", expansion::verify_embedding(&old, &new));
+    }
+
+    #[test]
+    fn ledger_is_consistent(p in params_strategy()) {
+        let s = ExpansionStep::grow_order(p).expect("plan");
+        prop_assert!(s.legacy_untouched());
+        prop_assert_eq!(s.new_servers, s.to.server_count() - p.server_count());
+        prop_assert_eq!(s.new_cables, s.to.wire_count() - p.wire_count());
+        prop_assert_eq!(
+            s.new_crossbar_switches + s.new_level_switches,
+            s.to.switch_count() - p.switch_count()
+        );
+        // Exactly one class of legacy port is used per step, once per
+        // legacy cube label.
+        prop_assert_eq!(
+            s.legacy_server_ports_newly_used + s.legacy_crossbar_ports_newly_used,
+            p.label_space()
+        );
+    }
+
+    #[test]
+    fn multi_step_schedules_chain(p in params_strategy()) {
+        let plan = ExpansionStep::schedule(p, 2).expect("plan");
+        prop_assert_eq!(plan.len(), 2);
+        prop_assert_eq!(plan[0].from, p);
+        prop_assert_eq!(plan[0].to, plan[1].from);
+        prop_assert_eq!(plan[1].to.k(), p.k() + 2);
+        // Growth is strictly monotone in servers and switches.
+        for s in &plan {
+            prop_assert!(s.to.server_count() > s.from.server_count());
+            prop_assert!(s.new_cables > 0);
+        }
+    }
+
+    #[test]
+    fn diameter_growth_is_gentle(p in params_strategy()) {
+        // One order step adds at most 2 to the diameter (one new level
+        // crossing plus at most one extra group move) — except at the
+        // BCube→crossbar transition (m: 1 → 2), where the `+m` term enters
+        // the formula for the first time and the step is +3.
+        let g = p.grown().expect("grow");
+        prop_assert!(g.diameter() >= p.diameter());
+        let bound = if p.group_size() == 1 && g.group_size() == 2 { 3 } else { 2 };
+        prop_assert!(g.diameter() <= p.diameter() + bound);
+    }
+}
+
+#[test]
+fn embedding_detects_tampering() {
+    // Sanity for the verifier itself: a network that is *not* the grown
+    // version must be rejected.
+    let old = Abccc::new(AbcccParams::new(2, 1, 2).unwrap()).unwrap();
+    let wrong_h = Abccc::new(AbcccParams::new(2, 2, 3).unwrap()).unwrap();
+    assert!(expansion::verify_embedding(&old, &wrong_h).is_err());
+    let wrong_n = Abccc::new(AbcccParams::new(3, 2, 2).unwrap()).unwrap();
+    assert!(expansion::verify_embedding(&old, &wrong_n).is_err());
+}

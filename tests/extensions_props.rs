@@ -1,0 +1,125 @@
+//! Property tests for the extension features: broadcast trees, hop-by-hop
+//! forwarding, VLB routing — over randomized parameters.
+
+use abccc::{broadcast, forwarding, routing, vlb, Abccc, AbcccParams, PermStrategy, ServerAddr};
+use netgraph::{NodeId, Topology};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn params_strategy() -> impl Strategy<Value = AbcccParams> {
+    (2u32..=4, 1u32..=3, 2u32..=4)
+        .prop_map(|(n, k, h)| AbcccParams::new(n, k, h).expect("valid"))
+        .prop_filter("materializable", |p| p.server_count() <= 400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn broadcast_tree_spans_and_stays_near_optimal(
+        p in params_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let topo = Abccc::new(p).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let src = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        let tree = broadcast::one_to_all(&p, src).expect("tree");
+        prop_assert!(tree.validate(&p).is_ok());
+        prop_assert_eq!(tree.member_count() as u64, p.server_count());
+        let ecc = netgraph::bfs::server_eccentricity(topo.network(), src).expect("connected");
+        prop_assert!(tree.depth() >= ecc);
+        prop_assert!(tree.depth() <= ecc + 2);
+    }
+
+    #[test]
+    fn one_to_many_reaches_exactly_its_destinations(
+        p in params_strategy(),
+        seed in any::<u64>(),
+        count in 1usize..12,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let src = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        let dests: Vec<NodeId> = (0..count)
+            .map(|_| NodeId(rng.gen_range(0..p.server_count()) as u32))
+            .collect();
+        let tree = broadcast::one_to_many(&p, src, &dests).expect("tree");
+        prop_assert!(tree.validate(&p).is_ok());
+        for &d in &dests {
+            prop_assert!(tree.contains(d));
+        }
+        // Leaves are all destinations (no dangling branches).
+        let mut needed: std::collections::HashSet<NodeId> = dests.iter().copied().collect();
+        needed.insert(src);
+        let mut interior = std::collections::HashSet::new();
+        for raw in 0..p.server_count() {
+            let id = NodeId(raw as u32);
+            if tree.contains(id) {
+                if let Some((par, _)) = tree.parent(id) {
+                    interior.insert(par);
+                }
+            }
+        }
+        for raw in 0..p.server_count() {
+            let id = NodeId(raw as u32);
+            if tree.contains(id) && !interior.contains(&id) {
+                prop_assert!(needed.contains(&id), "leaf {id} is not a destination");
+            }
+        }
+    }
+
+    #[test]
+    fn forwarding_replays_every_strategy(
+        p in params_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for strat in [
+            PermStrategy::DestinationAware,
+            PermStrategy::Ascending,
+            PermStrategy::Greedy,
+            PermStrategy::Random(seed),
+        ] {
+            let s = ServerAddr::from_node_id(
+                &p,
+                NodeId(rng.gen_range(0..p.server_count()) as u32),
+            );
+            let d = ServerAddr::from_node_id(
+                &p,
+                NodeId(rng.gen_range(0..p.server_count()) as u32),
+            );
+            let control = routing::route_addrs(&p, s, d, &strat);
+            let header = forwarding::ForwardingHeader::new(&p, s, d, &strat);
+            let data = forwarding::forward(&p, s, header).expect("forward");
+            prop_assert_eq!(control.nodes(), &data[..]);
+        }
+    }
+
+    #[test]
+    fn vlb_routes_always_valid(p in params_strategy(), seed in any::<u64>()) {
+        let topo = Abccc::new(p).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            if s == d {
+                continue;
+            }
+            let r = vlb::route_vlb_ids(&p, s, d, &mut rng).expect("route");
+            prop_assert!(r.validate(topo.network(), None).is_ok());
+            prop_assert!(routing::hops(&r) as u64 <= 2 * p.diameter());
+        }
+    }
+
+    #[test]
+    fn aggregation_rounds_cover_all_servers(
+        p in params_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let root = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        let tree = broadcast::one_to_all(&p, root).expect("tree");
+        let rounds = tree.aggregation_rounds();
+        let total: usize = rounds.iter().map(Vec::len).sum();
+        prop_assert_eq!(total as u64, p.server_count() - 1);
+    }
+}

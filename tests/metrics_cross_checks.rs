@@ -1,0 +1,127 @@
+//! Cross-checks between closed-form metrics and brute-force graph
+//! computation, for every family — the internal-consistency safety net of
+//! this reproduction (the paper body was unavailable; see DESIGN.md).
+
+use abccc::{Abccc, AbcccParams};
+use dcn_baselines::*;
+use dcn_metrics::{bisection, CostModel, TopologyStats};
+use netgraph::Topology;
+
+#[test]
+fn abccc_diameter_formula_vs_bfs_wide_sweep() {
+    for n in [2, 3] {
+        for k in 1..=3u32 {
+            for h in 2..=(k + 3) {
+                let p = AbcccParams::new(n, k, h).unwrap();
+                if p.server_count() > 700 {
+                    continue;
+                }
+                let t = Abccc::new(p).unwrap();
+                assert_eq!(
+                    netgraph::bfs::server_diameter(t.network()),
+                    Some(p.diameter() as u32),
+                    "{p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn abccc_bisection_formula_vs_maxflow() {
+    for (n, k, h) in [(2, 1, 2), (2, 2, 2), (2, 2, 3), (2, 3, 3), (4, 1, 2), (4, 1, 3)] {
+        let p = AbcccParams::new(n, k, h).unwrap();
+        let t = Abccc::new(p).unwrap();
+        assert_eq!(
+            bisection::exact_bisection_by_id(t.network()),
+            p.bisection_width().unwrap(),
+            "{p}"
+        );
+    }
+}
+
+#[test]
+fn baseline_diameters() {
+    let bc = BCube::new(BCubeParams::new(3, 2).unwrap()).unwrap();
+    assert_eq!(netgraph::bfs::server_diameter(bc.network()), Some(3));
+    let hc = Hypercube::new(HypercubeParams::new(3, 2).unwrap()).unwrap();
+    assert_eq!(netgraph::bfs::server_diameter(hc.network()), Some(2));
+    let ft = FatTree::new(FatTreeParams::new(4).unwrap()).unwrap();
+    assert_eq!(netgraph::bfs::server_diameter(ft.network()), Some(1));
+    let dc = DCell::new(DCellParams::new(2, 2).unwrap()).unwrap();
+    let d = netgraph::bfs::server_diameter(dc.network()).unwrap();
+    assert!(u64::from(d) <= DCellParams::new(2, 2).unwrap().diameter_bound());
+}
+
+#[test]
+fn odd_n_bisection_is_between_halves() {
+    // No closed form for odd n; the exact cut must lie within the obvious
+    // envelope floor/ceil of n^(k+1)/2.
+    let p = AbcccParams::new(3, 1, 2).unwrap();
+    assert_eq!(p.bisection_width(), None);
+    let t = Abccc::new(p).unwrap();
+    let cut = bisection::exact_bisection_by_id(t.network());
+    let labels = p.label_space();
+    assert!(cut >= labels / 3, "cut {cut} too small");
+    assert!(cut <= labels, "cut {cut} too large");
+}
+
+#[test]
+fn apl_is_below_diameter_and_above_one() {
+    for (n, k, h) in [(3, 1, 2), (2, 2, 3), (4, 1, 4)] {
+        let p = AbcccParams::new(n, k, h).unwrap();
+        let t = Abccc::new(p).unwrap();
+        let stats = TopologyStats::measure(&t);
+        let apl = stats.avg_path_length.unwrap();
+        assert!(apl > 1.0, "{p}: {apl}");
+        assert!(apl <= p.diameter() as f64, "{p}: {apl}");
+    }
+}
+
+#[test]
+fn cost_ordering_matches_the_paper_narrative() {
+    // At comparable server counts: BCCC/ABCCC(h=2) cheapest per server,
+    // then ABCCC h=3, then BCube, with the generalized hypercube far out.
+    let cost = CostModel::default();
+    let per_server = |stats: TopologyStats| cost.capex(&stats).per_server();
+    let h2 = per_server(TopologyStats::quick(
+        &Abccc::new(AbcccParams::new(4, 3, 2).unwrap()).unwrap(),
+    ));
+    let h3 = per_server(TopologyStats::quick(
+        &Abccc::new(AbcccParams::new(4, 3, 3).unwrap()).unwrap(),
+    ));
+    let bcube = per_server(TopologyStats::quick(
+        &BCube::new(BCubeParams::new(4, 4).unwrap()).unwrap(),
+    ));
+    let ghc = per_server(TopologyStats::quick(
+        &Hypercube::new(HypercubeParams::new(4, 5).unwrap()).unwrap(),
+    ));
+    assert!(h2 < h3, "h2 {h2} vs h3 {h3}");
+    assert!(h3 < bcube, "h3 {h3} vs bcube {bcube}");
+    assert!(bcube < ghc, "bcube {bcube} vs ghc {ghc}");
+}
+
+#[test]
+fn quick_stats_equal_closed_forms_across_families() {
+    let p = BCubeParams::new(4, 2).unwrap();
+    let s = TopologyStats::quick(&BCube::new(p).unwrap());
+    assert_eq!(s.servers, p.server_count());
+    assert_eq!(s.switches, p.switch_count());
+    assert_eq!(s.wires, p.wire_count());
+
+    let fp = FatTreeParams::new(6).unwrap();
+    let fs = TopologyStats::quick(&FatTree::new(fp).unwrap());
+    assert_eq!(fs.servers, fp.server_count());
+    assert_eq!(fs.switches, fp.switch_count());
+    assert_eq!(fs.wires, fp.wire_count());
+
+    let dp = DCellParams::new(3, 2).unwrap();
+    let ds = TopologyStats::quick(&DCell::new(dp.clone()).unwrap());
+    assert_eq!(ds.servers, dp.server_count());
+    assert_eq!(ds.wires, dp.wire_count());
+
+    let hp = HypercubeParams::new(3, 3).unwrap();
+    let hs = TopologyStats::quick(&Hypercube::new(hp).unwrap());
+    assert_eq!(hs.servers, hp.server_count());
+    assert_eq!(hs.wires, hp.wire_count());
+}

@@ -1,0 +1,103 @@
+//! Property tests for ABCCC routing: validity, optimality, symmetry and
+//! strategy-independence of correctness over randomized parameters and
+//! endpoint pairs.
+
+use abccc::{routing, Abccc, AbcccParams, PermStrategy, ServerAddr};
+use netgraph::{NodeId, Topology};
+use proptest::prelude::*;
+
+/// Small-but-varied parameterizations (≤ ~600 servers when materialized).
+fn params_strategy() -> impl Strategy<Value = AbcccParams> {
+    (2u32..=4, 1u32..=3, 2u32..=5)
+        .prop_map(|(n, k, h)| AbcccParams::new(n, k, h).expect("valid"))
+        .prop_filter("materializable", |p| p.server_count() <= 600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn routes_are_valid_and_optimal(p in params_strategy(), seed in any::<u64>()) {
+        let topo = Abccc::new(p).expect("build");
+        let net = topo.network();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let sa = ServerAddr::from_node_id(&p, s);
+            let da = ServerAddr::from_node_id(&p, d);
+            let route = topo.route(s, d).expect("route");
+            prop_assert!(route.validate(net, None).is_ok());
+            prop_assert_eq!(route.src(), s);
+            prop_assert_eq!(route.dst(), d);
+            let bfs = netgraph::bfs::server_hop_distances(net, s, None);
+            prop_assert_eq!(
+                routing::hops(&route) as u64,
+                u64::from(bfs[d.index()]),
+                "not shortest for {} -> {}", sa.display(&p), da.display(&p)
+            );
+            prop_assert_eq!(routing::distance(&p, sa, da), u64::from(bfs[d.index()]));
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric(p in params_strategy(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rand_addr = |rng: &mut rand::rngs::StdRng| {
+            ServerAddr::from_node_id(&p, NodeId(rng.gen_range(0..p.server_count()) as u32))
+        };
+        for _ in 0..24 {
+            let a = rand_addr(&mut rng);
+            let b = rand_addr(&mut rng);
+            let c = rand_addr(&mut rng);
+            let dab = routing::distance(&p, a, b);
+            // identity & symmetry
+            prop_assert_eq!(routing::distance(&p, a, a), 0);
+            prop_assert_eq!(dab, routing::distance(&p, b, a));
+            prop_assert!(dab <= p.diameter());
+            // triangle inequality
+            prop_assert!(dab <= routing::distance(&p, a, c) + routing::distance(&p, c, b));
+            if a != b {
+                prop_assert!(dab >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_route_correctly(p in params_strategy(), seed in any::<u64>()) {
+        let topo = Abccc::new(p).expect("build");
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            let sa = ServerAddr::from_node_id(&p, s);
+            let da = ServerAddr::from_node_id(&p, d);
+            let optimal = routing::distance(&p, sa, da);
+            for strat in PermStrategy::all() {
+                let r = routing::route_addrs(&p, sa, da, &strat);
+                prop_assert!(r.validate(topo.network(), None).is_ok(), "{}", strat.label());
+                // Every strategy is within the trivial worst case …
+                prop_assert!(routing::hops(&r) as u64 <= 2 * u64::from(p.levels()) + 1);
+                // … and never better than optimal.
+                prop_assert!(routing::hops(&r) as u64 >= optimal);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_detour_router_equals_primary(p in params_strategy(), seed in any::<u64>()) {
+        let topo = Abccc::new(p).expect("build");
+        let mask = netgraph::FaultMask::new(topo.network());
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
+        prop_assert_eq!(
+            topo.route_avoiding(s, d, &mask).expect("route"),
+            topo.route(s, d).expect("route")
+        );
+    }
+}

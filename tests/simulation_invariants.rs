@@ -1,0 +1,127 @@
+//! Cross-crate simulator invariants: conservation laws of the flow-level
+//! allocator and the packet-level event loop, on randomized topologies and
+//! workloads.
+
+use abccc::{Abccc, AbcccParams};
+use flowsim::{DirectedLink, FlowSim};
+use netgraph::Topology;
+use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn params_strategy() -> impl Strategy<Value = AbcccParams> {
+    (2u32..=4, 1u32..=2, 2u32..=4)
+        .prop_map(|(n, k, h)| AbcccParams::new(n, k, h).expect("valid"))
+        .prop_filter("materializable", |p| p.server_count() <= 300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn maxmin_never_oversubscribes(p in params_strategy(), seed in any::<u64>()) {
+        let topo = Abccc::new(p).expect("build");
+        let net = topo.network();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = net.server_count();
+        let pairs = dcn_workloads::traffic::uniform_random(n, 2 * n, &mut rng);
+        let report = FlowSim::new(&topo).run(&pairs).expect("run");
+
+        // Re-derive per-directed-link load and check against capacity.
+        let mut load = vec![0.0f64; net.link_count() * 2];
+        for (&(s, d), rate) in pairs.iter().zip(&report.rates) {
+            if !rate.is_finite() {
+                continue;
+            }
+            let route = topo.route(s, d).expect("route");
+            for dl in DirectedLink::of_route(net, &route) {
+                load[dl.index()] += rate;
+            }
+        }
+        for (i, l) in load.iter().enumerate() {
+            let cap = net.link(netgraph::LinkId((i / 2) as u32)).capacity;
+            prop_assert!(*l <= cap + 1e-6, "directed link {i} carries {l} > {cap}");
+        }
+        // Max-min specific: every flow is bottlenecked somewhere (its rate
+        // cannot be raised without a saturated link on its path).
+        for (&(s, d), rate) in pairs.iter().zip(&report.rates) {
+            if !rate.is_finite() {
+                continue;
+            }
+            let route = topo.route(s, d).expect("route");
+            let bottlenecked = DirectedLink::of_route(net, &route).iter().any(|dl| {
+                let cap = net.link(dl.link).capacity;
+                load[dl.index()] >= cap - 1e-6
+            });
+            prop_assert!(bottlenecked, "flow {s}->{d} at {rate} has slack everywhere");
+        }
+    }
+
+    #[test]
+    fn packetsim_conserves_packets(p in params_strategy(), seed in any::<u64>()) {
+        let topo = Abccc::new(p).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = topo.network().server_count();
+        let flows: Vec<FlowSpec> = (0..8)
+            .map(|_| {
+                let s = rng.gen_range(0..n) as u32;
+                let d = loop {
+                    let d = rng.gen_range(0..n) as u32;
+                    if d != s {
+                        break d;
+                    }
+                };
+                FlowSpec::bulk(netgraph::NodeId(s), netgraph::NodeId(d), 30)
+            })
+            .collect();
+        let offered: u64 = flows.iter().map(|f| f.packets).sum();
+        let cfg = PacketSimConfig { buffer_packets: 4, ..Default::default() };
+        let report = PacketSim::new(&topo, cfg).run(&flows).expect("run");
+        prop_assert_eq!(report.delivered + report.dropped, offered);
+        prop_assert!(report.p50_latency_ns <= report.p99_latency_ns);
+        prop_assert!(report.p99_latency_ns <= report.max_latency_ns);
+        prop_assert!(report.makespan_ns >= report.max_latency_ns);
+    }
+
+    #[test]
+    fn flow_and_packet_sims_agree_on_feasibility(p in params_strategy(), seed in any::<u64>()) {
+        // If max-min gives every flow a positive rate, the packet sim with
+        // generous buffers must deliver everything.
+        let topo = Abccc::new(p).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = topo.network().server_count();
+        let pairs = dcn_workloads::traffic::random_permutation(n, &mut rng);
+        let sample = &pairs[..8.min(pairs.len())];
+        let flow = FlowSim::new(&topo).run(sample).expect("run");
+        prop_assert!(flow.min_rate > 0.0);
+        let specs: Vec<FlowSpec> = sample
+            .iter()
+            .map(|&(s, d)| FlowSpec::bulk(s, d, 20))
+            .collect();
+        let cfg = PacketSimConfig { buffer_packets: 4096, ..Default::default() };
+        let pkt = PacketSim::new(&topo, cfg).run(&specs).expect("run");
+        prop_assert_eq!(pkt.dropped, 0);
+        prop_assert_eq!(pkt.delivered, specs.len() as u64 * 20);
+    }
+}
+
+#[test]
+fn flowsim_works_on_every_family() {
+    use dcn_baselines::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(Abccc::new(AbcccParams::new(3, 1, 2).unwrap()).unwrap()),
+        Box::new(Bccc::new(BcccParams::new(3, 1).unwrap()).unwrap()),
+        Box::new(BCube::new(BCubeParams::new(3, 1).unwrap()).unwrap()),
+        Box::new(DCell::new(DCellParams::new(3, 1).unwrap()).unwrap()),
+        Box::new(FatTree::new(FatTreeParams::new(4).unwrap()).unwrap()),
+        Box::new(Hypercube::new(HypercubeParams::new(3, 2).unwrap()).unwrap()),
+    ];
+    for topo in &topos {
+        let n = topo.network().server_count();
+        let pairs = dcn_workloads::traffic::random_permutation(n, &mut rng);
+        let report = FlowSim::new(topo.as_ref()).run(&pairs).expect("run");
+        assert!(report.min_rate > 0.0, "{}", topo.name());
+        assert_eq!(report.flows, n, "{}", topo.name());
+    }
+}
