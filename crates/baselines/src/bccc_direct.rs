@@ -103,8 +103,16 @@ mod tests {
             let direct = build_bccc_direct(n, k).unwrap();
             let via_abccc = Bccc::new(BcccParams::new(n, k).unwrap()).unwrap();
             let reference = via_abccc.network();
-            assert_eq!(direct.server_count(), reference.server_count(), "BCCC({n},{k})");
-            assert_eq!(direct.switch_count(), reference.switch_count(), "BCCC({n},{k})");
+            assert_eq!(
+                direct.server_count(),
+                reference.server_count(),
+                "BCCC({n},{k})"
+            );
+            assert_eq!(
+                direct.switch_count(),
+                reference.switch_count(),
+                "BCCC({n},{k})"
+            );
             assert_eq!(direct.link_count(), reference.link_count(), "BCCC({n},{k})");
             // Same id layout ⇒ identical adjacency, link for link.
             for link in direct.links() {

@@ -307,14 +307,16 @@ mod tests {
     fn routing_is_shortest() {
         let p = BCubeParams::new(3, 2).unwrap();
         let t = BCube::new(p).unwrap();
+        let engine = netgraph::DistanceEngine::new(t.network());
+        let mut scratch = netgraph::BfsScratch::new();
         for s in 0..p.server_count() {
             let src = NodeId(s as u32);
-            let bfs = netgraph::bfs::server_hop_distances(t.network(), src, None);
+            engine.distances_into(src, &mut scratch);
             for d in (0..p.server_count()).step_by(5) {
                 let dst = NodeId(d as u32);
                 let r = t.route(src, dst).unwrap();
                 r.validate(t.network(), None).unwrap();
-                assert_eq!(r.server_hops(t.network()) as u32, bfs[dst.index()]);
+                assert_eq!(r.server_hops(t.network()) as u32, scratch.dist[dst.index()]);
             }
         }
     }

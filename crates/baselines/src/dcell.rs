@@ -39,12 +39,12 @@ impl DCellParams {
         let mut t = vec![u64::from(n)];
         for _ in 0..k {
             let prev = *t.last().expect("non-empty");
-            let next = prev.checked_mul(prev + 1).ok_or_else(|| {
-                NetworkError::InvalidParameter {
-                    name: "k",
-                    reason: format!("DCell({n},{k}) size overflows u64"),
-                }
-            })?;
+            let next =
+                prev.checked_mul(prev + 1)
+                    .ok_or_else(|| NetworkError::InvalidParameter {
+                        name: "k",
+                        reason: format!("DCell({n},{k}) size overflows u64"),
+                    })?;
             if next > u64::from(u32::MAX) {
                 return Err(NetworkError::InvalidParameter {
                     name: "k",
@@ -190,7 +190,8 @@ impl DCell {
         let mut level = 0;
         for l in (1..=self.params.k).rev() {
             let tl = self.params.t(l);
-            if a / tl == b / tl && (a % tl) / self.params.t(l - 1) != (b % tl) / self.params.t(l - 1)
+            if a / tl == b / tl
+                && (a % tl) / self.params.t(l - 1) != (b % tl) / self.params.t(l - 1)
             {
                 level = l;
                 break;
@@ -310,7 +311,11 @@ mod tests {
             let dst = NodeId(d as u32);
             let r = t.route(src, dst).unwrap();
             let got = r.server_hops(t.network()) as u32;
-            assert!(got <= bfs[dst.index()] + 2, "{d}: {got} vs {}", bfs[dst.index()]);
+            assert!(
+                got <= bfs[dst.index()] + 2,
+                "{d}: {got} vs {}",
+                bfs[dst.index()]
+            );
         }
     }
 

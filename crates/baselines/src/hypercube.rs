@@ -72,7 +72,9 @@ impl HypercubeParams {
 
     /// Bisection width in links for even `n`: `n^(d-1) · n²/4 = N·n/4`.
     pub fn bisection_width(&self) -> Option<u64> {
-        self.n.is_multiple_of(2).then(|| self.server_count() * u64::from(self.n) / 4)
+        self.n
+            .is_multiple_of(2)
+            .then(|| self.server_count() * u64::from(self.n) / 4)
     }
 
     fn digit(&self, label: u64, i: u32) -> u32 {

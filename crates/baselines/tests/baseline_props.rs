@@ -18,14 +18,16 @@ proptest! {
         let p = BCubeParams::new(n, k).expect("params");
         prop_assume!(p.server_count() <= 300);
         let t = BCube::new(p).expect("build");
+        let engine = netgraph::DistanceEngine::new(t.network());
+        let mut scratch = netgraph::BfsScratch::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..12 {
             let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
             let d = NodeId(rng.gen_range(0..p.server_count()) as u32);
             let r = t.route(s, d).expect("route");
             prop_assert!(r.validate(t.network(), None).is_ok());
-            let bfs = netgraph::bfs::server_hop_distances(t.network(), s, None);
-            prop_assert_eq!(r.server_hops(t.network()) as u32, bfs[d.index()]);
+            engine.distances_into(s, &mut scratch);
+            prop_assert_eq!(r.server_hops(t.network()) as u32, scratch.dist[d.index()]);
         }
     }
 
@@ -98,14 +100,16 @@ proptest! {
         let p = HypercubeParams::new(n, d).expect("params");
         prop_assume!(p.server_count() <= 256);
         let t = Hypercube::new(p).expect("build");
+        let engine = netgraph::DistanceEngine::new(t.network());
+        let mut scratch = netgraph::BfsScratch::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..12 {
             let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
             let dst = NodeId(rng.gen_range(0..p.server_count()) as u32);
             let r = t.route(s, dst).expect("route");
             prop_assert!(r.validate(t.network(), None).is_ok());
-            let bfs = netgraph::bfs::server_hop_distances(t.network(), s, None);
-            prop_assert_eq!(r.server_hops(t.network()) as u32, bfs[dst.index()]);
+            engine.distances_into(s, &mut scratch);
+            prop_assert_eq!(r.server_hops(t.network()) as u32, scratch.dist[dst.index()]);
         }
     }
 

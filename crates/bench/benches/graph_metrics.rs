@@ -13,8 +13,20 @@ fn bench_graph_metrics(c: &mut Criterion) {
     g.bench_function("bfs_single_source_192srv", |b| {
         b.iter(|| netgraph::bfs::server_hop_distances(topo.network(), netgraph::NodeId(0), None))
     });
+    g.bench_function("bfs_single_source_scratch_192srv", |b| {
+        let engine = netgraph::DistanceEngine::new(topo.network());
+        let mut scratch = netgraph::BfsScratch::new();
+        b.iter(|| engine.distances_into(netgraph::NodeId(0), &mut scratch))
+    });
     g.bench_function("diameter_exact_192srv", |b| {
         b.iter(|| netgraph::bfs::server_diameter(topo.network()).expect("connected"))
+    });
+    g.bench_function("all_pairs_fused_192srv", |b| {
+        b.iter(|| {
+            netgraph::DistanceEngine::new(topo.network())
+                .all_pairs()
+                .expect("connected")
+        })
     });
     g.bench_function("bisection_maxflow_192srv", |b| {
         b.iter(|| dcn_metrics::bisection::exact_bisection_by_id(topo.network()))

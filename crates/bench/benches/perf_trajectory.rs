@@ -1,0 +1,212 @@
+//! Before/after perf harness for the CSR + fused distance engine.
+//!
+//! Benchmarks three phases — network construction, single-source
+//! server-hop BFS, and the all-pairs measure (diameter + average path
+//! length) — against a faithful reconstruction of the seed
+//! implementation: `Vec<Vec<_>>` adjacency, a fresh distance vector per
+//! source, statically chunked threads, and one full sweep *per metric*.
+//!
+//! Results are written machine-readable to
+//! `bench_results/perf_trajectory.json` (relative to the workspace root),
+//! including the seed→engine speedup per phase.
+
+use abccc::{Abccc, AbcccParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgraph::{BfsScratch, DistanceEngine, LinkId, Network, NodeId, Topology};
+use serde::Value;
+use std::collections::VecDeque;
+
+/// The pre-CSR implementation, reconstructed for an honest baseline.
+mod seed_reference {
+    use super::*;
+
+    /// Seed adjacency: one heap vector per node.
+    pub struct VecAdj {
+        adj: Vec<Vec<(NodeId, LinkId)>>,
+        servers: Vec<NodeId>,
+        is_server: Vec<bool>,
+    }
+
+    impl VecAdj {
+        pub fn new(net: &Network) -> Self {
+            let mut adj = vec![Vec::new(); net.node_count()];
+            for (i, l) in net.links().iter().enumerate() {
+                let id = LinkId(i as u32);
+                adj[l.a.index()].push((l.b, id));
+                adj[l.b.index()].push((l.a, id));
+            }
+            VecAdj {
+                adj,
+                servers: net.server_ids().collect(),
+                is_server: net.node_ids().map(|n| net.is_server(n)).collect(),
+            }
+        }
+
+        /// Seed single-source 0–1 BFS: allocates a fresh distance vector.
+        pub fn server_hop_distances(&self, src: NodeId) -> Vec<u32> {
+            let mut dist = vec![u32::MAX; self.adj.len()];
+            dist[src.index()] = 0;
+            let mut dq = VecDeque::new();
+            dq.push_back(src);
+            while let Some(u) = dq.pop_front() {
+                let du = dist[u.index()];
+                for &(v, _) in &self.adj[u.index()] {
+                    let w = u32::from(self.is_server[v.index()]);
+                    let nd = du + w;
+                    if nd < dist[v.index()] {
+                        dist[v.index()] = nd;
+                        if w == 0 {
+                            dq.push_front(v);
+                        } else {
+                            dq.push_back(v);
+                        }
+                    }
+                }
+            }
+            dist
+        }
+
+        /// Seed parallel driver: static chunking, no work stealing.
+        fn for_each_server<T: Send, F: Fn(&[u32]) -> T + Sync>(&self, f: F) -> Vec<T> {
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .min(self.servers.len());
+            let chunk = self.servers.len().div_ceil(threads);
+            let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None)
+                .take(self.servers.len())
+                .collect();
+            let f = &f;
+            std::thread::scope(|scope| {
+                for (srv, slot) in self.servers.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (s, o) in srv.iter().zip(slot.iter_mut()) {
+                            *o = Some(f(&self.server_hop_distances(*s)));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|o| o.expect("slot filled")).collect()
+        }
+
+        /// Seed `TopologyStats::measure` hot path: one full all-pairs
+        /// sweep for the diameter, then a second for the APL.
+        pub fn two_pass_measure(&self) -> (u32, f64) {
+            let eccs = self.for_each_server(|dist| {
+                self.servers
+                    .iter()
+                    .map(|t| dist[t.index()])
+                    .max()
+                    .unwrap_or(0)
+            });
+            let diameter = eccs.into_iter().max().unwrap_or(0);
+            let sums = self.for_each_server(|dist| {
+                self.servers
+                    .iter()
+                    .map(|t| u64::from(dist[t.index()]))
+                    .sum::<u64>()
+            });
+            let n = self.servers.len() as f64;
+            let apl = sums.into_iter().sum::<u64>() as f64 / (n * (n - 1.0));
+            (diameter, apl)
+        }
+    }
+}
+
+fn bench_perf_trajectory(c: &mut Criterion) {
+    let params = AbcccParams::new(4, 2, 2).expect("params");
+    let topo = Abccc::new(params).expect("build");
+    let net = topo.network();
+    let reference = seed_reference::VecAdj::new(net);
+    // Cross-check before timing: both paths must agree exactly.
+    let (ref_diam, ref_apl) = reference.two_pass_measure();
+    let fused = DistanceEngine::new(net).all_pairs().expect("connected");
+    assert_eq!((ref_diam, ref_apl), (fused.diameter, fused.avg_path_length));
+
+    let mut g = c.benchmark_group("perf_trajectory");
+    g.sample_size(20);
+    g.bench_function("construction/abccc_4_2_2", |b| {
+        b.iter(|| Abccc::new(params).expect("build"))
+    });
+    g.bench_function("single_source/seed_vecadj_alloc", |b| {
+        b.iter(|| reference.server_hop_distances(NodeId(0)))
+    });
+    g.bench_function("single_source/engine_csr_scratch", |b| {
+        let engine = DistanceEngine::new(net);
+        let mut scratch = BfsScratch::new();
+        b.iter(|| engine.distances_into(NodeId(0), &mut scratch))
+    });
+    g.bench_function("all_pairs_measure/seed_two_pass", |b| {
+        b.iter(|| reference.two_pass_measure())
+    });
+    g.bench_function("all_pairs_measure/engine_fused", |b| {
+        b.iter(|| DistanceEngine::new(net).all_pairs().expect("connected"))
+    });
+    g.bench_function("all_pairs_measure/engine_fused_with_load", |b| {
+        b.iter(|| {
+            DistanceEngine::new(net)
+                .all_pairs_with_load()
+                .expect("connected")
+        })
+    });
+    g.finish();
+
+    write_json(c, net.server_count());
+}
+
+fn median_of<'m>(
+    ms: &'m [criterion::Measurement],
+    suffix: &str,
+) -> Option<&'m criterion::Measurement> {
+    ms.iter().find(|m| m.id.ends_with(suffix))
+}
+
+fn write_json(c: &mut Criterion, servers: usize) {
+    let ms = c.take_measurements();
+    let mut entries = Vec::new();
+    for m in &ms {
+        entries.push(Value::Map(vec![
+            ("id".to_string(), Value::Str(m.id.clone())),
+            ("median_ns".to_string(), Value::F64(m.median_ns)),
+            ("mean_ns".to_string(), Value::F64(m.mean_ns)),
+            ("iterations".to_string(), Value::U64(m.iterations)),
+        ]));
+    }
+    let mut speedups = Vec::new();
+    for (label, before, after) in [
+        (
+            "single_source_bfs",
+            "single_source/seed_vecadj_alloc",
+            "single_source/engine_csr_scratch",
+        ),
+        (
+            "all_pairs_measure",
+            "all_pairs_measure/seed_two_pass",
+            "all_pairs_measure/engine_fused",
+        ),
+    ] {
+        if let (Some(b), Some(a)) = (median_of(&ms, before), median_of(&ms, after)) {
+            speedups.push((label.to_string(), Value::F64(b.median_ns / a.median_ns)));
+        }
+    }
+    let doc = Value::Map(vec![
+        (
+            "topology".to_string(),
+            Value::Str("ABCCC(4,2,2)".to_string()),
+        ),
+        ("servers".to_string(), Value::U64(servers as u64)),
+        ("measurements".to_string(), Value::Seq(entries)),
+        ("speedups".to_string(), Value::Map(speedups)),
+    ]);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench_results");
+    std::fs::create_dir_all(&dir).expect("create bench_results/");
+    let path = dir.join("perf_trajectory.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("render"))
+        .expect("write perf_trajectory.json");
+    println!("\nwrote {}", path.display());
+}
+
+criterion_group!(benches, bench_perf_trajectory);
+criterion_main!(benches);

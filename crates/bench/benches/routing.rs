@@ -34,14 +34,18 @@ fn bench_routing(c: &mut Criterion) {
         PermStrategy::Ascending,
         PermStrategy::Random(7),
     ] {
-        g.bench_with_input(BenchmarkId::new("abccc_8192srv", strat.label()), &strat, |b, s| {
-            let mut i = 0;
-            b.iter(|| {
-                let (src, dst) = sample[i % sample.len()];
-                i += 1;
-                abccc::routing::route_ids(&p, src, dst, s).expect("route")
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("abccc_8192srv", strat.label()),
+            &strat,
+            |b, s| {
+                let mut i = 0;
+                b.iter(|| {
+                    let (src, dst) = sample[i % sample.len()];
+                    i += 1;
+                    abccc::routing::route_ids(&p, src, dst, s).expect("route")
+                })
+            },
+        );
     }
     g.finish();
 
@@ -66,7 +70,9 @@ fn bench_routing(c: &mut Criterion) {
     let mut mask = netgraph::FaultMask::new(topo.network());
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
     for _ in 0..topo.network().server_count() / 10 {
-        mask.fail_node(NodeId(rng.gen_range(0..topo.network().server_count()) as u32));
+        mask.fail_node(NodeId(
+            rng.gen_range(0..topo.network().server_count()) as u32
+        ));
     }
     g.bench_function("broadcast_one_to_all_192srv", |b| {
         b.iter(|| abccc::broadcast::one_to_all(&small, NodeId(0)).expect("tree"))

@@ -56,7 +56,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 10: single-path vs multipath striping (random permutation)",
-        &["structure", "paths/flow", "aggregate Gbps", "per-flow mean", "per-flow min", "ABT"],
+        &[
+            "structure",
+            "paths/flow",
+            "aggregate Gbps",
+            "per-flow mean",
+            "per-flow min",
+            "ABT",
+        ],
     );
     run(
         &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),

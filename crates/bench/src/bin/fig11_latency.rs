@@ -47,7 +47,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 11: packet-level latency & loss (64 bulk flows × 300 pkts, 1500 B, 64-pkt buffers)",
-        &["structure", "flows", "mean µs", "p50 µs", "p99 µs", "loss", "agg goodput Gbps"],
+        &[
+            "structure",
+            "flows",
+            "mean µs",
+            "p50 µs",
+            "p99 µs",
+            "loss",
+            "agg goodput Gbps",
+        ],
     );
     run(
         &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),

@@ -33,8 +33,11 @@ fn main() {
     let mut table = Table::new(
         "Figure 12: crossbar radix buy-ahead, ABCCC(4,k,2) grown k=1→5 (m: 2→6)",
         &[
-            "initial radix c", "upfront crossbar $", "total crossbar $",
-            "crossbars discarded", "groups recabled",
+            "initial radix c",
+            "upfront crossbar $",
+            "total crossbar $",
+            "crossbars discarded",
+            "groups recabled",
         ],
     );
     for c0 in [2u32, 4, 6, 8] {

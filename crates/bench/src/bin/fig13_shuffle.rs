@@ -45,7 +45,9 @@ fn run_inner<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table, path
     let flow = if paths <= 1 {
         FlowSim::new(topo).run(&pairs).expect("run")
     } else {
-        FlowSim::new(topo).run_multipath(&pairs, paths).expect("run")
+        FlowSim::new(topo)
+            .run_multipath(&pairs, paths)
+            .expect("run")
     };
     // Shuffle finishes when the slowest transfer finishes.
     let shuffle_time = DATA_GBITS_PER_FLOW / flow.min_rate;
@@ -81,8 +83,7 @@ fn run_inner<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table, path
         fmt_f(row.min_rate, 3),
         fmt_f(row.flow_shuffle_time, 2),
         fmt_f(row.fairness, 3),
-        row.pkt_mean_fct_us
-            .map_or("—".into(), |v| fmt_f(v, 0)),
+        row.pkt_mean_fct_us.map_or("—".into(), |v| fmt_f(v, 0)),
         fmt_f(row.pkt_loss, 4),
     ]);
     rows.push(row);
@@ -93,8 +94,13 @@ fn main() {
     let mut table = Table::new(
         "Figure 13: MapReduce shuffle (m×r bulk transfers, 1 Gbit each)",
         &[
-            "structure", "flows", "min rate Gbps", "shuffle time s",
-            "Jain fairness", "pkt mean FCT µs", "pkt loss",
+            "structure",
+            "flows",
+            "min rate Gbps",
+            "shuffle time s",
+            "Jain fairness",
+            "pkt mean FCT µs",
+            "pkt loss",
         ],
     );
     run(

@@ -24,7 +24,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 14: link-load balance by permutation strategy (random permutation)",
-        &["structure", "strategy", "max link load", "imbalance", "cv", "mean hops"],
+        &[
+            "structure",
+            "strategy",
+            "max link load",
+            "imbalance",
+            "cv",
+            "mean hops",
+        ],
     );
     for (n, k, h) in [(4, 2, 2), (4, 3, 3)] {
         let p = AbcccParams::new(n, k, h).expect("params");
@@ -38,8 +45,8 @@ fn main() {
                 .map(|&(s, d)| routing::route_ids(&p, s, d, &strat).expect("route"))
                 .collect();
             let load = dcn_metrics::load::link_load(net, &routes);
-            let mean_hops = routes.iter().map(routing::hops).sum::<usize>() as f64
-                / routes.len() as f64;
+            let mean_hops =
+                routes.iter().map(routing::hops).sum::<usize>() as f64 / routes.len() as f64;
             let row = Row {
                 structure: p.to_string(),
                 strategy: strat.label().to_string(),

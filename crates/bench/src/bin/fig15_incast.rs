@@ -60,7 +60,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 15: incast (100-pkt bursts, 8-pkt buffers) — open loop vs AIMD",
-        &["structure", "fan-in", "open loss", "AIMD loss", "open p99 µs", "AIMD p99 µs"],
+        &[
+            "structure",
+            "fan-in",
+            "open loss",
+            "AIMD loss",
+            "open p99 µs",
+            "AIMD p99 µs",
+        ],
     );
     let a2 = Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build");
     let a3 = Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build");

@@ -20,7 +20,13 @@ struct Row {
     routing_success: f64,
 }
 
-fn evaluate(topo: &Abccc, scenario: &str, mask: &FaultMask, rows: &mut Vec<Row>, table: &mut Table) {
+fn evaluate(
+    topo: &Abccc,
+    scenario: &str,
+    mask: &FaultMask,
+    rows: &mut Vec<Row>,
+    table: &mut Table,
+) {
     let net = topo.network();
     let frac = netgraph::connectivity::largest_component_server_fraction(net, Some(mask));
     let alive: Vec<NodeId> = net.server_ids().filter(|&s| mask.node_alive(s)).collect();
@@ -61,7 +67,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 16: correlated outages (400 alive pairs per scenario)",
-        &["structure", "scenario", "nodes down", "links down", "largest comp", "route success"],
+        &[
+            "structure",
+            "scenario",
+            "nodes down",
+            "links down",
+            "largest comp",
+            "route success",
+        ],
     );
     for h in [2u32, 3] {
         let p = AbcccParams::new(4, 2, h).expect("params");

@@ -79,7 +79,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 17: adversarial traffic — deterministic vs VLB routing",
-        &["structure", "pattern", "router", "max load", "aggregate Gbps", "min rate", "mean hops"],
+        &[
+            "structure",
+            "pattern",
+            "router",
+            "max load",
+            "aggregate Gbps",
+            "min rate",
+            "mean hops",
+        ],
     );
     for h in [2u32, 3] {
         let p = AbcccParams::new(4, 2, h).expect("params");
@@ -97,15 +105,31 @@ fn main() {
             .iter()
             .map(|&(s, d)| vlb::route_vlb(&p, s, d, &mut rng))
             .collect();
-        evaluate(&topo, "convergent", "VLB", vlb_routes, &mut rows, &mut table);
+        evaluate(
+            &topo,
+            "convergent",
+            "VLB",
+            vlb_routes,
+            &mut rows,
+            &mut table,
+        );
 
         // Benign random permutation for reference.
         let perm = traffic::random_permutation(topo.network().server_count(), &mut rng);
         let direct_perm: Vec<Route> = perm
             .iter()
-            .map(|&(s, d)| routing::route_ids(&p, s, d, &PermStrategy::DestinationAware).expect("route"))
+            .map(|&(s, d)| {
+                routing::route_ids(&p, s, d, &PermStrategy::DestinationAware).expect("route")
+            })
             .collect();
-        evaluate(&topo, "random perm", "direct", direct_perm, &mut rows, &mut table);
+        evaluate(
+            &topo,
+            "random perm",
+            "direct",
+            direct_perm,
+            &mut rows,
+            &mut table,
+        );
         let vlb_perm: Vec<Route> = perm
             .iter()
             .map(|&(s, d)| vlb::route_vlb_ids(&p, s, d, &mut rng).expect("route"))

@@ -19,7 +19,15 @@ fn main() {
     let mut points: Vec<Point> = Vec::new();
     let mut table = Table::new(
         "Figure 1: diameter (server hops) vs order k, n = 4",
-        &["k", "ABCCC h=2 (BCCC)", "ABCCC h=3", "ABCCC h=4", "ABCCC h=5", "BCube", "DCell bound"],
+        &[
+            "k",
+            "ABCCC h=2 (BCCC)",
+            "ABCCC h=3",
+            "ABCCC h=4",
+            "ABCCC h=5",
+            "BCube",
+            "DCell bound",
+        ],
     );
     for k in 1..=6u32 {
         let mut cells = vec![k.to_string()];

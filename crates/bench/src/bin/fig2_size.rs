@@ -21,7 +21,15 @@ fn main() {
     let mut points = Vec::new();
     let mut table = Table::new(
         "Figure 2: servers vs order k, n = 4 (fat-tree p=16 for reference)",
-        &["k", "ABCCC h=2", "ABCCC h=3", "ABCCC h=4", "BCube", "DCell", "FatTree(16)"],
+        &[
+            "k",
+            "ABCCC h=2",
+            "ABCCC h=3",
+            "ABCCC h=4",
+            "BCube",
+            "DCell",
+            "FatTree(16)",
+        ],
     );
     let ft = FatTreeParams::new(16).expect("params").server_count();
     for k in 1..=6u32 {

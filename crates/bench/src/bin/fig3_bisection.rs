@@ -25,7 +25,14 @@ fn main() {
     let mut points = Vec::new();
     let mut table = Table::new(
         "Figure 3: bisection width vs (k, h), n = 4",
-        &["config", "servers", "bisection", "per server", "max-flow check", "probe min"],
+        &[
+            "config",
+            "servers",
+            "bisection",
+            "per server",
+            "max-flow check",
+            "probe min",
+        ],
     );
     for k in 1..=4u32 {
         for h in [2, 3, 4] {
@@ -36,8 +43,7 @@ fn main() {
             let (exact, probe) = if p.server_count() <= 512 {
                 let t = Abccc::new(p).expect("build");
                 let exact = dcn_metrics::bisection::exact_bisection_by_id(t.network());
-                let probe =
-                    dcn_metrics::bisection::random_balanced_probe(t.network(), 4, &mut rng);
+                let probe = dcn_metrics::bisection::random_balanced_probe(t.network(), 4, &mut rng);
                 (Some(exact), Some(probe.min_cut))
             } else {
                 (None, None)

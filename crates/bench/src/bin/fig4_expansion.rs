@@ -52,8 +52,13 @@ fn main() {
     let mut table = Table::new(
         "Figure 4: expansion steps — new spend vs legacy impact",
         &[
-            "step", "servers", "new capex $", "legacy NICs added",
-            "legacy cables rewired", "legacy switches discarded", "legacy touch",
+            "step",
+            "servers",
+            "new capex $",
+            "legacy NICs added",
+            "legacy cables rewired",
+            "legacy switches discarded",
+            "legacy touch",
         ],
     );
     for l in &ledgers {

@@ -22,7 +22,10 @@ fn main() {
             (q.mean_stretch - 1.0).abs() < 1e-12,
             "{p}: ABCCC routing must be shortest"
         );
-        assert!(u64::from(q.native_max) <= p.diameter(), "{p}: exceeded diameter");
+        assert!(
+            u64::from(q.native_max) <= p.diameter(),
+            "{p}: exceeded diameter"
+        );
         results.push(q);
     }
     for k in [1, 2] {
@@ -36,7 +39,13 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 5: native routing vs BFS-optimal (1000 random pairs each)",
-        &["structure", "mean native", "mean optimal", "stretch", "max native"],
+        &[
+            "structure",
+            "mean native",
+            "mean optimal",
+            "stretch",
+            "max native",
+        ],
     );
     for q in &results {
         table.add_row(vec![

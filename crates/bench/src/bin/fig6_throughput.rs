@@ -67,8 +67,14 @@ fn main() {
     let mut table = Table::new(
         "Figure 6: max-min fair throughput by traffic pattern (1 Gbps links)",
         &[
-            "structure", "pattern", "flows", "aggregate Gbps", "per-flow mean",
-            "per-flow min", "ABT", "mean hops",
+            "structure",
+            "pattern",
+            "flows",
+            "aggregate Gbps",
+            "per-flow mean",
+            "per-flow min",
+            "ABT",
+            "mean hops",
         ],
     );
     for r in &rows {

@@ -62,7 +62,11 @@ fn run_class(
             rate,
             success_ratio: ok as f64 / total as f64,
             connectivity_ceiling: reachable as f64 / total as f64,
-            mean_hops_survivors: if ok == 0 { 0.0 } else { hops_sum as f64 / ok as f64 },
+            mean_hops_survivors: if ok == 0 {
+                0.0
+            } else {
+                hops_sum as f64 / ok as f64
+            },
         };
         table.add_row(vec![
             p.structure.clone(),
@@ -82,12 +86,31 @@ fn main() {
     let mut points = Vec::new();
     let mut table = Table::new(
         "Figure 7: routing under failures (5 trials × 200 pairs per point)",
-        &["structure", "failed class", "rate", "success", "BFS ceiling", "mean hops"],
+        &[
+            "structure",
+            "failed class",
+            "rate",
+            "success",
+            "BFS ceiling",
+            "mean hops",
+        ],
     );
     for h in [2, 3] {
         let topo = Abccc::new(AbcccParams::new(4, 2, h).expect("params")).expect("build");
-        run_class(&topo, "servers", FailureScenario::servers, &mut points, &mut table);
-        run_class(&topo, "switches", FailureScenario::switches, &mut points, &mut table);
+        run_class(
+            &topo,
+            "servers",
+            FailureScenario::servers,
+            &mut points,
+            &mut table,
+        );
+        run_class(
+            &topo,
+            "switches",
+            FailureScenario::switches,
+            &mut points,
+            &mut table,
+        );
     }
     table.print();
     println!("(shape: success tracks the BFS connectivity ceiling — the detour");

@@ -22,7 +22,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 8: permutation strategies (2000 random pairs each)",
-        &["structure", "strategy", "mean hops", "mean crossbar hops", "max hops"],
+        &[
+            "structure",
+            "strategy",
+            "mean hops",
+            "mean crossbar hops",
+            "max hops",
+        ],
     );
     for (n, k, h) in [(4, 2, 2), (2, 5, 2), (4, 3, 3)] {
         let p = AbcccParams::new(n, k, h).expect("params");

@@ -25,8 +25,13 @@ fn main() {
     let mut table = Table::new(
         "Figure 9: one-to-all / one-to-many (src = server 0, 32 random dests)",
         &[
-            "structure", "servers", "bcast depth", "ecc", "tree msgs(1:many)",
-            "unicast msgs", "saving",
+            "structure",
+            "servers",
+            "bcast depth",
+            "ecc",
+            "tree msgs(1:many)",
+            "unicast msgs",
+            "saving",
         ],
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xB0A5);
@@ -40,7 +45,10 @@ fn main() {
 
         // One-to-many to 32 random destinations.
         let servers: Vec<NodeId> = topo.network().server_ids().filter(|&s| s != src).collect();
-        let dests: Vec<NodeId> = servers.choose_multiple(&mut rng, 32.min(servers.len())).copied().collect();
+        let dests: Vec<NodeId> = servers
+            .choose_multiple(&mut rng, 32.min(servers.len()))
+            .copied()
+            .collect();
         let many = broadcast::one_to_many(&p, src, &dests).expect("tree");
         many.validate(&p).expect("valid tree");
         let tree_msgs = many.member_count() - 1; // one message per tree edge

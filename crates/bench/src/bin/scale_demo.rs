@@ -13,8 +13,13 @@ fn main() {
     let mut table = Table::new(
         "Scale demo: construction + routing at large N",
         &[
-            "config", "servers", "nodes", "links", "build ms",
-            "routes/s (1-to-1)", "sampled APL (1k pairs)",
+            "config",
+            "servers",
+            "nodes",
+            "links",
+            "build ms",
+            "routes/s (1-to-1)",
+            "sampled APL (1k pairs)",
         ],
     );
     for (n, k, h) in [(8u32, 3u32, 3u32), (8, 3, 2), (16, 3, 3), (6, 4, 3)] {

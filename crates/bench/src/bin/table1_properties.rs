@@ -77,8 +77,15 @@ fn main() {
     let mut table = Table::new(
         "Table 1: structural properties (n=4-class configs)",
         &[
-            "structure", "servers", "switches", "wires", "ports/srv",
-            "D(formula)", "D(BFS)", "APL", "bisection",
+            "structure",
+            "servers",
+            "switches",
+            "wires",
+            "ports/srv",
+            "D(formula)",
+            "D(BFS)",
+            "APL",
+            "bisection",
         ],
     );
     for r in &rows {

@@ -40,7 +40,15 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2: CAPEX at comparable scale (default cost model, USD)",
-        &["structure", "servers", "switch $", "NIC $", "cable $", "total $", "$/server"],
+        &[
+            "structure",
+            "servers",
+            "switch $",
+            "NIC $",
+            "cable $",
+            "total $",
+            "$/server",
+        ],
     );
     for c in &capexes {
         table.add_row(vec![

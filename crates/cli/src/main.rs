@@ -76,7 +76,8 @@ families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d";
 type DynTopo = Box<dyn Topology>;
 
 fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
-    s.parse().map_err(|_| format!("{what}: expected a number, got `{s}`"))
+    s.parse()
+        .map_err(|_| format!("{what}: expected a number, got `{s}`"))
 }
 
 /// Parses `family params…` and returns the topology plus how many args it
@@ -87,7 +88,10 @@ fn parse_topology(args: &[String]) -> Result<(DynTopo, usize), String> {
         if args.len() < 1 + n {
             return Err(format!("{family} needs {n} numeric parameter(s)"));
         }
-        args[1..1 + n].iter().map(|s| parse_u32(s, "parameter")).collect()
+        args[1..1 + n]
+            .iter()
+            .map(|s| parse_u32(s, "parameter"))
+            .collect()
     };
     let err = |e: netgraph::NetworkError| e.to_string();
     match family.as_str() {
@@ -368,11 +372,17 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     if flows.is_empty() {
         return Err("trace contains no flows".into());
     }
-    let pairs: Vec<_> = flows.iter().map(dcn_workloads::trace::TraceFlow::pair).collect();
+    let pairs: Vec<_> = flows
+        .iter()
+        .map(dcn_workloads::trace::TraceFlow::pair)
+        .collect();
     let report = flowsim::FlowSim::new(topo.as_ref())
         .run(&pairs)
         .map_err(|e| e.to_string())?;
-    println!("{}: replayed {} flows from {path}", report.topology, report.flows);
+    println!(
+        "{}: replayed {} flows from {path}",
+        report.topology, report.flows
+    );
     println!("  aggregate     {:.2} Gbps", report.aggregate_rate);
     println!("  per-flow mean {:.4} Gbps", report.mean_rate);
     println!("  per-flow min  {:.4} Gbps", report.min_rate);

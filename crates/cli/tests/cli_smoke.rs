@@ -47,7 +47,15 @@ fn parallel_reports_exact_maximum() {
 
 #[test]
 fn simulate_reports_rates() {
-    let out = stdout(&["simulate", "abccc", "2", "1", "2", "--pattern", "permutation"]);
+    let out = stdout(&[
+        "simulate",
+        "abccc",
+        "2",
+        "1",
+        "2",
+        "--pattern",
+        "permutation",
+    ]);
     assert!(out.contains("aggregate"));
     assert!(out.contains("ABT"));
 }
@@ -93,7 +101,14 @@ fn trace_replays_csv() {
     std::fs::create_dir_all(&dir).expect("tmp dir");
     let path = dir.join("trace.csv");
     std::fs::write(&path, "# demo\n0,5,100,0\n3,1,10,50\n").expect("write");
-    let out = stdout(&["trace", "bcube", "3", "1", "--file", path.to_str().expect("utf-8")]);
+    let out = stdout(&[
+        "trace",
+        "bcube",
+        "3",
+        "1",
+        "--file",
+        path.to_str().expect("utf-8"),
+    ]);
     assert!(out.contains("replayed 2 flows"));
     assert!(out.contains("fairness"));
 }

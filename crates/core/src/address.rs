@@ -343,6 +343,9 @@ mod tests {
     #[test]
     fn switch_display() {
         assert_eq!(SwitchAddr::Crossbar(CubeLabel(7)).to_string(), "C[7]");
-        assert_eq!(SwitchAddr::Level { level: 2, rest: 9 }.to_string(), "S[2,9]");
+        assert_eq!(
+            SwitchAddr::Level { level: 2, rest: 9 }.to_string(),
+            "S[2,9]"
+        );
     }
 }

@@ -111,7 +111,10 @@ impl BroadcastTree {
             }
         }
         if seen_depth != self.depth {
-            return Err(format!("depth {} but longest path {seen_depth}", self.depth));
+            return Err(format!(
+                "depth {} but longest path {seen_depth}",
+                self.depth
+            ));
         }
         Ok(())
     }
@@ -338,7 +341,11 @@ mod tests {
         let tree = one_to_all(&p, src).unwrap();
         let ecc = netgraph::bfs::server_eccentricity(topo.network(), src).unwrap();
         assert!(tree.depth() >= ecc);
-        assert!(tree.depth() <= ecc + 2, "depth {} vs ecc {ecc}", tree.depth());
+        assert!(
+            tree.depth() <= ecc + 2,
+            "depth {} vs ecc {ecc}",
+            tree.depth()
+        );
     }
 
     #[test]

@@ -143,9 +143,7 @@ pub fn verify_embedding(old: &Abccc, new: &Abccc) -> Result<(), String> {
             match SwitchAddr::from_node_id(&po, id) {
                 SwitchAddr::Crossbar(l) => SwitchAddr::Crossbar(l).node_id(&pn),
                 // Rest indices are numerically identical under a leading 0.
-                SwitchAddr::Level { level, rest } => {
-                    SwitchAddr::Level { level, rest }.node_id(&pn)
-                }
+                SwitchAddr::Level { level, rest } => SwitchAddr::Level { level, rest }.node_id(&pn),
             }
         }
     };
@@ -168,7 +166,9 @@ pub fn verify_embedding(old: &Abccc, new: &Abccc) -> Result<(), String> {
         let d_old = old.network().degree(id) as u64;
         let d_new = new.network().degree(map_node(id)) as u64;
         if d_new < d_old {
-            return Err(format!("legacy server {id} lost cables ({d_old} -> {d_new})"));
+            return Err(format!(
+                "legacy server {id} lost cables ({d_old} -> {d_new})"
+            ));
         }
         if d_new - d_old > 1 {
             return Err(format!(
@@ -193,8 +193,7 @@ pub fn verify_embedding(old: &Abccc, new: &Abccc) -> Result<(), String> {
             step.new_cables
         ));
     }
-    let got_new_servers =
-        new.network().server_count() as u64 - old.network().server_count() as u64;
+    let got_new_servers = new.network().server_count() as u64 - old.network().server_count() as u64;
     if got_new_servers != step.new_servers {
         return Err(format!(
             "new servers: counted {got_new_servers}, planned {}",
@@ -213,10 +212,7 @@ mod tests {
         let p = AbcccParams::new(4, 2, 3).unwrap();
         let s = ExpansionStep::grow_order(p).unwrap();
         assert_eq!(s.to.k(), 3);
-        assert_eq!(
-            s.new_servers,
-            s.to.server_count() - p.server_count()
-        );
+        assert_eq!(s.new_servers, s.to.server_count() - p.server_count());
         assert!(s.legacy_untouched());
     }
 

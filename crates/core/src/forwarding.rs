@@ -26,12 +26,7 @@ pub struct ForwardingHeader {
 impl ForwardingHeader {
     /// Builds the header at the source, choosing the correction order with
     /// `strategy`.
-    pub fn new(
-        p: &AbcccParams,
-        src: ServerAddr,
-        dst: ServerAddr,
-        strategy: &PermStrategy,
-    ) -> Self {
+    pub fn new(p: &AbcccParams, src: ServerAddr, dst: ServerAddr, strategy: &PermStrategy) -> Self {
         ForwardingHeader {
             dst,
             pending: strategy.order(p, src, dst),

@@ -96,11 +96,7 @@ pub fn parallel_routes(
             if z == src.label.digit(p, level) || z == dst.label.digit(p, level) {
                 continue;
             }
-            let mid = ServerAddr::new(
-                p,
-                src.label.with_digit(p, level, z),
-                p.owner(level),
-            );
+            let mid = ServerAddr::new(p, src.label.with_digit(p, level, z), p.owner(level));
             if (mid.label, mid.pos) == (dst.label, dst.pos) {
                 continue;
             }

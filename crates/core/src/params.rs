@@ -67,8 +67,7 @@ impl AbcccParams {
         }
         // Flat node ids are u32 (see `crate::address`); reject configs whose
         // id space would not fit rather than let the codecs truncate.
-        let nodes = p
-            .server_count().saturating_add(p.switch_count());
+        let nodes = p.server_count().saturating_add(p.switch_count());
         if nodes > u64::from(u32::MAX) {
             return Err(NetworkError::InvalidParameter {
                 name: "k",
@@ -148,7 +147,8 @@ impl AbcccParams {
 
     /// Total switches.
     pub fn switch_count(&self) -> u64 {
-        self.crossbar_count().saturating_add(self.level_switch_count())
+        self.crossbar_count()
+            .saturating_add(self.level_switch_count())
     }
 
     /// Total cables: `m · n^(k+1)` crossbar cables (0 if no crossbars) plus
@@ -283,7 +283,11 @@ impl std::str::FromStr for AbcccParams {
                 reason: format!("`{t}` is not a number"),
             })
         };
-        AbcccParams::new(num(parts[0], "n")?, num(parts[1], "k")?, num(parts[2], "h")?)
+        AbcccParams::new(
+            num(parts[0], "n")?,
+            num(parts[1], "k")?,
+            num(parts[2], "h")?,
+        )
     }
 }
 

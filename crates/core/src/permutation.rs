@@ -159,8 +159,14 @@ mod tests {
     #[test]
     fn ascending_and_descending() {
         let (p, src, dst) = setup();
-        assert_eq!(PermStrategy::Ascending.order(&p, src, dst), vec![0, 1, 2, 3, 4, 5]);
-        assert_eq!(PermStrategy::Descending.order(&p, src, dst), vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(
+            PermStrategy::Ascending.order(&p, src, dst),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(
+            PermStrategy::Descending.order(&p, src, dst),
+            vec![5, 4, 3, 2, 1, 0]
+        );
     }
 
     #[test]

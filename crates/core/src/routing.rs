@@ -57,12 +57,7 @@ pub fn route_ids(
 ///
 /// Panics if `order` is not a permutation of exactly the levels where the
 /// two labels differ.
-pub fn route_with_order(
-    p: &AbcccParams,
-    src: ServerAddr,
-    dst: ServerAddr,
-    order: &[u32],
-) -> Route {
+pub fn route_with_order(p: &AbcccParams, src: ServerAddr, dst: ServerAddr, order: &[u32]) -> Route {
     {
         let mut sorted = order.to_vec();
         sorted.sort_unstable();
@@ -150,9 +145,15 @@ mod tests {
         let p = AbcccParams::new(n, k, h).unwrap();
         let topo = Abccc::new(p).unwrap();
         let net = topo.network();
+        // Per-source sweeps share one scratch: this loop is the hot part
+        // of the test suite and used to allocate a fresh distance vector
+        // for every server.
+        let engine = netgraph::DistanceEngine::new(net);
+        let mut scratch = netgraph::BfsScratch::new();
         for s_raw in 0..p.server_count() {
             let src_id = NodeId(s_raw as u32);
-            let bfs = netgraph::bfs::server_hop_distances(net, src_id, None);
+            engine.distances_into(src_id, &mut scratch);
+            let bfs = &scratch.dist;
             let src = ServerAddr::from_node_id(&p, src_id);
             for d_raw in 0..p.server_count() {
                 let dst_id = NodeId(d_raw as u32);

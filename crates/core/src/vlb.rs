@@ -15,12 +15,7 @@ use rand::Rng;
 /// (excluding the endpoints' own labels to keep the path simple). Falls
 /// back to direct routing if no valid intermediate is found quickly
 /// (only possible in tiny networks).
-pub fn route_vlb(
-    p: &AbcccParams,
-    src: ServerAddr,
-    dst: ServerAddr,
-    rng: &mut impl Rng,
-) -> Route {
+pub fn route_vlb(p: &AbcccParams, src: ServerAddr, dst: ServerAddr, rng: &mut impl Rng) -> Route {
     for _ in 0..16 {
         let label = CubeLabel(rng.gen_range(0..p.label_space()));
         if label == src.label || label == dst.label {
@@ -133,10 +128,7 @@ mod tests {
             .map(|&(s, d)| routing::route_addrs(&p, s, d, &PermStrategy::DestinationAware))
             .collect();
         // All m flows of each group share the position-0 S0 uplink.
-        assert_eq!(
-            max_directed_load(topo.network(), &routes),
-            p.group_size()
-        );
+        assert_eq!(max_directed_load(topo.network(), &routes), p.group_size());
     }
 
     #[test]

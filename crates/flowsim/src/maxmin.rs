@@ -1,8 +1,8 @@
 //! Progressive-filling max-min fair allocation.
 
-use netgraph::{LinkId, Network, Route};
 #[cfg(test)]
 use netgraph::NodeId;
+use netgraph::{LinkId, Network, Route};
 use serde::{Deserialize, Serialize};
 
 /// A directed traversal of a physical cable (cables are full duplex: the
@@ -23,6 +23,11 @@ impl DirectedLink {
     }
 
     /// Resolves the directed traversals of a route.
+    ///
+    /// Each window resolves through [`Network::find_link`], which binary
+    /// searches the CSR's neighbor-sorted adjacency — O(log degree) per
+    /// hop, instead of the linear port scan this used to cost. On parallel
+    /// links it picks the lowest link id, exactly as the scan did.
     ///
     /// # Panics
     ///
@@ -211,9 +216,7 @@ mod tests {
             net.add_link(x, sw, 1.0);
         }
         let flows: Vec<Vec<DirectedLink>> = (0..4)
-            .flat_map(|i| {
-                (0..4).filter(move |&j| j != i).map(move |j| (i, j))
-            })
+            .flat_map(|i| (0..4).filter(move |&j| j != i).map(move |j| (i, j)))
             .map(|(i, j)| vec![dl(&net, s[i], sw), dl(&net, sw, s[j])])
             .collect();
         let rates = max_min_allocation(&net, &flows);

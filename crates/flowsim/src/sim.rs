@@ -30,11 +30,7 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
     /// Like [`FlowSim::run`], but under a failure mask: unroutable pairs are
     /// *dropped* (counted in the report) instead of failing the run, and
     /// surviving flows use the family's fault-tolerant routing.
-    pub fn run_with_mask(
-        &self,
-        pairs: &[(NodeId, NodeId)],
-        mask: &FaultMask,
-    ) -> FlowSimReport {
+    pub fn run_with_mask(&self, pairs: &[(NodeId, NodeId)], mask: &FaultMask) -> FlowSimReport {
         self.run_inner(pairs, Some(mask))
             .expect("masked run never propagates routing errors")
     }
@@ -85,8 +81,16 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
             unroutable: 0,
             aggregate_rate: aggregate,
             min_rate: if flows_n == 0 { 0.0 } else { min_rate },
-            mean_rate: if flows_n == 0 { 0.0 } else { aggregate / flows_n as f64 },
-            abt: if flows_n == 0 { 0.0 } else { min_rate * flows_n as f64 },
+            mean_rate: if flows_n == 0 {
+                0.0
+            } else {
+                aggregate / flows_n as f64
+            },
+            abt: if flows_n == 0 {
+                0.0
+            } else {
+                min_rate * flows_n as f64
+            },
             mean_hops: if hops.is_empty() {
                 0.0
             } else {
@@ -131,7 +135,11 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
             unroutable,
             aggregate_rate: aggregate,
             min_rate: if flows_n == 0 { 0.0 } else { min_rate },
-            mean_rate: if flows_n == 0 { 0.0 } else { aggregate / flows_n as f64 },
+            mean_rate: if flows_n == 0 {
+                0.0
+            } else {
+                aggregate / flows_n as f64
+            },
             abt: if flows_n == 0 {
                 0.0
             } else {
@@ -176,7 +184,12 @@ impl FlowSimReport {
     /// `(Σx)² / (n·Σx²)` — 1.0 is perfectly fair, `1/n` maximally unfair.
     /// Returns 1.0 for an empty flow set.
     pub fn fairness_index(&self) -> f64 {
-        let finite: Vec<f64> = self.rates.iter().copied().filter(|r| r.is_finite()).collect();
+        let finite: Vec<f64> = self
+            .rates
+            .iter()
+            .copied()
+            .filter(|r| r.is_finite())
+            .collect();
         if finite.is_empty() {
             return 1.0;
         }

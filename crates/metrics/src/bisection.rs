@@ -109,8 +109,7 @@ mod tests {
 
     #[test]
     fn bcube_canonical() {
-        let t =
-            dcn_baselines::BCube::new(dcn_baselines::BCubeParams::new(4, 1).unwrap()).unwrap();
+        let t = dcn_baselines::BCube::new(dcn_baselines::BCubeParams::new(4, 1).unwrap()).unwrap();
         assert_eq!(exact_bisection_by_id(t.network()), 8); // n^(k+1)/2
     }
 

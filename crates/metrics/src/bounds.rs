@@ -64,7 +64,9 @@ pub fn capacity_bound<T: Topology + ?Sized>(topo: &T, pairs: &[(NodeId, NodeId)]
         if s == d {
             continue;
         }
-        let r = topo.route(s, d).expect("routing failed on fault-free network");
+        let r = topo
+            .route(s, d)
+            .expect("routing failed on fault-free network");
         total_hops += r.link_hops();
         flows += 1;
     }

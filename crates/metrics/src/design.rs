@@ -62,7 +62,9 @@ pub fn recommend(
         for h in 2..=max_ports {
             // Smallest k whose server count reaches the target.
             for k in 0..=19u32 {
-                let Ok(p) = AbcccParams::new(n, k, h) else { break };
+                let Ok(p) = AbcccParams::new(n, k, h) else {
+                    break;
+                };
                 if p.server_count() >= target_servers {
                     let stats = crate::TopologyStats {
                         name: p.to_string(),

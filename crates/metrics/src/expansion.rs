@@ -86,9 +86,7 @@ pub fn abccc_expansion(
 }
 
 /// Switch radix histogram of an ABCCC parameterization from closed forms.
-pub fn abccc_radix_histogram(
-    p: &abccc::AbcccParams,
-) -> std::collections::BTreeMap<usize, usize> {
+pub fn abccc_radix_histogram(p: &abccc::AbcccParams) -> std::collections::BTreeMap<usize, usize> {
     let mut h = std::collections::BTreeMap::new();
     if p.crossbar_count() > 0 {
         *h.entry(p.group_size() as usize).or_insert(0) += p.crossbar_count() as usize;

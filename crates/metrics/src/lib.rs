@@ -34,10 +34,10 @@ pub mod bisection;
 pub mod bounds;
 mod cost;
 pub mod design;
-pub mod load;
-pub mod sampling;
 pub mod expansion;
+pub mod load;
 mod properties;
+pub mod sampling;
 
 pub use cost::{Capex, CostModel};
 pub use expansion::ExpansionLedger;

@@ -39,6 +39,10 @@ impl LoadStats {
 
 /// Measures the flows-per-directed-link distribution of `routes`.
 ///
+/// Adjacent-node pairs resolve to links via the CSR-backed
+/// [`Network::find_link`] (O(log degree) per hop), so this stays linear in
+/// total route length even on high-radix fabrics.
+///
 /// # Panics
 ///
 /// Panics if a route traverses nodes that are not adjacent in `net`.
@@ -111,9 +115,7 @@ mod tests {
     #[test]
     fn incast_is_imbalanced() {
         let (net, s, sw) = star();
-        let routes: Vec<Route> = (1..4)
-            .map(|i| Route::new(vec![s[i], sw, s[0]]))
-            .collect();
+        let routes: Vec<Route> = (1..4).map(|i| Route::new(vec![s[i], sw, s[0]])).collect();
         let stats = link_load(&net, &routes);
         assert_eq!(stats.max_load, 3); // sw → s0 carries all flows
         assert!(stats.imbalance() > 1.5);

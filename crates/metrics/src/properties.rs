@@ -44,10 +44,23 @@ impl TopologyStats {
 
     /// Measures everything including the exact diameter and average path
     /// length (all-sources BFS — quadratic, for small/medium instances).
+    ///
+    /// Diameter and average path length come from **one** fused
+    /// [`netgraph::DistanceEngine`] sweep; earlier versions ran a separate
+    /// all-pairs sweep per metric.
     pub fn measure<T: Topology + ?Sized>(topo: &T) -> Self {
         let mut stats = Self::quick(topo);
-        stats.diameter_server_hops = netgraph::bfs::server_diameter(topo.network());
-        stats.avg_path_length = netgraph::bfs::average_server_path_length(topo.network());
+        let net = topo.network();
+        match net.server_count() {
+            0 => {}
+            1 => stats.diameter_server_hops = Some(0),
+            _ => {
+                if let Some(all) = netgraph::DistanceEngine::new(net).all_pairs() {
+                    stats.diameter_server_hops = Some(all.diameter);
+                    stats.avg_path_length = Some(all.avg_path_length);
+                }
+            }
+        }
         stats
     }
 
@@ -106,7 +119,10 @@ pub fn routing_quality<T: Topology + ?Sized>(
     let mut native_max = 0u32;
     let mut stretch_sum = 0.0;
     let mut stretch_count = 0usize;
-    // Group samples by source so one BFS serves several pairs.
+    // Group samples by source so one BFS serves several pairs, and reuse
+    // one scratch across sources so sampling never reallocates.
+    let engine = netgraph::DistanceEngine::new(net);
+    let mut scratch = netgraph::BfsScratch::new();
     let sources = pairs.div_ceil(8).max(1);
     let mut done = 0usize;
     for _ in 0..sources {
@@ -114,7 +130,8 @@ pub fn routing_quality<T: Topology + ?Sized>(
             break;
         }
         let src = netgraph::NodeId(rng.gen_range(0..n) as u32);
-        let dist = netgraph::bfs::server_hop_distances(net, src, None);
+        engine.distances_into(src, &mut scratch);
+        let dist = &scratch.dist;
         for _ in 0..8 {
             if done >= pairs {
                 break;
@@ -176,8 +193,8 @@ mod tests {
         let s = TopologyStats::quick(&t);
         // Server-centric: every cable has exactly one server end.
         assert_eq!(s.server_ports_in_use(), s.wires);
-        let ft = dcn_baselines::FatTree::new(dcn_baselines::FatTreeParams::new(4).unwrap())
-            .unwrap();
+        let ft =
+            dcn_baselines::FatTree::new(dcn_baselines::FatTreeParams::new(4).unwrap()).unwrap();
         let fs = TopologyStats::quick(&ft);
         // Fat-tree: only the bottom tier touches servers.
         assert_eq!(fs.server_ports_in_use(), fs.servers);

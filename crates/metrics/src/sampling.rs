@@ -6,7 +6,7 @@
 //! classic double-sweep diameter lower bound (exact on many structured
 //! graphs, including every ABCCC instance we test).
 
-use netgraph::{NodeId, Topology};
+use netgraph::{BfsScratch, DistanceEngine, NodeId, Topology};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -29,22 +29,22 @@ pub struct Estimate {
 ///
 /// Panics if the topology has under two servers, `sources` is zero, or
 /// some pair is disconnected.
-pub fn sampled_apl<T: Topology + ?Sized>(
-    topo: &T,
-    sources: usize,
-    rng: &mut impl Rng,
-) -> Estimate {
+pub fn sampled_apl<T: Topology + ?Sized>(topo: &T, sources: usize, rng: &mut impl Rng) -> Estimate {
     let net = topo.network();
     let n = net.server_count();
     assert!(n >= 2, "need at least two servers");
     assert!(sources > 0, "need at least one source");
+    // One engine + one scratch for the whole estimate: each sweep reuses
+    // the same distance buffer instead of allocating per source.
+    let engine = DistanceEngine::new(net);
+    let mut scratch = BfsScratch::new();
     let mut per_source_means = Vec::with_capacity(sources);
     for _ in 0..sources {
         let src = NodeId(rng.gen_range(0..n) as u32);
-        let dist = netgraph::bfs::server_hop_distances(net, src, None);
+        engine.distances_into(src, &mut scratch);
         let mut sum = 0u64;
         for v in net.server_ids() {
-            let d = dist[v.index()];
+            let d = scratch.dist[v.index()];
             assert_ne!(d, netgraph::bfs::UNREACHABLE, "disconnected topology");
             sum += u64::from(d);
         }
@@ -78,19 +78,25 @@ pub fn double_sweep_diameter<T: Topology + ?Sized>(
     let net = topo.network();
     let n = net.server_count();
     assert!(n >= 2, "need at least two servers");
+    let engine = DistanceEngine::new(net);
+    let mut scratch = BfsScratch::new();
     let mut best = 0u32;
     for _ in 0..sweeps.max(1) {
         let start = NodeId(rng.gen_range(0..n) as u32);
-        let d1 = netgraph::bfs::server_hop_distances(net, start, None);
+        engine.distances_into(start, &mut scratch);
         let far = net
             .server_ids()
-            .max_by_key(|v| d1[v.index()])
+            .max_by_key(|v| scratch.dist[v.index()])
             .expect("non-empty");
-        assert_ne!(d1[far.index()], netgraph::bfs::UNREACHABLE, "disconnected");
-        let d2 = netgraph::bfs::server_hop_distances(net, far, None);
+        assert_ne!(
+            scratch.dist[far.index()],
+            netgraph::bfs::UNREACHABLE,
+            "disconnected"
+        );
+        engine.distances_into(far, &mut scratch);
         let ecc = net
             .server_ids()
-            .map(|v| d2[v.index()])
+            .map(|v| scratch.dist[v.index()])
             .max()
             .expect("non-empty");
         best = best.max(ecc);
@@ -107,10 +113,8 @@ mod tests {
     #[test]
     fn sampled_apl_matches_exact_when_sampling_everything() {
         let t = Abccc::new(AbcccParams::new(3, 1, 2).unwrap()).unwrap();
-        let exact = netgraph::bfs::average_server_path_length(
-            netgraph::Topology::network(&t),
-        )
-        .unwrap();
+        let exact =
+            netgraph::bfs::average_server_path_length(netgraph::Topology::network(&t)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let est = sampled_apl(&t, 64, &mut rng);
         assert!((est.mean - exact).abs() < 0.1, "{} vs {exact}", est.mean);
@@ -131,8 +135,7 @@ mod tests {
 
     #[test]
     fn double_sweep_is_a_lower_bound_on_dcell() {
-        let t = dcn_baselines::DCell::new(dcn_baselines::DCellParams::new(3, 2).unwrap())
-            .unwrap();
+        let t = dcn_baselines::DCell::new(dcn_baselines::DCellParams::new(3, 2).unwrap()).unwrap();
         let exact = netgraph::bfs::server_diameter(netgraph::Topology::network(&t)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let bound = double_sweep_diameter(&t, 3, &mut rng);

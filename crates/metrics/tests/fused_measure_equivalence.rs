@@ -1,0 +1,64 @@
+//! Equivalence of the fused single-sweep `TopologyStats::measure` with the
+//! seed's two-pass computation (one all-pairs sweep for the diameter, a
+//! second for the average path length) on the concrete paper topologies.
+
+use abccc::{Abccc, AbcccParams};
+use dcn_baselines::{BCube, BCubeParams, Bccc, BcccParams};
+use dcn_metrics::TopologyStats;
+use netgraph::{Network, NodeId, Topology};
+
+/// The seed implementation of `measure`'s expensive half, reconstructed:
+/// two independent full sweeps of per-source BFS with fresh allocations.
+fn two_pass(net: &Network) -> (Option<u32>, Option<f64>) {
+    let servers: Vec<NodeId> = net.server_ids().collect();
+    let mut diameter = 0u32;
+    for &s in &servers {
+        let dist = netgraph::bfs::server_hop_distances(net, s, None);
+        for &t in &servers {
+            assert_ne!(dist[t.index()], netgraph::bfs::UNREACHABLE);
+            diameter = diameter.max(dist[t.index()]);
+        }
+    }
+    let mut total = 0u64;
+    for &s in &servers {
+        let dist = netgraph::bfs::server_hop_distances(net, s, None);
+        for &t in &servers {
+            total += u64::from(dist[t.index()]);
+        }
+    }
+    let n = servers.len() as f64;
+    (Some(diameter), Some(total as f64 / (n * (n - 1.0))))
+}
+
+fn assert_fused_matches<T: Topology>(topo: &T) {
+    let stats = TopologyStats::measure(topo);
+    let (diameter, apl) = two_pass(topo.network());
+    assert_eq!(stats.diameter_server_hops, diameter, "{}", topo.name());
+    // Same exact u64 distance total divided by the same pair count: the
+    // fused sweep must agree bit for bit, not just approximately.
+    assert_eq!(stats.avg_path_length, apl, "{}", topo.name());
+}
+
+#[test]
+fn fused_measure_matches_two_pass_on_abccc() {
+    for (n, k, h) in [(2, 1, 2), (3, 1, 2), (2, 2, 2), (4, 2, 2)] {
+        let topo = Abccc::new(AbcccParams::new(n, k, h).unwrap()).unwrap();
+        assert_fused_matches(&topo);
+    }
+}
+
+#[test]
+fn fused_measure_matches_two_pass_on_bccc() {
+    for (n, k) in [(2, 1), (3, 1), (2, 2)] {
+        let topo = Bccc::new(BcccParams::new(n, k).unwrap()).unwrap();
+        assert_fused_matches(&topo);
+    }
+}
+
+#[test]
+fn fused_measure_matches_two_pass_on_bcube() {
+    for (n, k) in [(2, 1), (4, 1), (3, 2)] {
+        let topo = BCube::new(BCubeParams::new(n, k).unwrap()).unwrap();
+        assert_fused_matches(&topo);
+    }
+}

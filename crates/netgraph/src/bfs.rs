@@ -12,11 +12,16 @@ use std::collections::VecDeque;
 /// Unreachable marker in distance vectors.
 pub const UNREACHABLE: u32 = u32::MAX;
 
-fn usable(net: &Network, mask: Option<&FaultMask>, from: NodeId, to: NodeId, l: crate::LinkId) -> bool {
-    let _ = (net, from);
+/// `true` if the BFS may step `from → to` over link `l` under `mask`.
+///
+/// Checks the link and *both* endpoints, making the predicate correct in
+/// isolation (an earlier version ignored `from`, silently relying on the
+/// caller never expanding a failed node). Distances are unchanged: BFS only
+/// expands nodes it reached, and it can only reach alive nodes.
+fn usable(mask: Option<&FaultMask>, from: NodeId, to: NodeId, l: crate::LinkId) -> bool {
     match mask {
         None => true,
-        Some(m) => m.link_alive(l) && m.node_alive(to),
+        Some(m) => m.link_alive(l) && m.node_alive(from) && m.node_alive(to),
     }
 }
 
@@ -39,7 +44,7 @@ pub fn link_distances(net: &Network, src: NodeId, mask: Option<&FaultMask>) -> V
     while let Some(u) = q.pop_front() {
         let du = dist[u.index()];
         for &(v, l) in net.neighbors(u) {
-            if dist[v.index()] == UNREACHABLE && usable(net, mask, u, v, l) {
+            if dist[v.index()] == UNREACHABLE && usable(mask, u, v, l) {
                 dist[v.index()] = du + 1;
                 q.push_back(v);
             }
@@ -82,7 +87,7 @@ fn server_hop_search(
     while let Some(u) = dq.pop_front() {
         let du = dist[u.index()];
         for &(v, l) in net.neighbors(u) {
-            if !usable(net, mask, u, v, l) {
+            if !usable(mask, u, v, l) {
                 continue;
             }
             let w = if net.is_server(v) { 1 } else { 0 };
@@ -132,10 +137,11 @@ pub fn shortest_path(
 /// The eccentricity (max server-hop distance to any *reachable* server) of
 /// server `src`. Returns `None` if some server is unreachable.
 pub fn server_eccentricity(net: &Network, src: NodeId) -> Option<u32> {
-    let dist = server_hop_distances(net, src, None);
+    let mut scratch = crate::BfsScratch::new();
+    crate::DistanceEngine::new(net).distances_into(src, &mut scratch);
     let mut ecc = 0;
     for v in net.server_ids() {
-        let d = dist[v.index()];
+        let d = scratch.dist[v.index()];
         if d == UNREACHABLE {
             return None;
         }
@@ -144,79 +150,30 @@ pub fn server_eccentricity(net: &Network, src: NodeId) -> Option<u32> {
     Some(ecc)
 }
 
-/// Exact diameter in server hops, computed by all-sources BFS in parallel.
+/// Exact diameter in server hops, via the fused all-pairs sweep of
+/// [`crate::DistanceEngine`]. Call the engine directly when you also need
+/// the average path length — one sweep yields both.
 ///
 /// Returns `None` if the server set is not mutually reachable (or empty).
 pub fn server_diameter(net: &Network) -> Option<u32> {
-    let results = for_each_server_parallel(net, |dist| {
-        let mut ecc = 0u32;
-        for v in net.server_ids() {
-            let d = dist[v.index()];
-            if d == UNREACHABLE {
-                return None;
-            }
-            ecc = ecc.max(d);
-        }
-        Some(ecc)
-    });
-    results.into_iter().collect::<Option<Vec<_>>>()?.into_iter().max()
+    match net.server_count() {
+        0 => None,
+        1 => Some(0),
+        _ => crate::DistanceEngine::new(net)
+            .all_pairs()
+            .map(|s| s.diameter),
+    }
 }
 
-/// Exact average server-hop path length over all ordered server pairs,
-/// computed by all-sources BFS in parallel.
+/// Exact average server-hop path length over all ordered server pairs, via
+/// the fused all-pairs sweep of [`crate::DistanceEngine`].
 ///
 /// Returns `None` if servers are not mutually reachable or there are fewer
 /// than two servers.
 pub fn average_server_path_length(net: &Network) -> Option<f64> {
-    let n_servers = net.server_count();
-    if n_servers < 2 {
-        return None;
-    }
-    let sums = for_each_server_parallel(net, |dist| {
-        let mut sum = 0u64;
-        for v in net.server_ids() {
-            let d = dist[v.index()];
-            if d == UNREACHABLE {
-                return None;
-            }
-            sum += u64::from(d);
-        }
-        Some(sum)
-    });
-    let total: u64 = sums.into_iter().collect::<Option<Vec<_>>>()?.iter().sum();
-    Some(total as f64 / (n_servers as f64 * (n_servers as f64 - 1.0)))
-}
-
-/// Runs `f` on the server-hop distance vector of every server, in parallel,
-/// returning results in server-id order.
-fn for_each_server_parallel<T, F>(net: &Network, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&[u32]) -> T + Sync,
-{
-    let servers: Vec<NodeId> = net.server_ids().collect();
-    if servers.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(servers.len());
-    let chunk = servers.len().div_ceil(threads);
-    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(servers.len()).collect();
-    let f = &f;
-    crossbeam::thread::scope(|scope| {
-        for (srv_chunk, out_chunk) in servers.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (s, o) in srv_chunk.iter().zip(out_chunk.iter_mut()) {
-                    let dist = server_hop_distances(net, *s, None);
-                    *o = Some(f(&dist));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|o| o.expect("slot filled")).collect()
+    crate::DistanceEngine::new(net)
+        .all_pairs()
+        .map(|s| s.avg_path_length)
 }
 
 #[cfg(test)]

@@ -31,7 +31,11 @@ pub struct DotOptions {
 pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
     const PALETTE: [&str; 6] = ["red", "blue", "darkgreen", "orange", "purple", "brown"];
     let mut out = String::new();
-    let name = if opts.name.is_empty() { "dcn" } else { &opts.name };
+    let name = if opts.name.is_empty() {
+        "dcn"
+    } else {
+        &opts.name
+    };
     let _ = writeln!(out, "graph {name} {{");
     let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
     for n in net.node_ids() {
@@ -58,7 +62,11 @@ pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
     let mut colored = std::collections::HashMap::new();
     for (ri, route) in opts.highlight.iter().enumerate() {
         for w in route.nodes().windows(2) {
-            let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+            let key = if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
             colored.entry(key).or_insert(ri % PALETTE.len());
         }
     }

@@ -30,7 +30,10 @@ impl fmt::Display for NetworkError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             NetworkError::TooLarge { nodes, limit } => {
-                write!(f, "network too large to materialize: {nodes} nodes > limit {limit}")
+                write!(
+                    f,
+                    "network too large to materialize: {nodes} nodes > limit {limit}"
+                )
             }
         }
     }
@@ -71,7 +74,10 @@ impl fmt::Display for RouteError {
                 write!(f, "no usable path from {src} to {dst}")
             }
             RouteError::GaveUp { src, dst, attempts } => {
-                write!(f, "routing {src} -> {dst} gave up after {attempts} attempts")
+                write!(
+                    f,
+                    "routing {src} -> {dst} gave up after {attempts} attempts"
+                )
             }
         }
     }

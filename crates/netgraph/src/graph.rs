@@ -1,7 +1,14 @@
 //! The core [`Network`] multigraph type and its identifiers.
+//!
+//! Adjacency is stored in **compressed sparse row** (CSR) form: one flat
+//! `offsets` array and one packed `(NodeId, LinkId)` neighbor array, plus a
+//! per-node neighbor-sorted mirror for O(log degree) link lookup. The CSR
+//! is (re)built lazily from the link list on first adjacency query after a
+//! mutation, so builders pay for construction exactly once.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of a node (server or switch) inside a [`Network`].
 ///
@@ -104,18 +111,122 @@ impl Link {
     }
 }
 
+/// Compressed-sparse-row adjacency, derived from a [`Network`]'s link list.
+///
+/// `neighbors[offsets[n]..offsets[n + 1]]` are node `n`'s
+/// `(neighbor, link)` pairs in link-insertion order (matching the
+/// port-stability guarantee of [`Network::neighbors`]); `sorted` holds the
+/// same pairs per node but ordered by `(neighbor, link)`, which makes
+/// neighbor→link lookup a binary search.
+#[derive(Debug, Clone)]
+pub(crate) struct Csr {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) neighbors: Vec<(NodeId, LinkId)>,
+    sorted: Vec<(NodeId, LinkId)>,
+}
+
+impl Csr {
+    /// Builds the CSR by counting sort over the link list: O(V + E), two
+    /// passes, no per-node allocation.
+    fn build(node_count: usize, links: &[Link]) -> Csr {
+        let mut offsets = vec![0u32; node_count + 1];
+        for l in links {
+            offsets[l.a.index() + 1] += 1;
+            offsets[l.b.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+        let mut neighbors = vec![(NodeId(0), LinkId(0)); links.len() * 2];
+        for (i, l) in links.iter().enumerate() {
+            let id = LinkId(i as u32);
+            neighbors[cursor[l.a.index()] as usize] = (l.b, id);
+            cursor[l.a.index()] += 1;
+            neighbors[cursor[l.b.index()] as usize] = (l.a, id);
+            cursor[l.b.index()] += 1;
+        }
+        let mut sorted = neighbors.clone();
+        for n in 0..node_count {
+            sorted[offsets[n] as usize..offsets[n + 1] as usize]
+                .sort_unstable_by_key(|&(nb, l)| (nb.0, l.0));
+        }
+        Csr {
+            offsets,
+            neighbors,
+            sorted,
+        }
+    }
+
+    /// Node `n`'s `(neighbor, link)` pairs in link-insertion order.
+    #[inline]
+    pub(crate) fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.neighbors[self.offsets[n.index()] as usize..self.offsets[n.index() + 1] as usize]
+    }
+
+    /// Binary search for the lowest-id link connecting `a` to `b`.
+    ///
+    /// Per-node insertion order has ascending link ids, so the lowest id is
+    /// exactly the first match a linear scan of [`Csr::neighbors`] would
+    /// find — parallel links resolve identically either way.
+    fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        let s =
+            &self.sorted[self.offsets[a.index()] as usize..self.offsets[a.index() + 1] as usize];
+        let i = s.partition_point(|&(nb, _)| nb.0 < b.0);
+        match s.get(i) {
+            Some(&(nb, l)) if nb == b => Some(l),
+            _ => None,
+        }
+    }
+}
+
 /// A typed multigraph of servers, switches and cables.
 ///
 /// The structure is append-only: nodes and links can be added but never
 /// removed (failures are modelled with [`crate::FaultMask`] overlays, which
 /// is both cheaper and closer to how the ABCCC paper treats faults — the
 /// physical topology stays, elements merely stop forwarding).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// The link list is the source of truth; adjacency lives in a lazily built
+/// [`Csr`] that mutations invalidate. Traversal code therefore sees one
+/// flat cache-friendly array instead of per-node heap vectors.
+#[derive(Debug, Clone, Default)]
 pub struct Network {
     kinds: Vec<NodeKind>,
     server_count: usize,
-    adj: Vec<Vec<(NodeId, LinkId)>>,
     links: Vec<Link>,
+    csr: OnceLock<Csr>,
+}
+
+impl Serialize for Network {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("kinds".to_string(), self.kinds.to_value()),
+            ("server_count".to_string(), self.server_count.to_value()),
+            ("links".to_string(), self.links.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Network {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = match v {
+            serde::Value::Map(m) => m,
+            _ => return Err(serde::Error::expected("Network map")),
+        };
+        let net = Network {
+            kinds: serde::__private::field(m, "kinds")?,
+            server_count: serde::__private::field(m, "server_count")?,
+            links: serde::__private::field(m, "links")?,
+            csr: OnceLock::new(),
+        };
+        for l in &net.links {
+            if l.a.index() >= net.kinds.len() || l.b.index() >= net.kinds.len() {
+                return Err(serde::Error(format!("link endpoint out of range: {l:?}")));
+            }
+        }
+        Ok(net)
+    }
 }
 
 impl Network {
@@ -130,9 +241,16 @@ impl Network {
         Network {
             kinds: Vec::with_capacity(nodes),
             server_count: 0,
-            adj: Vec::with_capacity(nodes),
             links: Vec::with_capacity(links),
+            csr: OnceLock::new(),
         }
+    }
+
+    /// The CSR adjacency, building it if a mutation invalidated it.
+    #[inline]
+    pub(crate) fn csr(&self) -> &Csr {
+        self.csr
+            .get_or_init(|| Csr::build(self.kinds.len(), &self.links))
     }
 
     /// Adds a server node and returns its id.
@@ -149,7 +267,7 @@ impl Network {
     fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(u32::try_from(self.kinds.len()).expect("more than u32::MAX nodes"));
         self.kinds.push(kind);
-        self.adj.push(Vec::new());
+        self.csr.take();
         id
     }
 
@@ -171,8 +289,7 @@ impl Network {
         );
         let id = LinkId(u32::try_from(self.links.len()).expect("more than u32::MAX links"));
         self.links.push(Link { a, b, capacity });
-        self.adj[a.index()].push((b, id));
-        self.adj[b.index()].push((a, id));
+        self.csr.take();
         id
     }
 
@@ -220,13 +337,14 @@ impl Network {
     /// insertion order (ports are therefore stable across runs).
     #[inline]
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
-        &self.adj[n.index()]
+        self.csr().neighbors(n)
     }
 
     /// The degree (number of attached cables) of node `n`.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adj[n.index()].len()
+        let csr = self.csr();
+        (csr.offsets[n.index() + 1] - csr.offsets[n.index()]) as usize
     }
 
     /// The link with id `l`.
@@ -262,11 +380,13 @@ impl Network {
 
     /// Returns the link connecting `a` and `b`, if any (first match in `a`'s
     /// adjacency if parallel links exist).
+    ///
+    /// O(log degree) via the CSR's neighbor-sorted mirror; because per-node
+    /// adjacency is appended in link-id order, the lowest-id parallel link
+    /// this returns is the same one a first-match linear scan would pick.
+    #[inline]
     pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.adj[a.index()]
-            .iter()
-            .find(|&&(nb, _)| nb == b)
-            .map(|&(_, l)| l)
+        self.csr().find_link(a, b)
     }
 
     /// `true` if every server id precedes every switch id — the crate-wide
@@ -373,6 +493,24 @@ mod tests {
         let l2 = net.add_link(a, b, 1.0);
         assert_ne!(l1, l2);
         assert_eq!(net.degree(a), 2);
+        // Lookup resolves parallel links to the lowest id, from both ends.
+        assert_eq!(net.find_link(a, b), Some(l1));
+        assert_eq!(net.find_link(b, a), Some(l1));
+    }
+
+    #[test]
+    fn csr_rebuilds_after_mutation() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        net.add_link(a, b, 1.0);
+        assert_eq!(net.neighbors(a).len(), 1); // builds the CSR
+        let c = net.add_server(); // invalidates it
+        let l = net.add_link(a, c, 1.0);
+        assert_eq!(net.neighbors(a), &[(b, LinkId(0)), (c, l)]);
+        assert_eq!(net.find_link(c, a), Some(l));
+        assert_eq!(net.find_link(b, c), None);
+        assert_eq!(net.degree(c), 1);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * BFS-based metrics ([`bfs`]): hop distances, shortest paths, exact and
 //!   sampled diameter / average path length (switch-transparent "server
 //!   hops", the metric used throughout the ABCCC paper family),
+//! * the all-pairs [`DistanceEngine`] ([`distance`]): CSR-backed 0–1 BFS
+//!   with reusable scratch, work-stealing source distribution and a fused
+//!   single sweep for diameter + average path length + eccentricity
+//!   histogram + per-link shortest-path load,
 //! * exact minimum cuts via Dinic max-flow ([`maxflow`]): bisection width of
 //!   a bipartition, pairwise edge/vertex connectivity,
 //! * vertex-disjoint path extraction ([`paths`]),
@@ -40,6 +44,7 @@
 
 pub mod bfs;
 pub mod connectivity;
+pub mod distance;
 pub mod dot;
 mod error;
 mod fault;
@@ -49,6 +54,7 @@ pub mod paths;
 mod route;
 pub mod svg;
 
+pub use distance::{AllPairsStats, BfsScratch, DistanceEngine};
 pub use error::{NetworkError, RouteError};
 pub use fault::FaultMask;
 pub use graph::{Link, LinkId, Network, NodeId, NodeKind};

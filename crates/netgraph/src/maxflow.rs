@@ -192,9 +192,15 @@ fn link_flow_graph(net: &Network, mask: Option<&FaultMask>) -> FlowGraph {
 ///
 /// Panics if `a` or `b` is empty or if they intersect.
 pub fn min_link_cut(net: &Network, a: &[NodeId], b: &[NodeId]) -> u64 {
-    assert!(!a.is_empty() && !b.is_empty(), "both sides must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "both sides must be non-empty"
+    );
     let bset: std::collections::HashSet<_> = b.iter().collect();
-    assert!(a.iter().all(|x| !bset.contains(x)), "sides must be disjoint");
+    assert!(
+        a.iter().all(|x| !bset.contains(x)),
+        "sides must be disjoint"
+    );
     let mut fg = link_flow_graph(net, None);
     let s = net.node_count();
     let t = net.node_count() + 1;

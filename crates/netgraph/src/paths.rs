@@ -46,7 +46,9 @@ pub fn vertex_disjoint_paths(
         let mut nodes = vec![s];
         let mut cur = s_in;
         while cur != t_in {
-            let Some(ai) = next_flow_arc(&fg, cur, &rem) else { break };
+            let Some(ai) = next_flow_arc(&fg, cur, &rem) else {
+                break;
+            };
             rem[ai] -= 1;
             cur = fg.arc_head(ai);
             // Node-split mapping: even index = v_in, odd = v_out of node v/2.

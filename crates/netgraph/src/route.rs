@@ -157,7 +157,12 @@ pub trait Topology {
     /// # Errors
     ///
     /// Returns [`RouteError::NotAServer`] if an endpoint is not a server.
-    fn parallel_routes(&self, src: NodeId, dst: NodeId, want: usize) -> Result<Vec<Route>, RouteError> {
+    fn parallel_routes(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        want: usize,
+    ) -> Result<Vec<Route>, RouteError> {
         let _ = want;
         Ok(vec![self.route(src, dst)?])
     }
@@ -166,7 +171,12 @@ pub trait Topology {
     /// to breadth-first search on the surviving graph, which is a correct
     /// (if omniscient) baseline; families override this with their native
     /// detour schemes.
-    fn route_avoiding(&self, src: NodeId, dst: NodeId, mask: &FaultMask) -> Result<Route, RouteError> {
+    fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        mask: &FaultMask,
+    ) -> Result<Route, RouteError> {
         if !self.network().is_server(src) {
             return Err(RouteError::NotAServer(src));
         }
@@ -237,7 +247,10 @@ mod tests {
         let mut mask = FaultMask::new(&net);
         mask.fail_node(n[3]);
         let r = Route::new(vec![n[0], n[3], n[1]]);
-        assert!(r.validate(&net, Some(&mask)).unwrap_err().contains("failed node"));
+        assert!(r
+            .validate(&net, Some(&mask))
+            .unwrap_err()
+            .contains("failed node"));
     }
 
     #[test]

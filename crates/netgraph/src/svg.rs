@@ -62,9 +62,10 @@ pub fn to_svg(net: &Network, opts: &SvgOptions) -> String {
 
     // Cables first (under the nodes).
     for (i, link) in net.links().iter().enumerate() {
-        let dead = opts.mask.as_ref().is_some_and(|m| {
-            !m.edge_usable(net, crate::LinkId(i as u32))
-        });
+        let dead = opts
+            .mask
+            .as_ref()
+            .is_some_and(|m| !m.edge_usable(net, crate::LinkId(i as u32)));
         let (x1, y1) = pos[link.a.index()];
         let (x2, y2) = pos[link.b.index()];
         let style = if dead {

@@ -1,18 +1,13 @@
 //! Property tests validating the graph engines against independent
 //! brute-force implementations on random networks.
 
-use netgraph::{FaultMask, Network, NodeId};
+use netgraph::{BfsScratch, DistanceEngine, FaultMask, Network, NodeId};
 use proptest::prelude::*;
 
 /// A random connected-ish mixed network: `servers` servers, `switches`
 /// switches, and each extra edge chosen uniformly (server–server,
 /// server–switch or switch–switch forbidden only when identical).
-fn random_network(
-    servers: usize,
-    switches: usize,
-    extra_edges: usize,
-    seed: u64,
-) -> Network {
+fn random_network(servers: usize, switches: usize, extra_edges: usize, seed: u64) -> Network {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut net = Network::new();
@@ -102,6 +97,35 @@ fn brute_force_min_cut(net: &Network, s: NodeId, t: NodeId) -> u64 {
     m as u64
 }
 
+/// Seed-style two-pass all-pairs reference: one full per-source BFS sweep
+/// for the diameter, a second for the average path length, each allocating
+/// fresh distance vectors — exactly what the fused engine replaced.
+fn two_pass_reference(net: &Network) -> Option<(u32, f64)> {
+    let servers: Vec<NodeId> = net.server_ids().collect();
+    if servers.len() < 2 {
+        return None;
+    }
+    let mut diameter = 0u32;
+    for &s in &servers {
+        let dist = netgraph::bfs::server_hop_distances(net, s, None);
+        for &t in &servers {
+            if dist[t.index()] == netgraph::bfs::UNREACHABLE {
+                return None;
+            }
+            diameter = diameter.max(dist[t.index()]);
+        }
+    }
+    let mut total = 0u64;
+    for &s in &servers {
+        let dist = netgraph::bfs::server_hop_distances(net, s, None);
+        for &t in &servers {
+            total += u64::from(dist[t.index()]);
+        }
+    }
+    let n = servers.len() as f64;
+    Some((diameter, total as f64 / (n * (n - 1.0))))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -182,6 +206,96 @@ proptest! {
         for i in 0..paths.len() {
             for j in (i + 1)..paths.len() {
                 prop_assert!(paths[i].is_internally_disjoint_from(&paths[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_scratch_matches_reference_bfs(
+        servers in 2usize..8,
+        switches in 0usize..5,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(servers, switches, extra, seed);
+        let engine = DistanceEngine::new(&net);
+        let mut scratch = BfsScratch::new();
+        // One scratch across every source: reuse must not leak state.
+        for src in net.server_ids() {
+            engine.distances_into(src, &mut scratch);
+            let reference = netgraph::bfs::server_hop_distances(&net, src, None);
+            prop_assert_eq!(&scratch.dist, &reference, "src {}", src);
+        }
+    }
+
+    #[test]
+    fn fused_all_pairs_matches_two_pass(
+        servers in 2usize..8,
+        switches in 0usize..5,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(servers, switches, extra, seed);
+        let fused = DistanceEngine::new(&net).all_pairs();
+        match two_pass_reference(&net) {
+            None => prop_assert!(fused.is_none()),
+            Some((diameter, apl)) => {
+                let fused = fused.expect("reference says connected");
+                prop_assert_eq!(fused.diameter, diameter);
+                // Both divide the same exact u64 sum — bitwise equal.
+                prop_assert_eq!(fused.avg_path_length, apl);
+                let hist_total: u64 = fused.ecc_histogram.iter().sum();
+                prop_assert_eq!(hist_total, net.server_count() as u64);
+                prop_assert_eq!(fused.ecc_histogram.len() as u32, diameter + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_link_load_matches_per_pair_paths(
+        servers in 2usize..7,
+        switches in 0usize..4,
+        extra in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(servers, switches, extra, seed);
+        let Some(stats) = DistanceEngine::new(&net).all_pairs_with_load() else {
+            return Ok(());
+        };
+        let mut expected = vec![0u64; net.link_count()];
+        for s in net.server_ids() {
+            for t in net.server_ids() {
+                if s == t {
+                    continue;
+                }
+                let path = netgraph::bfs::shortest_path(&net, s, t, None)
+                    .expect("connected");
+                for w in path.windows(2) {
+                    let l = net.find_link(w[0], w[1]).expect("adjacent");
+                    expected[l.index()] += 1;
+                }
+            }
+        }
+        prop_assert_eq!(stats.link_load, expected);
+    }
+
+    #[test]
+    fn find_link_matches_linear_scan(
+        servers in 2usize..7,
+        switches in 0usize..4,
+        extra in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        // `extra` edges may duplicate pairs, so parallel links occur here.
+        let net = random_network(servers, switches, extra, seed);
+        for a in net.node_ids() {
+            for b in net.node_ids() {
+                let scan = net
+                    .neighbors(a)
+                    .iter()
+                    .find(|&&(nb, _)| nb == b)
+                    .map(|&(_, l)| l);
+                prop_assert_eq!(net.find_link(a, b), scan, "{} -> {}", a, b);
             }
         }
     }

@@ -212,7 +212,9 @@ mod tests {
             buffer_packets: 4,
             ..Default::default()
         };
-        let r = PacketSim::new(&t, cfg).run_aimd(&flows, AimdConfig::default()).unwrap();
+        let r = PacketSim::new(&t, cfg)
+            .run_aimd(&flows, AimdConfig::default())
+            .unwrap();
         let offered = 7 * 100;
         assert_eq!(r.delivered + r.dropped, offered);
     }
@@ -244,7 +246,10 @@ mod tests {
     fn lone_aimd_flow_completes_losslessly() {
         let t = topo();
         let r = PacketSim::new(&t, PacketSimConfig::default())
-            .run_aimd(&[FlowSpec::bulk(NodeId(0), NodeId(7), 200)], AimdConfig::default())
+            .run_aimd(
+                &[FlowSpec::bulk(NodeId(0), NodeId(7), 200)],
+                AimdConfig::default(),
+            )
             .unwrap();
         assert_eq!(r.delivered, 200);
         assert_eq!(r.dropped, 0);

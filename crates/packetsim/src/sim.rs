@@ -300,7 +300,9 @@ mod tests {
             FlowSpec::bulk(NodeId(0), NodeId(7), 40),
             FlowSpec::bulk(NodeId(2), NodeId(5), 10),
         ];
-        let r = PacketSim::new(&t, PacketSimConfig::default()).run(&flows).unwrap();
+        let r = PacketSim::new(&t, PacketSimConfig::default())
+            .run(&flows)
+            .unwrap();
         assert_eq!(r.per_flow.len(), 2);
         for (fo, spec) in r.per_flow.iter().zip(&flows) {
             assert_eq!(fo.src, spec.src);

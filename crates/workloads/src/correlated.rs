@@ -105,7 +105,10 @@ mod tests {
             3 * (u64::from(p.group_size()) + 1)
         );
         // Surviving servers stay mutually connected (parallel paths).
-        assert!(netgraph::connectivity::servers_connected(t.network(), Some(&mask)));
+        assert!(netgraph::connectivity::servers_connected(
+            t.network(),
+            Some(&mask)
+        ));
     }
 
     #[test]
@@ -116,18 +119,18 @@ mod tests {
         let (p, t) = setup();
         let mask = fail_abccc_level(&p, t.network(), 1);
         assert_eq!(mask.failed_node_count() as u64, p.rest_space());
-        assert!(!netgraph::connectivity::servers_connected(t.network(), Some(&mask)));
+        assert!(!netgraph::connectivity::servers_connected(
+            t.network(),
+            Some(&mask)
+        ));
         let frac =
             netgraph::connectivity::largest_component_server_fraction(t.network(), Some(&mask));
         assert!((frac - 1.0 / f64::from(p.n())).abs() < 1e-12, "{frac}");
         // Servers sharing digit 1 remain mutually reachable.
         let a = abccc::ServerAddr::new(&p, abccc::CubeLabel(0), 0).node_id(&p);
-        let same_digit = abccc::ServerAddr::new(
-            &p,
-            abccc::CubeLabel::from_digits(&p, &[2, 0, 2]),
-            1,
-        )
-        .node_id(&p);
+        let same_digit =
+            abccc::ServerAddr::new(&p, abccc::CubeLabel::from_digits(&p, &[2, 0, 2]), 1)
+                .node_id(&p);
         assert!(netgraph::bfs::shortest_path(t.network(), a, same_digit, Some(&mask)).is_some());
     }
 

@@ -106,7 +106,10 @@ pub fn parse_trace(text: &str, n_servers: u64) -> Result<Vec<TraceFlow>, TracePa
 pub fn write_trace(flows: &[TraceFlow]) -> String {
     let mut out = String::from("# src,dst,size_units,start_ns\n");
     for f in flows {
-        out.push_str(&format!("{},{},{},{}\n", f.src.0, f.dst.0, f.size, f.start_ns));
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            f.src.0, f.dst.0, f.size, f.start_ns
+        ));
     }
     out
 }

@@ -69,11 +69,7 @@ pub fn all_to_all(n_servers: usize) -> Vec<(NodeId, NodeId)> {
 /// # Panics
 ///
 /// Panics if `n_servers < 2`.
-pub fn uniform_random(
-    n_servers: usize,
-    flows: usize,
-    rng: &mut impl Rng,
-) -> Vec<(NodeId, NodeId)> {
+pub fn uniform_random(n_servers: usize, flows: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
     assert!(n_servers >= 2, "need at least two servers");
     (0..flows)
         .map(|_| loop {
@@ -92,11 +88,7 @@ pub fn uniform_random(
 /// # Panics
 ///
 /// Panics if `fan_in >= n_servers`.
-pub fn many_to_one(
-    n_servers: usize,
-    fan_in: usize,
-    rng: &mut impl Rng,
-) -> Vec<(NodeId, NodeId)> {
+pub fn many_to_one(n_servers: usize, fan_in: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
     assert!(fan_in < n_servers, "fan-in must leave room for the sink");
     let sink = rng.gen_range(0..n_servers as u32);
     let mut senders: Vec<u32> = (0..n_servers as u32).filter(|&s| s != sink).collect();
@@ -114,11 +106,7 @@ pub fn many_to_one(
 /// # Panics
 ///
 /// Panics if `fan_out >= n_servers`.
-pub fn one_to_many(
-    n_servers: usize,
-    fan_out: usize,
-    rng: &mut impl Rng,
-) -> Vec<(NodeId, NodeId)> {
+pub fn one_to_many(n_servers: usize, fan_out: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
     many_to_one(n_servers, fan_out, rng)
         .into_iter()
         .map(|(a, b)| (b, a))
@@ -304,7 +292,13 @@ mod tests {
 
     #[test]
     fn deterministic_with_seed() {
-        assert_eq!(random_permutation(16, &mut rng()), random_permutation(16, &mut rng()));
-        assert_eq!(uniform_random(16, 8, &mut rng()), uniform_random(16, 8, &mut rng()));
+        assert_eq!(
+            random_permutation(16, &mut rng()),
+            random_permutation(16, &mut rng())
+        );
+        assert_eq!(
+            uniform_random(16, 8, &mut rng()),
+            uniform_random(16, 8, &mut rng())
+        );
     }
 }

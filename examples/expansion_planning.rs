@@ -30,13 +30,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ledger.from_servers,
             ledger.to_servers,
             ledger.new_capex_usd,
-            if ledger.legacy_untouched() { "none" } else { "YES" }
+            if ledger.legacy_untouched() {
+                "none"
+            } else {
+                "YES"
+            }
         );
         assert!(ledger.legacy_untouched());
         abccc_spend += ledger.new_capex_usd;
         p = p.grown()?;
     }
-    println!("  reached {} servers; growth spend ${abccc_spend:.0}\n", p.server_count());
+    println!(
+        "  reached {} servers; growth spend ${abccc_spend:.0}\n",
+        p.server_count()
+    );
 
     // --- BCube track: same switches, grow k — and open every server.
     println!("BCube track (n=4):");
@@ -83,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ft_spend += ledger.new_capex_usd;
         prev = FatTreeParams::new(next)?;
     }
-    println!("  reached {} servers; growth spend ${ft_spend:.0}\n", prev.server_count());
+    println!(
+        "  reached {} servers; growth spend ${ft_spend:.0}\n",
+        prev.server_count()
+    );
 
     println!("== summary ==");
     println!("ABCCC grows in place: no chassis opened, no cable re-pulled, no switch discarded.");

@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = topo.network();
     let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
 
-    println!("{}: {} servers, {} switches", params, net.server_count(), net.switch_count());
+    println!(
+        "{}: {} servers, {} switches",
+        params,
+        net.server_count(),
+        net.switch_count()
+    );
 
     // Disaster: one whole crossbar group (a "rack") plus 8% of switches.
     let mut mask = FaultMask::new(net);
@@ -57,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             abccc::routing::distance(&params, topo.server_addr(s), topo.server_addr(d)) as i64;
         match topo.route_avoiding(s, d, &mask) {
             Ok(route) => {
-                route.validate(net, Some(&mask)).map_err(|e| e.to_string())?;
+                route
+                    .validate(net, Some(&mask))
+                    .map_err(|e| e.to_string())?;
                 routed += 1;
                 let len = route.server_hops(net) as i64;
                 if len > healthy_len {
@@ -75,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("routed {routed} pairs, {detoured} needed a detour, {disconnected} truly disconnected");
+    println!(
+        "routed {routed} pairs, {detoured} needed a detour, {disconnected} truly disconnected"
+    );
     if detoured > 0 {
         println!(
             "average detour cost: {:.2} extra hops",

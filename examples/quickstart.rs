@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building {params} …");
     println!("  servers   : {}", params.server_count());
     println!("  switches  : {}", params.switch_count());
-    println!("  diameter  : {} server hops (closed form)", params.diameter());
+    println!(
+        "  diameter  : {} server hops (closed form)",
+        params.diameter()
+    );
 
     let topo = Abccc::new(params)?;
 
@@ -29,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One-to-one routing (permutation-driven, provably shortest).
     let route = topo.route(src, dst)?;
-    route.validate(topo.network(), None).map_err(|e| e.to_string())?;
+    route
+        .validate(topo.network(), None)
+        .map_err(|e| e.to_string())?;
     println!(
         "  path: {} server hops, {} links",
         route.server_hops(topo.network()),
@@ -37,21 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Multiple disjoint parallel paths between the same pair.
-    let paths = abccc::parallel::parallel_routes(
-        &params,
-        topo.server_addr(src),
-        topo.server_addr(dst),
-        4,
-    );
+    let paths =
+        abccc::parallel::parallel_routes(&params, topo.server_addr(src), topo.server_addr(dst), 4);
     println!("  {} internally disjoint parallel paths", paths.len());
 
     // Flow-level simulation of a random permutation workload.
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    let pairs = dcn_workloads::traffic::random_permutation(
-        topo.network().server_count(),
-        &mut rng,
-    );
+    let pairs = dcn_workloads::traffic::random_permutation(topo.network().server_count(), &mut rng);
     let report = FlowSim::new(&topo).run(&pairs)?;
     println!(
         "permutation workload: {} flows, {:.1} Gbps aggregate, {:.3} Gbps per flow",

@@ -19,13 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two disjoint routes between opposite corners.
     let src = NodeId(0);
     let dst = NodeId((params.server_count() - 1) as u32);
-    let routes = abccc::parallel::parallel_routes(
-        &params,
-        topo.server_addr(src),
-        topo.server_addr(dst),
-        2,
+    let routes =
+        abccc::parallel::parallel_routes(&params, topo.server_addr(src), topo.server_addr(dst), 2);
+    println!(
+        "{}: highlighting {} disjoint routes {src} → {dst}",
+        params,
+        routes.len()
     );
-    println!("{}: highlighting {} disjoint routes {src} → {dst}", params, routes.len());
 
     let svg_text = svg::to_svg(
         topo.network(),
@@ -63,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote:");
     for f in ["abccc_routes.svg", "abccc_routes.dot", "abccc_faults.svg"] {
         let path = out.join(f);
-        println!("  {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+        println!(
+            "  {} ({} bytes)",
+            path.display(),
+            std::fs::metadata(&path)?.len()
+        );
     }
     Ok(())
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository pre-merge gate: formatting, lints, and the full test suite.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test -q"
+cargo test --workspace -q --offline
+
+echo "All checks passed."

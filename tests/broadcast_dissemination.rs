@@ -51,10 +51,7 @@ fn broadcast_dissemination_delivers_to_every_server() {
 
     let report = PacketSim::new(&topo, cfg).run(&flows).unwrap();
     assert_eq!(report.dropped, 0, "dissemination must be lossless");
-    assert_eq!(
-        report.delivered,
-        (p.server_count() - 1) * packets_per_edge
-    );
+    assert_eq!(report.delivered, (p.server_count() - 1) * packets_per_edge);
     // Completion is bounded by depth rounds plus slack for contention.
     let bound = u64::from(tree.depth()) * round_ns * 2;
     assert!(
@@ -86,8 +83,7 @@ fn broadcast_beats_naive_unicast_star_in_sender_load() {
     }
     let unicast_src_sends = p.server_count() - 1;
     // Direct children: up to m−1 via the crossbar plus n−1 per owned level.
-    let child_bound =
-        u64::from(p.group_size() - 1) + u64::from(p.h() - 1) * u64::from(p.n() - 1);
+    let child_bound = u64::from(p.group_size() - 1) + u64::from(p.h() - 1) * u64::from(p.n() - 1);
     assert!(
         tree_src_sends <= child_bound,
         "tree source fan-out {tree_src_sends} exceeds the structural bound {child_bound}"

@@ -69,9 +69,6 @@ fn bccc_diameter_formula_is_2k_plus_2() {
         let p = BcccParams::new(n, k).unwrap();
         assert_eq!(p.diameter(), 2 * u64::from(k) + 2);
         let t = Bccc::new(p).unwrap();
-        assert_eq!(
-            netgraph::bfs::server_diameter(t.network()),
-            Some(2 * k + 2)
-        );
+        assert_eq!(netgraph::bfs::server_diameter(t.network()), Some(2 * k + 2));
     }
 }

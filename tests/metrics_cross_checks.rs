@@ -29,7 +29,14 @@ fn abccc_diameter_formula_vs_bfs_wide_sweep() {
 
 #[test]
 fn abccc_bisection_formula_vs_maxflow() {
-    for (n, k, h) in [(2, 1, 2), (2, 2, 2), (2, 2, 3), (2, 3, 3), (4, 1, 2), (4, 1, 3)] {
+    for (n, k, h) in [
+        (2, 1, 2),
+        (2, 2, 2),
+        (2, 2, 3),
+        (2, 3, 3),
+        (4, 1, 2),
+        (4, 1, 3),
+    ] {
         let p = AbcccParams::new(n, k, h).unwrap();
         let t = Abccc::new(p).unwrap();
         assert_eq!(

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Covers the API surface the repository's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`, `black_box` — with a simple
+//! wall-clock measurement loop: warm up, then time fixed-size batches and
+//! report the median per-iteration latency.
+//!
+//! Measurements from the most recent run can be drained with
+//! [`Criterion::take_measurements`], which the repository's
+//! `perf_trajectory` bench uses to emit machine-readable JSON.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export: defeat constant folding around a benchmarked expression.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` label.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Total iterations measured (excluding warm-up).
+    pub iterations: u64,
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let label = id.to_string();
+        let sample_size = self.sample_size;
+        self.run(label, sample_size, f);
+    }
+
+    /// Drains every measurement recorded so far.
+    pub fn take_measurements(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.measurements)
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut bencher);
+        let m = bencher.finish(id);
+        println!(
+            "{:<60} median {:>12}  mean {:>12}  ({} iters)",
+            m.id,
+            format_ns(m.median_ns),
+            format_ns(m.mean_ns),
+            m.iterations
+        );
+        self.measurements.push(m);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let label = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(label, sample_size, f);
+    }
+
+    /// Benchmarks `f` with an input value under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates a label from a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates a label from a parameter display alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples of an adaptively chosen
+    /// batch size (targeting a few milliseconds per sample).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it costs ≥ ~2 ms
+        // (or a cap, for very slow benchmarks).
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 0..self.sample_size.max(2) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push((start.elapsed(), batch));
+        }
+    }
+
+    fn finish(self, id: String) -> Measurement {
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_secs_f64() * 1e9 / *n as f64)
+            .collect();
+        if per_iter.is_empty() {
+            per_iter.push(f64::NAN);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let iterations: u64 = self.samples.iter().map(|(_, n)| n).sum();
+        Measurement {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            iterations,
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Binds benchmark target functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; this driver has no
+            // CLI surface, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "t/sum");
+        assert!(ms[0].median_ns > 0.0);
+    }
+}

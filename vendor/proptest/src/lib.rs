@@ -1,0 +1,516 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a minimal property-testing driver covering the API surface this
+//! repository uses: the [`proptest!`] macro with `arg in strategy` bindings
+//! and an optional `#![proptest_config(...)]` header, integer range and
+//! tuple strategies, [`any`], `prop_map`/`prop_filter` adapters, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking — a failing case reports its exact inputs instead;
+//! * deterministic seeding derived from the test name, so failures
+//!   reproduce exactly on re-run;
+//! * rejection (via `prop_assume!` or `prop_filter`) retries with fresh
+//!   input and gives up after a generous budget.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Input rejected (e.g. by `prop_assume!`); try another input.
+    Reject(String),
+    /// Assertion failure; the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection with a reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Outcome of one generated case, as seen by the driver.
+#[derive(Debug)]
+pub enum CaseResult {
+    /// Property held.
+    Pass,
+    /// Input was rejected before or during the test body.
+    Reject,
+    /// Property violated; message already includes the inputs.
+    Fail(String),
+}
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value, or `Err` if this input should be rejected.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (retrying locally first).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<U, TestCaseError> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        for _ in 0..100 {
+            let v = self.inner.generate(rng)?;
+            if (self.pred)(v_ref(&v)) {
+                return Ok(v);
+            }
+        }
+        Err(TestCaseError::reject(self.whence))
+    }
+}
+
+#[inline]
+fn v_ref<T>(v: &T) -> &T {
+    v
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+        Ok(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                Ok(($(self.$n.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Always produces a clone of the given value.
+pub struct JustStrategy<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for JustStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// `Just(v)`: strategy producing exactly `v`.
+#[allow(non_snake_case)]
+pub fn Just<T: Clone>(v: T) -> JustStrategy<T> {
+    JustStrategy(v)
+}
+
+/// Full-domain values for primitive types.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The full-domain strategy for `T` (`any::<u64>()` style).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// Drives one property: keeps generating cases until `cfg.cases` pass,
+/// panicking on the first failure. Called by the [`proptest!`] expansion.
+///
+/// # Panics
+///
+/// Panics if a case fails or too many inputs are rejected.
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> CaseResult,
+) {
+    use rand::SeedableRng;
+    // FNV-style hash of the test name: failures reproduce across runs.
+    let mut base: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        base ^= u64::from(b);
+        base = base.wrapping_mul(0x100000001b3);
+    }
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = u64::from(cfg.cases) * 64 + 1024;
+    let mut sequence: u64 = 0;
+    while passed < cfg.cases {
+        let mut rng =
+            TestRng::seed_from_u64(base.wrapping_add(sequence.wrapping_mul(0x9E3779B97F4A7C15)));
+        sequence += 1;
+        match case(&mut rng) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "property `{name}`: too many rejected inputs ({rejected}) — \
+                     prop_assume!/prop_filter conditions are unsatisfiable"
+                );
+            }
+            CaseResult::Fail(msg) => {
+                panic!("property `{name}` failed after {passed} passing case(s): {msg}")
+            }
+        }
+    }
+}
+
+/// The proptest entry-point macro: wraps `fn name(arg in strategy, ...)`
+/// items into deterministic randomized tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&__cfg, stringify!($name), |__rng| {
+                    // Capture each input's Debug form before destructuring,
+                    // since the body may move the bindings.
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let $arg = match $crate::Strategy::generate(&($strat), __rng) {
+                            ::core::result::Result::Ok(v) => {
+                                __inputs.push_str(&::std::format!(
+                                    "\n    {} = {:?}",
+                                    stringify!($arg),
+                                    &v
+                                ));
+                                v
+                            }
+                            ::core::result::Result::Err(_) => return $crate::CaseResult::Reject,
+                        };
+                    )+
+                    let __inputs = __inputs;
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => $crate::CaseResult::Pass,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            $crate::CaseResult::Reject
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            $crate::CaseResult::Fail(::std::format!(
+                                "{msg}\n  inputs:{}",
+                                __inputs
+                            ))
+                        }
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {} == {}\n  left: {l:?}\n  right: {r:?}",
+                    stringify!($left), stringify!($right)),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {} == {}\n  left: {l:?}\n  right: {r:?}\n  {}",
+                    stringify!($left), stringify!($right), ::std::format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {} != {}\n  both: {l:?}",
+                    stringify!($left), stringify!($right)),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {} != {}\n  both: {l:?}\n  {}",
+                    stringify!($left), stringify!($right), ::std::format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Glob-import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Strategies that sample from explicit value collections.
+pub mod sample {
+    use crate::{Strategy, TestCaseError, TestRng};
+    use rand::Rng;
+
+    /// Chooses uniformly from a fixed list of values.
+    pub fn select<T: Clone + core::fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(
+            !items.is_empty(),
+            "sample::select requires a non-empty list"
+        );
+        Select { items }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + core::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+            let idx = rng.gen_range(0..self.items.len());
+            Ok(self.items[idx].clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), c in 1u64..=3) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in (1u32..100).prop_map(|x| x * 2).prop_filter("multiple of 4", |x| x % 4 == 0),
+            seed in any::<u64>(),
+        ) {
+            prop_assert_eq!(v % 4, 0);
+            let _ = seed;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    #[allow(unnameable_test_items)] // `proptest!` emits `#[test] fn` nested here on purpose
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn always_fails(n in 0u32..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,396 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Crates.io is unavailable in the build environment, so this proc-macro
+//! crate parses the derive input by hand (no `syn`/`quote`) and emits
+//! `impl serde::Serialize` / `impl serde::Deserialize` blocks for the item
+//! shapes this repository actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, like serde),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Generics, lifetimes and `#[serde(...)]` attributes are intentionally
+//! unsupported; deriving on such an item is a compile error rather than a
+//! silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive input.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!("let mut __m = ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(__m)")
+        }
+        Item::TupleStruct { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::TupleStruct { arity, .. } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Seq(::std::vec![{}])",
+                                    elems.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![({vn:?}.to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{ let mut __m = ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(::std::vec![({vn:?}.to_string(), ::serde::Value::Map(__m))]) }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__m, {f:?})?"))
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::expected(\"map for {name}\"))?; \
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::element(__s, {i})?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence for {name}\"))?; \
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => {
+            format!("::core::result::Result::Ok({name})")
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "{0:?} => return ::core::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::__private::element(__s, {i})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __s = __payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\"))?; ::core::result::Result::Ok({name}::{vn}({})) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__private::field(__m, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __m = __payload.as_map().ok_or_else(|| ::serde::Error::expected(\"map\"))?; ::core::result::Result::Ok({name}::{vn} {{ {} }}) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{ \
+                     match __s.as_str() {{ {unit_arms} _ => return ::core::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant {{__s:?}}\"))), }} \
+                 }} \
+                 let (__tag, __payload) = ::serde::__private::variant(__v)?; \
+                 match __tag {{ {tagged_arms} _ => ::core::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant {{__tag:?}}\"))), }}"
+            )
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types (on `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility qualifier.
+fn skip_attributes_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct/variant body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        i += 1;
+        // Skip `: Type` up to the next comma at angle-bracket depth 0.
+        // Generic arguments use `<`/`>` puncts (not groups), so track them;
+        // parenthesized types are single groups and need no handling.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of comma-separated items at angle-depth 0 (tuple-struct fields).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_item_since_comma = true;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 < tokens.len() {
+                    count += 1;
+                    saw_item_since_comma = false;
+                }
+            }
+            _ => saw_item_since_comma = true,
+        }
+    }
+    let _ = saw_item_since_comma;
+    count
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit discriminants are not supported (variant `{name}`)");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
