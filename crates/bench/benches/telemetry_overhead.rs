@@ -1,0 +1,66 @@
+//! Micro-benchmark enforcing the telemetry cost contract: with recording
+//! disabled (the default), a span guard or a counter/histogram touch must
+//! cost only a few nanoseconds — one relaxed atomic load plus a cached
+//! call-site lookup. The enabled paths are timed alongside for reference.
+//!
+//! `ABCCC_SMOKE=1` shrinks the sample count so `scripts/check.sh` can run
+//! this as a fast gate; the disabled-path assertion still fires.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Generous ceiling for the disabled paths — "a few ns" with headroom for
+/// slow shared CI machines. A regression to a lock, a heap write, or an
+/// uncached registry lookup lands well above this.
+const DISABLED_MEDIAN_CEILING_NS: f64 = 50.0;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let smoke = std::env::var("ABCCC_SMOKE").is_ok();
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(if smoke { 5 } else { 20 });
+
+    dcn_telemetry::set_enabled(false);
+    g.bench_function("disabled/span_guard", |b| {
+        b.iter(|| dcn_telemetry::span!("bench.overhead.span"))
+    });
+    g.bench_function("disabled/counter_inc", |b| {
+        b.iter(|| dcn_telemetry::counter!("bench.overhead.counter").inc())
+    });
+    g.bench_function("disabled/histogram_record", |b| {
+        b.iter(|| dcn_telemetry::histogram!("bench.overhead.hist").record(black_box(42)))
+    });
+
+    dcn_telemetry::set_enabled(true);
+    g.bench_function("enabled/span_guard", |b| {
+        b.iter(|| dcn_telemetry::span!("bench.overhead.span"))
+    });
+    g.bench_function("enabled/counter_inc", |b| {
+        b.iter(|| dcn_telemetry::counter!("bench.overhead.counter").inc())
+    });
+    g.bench_function("enabled/histogram_record", |b| {
+        b.iter(|| dcn_telemetry::histogram!("bench.overhead.hist").record(black_box(42)))
+    });
+    dcn_telemetry::set_enabled(false);
+    // The enabled span runs filled the thread-local buffers; discard them.
+    let _ = dcn_telemetry::drain_spans();
+    g.finish();
+
+    let measurements = c.take_measurements();
+    let mut checked = 0usize;
+    for m in &measurements {
+        if m.id.contains("/disabled/") {
+            checked += 1;
+            assert!(
+                m.median_ns < DISABLED_MEDIAN_CEILING_NS,
+                "disabled-telemetry contract violated: {} median {:.1} ns \
+                 (ceiling {DISABLED_MEDIAN_CEILING_NS} ns)",
+                m.id,
+                m.median_ns
+            );
+        }
+    }
+    assert_eq!(checked, 3, "expected three disabled-path measurements");
+    println!("\ndisabled-path contract: all {checked} medians < {DISABLED_MEDIAN_CEILING_NS} ns");
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! disjoint parallel paths (the property BCCC/ABCCC advertise).
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::{BCube, BCubeParams};
 use dcn_workloads::traffic;
 use flowsim::FlowSim;
@@ -53,6 +53,11 @@ fn run<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table) {
 }
 
 fn main() {
+    let mut bench = BenchRun::start("fig10_multipath");
+    bench
+        .param("paths_per_flow", "1 2 3")
+        .param("structures", "ABCCC(4,2,2) ABCCC(4,2,3) BCube(4,2)")
+        .seed(0x3AB);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 10: single-path vs multipath striping (random permutation)",
@@ -85,4 +90,5 @@ fn main() {
     println!(" paths are physically disjoint, so a second path adds NIC-port bandwidth;");
     println!(" max-min fairness can trade some worst-flow rate for that aggregate gain)");
     abccc_bench::emit_json("fig10_multipath", &rows);
+    bench.finish();
 }

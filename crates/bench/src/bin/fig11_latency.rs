@@ -3,7 +3,7 @@
 //! flow-level ranking with the discrete-event simulator.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::*;
 use dcn_workloads::traffic;
 use netgraph::Topology;
@@ -44,6 +44,13 @@ fn run<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table) {
 }
 
 fn main() {
+    let mut bench = BenchRun::start("fig11_latency");
+    bench
+        .param("flows", 64)
+        .param("packets_per_flow", 300)
+        .param("packet_bytes", 1500)
+        .param("buffer_packets", 64)
+        .seed(0x1A7);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 11: packet-level latency & loss (64 bulk flows × 300 pkts, 1500 B, 64-pkt buffers)",
@@ -86,4 +93,8 @@ fn main() {
     println!("(shape: latency orders by mean path length — BCube < ABCCC h=3 < h=2;");
     println!(" the packet-level ranking matches the flow-level one of Figure 6)");
     abccc_bench::emit_json("fig11_latency", &rows);
+    for r in &rows {
+        bench.topology(r.report.topology.clone());
+    }
+    bench.finish();
 }

@@ -8,7 +8,7 @@
 //! `m` exceeds `c`.
 
 use abccc::AbcccParams;
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_metrics::CostModel;
 use serde::Serialize;
 
@@ -22,11 +22,16 @@ struct Strategy {
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig12_headroom");
     let cost = CostModel::default();
     // BCCC-style deployment (h = 2, m = k + 1), growing k = 1 → 5.
     let n = 4u32;
     let k0 = 1u32;
     let k1 = 5u32;
+    run.param("n", n)
+        .param("h", 2)
+        .param("k", format!("{k0}..={k1}"))
+        .param("initial_radix", "2 4 6 8");
     let m_final = AbcccParams::new(n, k1, 2).expect("params").group_size();
 
     let mut rows = Vec::new();
@@ -90,4 +95,5 @@ fn main() {
     println!(" and preserves the zero-touch expansion; under-buying forces a fabric-wide");
     println!(" crossbar replacement — the BCube-style legacy cost ABCCC is built to avoid)");
     abccc_bench::emit_json("fig12_headroom", &rows);
+    run.finish();
 }

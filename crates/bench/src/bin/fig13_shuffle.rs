@@ -5,7 +5,7 @@
 //! time, and Jain's fairness index.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::*;
 use dcn_workloads::traffic;
 use flowsim::FlowSim;
@@ -90,6 +90,13 @@ fn run_inner<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table, path
 }
 
 fn main() {
+    let mut bench = BenchRun::start("fig13_shuffle");
+    bench
+        .param("mappers", 8)
+        .param("reducers", 8)
+        .param("gbits_per_flow", DATA_GBITS_PER_FLOW)
+        .param("pkt_train", 50)
+        .seed(0x5_4F);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 13: MapReduce shuffle (m×r bulk transfers, 1 Gbit each)",
@@ -146,4 +153,8 @@ fn main() {
     println!(" server-centric families; striping over ABCCC's disjoint parallel paths");
     println!(" is the lever — it engages all h NIC ports of the hot reducers)");
     abccc_bench::emit_json("fig13_shuffle", &rows);
+    for r in &rows {
+        bench.topology(r.structure.clone());
+    }
+    bench.finish();
 }

@@ -4,7 +4,7 @@
 //! little path length for spread; the structure-aware ones win on both.
 
 use abccc::{routing, Abccc, AbcccParams, PermStrategy};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_workloads::traffic;
 use netgraph::{Route, Topology};
 use rand::SeedableRng;
@@ -21,6 +21,8 @@ struct Row {
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig14_load_balance");
+    run.param("configs", "(4,2,2) (4,3,3)").seed(0x10AD);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 14: link-load balance by permutation strategy (random permutation)",
@@ -35,6 +37,7 @@ fn main() {
     );
     for (n, k, h) in [(4, 2, 2), (4, 3, 3)] {
         let p = AbcccParams::new(n, k, h).expect("params");
+        run.topology(p.to_string());
         let topo = Abccc::new(p).expect("build");
         let net = topo.network();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x10AD);
@@ -71,4 +74,5 @@ fn main() {
     println!(" comparable hot-link load; naive orders pay ~0.5–1.0 extra hops for no");
     println!(" balance gain — permutation choice is a real tunable, per the companion)");
     abccc_bench::emit_json("fig14_load_balance", &rows);
+    run.finish();
 }

@@ -4,7 +4,7 @@
 //! Run across fan-in sizes and structures.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::{BCube, BCubeParams};
 use dcn_workloads::traffic;
 use netgraph::Topology;
@@ -57,6 +57,12 @@ fn run<T: Topology>(topo: &T, fan_in: usize, rows: &mut Vec<Row>, table: &mut Ta
 }
 
 fn main() {
+    let mut bench = BenchRun::start("fig15_incast");
+    bench
+        .param("fan_in", "4 8 16 32")
+        .param("burst_packets", 100)
+        .param("buffer_packets", 8)
+        .seed(0x1CA5);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 15: incast (100-pkt bursts, 8-pkt buffers) — open loop vs AIMD",
@@ -72,6 +78,9 @@ fn main() {
     let a2 = Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build");
     let a3 = Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build");
     let bc = BCube::new(BCubeParams::new(4, 2).expect("params")).expect("build");
+    for t in [a2.name(), a3.name(), bc.name()] {
+        bench.topology(t);
+    }
     for fan_in in [4usize, 8, 16, 32] {
         run(&a2, fan_in, &mut rows, &mut table);
         run(&a3, fan_in, &mut rows, &mut table);
@@ -82,4 +91,5 @@ fn main() {
     println!(" by 2–40×. Higher h helps (more sink NICs), and ABCCC beats even BCube:");
     println!(" its crossbar spreads the convergence across the sink's ports)");
     abccc_bench::emit_json("fig15_incast", &rows);
+    bench.finish();
 }

@@ -4,7 +4,7 @@
 //! connectivity and detour-routing success among alive servers.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_workloads::correlated;
 use netgraph::{FaultMask, NodeId, Topology};
 use rand::{Rng, SeedableRng};
@@ -64,6 +64,12 @@ fn evaluate(
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig16_correlated");
+    run.param("n", 4)
+        .param("k", 2)
+        .param("h", "2 3")
+        .param("pairs_per_scenario", 400)
+        .seed(0xFEE1);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 16: correlated outages (400 alive pairs per scenario)",
@@ -78,6 +84,7 @@ fn main() {
     );
     for h in [2u32, 3] {
         let p = AbcccParams::new(4, 2, h).expect("params");
+        run.topology(p.to_string());
         let topo = Abccc::new(p).expect("build");
         let net = topo.network();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEE1);
@@ -109,4 +116,5 @@ fn main() {
     println!(" surviving component. A whole-level outage is the Achilles heel: the cube");
     println!(" partitions into n components, so deployments must diversify per level)");
     abccc_bench::emit_json("fig16_correlated", &rows);
+    run.finish();
 }

@@ -5,7 +5,7 @@
 //! with the max-min fair simulator.
 
 use abccc::{routing, vlb, Abccc, AbcccParams, CubeLabel, PermStrategy, ServerAddr};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_workloads::traffic;
 use flowsim::{max_min_allocation, DirectedLink};
 use netgraph::{Route, Topology};
@@ -76,6 +76,12 @@ fn evaluate(
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig17_adversarial");
+    run.param("n", 4)
+        .param("k", 2)
+        .param("h", "2 3")
+        .param("patterns", "convergent random-perm")
+        .seed(0xAD7);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 17: adversarial traffic — deterministic vs VLB routing",
@@ -91,6 +97,7 @@ fn main() {
     );
     for h in [2u32, 3] {
         let p = AbcccParams::new(4, 2, h).expect("params");
+        run.topology(p.to_string());
         let topo = Abccc::new(p).expect("build");
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xAD7);
 
@@ -143,4 +150,5 @@ fn main() {
     println!(" halved aggregate, the textbook Valiant capacity factor. Use VLB as");
     println!(" insurance against worst-case patterns, not as the default)");
     abccc_bench::emit_json("fig17_adversarial", &rows);
+    run.finish();
 }

@@ -3,7 +3,7 @@
 //! BFS-verified in the test suite).
 
 use abccc::AbcccParams;
-use abccc_bench::Table;
+use abccc_bench::{BenchRun, Table};
 use dcn_baselines::{BCubeParams, DCellParams};
 use serde::Serialize;
 
@@ -15,7 +15,9 @@ struct Point {
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig1_diameter");
     let n = 4;
+    run.param("n", n).param("k", "1..=6").param("h", "2..=5");
     let mut points: Vec<Point> = Vec::new();
     let mut table = Table::new(
         "Figure 1: diameter (server hops) vs order k, n = 4",
@@ -54,4 +56,5 @@ fn main() {
     table.print();
     println!("(shape: BCube k+1 ≤ ABCCC (k+1)+m ≤ BCCC 2(k+1); larger h shrinks m)");
     abccc_bench::emit_json("fig1_diameter", &points);
+    run.finish();
 }

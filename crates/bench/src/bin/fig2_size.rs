@@ -5,7 +5,7 @@
 //! `p³/4`.
 
 use abccc::AbcccParams;
-use abccc_bench::Table;
+use abccc_bench::{BenchRun, Table};
 use dcn_baselines::{BCubeParams, DCellParams, FatTreeParams};
 use serde::Serialize;
 
@@ -17,7 +17,12 @@ struct Point {
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig2_size");
     let n = 4;
+    run.param("n", n)
+        .param("k", "1..=6")
+        .param("h", "2..=4")
+        .param("fattree_p", 16);
     let mut points = Vec::new();
     let mut table = Table::new(
         "Figure 2: servers vs order k, n = 4 (fat-tree p=16 for reference)",
@@ -58,4 +63,5 @@ fn main() {
     table.print();
     println!("(shape: at equal k, ABCCC holds m× the servers of BCube on identical switches)");
     abccc_bench::emit_json("fig2_size", &points);
+    run.finish();
 }

@@ -3,7 +3,7 @@
 //! probed with random balanced bipartitions.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use netgraph::Topology;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -20,8 +20,14 @@ struct Point {
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig3_bisection");
     let n = 4;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB15EC);
+    let seed = 0xB15EC;
+    run.param("n", n)
+        .param("k", "1..=4")
+        .param("h", "2..=4")
+        .seed(seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut points = Vec::new();
     let mut table = Table::new(
         "Figure 3: bisection width vs (k, h), n = 4",
@@ -76,4 +82,5 @@ fn main() {
     table.print();
     println!("(shape: per-server bisection = 1/(2m) — rises with h at fixed k)");
     abccc_bench::emit_json("fig3_bisection", &points);
+    run.finish();
 }

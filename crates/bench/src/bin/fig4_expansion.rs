@@ -4,11 +4,13 @@
 //! every existing server. Fat-tree: full fabric replacement.
 
 use abccc::AbcccParams;
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::{BCubeParams, DCellParams, FatTreeParams};
 use dcn_metrics::{expansion, CostModel, ExpansionLedger};
 
 fn main() {
+    let mut run = BenchRun::start("fig4_expansion");
+    run.param("n", 4).param("steps", "3 (2 for DCell/fat-tree)");
     let cost = CostModel::default();
     let mut ledgers: Vec<ExpansionLedger> = Vec::new();
 
@@ -81,4 +83,5 @@ fn main() {
     table.print();
     println!("(shape: ABCCC/BCCC rows show zero legacy impact; BCube/DCell touch 100% of servers)");
     abccc_bench::emit_json("fig4_expansion", &ledgers);
+    run.finish();
 }

@@ -4,14 +4,17 @@
 //! destination-aware permutation is provably shortest; asserted here too).
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::{BCube, BCubeParams, DCell, DCellParams};
 use dcn_metrics::{routing_quality, RoutingQuality};
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF165);
+    let mut run = BenchRun::start("fig5_path_length");
+    let seed = 0xF165;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let pairs = 1000;
+    run.param("n", 4).param("pairs", pairs).seed(seed);
     let mut results: Vec<RoutingQuality> = Vec::new();
 
     for (k, h) in [(1, 2), (2, 2), (3, 2), (2, 3), (3, 3), (2, 4), (3, 4)] {
@@ -59,4 +62,8 @@ fn main() {
     table.print();
     println!("(shape: ABCCC/BCube stretch = 1.000 exactly; DCellRouting slightly above 1)");
     abccc_bench::emit_json("fig5_path_length", &results);
+    for q in &results {
+        run.topology(q.name.clone());
+    }
+    run.finish();
 }

@@ -4,7 +4,7 @@
 //! scale.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::*;
 use dcn_workloads::traffic;
 use flowsim::{FlowSim, FlowSimReport};
@@ -38,6 +38,10 @@ fn run_patterns<T: Topology>(topo: &T, out: &mut Vec<Row>) {
 }
 
 fn main() {
+    let mut bench = BenchRun::start("fig6_throughput");
+    bench
+        .param("patterns", "permutation bisection uniform-2n")
+        .seed(0x7_86);
     let mut rows: Vec<Row> = Vec::new();
     run_patterns(
         &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),
@@ -93,4 +97,10 @@ fn main() {
     println!("(shape: per-flow throughput rises with h — shorter paths contend less;");
     println!(" fat-tree wins per-flow at equal N but at far higher switch cost — see Table 2)");
     abccc_bench::emit_json("fig6_throughput", &rows);
+    for r in &rows {
+        if !r.report.topology.is_empty() && r.pattern == "permutation" {
+            bench.topology(r.report.topology.clone());
+        }
+    }
+    bench.finish();
 }

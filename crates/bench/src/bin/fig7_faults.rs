@@ -4,7 +4,7 @@
 //! reference).
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_workloads::FailureScenario;
 use netgraph::{NodeId, Topology};
 use rand::SeedableRng;
@@ -83,6 +83,14 @@ fn run_class(
 use rand::Rng;
 
 fn main() {
+    let mut run = BenchRun::start("fig7_faults");
+    run.param("n", 4)
+        .param("k", 2)
+        .param("h", "2 3")
+        .param("trials", 5)
+        .param("pairs_per_trial", 200)
+        .param("rates", "0.00..0.20")
+        .param("seed_scheme", "(rate*1000) ^ 0xFA");
     let mut points = Vec::new();
     let mut table = Table::new(
         "Figure 7: routing under failures (5 trials × 200 pairs per point)",
@@ -97,6 +105,7 @@ fn main() {
     );
     for h in [2, 3] {
         let topo = Abccc::new(AbcccParams::new(4, 2, h).expect("params")).expect("build");
+        run.topology(topo.name());
         run_class(
             &topo,
             "servers",
@@ -116,4 +125,5 @@ fn main() {
     println!("(shape: success tracks the BFS connectivity ceiling — the detour");
     println!(" routing finds a path whenever one exists; path length degrades gracefully)");
     abccc_bench::emit_json("fig7_faults", &points);
+    run.finish();
 }

@@ -3,7 +3,7 @@
 //! mean crossbar (intra-group) hops per strategy, over sampled pairs.
 
 use abccc::{routing, Abccc, AbcccParams, PermStrategy, ServerAddr};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use rand::Rng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -18,7 +18,11 @@ struct Row {
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig8_permutations");
     let pairs = 2000;
+    run.param("pairs", pairs)
+        .param("configs", "(4,2,2) (2,5,2) (4,3,3)")
+        .seed(0x9E12);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Figure 8: permutation strategies (2000 random pairs each)",
@@ -32,6 +36,7 @@ fn main() {
     );
     for (n, k, h) in [(4, 2, 2), (2, 5, 2), (4, 3, 3)] {
         let p = AbcccParams::new(n, k, h).expect("params");
+        run.topology(p.to_string());
         let _topo = Abccc::new(p).expect("build"); // ensures the config materializes
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x9E12);
         let sample: Vec<(ServerAddr, ServerAddr)> = (0..pairs)
@@ -82,4 +87,5 @@ fn main() {
     println!("(shape: destination-aware ≤ cyclic-from-source < greedy/ascending < random;");
     println!(" the gap is entirely in crossbar hops — level crossings are fixed by the digit set)");
     abccc_bench::emit_json("fig8_permutations", &rows);
+    run.finish();
 }

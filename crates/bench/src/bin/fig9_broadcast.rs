@@ -3,7 +3,7 @@
 //! savings of one-to-many trees over repeated unicast.
 
 use abccc::{broadcast, Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use netgraph::{NodeId, Topology};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -34,9 +34,14 @@ fn main() {
             "saving",
         ],
     );
+    let mut run = BenchRun::start("fig9_broadcast");
+    run.param("src", 0)
+        .param("one_to_many_dests", 32)
+        .seed(0xB0A5);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xB0A5);
     for (n, k, h) in [(4, 1, 2), (4, 2, 2), (4, 2, 3), (2, 4, 3), (4, 2, 4)] {
         let p = AbcccParams::new(n, k, h).expect("params");
+        run.topology(p.to_string());
         let topo = Abccc::new(p).expect("build");
         let src = NodeId(0);
         let tree = broadcast::one_to_all(&p, src).expect("tree");
@@ -89,4 +94,5 @@ fn main() {
     println!("(shape: broadcast depth tracks the eccentricity within +2 crossbar fan-outs;");
     println!(" one-to-many trees send far fewer messages than repeated unicast)");
     abccc_bench::emit_json("fig9_broadcast", &rows);
+    run.finish();
 }

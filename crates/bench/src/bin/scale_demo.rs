@@ -4,12 +4,16 @@
 //! figure binaries.
 
 use abccc::{Abccc, AbcccParams, PermStrategy};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use netgraph::{NodeId, Topology};
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn main() {
+    let mut run = BenchRun::start("scale_demo");
+    run.param("route_pairs", 20_000)
+        .param("apl_pairs", 1000)
+        .seed(1);
     let mut table = Table::new(
         "Scale demo: construction + routing at large N",
         &[
@@ -24,6 +28,7 @@ fn main() {
     );
     for (n, k, h) in [(8u32, 3u32, 3u32), (8, 3, 2), (16, 3, 3), (6, 4, 3)] {
         let p = AbcccParams::new(n, k, h).expect("params");
+        run.topology(p.to_string());
         let t0 = Instant::now();
         let topo = Abccc::new(p).expect("build");
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -74,4 +79,5 @@ fn main() {
         ]);
     }
     table.print();
+    run.finish();
 }

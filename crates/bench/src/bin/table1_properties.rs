@@ -5,7 +5,7 @@
 //! length, and bisection width.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, fmt_opt, Table};
+use abccc_bench::{fmt_f, fmt_opt, BenchRun, Table};
 use dcn_baselines::*;
 use dcn_metrics::TopologyStats;
 use netgraph::Topology;
@@ -41,6 +41,8 @@ fn measure<T: Topology>(topo: &T, diameter_formula: Option<u64>) -> Row {
 }
 
 fn main() {
+    let mut run = BenchRun::start("table1_properties");
+    run.param("class", "n=4 configs");
     let mut rows: Vec<Row> = Vec::new();
 
     for h in [2, 3, 4] {
@@ -111,4 +113,8 @@ fn main() {
     }
     println!("(all closed-form diameters verified against BFS)");
     abccc_bench::emit_json("table1_properties", &rows);
+    for r in &rows {
+        run.topology(r.name.clone());
+    }
+    run.finish();
 }

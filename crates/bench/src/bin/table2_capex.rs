@@ -3,11 +3,13 @@
 //! default 2015-commodity cost model.
 
 use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, Table};
+use abccc_bench::{fmt_f, BenchRun, Table};
 use dcn_baselines::*;
 use dcn_metrics::{Capex, CostModel, TopologyStats};
 
 fn main() {
+    let mut run = BenchRun::start("table2_capex");
+    run.param("scale", "~0.4k-1k servers");
     let cost = CostModel::default();
     let mut capexes: Vec<Capex> = Vec::new();
 
@@ -67,4 +69,8 @@ fn main() {
         cost.nic_port, cost.cable, cost.switch_port_tiers
     );
     abccc_bench::emit_json("table2_capex", &capexes);
+    for c in &capexes {
+        run.topology(c.name.clone());
+    }
+    run.finish();
 }

@@ -98,6 +98,69 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Telemetry wrapper for one experiment binary.
+///
+/// [`BenchRun::start`] turns recording on; the builder methods collect the
+/// run's topology parameters and RNG seed; [`BenchRun::finish`] prints the
+/// one-line `config:` echo and — when `ABCCC_BENCH_JSON` names a directory
+/// — writes `<name>.manifest.json` (provenance + per-phase timing) and
+/// `<name>.metrics.jsonl` (raw span/metric events) next to the data
+/// artifacts.
+#[derive(Debug)]
+pub struct BenchRun {
+    manifest: dcn_telemetry::RunManifest,
+}
+
+impl BenchRun {
+    /// Starts a telemetry-recorded experiment run.
+    pub fn start(experiment: &str) -> BenchRun {
+        dcn_telemetry::set_enabled(true);
+        BenchRun {
+            manifest: dcn_telemetry::RunManifest::new(experiment),
+        }
+    }
+
+    /// Records a named parameter (e.g. `n`, `k`, `h`).
+    pub fn param(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.manifest.param(key, value);
+        self
+    }
+
+    /// Records the RNG seed driving the run.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.manifest.seed(seed);
+        self
+    }
+
+    /// Records a topology the run exercised.
+    pub fn topology(&mut self, name: impl Into<String>) -> &mut Self {
+        self.manifest.topology(name);
+        self
+    }
+
+    /// Prints the `config:` line and writes the manifest + metrics
+    /// artifacts (when `ABCCC_BENCH_JSON` is set).
+    pub fn finish(mut self) {
+        let spans = dcn_telemetry::drain_spans();
+        let metrics = dcn_telemetry::registry().snapshot();
+        self.manifest.set_phases(&spans);
+        println!("{}", self.manifest.config_line());
+        let Ok(dir) = std::env::var("ABCCC_BENCH_JSON") else {
+            return;
+        };
+        let dir = std::path::Path::new(&dir);
+        let name = &self.manifest.experiment;
+        let manifest_path = dir.join(format!("{name}.manifest.json"));
+        if let Err(e) = self.manifest.write(&manifest_path) {
+            eprintln!("warning: could not write {}: {e}", manifest_path.display());
+        }
+        let metrics_path = dir.join(format!("{name}.metrics.jsonl"));
+        if let Err(e) = dcn_telemetry::write_jsonl(&metrics_path, &spans, &metrics) {
+            eprintln!("warning: could not write {}: {e}", metrics_path.display());
+        }
+    }
+}
+
 /// Formats an f64 with `digits` decimals.
 pub fn fmt_f(v: f64, digits: usize) -> String {
     let v = if v == 0.0 { 0.0 } else { v }; // normalize -0.0

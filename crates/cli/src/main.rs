@@ -12,14 +12,82 @@
 //!
 //! Families: `abccc n k h`, `bccc n k`, `bcube n k`, `dcell n k`,
 //! `fattree p`, `ghc n d`.
+//!
+//! Global flags (any command): `--trace` prints a telemetry summary to
+//! stderr on exit; `--metrics-out FILE` writes the raw span/metric events
+//! as JSON lines. Metric-producing subcommands additionally accept
+//! `--json` to emit their report as JSON instead of the aligned table.
 
 use abccc::{Abccc, AbcccParams};
 use dcn_baselines::*;
 use netgraph::{NodeId, Topology};
+use serde::{Serialize, Value};
 use std::process::ExitCode;
 
+/// Global flags stripped from the argument list before dispatch.
+struct CliOptions {
+    /// Print a human-readable telemetry summary to stderr on exit.
+    trace: bool,
+    /// Write span/metric events as JSON lines to this path on exit.
+    metrics_out: Option<String>,
+    /// Subcommand output as JSON instead of an aligned table.
+    json: bool,
+}
+
+impl CliOptions {
+    fn extract(args: &mut Vec<String>) -> CliOptions {
+        CliOptions {
+            trace: take_flag(args, "--trace"),
+            metrics_out: take_flag_value(args, "--metrics-out"),
+            json: take_flag(args, "--json"),
+        }
+    }
+}
+
+/// Removes `flag` from `args`; returns whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Removes `flag` and its value from `args`; returns the value.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+/// Drains recorded telemetry into whichever sinks the flags selected.
+fn finish_telemetry(opts: &CliOptions) {
+    if !dcn_telemetry::enabled() {
+        return;
+    }
+    let spans = dcn_telemetry::drain_spans();
+    let metrics = dcn_telemetry::registry().snapshot();
+    if opts.trace {
+        eprint!("{}", dcn_telemetry::render_summary(&spans, &metrics));
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = dcn_telemetry::write_jsonl(path, &spans, &metrics) {
+            eprintln!("warning: writing {path}: {e}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = CliOptions::extract(&mut args);
+    if opts.trace || opts.metrics_out.is_some() {
+        dcn_telemetry::set_enabled(true);
+    }
     // Exiting quietly when stdout closes early (`abccc-cli … | head`) is
     // friendlier than the default broken-pipe panic.
     let default_hook = std::panic::take_hook();
@@ -34,9 +102,12 @@ fn main() -> ExitCode {
             default_hook(info);
         }
     }));
-    let outcome = std::panic::catch_unwind(|| run(&args));
+    let outcome = std::panic::catch_unwind(|| run(&args, &opts));
     match outcome {
-        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Ok(())) => {
+            finish_telemetry(&opts);
+            ExitCode::SUCCESS
+        }
         Ok(Err(e)) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -71,7 +142,12 @@ const USAGE: &str = "usage:
   abccc-cli trace    <family…> --file TRACE.csv            replay a CSV flow trace
   abccc-cli design   <target-servers> [--objective cost|latency|bandwidth]
 
-families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d";
+families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d
+
+global flags:
+  --trace              print a telemetry summary (spans + counters) to stderr
+  --metrics-out FILE   write raw telemetry events as JSON lines to FILE
+  --json               JSON report instead of a table (props/simulate/capex/trace/broadcast)";
 
 type DynTopo = Box<dyn Topology>;
 
@@ -135,21 +211,30 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
     let rest = &args[1..];
+    let json = opts.json;
+    if json
+        && !matches!(
+            cmd.as_str(),
+            "props" | "simulate" | "capex" | "trace" | "broadcast"
+        )
+    {
+        return Err(format!("--json is not supported for `{cmd}`"));
+    }
     match cmd.as_str() {
-        "props" => props(rest),
+        "props" => props(rest, json),
         "route" => route(rest),
         "parallel" => parallel(rest),
-        "simulate" => simulate(rest),
+        "simulate" => simulate(rest, json),
         "expand" => expand(rest),
-        "capex" => capex(rest),
+        "capex" => capex(rest, json),
         "dot" => dot(rest),
         "svg" => svg_cmd(rest),
-        "trace" => trace_cmd(rest),
+        "trace" => trace_cmd(rest, json),
         "design" => design_cmd(rest),
-        "broadcast" => broadcast_cmd(rest),
+        "broadcast" => broadcast_cmd(rest, json),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -158,7 +243,24 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn props(args: &[String]) -> Result<(), String> {
+/// Renders a value as pretty JSON on stdout.
+fn print_json(v: &Value) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(v).map_err(|e| e.to_string())?;
+    println!("{text}");
+    Ok(())
+}
+
+/// Appends extra entries to a serialized struct's JSON object.
+fn with_entries(mut v: Value, extra: Vec<(&str, Value)>) -> Value {
+    if let Value::Map(ref mut m) = v {
+        for (k, val) in extra {
+            m.push((k.to_string(), val));
+        }
+    }
+    v
+}
+
+fn props(args: &[String], json: bool) -> Result<(), String> {
     let (topo, _) = parse_topology(args)?;
     let small = topo.network().server_count() <= 2048;
     let stats = if small {
@@ -166,6 +268,19 @@ fn props(args: &[String]) -> Result<(), String> {
     } else {
         dcn_metrics::TopologyStats::quick(topo.as_ref())
     };
+    if json {
+        let bisection = if small {
+            Value::U64(dcn_metrics::bisection::exact_bisection_by_id(
+                topo.network(),
+            ))
+        } else {
+            Value::Null
+        };
+        return print_json(&with_entries(
+            stats.to_value(),
+            vec![("exact_bisection_links", bisection)],
+        ));
+    }
     println!("{}", stats.name);
     println!("  servers           {}", stats.servers);
     println!("  switches          {}", stats.switches);
@@ -257,7 +372,7 @@ fn parallel(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
+fn simulate(args: &[String], json: bool) -> Result<(), String> {
     let (topo, _) = parse_topology(args)?;
     let pattern = flag_value(args, "--pattern").unwrap_or_else(|| "permutation".into());
     let seed: u64 = flag_value(args, "--seed")
@@ -281,6 +396,15 @@ fn simulate(args: &[String]) -> Result<(), String> {
     let report = flowsim::FlowSim::new(topo.as_ref())
         .run(&pairs)
         .map_err(|e| e.to_string())?;
+    if json {
+        return print_json(&with_entries(
+            report.to_value(),
+            vec![
+                ("pattern", Value::Str(pattern.clone())),
+                ("seed", Value::U64(seed)),
+            ],
+        ));
+    }
     println!("{} under `{pattern}` (seed {seed})", report.topology);
     println!("  flows            {}", report.flows);
     println!("  aggregate        {:.2} Gbps", report.aggregate_rate);
@@ -363,7 +487,7 @@ fn svg_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn trace_cmd(args: &[String]) -> Result<(), String> {
+fn trace_cmd(args: &[String], json: bool) -> Result<(), String> {
     let (topo, _) = parse_topology(args)?;
     let path = flag_value(args, "--file").ok_or("trace needs --file TRACE.csv")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -379,6 +503,15 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     let report = flowsim::FlowSim::new(topo.as_ref())
         .run(&pairs)
         .map_err(|e| e.to_string())?;
+    if json {
+        return print_json(&with_entries(
+            report.to_value(),
+            vec![
+                ("trace_file", Value::Str(path.clone())),
+                ("fairness_index", Value::F64(report.fairness_index())),
+            ],
+        ));
+    }
     println!(
         "{}: replayed {} flows from {path}",
         report.topology, report.flows
@@ -391,7 +524,7 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn broadcast_cmd(args: &[String]) -> Result<(), String> {
+fn broadcast_cmd(args: &[String], json: bool) -> Result<(), String> {
     if args.len() < 4 {
         return Err("broadcast needs <n> <k> <h> <src>".into());
     }
@@ -405,6 +538,20 @@ fn broadcast_cmd(args: &[String]) -> Result<(), String> {
     }
     let tree = abccc::broadcast::one_to_all(&p, NodeId(src)).map_err(|e| e.to_string())?;
     tree.validate(&p)?;
+    if json {
+        return print_json(&Value::Map(
+            [
+                ("topology", Value::Str(p.to_string())),
+                ("src", Value::U64(u64::from(src))),
+                ("servers_covered", Value::U64(tree.member_count() as u64)),
+                ("tree_depth_hops", Value::U64(tree.depth() as u64)),
+                ("messages_sent", Value::U64(tree.member_count() as u64 - 1)),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        ));
+    }
     println!("{p}: one-to-all from server {src}");
     println!("  servers covered  {}", tree.member_count());
     println!("  tree depth       {} hops", tree.depth());
@@ -456,10 +603,19 @@ fn design_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn capex(args: &[String]) -> Result<(), String> {
+fn capex(args: &[String], json: bool) -> Result<(), String> {
     let (topo, _) = parse_topology(args)?;
     let stats = dcn_metrics::TopologyStats::quick(topo.as_ref());
     let c = dcn_metrics::CostModel::default().capex(&stats);
+    if json {
+        return print_json(&with_entries(
+            c.to_value(),
+            vec![
+                ("total_usd", Value::F64(c.total())),
+                ("per_server_usd", Value::F64(c.per_server())),
+            ],
+        ));
+    }
     println!("{} — CAPEX (default 2015-commodity model)", c.name);
     println!("  switches   ${:>12.2}", c.switches_usd);
     println!("  NICs       ${:>12.2}", c.nics_usd);

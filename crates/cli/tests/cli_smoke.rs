@@ -142,3 +142,87 @@ fn out_of_range_server_id_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("server ids must be <"));
 }
+
+#[test]
+fn props_json_is_parseable_and_has_bisection() {
+    let out = stdout(&["props", "abccc", "4", "1", "2", "--json"]);
+    let v: serde::Value = serde_json::from_str(&out).expect("valid JSON");
+    let serde::Value::Map(m) = v else {
+        panic!("expected object")
+    };
+    let get = |k: &str| m.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    assert_eq!(get("servers"), Some(&serde::Value::U64(32)));
+    assert!(get("exact_bisection_links").is_some());
+}
+
+#[test]
+fn simulate_json_includes_pattern_and_seed() {
+    let out = stdout(&[
+        "simulate",
+        "abccc",
+        "2",
+        "1",
+        "2",
+        "--pattern",
+        "permutation",
+        "--json",
+    ]);
+    let v: serde::Value = serde_json::from_str(&out).expect("valid JSON");
+    let serde::Value::Map(m) = v else {
+        panic!("expected object")
+    };
+    assert!(m.iter().any(|(k, _)| k == "pattern"));
+    assert!(m.iter().any(|(k, _)| k == "seed"));
+    assert!(m.iter().any(|(k, _)| k == "aggregate_rate"));
+}
+
+#[test]
+fn json_rejected_for_unsupported_subcommand() {
+    let out = cli(&["route", "abccc", "2", "1", "2", "0", "3", "--json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--json is not supported"));
+}
+
+#[test]
+fn trace_flag_prints_spans_and_counters() {
+    let out = cli(&[
+        "simulate",
+        "abccc",
+        "2",
+        "1",
+        "2",
+        "--pattern",
+        "permutation",
+        "--trace",
+    ]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("flowsim.run"), "missing span: {err}");
+    assert!(
+        err.contains("flowsim.flows_routed"),
+        "missing counter: {err}"
+    );
+}
+
+#[test]
+fn metrics_out_writes_jsonl() {
+    let dir = std::env::temp_dir().join(format!("abccc_cli_metrics_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("metrics.jsonl");
+    let out = cli(&[
+        "props",
+        "abccc",
+        "2",
+        "1",
+        "2",
+        "--metrics-out",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&path).expect("metrics file written");
+    assert!(!body.is_empty());
+    for line in body.lines() {
+        let _: serde::Value = serde_json::from_str(line).expect("each line is JSON");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -45,8 +45,11 @@ pub fn route_avoiding(
         return Err(RouteError::NotAServer(dst));
     }
     if !mask.node_alive(src) || !mask.node_alive(dst) {
+        dcn_telemetry::counter!("abccc.fault.endpoint_failed").inc();
         return Err(RouteError::Unreachable { src, dst });
     }
+    let _span = dcn_telemetry::span!("abccc.fault.route_avoiding");
+    dcn_telemetry::counter!("abccc.fault.requests").inc();
     let net = topo.network();
 
     // 1. Deterministic strategies.
@@ -59,6 +62,7 @@ pub fn route_avoiding(
     ] {
         let r = routing::route_ids(&p, src, dst, &strat)?;
         if r.validate(net, Some(mask)).is_ok() {
+            dcn_telemetry::counter!("abccc.fault.deterministic_hit").inc();
             return Ok(r);
         }
     }
@@ -67,6 +71,7 @@ pub fn route_avoiding(
     for seed in 0..RANDOM_PERM_ATTEMPTS {
         let r = routing::route_ids(&p, src, dst, &PermStrategy::Random(seed))?;
         if r.validate(net, Some(mask)).is_ok() {
+            dcn_telemetry::counter!("abccc.fault.random_perm_hit").inc();
             return Ok(r);
         }
     }
@@ -87,14 +92,20 @@ pub fn route_avoiding(
         let candidate = Route::new(nodes);
         // validate() also rejects non-simple concatenations.
         if candidate.validate(net, Some(mask)).is_ok() {
+            dcn_telemetry::counter!("abccc.fault.proxy_hit").inc();
             return Ok(candidate);
         }
     }
 
     // 4. Complete fallback.
-    netgraph::bfs::shortest_path(net, src, dst, Some(mask))
-        .map(Route::new)
-        .ok_or(RouteError::Unreachable { src, dst })
+    dcn_telemetry::counter!("abccc.fault.bfs_fallback").inc();
+    match netgraph::bfs::shortest_path(net, src, dst, Some(mask)).map(Route::new) {
+        Some(r) => Ok(r),
+        None => {
+            dcn_telemetry::counter!("abccc.fault.unreachable").inc();
+            Err(RouteError::Unreachable { src, dst })
+        }
+    }
 }
 
 #[cfg(test)]

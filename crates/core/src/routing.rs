@@ -37,6 +37,7 @@ pub fn route_ids(
     dst: NodeId,
     strategy: &PermStrategy,
 ) -> Result<Route, RouteError> {
+    dcn_telemetry::counter!("abccc.routing.route_ids").inc();
     if u64::from(src.0) >= p.server_count() {
         return Err(RouteError::NotAServer(src));
     }

@@ -57,6 +57,9 @@ impl DirectedLink {
 /// directed link saturates, the flows crossing it freeze at the current
 /// level; repeat until every flow is frozen.
 pub fn max_min_allocation(net: &Network, flows: &[Vec<DirectedLink>]) -> Vec<f64> {
+    let _span = dcn_telemetry::span!("flowsim.maxmin");
+    dcn_telemetry::counter!("flowsim.maxmin.calls").inc();
+    dcn_telemetry::counter!("flowsim.maxmin.flows").add(flows.len() as u64);
     let n_dir = net.link_count() * 2;
     let mut remaining = vec![0.0f64; n_dir];
     for (i, link) in net.links().iter().enumerate() {
@@ -78,7 +81,9 @@ pub fn max_min_allocation(net: &Network, flows: &[Vec<DirectedLink>]) -> Vec<f64
         }
     }
     const EPS: f64 = 1e-12;
+    let mut rounds = 0u64;
     loop {
+        rounds += 1;
         // Smallest per-flow headroom over links with active flows.
         let mut delta = f64::INFINITY;
         for d in 0..n_dir {
@@ -116,6 +121,15 @@ pub fn max_min_allocation(net: &Network, flows: &[Vec<DirectedLink>]) -> Vec<f64
         if frozen.iter().all(|&f| f) {
             break;
         }
+    }
+    if dcn_telemetry::enabled() {
+        dcn_telemetry::counter!("flowsim.maxmin.rounds").add(rounds);
+        dcn_telemetry::histogram!("flowsim.maxmin.rounds_per_call").record(rounds);
+        // Convergence residual: worst oversubscription across directed
+        // links (≤ ~EPS·rounds when progressive filling converged) — a
+        // positive residual means an allocation exceeds some capacity.
+        let residual = remaining.iter().fold(0.0f64, |worst, &rem| worst.max(-rem));
+        dcn_telemetry::float_gauge!("flowsim.maxmin.residual").set_max(residual);
     }
     rate
 }

@@ -48,6 +48,8 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
         pairs: &[(NodeId, NodeId)],
         paths: usize,
     ) -> Result<FlowSimReport, RouteError> {
+        let _span = dcn_telemetry::span!("flowsim.run_multipath");
+        dcn_telemetry::counter!("flowsim.runs").inc();
         let net = self.topo.network();
         let mut subflows: Vec<Vec<DirectedLink>> = Vec::new();
         let mut owner: Vec<usize> = Vec::new(); // subflow → pair index
@@ -105,6 +107,8 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
         pairs: &[(NodeId, NodeId)],
         mask: Option<&FaultMask>,
     ) -> Result<FlowSimReport, RouteError> {
+        let _span = dcn_telemetry::span!("flowsim.run");
+        dcn_telemetry::counter!("flowsim.runs").inc();
         let net = self.topo.network();
         let mut flows: Vec<Vec<DirectedLink>> = Vec::with_capacity(pairs.len());
         let mut hops = Vec::with_capacity(pairs.len());
@@ -124,6 +128,8 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
             hops.push(route.server_hops(net) as f64);
             flows.push(DirectedLink::of_route(net, &route));
         }
+        dcn_telemetry::counter!("flowsim.flows_routed").add(flows.len() as u64);
+        dcn_telemetry::counter!("flowsim.flows_unroutable").add(unroutable as u64);
         let rates = max_min_allocation(net, &flows);
         let finite: Vec<f64> = rates.iter().copied().filter(|r| r.is_finite()).collect();
         let aggregate = finite.iter().sum::<f64>();

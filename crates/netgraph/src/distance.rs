@@ -166,6 +166,8 @@ impl<'a> DistanceEngine<'a> {
     }
 
     fn sweep(&self, with_load: bool) -> Option<AllPairsStats> {
+        let _sweep_span = dcn_telemetry::span!("netgraph.distance.all_pairs");
+        dcn_telemetry::counter!("netgraph.distance.sweeps").inc();
         let net = self.net;
         let servers: Vec<NodeId> = net.server_ids().collect();
         let n_servers = servers.len();
@@ -189,6 +191,7 @@ impl<'a> DistanceEngine<'a> {
                     return None;
                 }
             }
+            record_worker_stats(n_servers as u64, 0);
             return Some(acc.finish(n_servers));
         }
         let next = &next;
@@ -197,19 +200,26 @@ impl<'a> DistanceEngine<'a> {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(move || {
+                        let _worker_span = dcn_telemetry::span!("netgraph.distance.worker");
                         let mut scratch = BfsScratch::new();
                         let mut acc = ThreadAcc::new(with_load, net.link_count());
+                        let mut sources = 0u64;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= servers.len() || disconnected.load(Ordering::Relaxed) {
                                 break;
                             }
+                            sources += 1;
                             self.search(servers[i], &mut scratch, with_load);
                             if !acc.absorb(net, servers, servers[i], &mut scratch, with_load) {
                                 disconnected.store(true, Ordering::Relaxed);
                                 break;
                             }
                         }
+                        // A draw beyond the static fair share is work the
+                        // counter redistributed away from a slower thread.
+                        let fair = (servers.len() / threads) as u64;
+                        record_worker_stats(sources, sources.saturating_sub(fair));
                         acc
                     })
                 })
@@ -228,6 +238,19 @@ impl<'a> DistanceEngine<'a> {
         }
         Some(merged.finish(n_servers))
     }
+}
+
+/// Folds one finished worker's load-balance telemetry into the global
+/// registry: total sources processed, the per-thread distribution (its
+/// spread is the load-imbalance signal) and how many draws exceeded the
+/// thread's static fair share (work stealing in action).
+fn record_worker_stats(sources: u64, steals: u64) {
+    if !dcn_telemetry::enabled() {
+        return;
+    }
+    dcn_telemetry::counter!("netgraph.distance.sources").add(sources);
+    dcn_telemetry::counter!("netgraph.distance.steals").add(steals);
+    dcn_telemetry::histogram!("netgraph.distance.sources_per_thread").record(sources);
 }
 
 /// Per-thread fused accumulator: merges are sums and maxes, so combining

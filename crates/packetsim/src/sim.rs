@@ -111,6 +111,9 @@ impl<'a, T: Topology + ?Sized> PacketSim<'a, T> {
     ///
     /// Propagates routing errors (e.g. a non-server endpoint).
     pub fn run(&self, flows: &[FlowSpec]) -> Result<PacketSimReport, RouteError> {
+        let _span = dcn_telemetry::span!("packetsim.run");
+        dcn_telemetry::counter!("packetsim.runs").inc();
+        let telemetry_on = dcn_telemetry::enabled();
         let net = self.topo.network();
         let tx = self.config.tx_time_ns();
         // Per-flow node paths and directed-link sequences.
@@ -163,7 +166,9 @@ impl<'a, T: Topology + ?Sized> PacketSim<'a, T> {
             })
             .collect();
 
+        let mut events = 0u64;
         while let Some(Reverse((now, _, flow, inject_ns, hop))) = heap.pop() {
+            events += 1;
             let path = &paths[flow as usize];
             let (_, out) = path[hop as usize];
             match out {
@@ -179,6 +184,11 @@ impl<'a, T: Topology + ?Sized> PacketSim<'a, T> {
                     // Tail-drop if the output queue (measured in pending
                     // serialization time) is full.
                     let backlog = busy_until[dlink].saturating_sub(now);
+                    if telemetry_on {
+                        // Queue depth in packets at enqueue time.
+                        dcn_telemetry::histogram!("packetsim.queue_depth_packets")
+                            .record(backlog / tx.max(1));
+                    }
                     if backlog >= buffer_ns {
                         dropped += 1;
                         per_flow[flow as usize].dropped += 1;
@@ -199,6 +209,11 @@ impl<'a, T: Topology + ?Sized> PacketSim<'a, T> {
             }
         }
 
+        if telemetry_on {
+            dcn_telemetry::counter!("packetsim.events").add(events);
+            dcn_telemetry::counter!("packetsim.delivered").add(latencies.len() as u64);
+            dcn_telemetry::counter!("packetsim.dropped").add(dropped);
+        }
         Ok(PacketSimReport::from_samples(
             self.topo.name(),
             latencies,

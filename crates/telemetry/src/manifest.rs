@@ -1,0 +1,253 @@
+//! Run manifests: who ran what, with which parameters, and how long each
+//! phase took.
+//!
+//! A [`RunManifest`] is the provenance record written next to every bench
+//! artifact: experiment name, topology and its `(n, k, h)`-style
+//! parameters, the RNG seed, `git describe` of the working tree, and
+//! per-phase elapsed time aggregated from drained spans. It makes every
+//! `fig*`/`table*` output attributable to an exact configuration instead
+//! of hard-coded unlabeled values.
+
+use crate::sink::PhaseAgg;
+use crate::SpanEvent;
+use serde::Value;
+use std::path::Path;
+
+/// Provenance + timing record for one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Experiment name (e.g. `fig6_throughput`).
+    pub experiment: String,
+    /// Topology description(s), when one applies to the whole run.
+    pub topologies: Vec<String>,
+    /// Named parameters in insertion order (`n`, `k`, `h`, …).
+    pub params: Vec<(String, String)>,
+    /// RNG seed driving the run, when randomness is involved.
+    pub seed: Option<u64>,
+    /// `git describe --always --dirty` of the tree that produced the run.
+    pub git_describe: String,
+    /// Wall-clock of manifest creation, Unix milliseconds.
+    pub created_unix_ms: u64,
+    /// Per-phase elapsed time (from [`crate::aggregate_phases`]).
+    pub phases: Vec<PhaseAgg>,
+}
+
+impl RunManifest {
+    /// Creates a manifest stamped with the current time and the working
+    /// tree's `git describe` (`"unknown"` outside a git checkout).
+    pub fn new(experiment: impl Into<String>) -> Self {
+        RunManifest {
+            experiment: experiment.into(),
+            topologies: Vec::new(),
+            params: Vec::new(),
+            seed: None,
+            git_describe: git_describe(),
+            created_unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Records a topology the run exercised.
+    pub fn topology(&mut self, name: impl Into<String>) -> &mut Self {
+        self.topologies.push(name.into());
+        self
+    }
+
+    /// Records a named parameter (kept in insertion order).
+    pub fn param(&mut self, key: impl Into<String>, value: impl ToString) -> &mut Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Records the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Fills [`RunManifest::phases`] from raw span events.
+    pub fn set_phases(&mut self, spans: &[SpanEvent]) -> &mut Self {
+        self.phases = crate::aggregate_phases(spans);
+        self
+    }
+
+    /// One-line human-readable configuration echo, e.g.
+    /// `config: fig6_throughput n=4 k=2 h=2 seed=1926 git=0bb07d7`.
+    pub fn config_line(&self) -> String {
+        let mut parts = vec![format!("config: {}", self.experiment)];
+        for (k, v) in &self.params {
+            parts.push(format!("{k}={v}"));
+        }
+        match self.seed {
+            Some(s) => parts.push(format!("seed={s}")),
+            None => parts.push("seed=none".to_string()),
+        }
+        parts.push(format!("git={}", self.git_describe));
+        parts.join(" ")
+    }
+
+    /// Renders the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let entries = vec![
+            (
+                "experiment".to_string(),
+                Value::Str(self.experiment.clone()),
+            ),
+            (
+                "topologies".to_string(),
+                Value::Seq(
+                    self.topologies
+                        .iter()
+                        .map(|t| Value::Str(t.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "params".to_string(),
+                Value::Map(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "seed".to_string(),
+                self.seed.map_or(Value::Null, Value::U64),
+            ),
+            (
+                "git_describe".to_string(),
+                Value::Str(self.git_describe.clone()),
+            ),
+            (
+                "created_unix_ms".to_string(),
+                Value::U64(self.created_unix_ms),
+            ),
+            (
+                "phases".to_string(),
+                Value::Seq(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Value::Map(vec![
+                                ("name".to_string(), Value::Str(p.name.clone())),
+                                ("count".to_string(), Value::U64(p.count)),
+                                ("total_ns".to_string(), Value::U64(p.total_ns)),
+                                ("max_ns".to_string(), Value::U64(p.max_ns)),
+                                ("threads".to_string(), Value::U64(u64::from(p.threads))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        serde_json::to_string_pretty(&Value::Map(entries)).expect("render manifest")
+    }
+
+    /// Writes the manifest as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// `git describe --always --dirty` for the current directory, or
+/// `"unknown"` when git or the repository is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("fig_test");
+        m.topology("ABCCC(4,2,2)")
+            .param("n", 4)
+            .param("k", 2)
+            .param("h", 2)
+            .seed(1926);
+        m.set_phases(&[SpanEvent {
+            name: "phase.build",
+            thread: 0,
+            start_ns: 0,
+            dur_ns: 123,
+        }]);
+        m
+    }
+
+    #[test]
+    fn config_line_names_params_and_seed() {
+        let line = sample().config_line();
+        assert!(line.starts_with("config: fig_test"));
+        assert!(line.contains("n=4"));
+        assert!(line.contains("k=2"));
+        assert!(line.contains("h=2"));
+        assert!(line.contains("seed=1926"));
+        assert!(line.contains("git="));
+    }
+
+    #[test]
+    fn seedless_runs_say_so() {
+        let mut m = RunManifest::new("fig_pure");
+        m.param("n", 4);
+        assert!(m.config_line().contains("seed=none"));
+    }
+
+    #[test]
+    fn json_roundtrips_key_fields() {
+        let json = sample().to_json();
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let Value::Map(entries) = v else {
+            panic!("manifest must be an object");
+        };
+        let get = |key: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {key}"))
+        };
+        assert_eq!(get("experiment"), Value::Str("fig_test".into()));
+        assert_eq!(get("seed"), Value::U64(1926));
+        match get("params") {
+            Value::Map(p) => assert_eq!(p.len(), 3),
+            other => panic!("params not an object: {other:?}"),
+        }
+        match get("phases") {
+            Value::Seq(p) => assert_eq!(p.len(), 1),
+            other => panic!("phases not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("dcn_telemetry_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        sample().write(&path).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("\"fig_test\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn git_describe_never_empty() {
+        assert!(!git_describe().is_empty());
+    }
+}

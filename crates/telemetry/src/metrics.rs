@@ -1,0 +1,548 @@
+//! Atomic metric primitives and the process-global registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(name: &str) -> Self {
+        Counter {
+            name: name.to_string(),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one (no-op while telemetry is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous level (queue depth, outstanding work, …).
+#[derive(Debug)]
+pub struct Gauge {
+    name: String,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new(name: &str) -> Self {
+        Gauge {
+            name: name.to_string(),
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the level (no-op while telemetry is disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a (possibly negative) delta (no-op while disabled).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An `f64` level stored as atomic bits (convergence residuals, rates).
+#[derive(Debug)]
+pub struct FloatGauge {
+    name: String,
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    fn new(name: &str) -> Self {
+        FloatGauge {
+            name: name.to_string(),
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the level (no-op while telemetry is disabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the level to `v` if `v` is greater (no-op while disabled).
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Bucket count: one for zero plus one per power of two up to `2^63`.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram of `u64` samples.
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i)`. Recording is two relaxed atomic adds plus an atomic
+/// max — no locks, no allocation — so it is safe in simulator hot loops.
+#[derive(Debug)]
+pub struct Histogram {
+    name: String,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(name: &str) -> Self {
+        Histogram {
+            name: name.to_string(),
+            buckets: std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(BUCKETS)
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (nearest-rank over buckets), clamped to the recorded maximum.
+    /// Returns 0 for an empty histogram; `q` is clamped to `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Point-in-time copy for rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u8, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            name: self.name.clone(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// `(log₂ bucket index, count)` for non-empty buckets.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` per gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, level)` per float gauge.
+    pub float_gauges: Vec<(String, f64)>,
+    /// One snapshot per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when no metric has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|(_, v)| *v == 0)
+            && self.gauges.iter().all(|(_, v)| *v == 0)
+            && self.float_gauges.iter().all(|(_, v)| *v == 0.0)
+            && self.histograms.iter().all(|h| h.count == 0)
+    }
+
+    /// Value of a counter by name, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Name-keyed store of every metric in the process.
+///
+/// Metrics are allocated once and leaked to `'static`, so hot paths hold
+/// plain references (the [`crate::counter!`]-family macros cache the
+/// lookup per call site).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    float_gauges: Mutex<BTreeMap<String, &'static FloatGauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+fn intern<T>(
+    map: &Mutex<BTreeMap<String, &'static T>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> &'static T {
+    let mut map = map.lock().expect("metric registry poisoned");
+    if let Some(existing) = map.get(name) {
+        return existing;
+    }
+    let leaked: &'static T = Box::leak(Box::new(make()));
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        intern(&self.counters, name, || Counter::new(name))
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        intern(&self.gauges, name, || Gauge::new(name))
+    }
+
+    /// The float gauge registered under `name` (created on first use).
+    pub fn float_gauge(&self, name: &str) -> &'static FloatGauge {
+        intern(&self.float_gauges, name, || FloatGauge::new(name))
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        intern(&self.histograms, name, || Histogram::new(name))
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metric registry poisoned")
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metric registry poisoned")
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            float_gauges: self
+                .float_gauges
+                .lock()
+                .expect("metric registry poisoned")
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metric registry poisoned")
+                .values()
+                .map(|h| h.snapshot())
+                .collect(),
+        }
+    }
+
+    /// Zeroes every registered metric (registration survives).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            g.reset();
+        }
+        for g in self
+            .float_gauges
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    fn with_enabled<R>(f: impl FnOnce() -> R) -> R {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        let r = f();
+        crate::set_enabled(false);
+        r
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_stats_and_percentiles() {
+        let h = Histogram::new("t.hist");
+        with_enabled(|| {
+            for v in [0u64, 1, 1, 2, 3, 8, 100] {
+                h.record(v);
+            }
+        });
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 115);
+        assert_eq!(h.max(), 100);
+        // Median sample is 2 → bucket [2,4) → upper bound 3.
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.percentile(0.0), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.buckets.iter().map(|(_, n)| n).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn percentile_clamps_to_max() {
+        let h = Histogram::new("t.clamp");
+        with_enabled(|| h.record(5));
+        // Bucket upper bound would be 7; the recorded max is tighter.
+        assert_eq!(h.percentile(0.99), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new("t.empty");
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn gauges_and_counters_roundtrip() {
+        with_enabled(|| {
+            let c = crate::registry().counter("t.counter");
+            c.reset();
+            c.inc();
+            c.add(4);
+            assert_eq!(c.get(), 5);
+
+            let g = crate::registry().gauge("t.gauge");
+            g.set(7);
+            g.add(-3);
+            assert_eq!(g.get(), 4);
+
+            let f = crate::registry().float_gauge("t.fgauge");
+            f.set(1.5);
+            f.set_max(0.5);
+            assert_eq!(f.get(), 1.5);
+            f.set_max(2.5);
+            assert_eq!(f.get(), 2.5);
+        });
+    }
+
+    #[test]
+    fn snapshot_sorted_and_resettable() {
+        let r = Registry::new();
+        with_enabled(|| {
+            r.counter("b").inc();
+            r.counter("a").add(2);
+            r.histogram("h").record(9);
+        });
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(snap.counter("a"), Some(2));
+        assert!(!snap.is_empty());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+}

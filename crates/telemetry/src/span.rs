@@ -1,0 +1,180 @@
+//! RAII span timing with per-thread buffering.
+//!
+//! A [`SpanGuard`] stamps wall-clock time on construction and, on drop,
+//! pushes one [`SpanEvent`] into a thread-local buffer. Buffers flush
+//! into a process-global vector when they reach capacity and when their
+//! thread exits, so short-lived worker threads (the distance engine's
+//! stealing workers, scoped simulation threads) pay one lock per
+//! *lifetime*, not per span.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (static so hot paths never allocate).
+    pub name: &'static str,
+    /// Small dense id of the recording thread (assigned on first span).
+    pub thread: u32,
+    /// Start, nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Flush threshold for the thread-local buffer.
+const FLUSH_AT: usize = 1024;
+
+static GLOBAL: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+/// Thread-local buffer whose `Drop` flushes leftovers at thread exit.
+struct LocalBuf {
+    id: u32,
+    events: Vec<SpanEvent>,
+}
+
+impl LocalBuf {
+    fn flush(&mut self) {
+        if !self.events.is_empty() {
+            GLOBAL
+                .lock()
+                .expect("span buffer poisoned")
+                .append(&mut self.events);
+        }
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+        id: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        events: Vec::new(),
+    });
+}
+
+/// A running span; records a [`SpanEvent`] when dropped.
+///
+/// When telemetry is disabled at `enter` time the guard is inert and
+/// costs a relaxed load plus one branch in `Drop`.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `u64::MAX` marks an inert guard (telemetry disabled at entry).
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// Starts a span named `name` if telemetry is enabled.
+    #[inline]
+    pub fn enter(name: &'static str) -> Self {
+        let start_ns = if crate::enabled() {
+            crate::now_ns()
+        } else {
+            u64::MAX
+        };
+        SpanGuard { name, start_ns }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if self.start_ns == u64::MAX {
+            return;
+        }
+        let dur_ns = crate::now_ns().saturating_sub(self.start_ns);
+        let _ = LOCAL.try_with(|local| {
+            let mut local = local.borrow_mut();
+            let id = local.id;
+            local.events.push(SpanEvent {
+                name: self.name,
+                thread: id,
+                start_ns: self.start_ns,
+                dur_ns,
+            });
+            if local.events.len() >= FLUSH_AT {
+                local.flush();
+            }
+        });
+    }
+}
+
+/// Flushes the calling thread's buffer and takes every globally recorded
+/// span, ordered by flush time (stable within a thread).
+///
+/// Worker threads that already exited have flushed automatically; call
+/// this from the orchestrating thread after joins.
+pub fn drain_spans() -> Vec<SpanEvent> {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().flush());
+    std::mem::take(&mut *GLOBAL.lock().expect("span buffer poisoned"))
+}
+
+/// Discards all buffered spans (current thread + global).
+pub(crate) fn clear_spans() {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().events.clear());
+    GLOBAL.lock().expect("span buffer poisoned").clear();
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_name_thread_and_duration() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        {
+            let _g = SpanGuard::enter("span.test.outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        crate::set_enabled(false);
+        let spans = drain_spans();
+        let ev = spans
+            .iter()
+            .find(|s| s.name == "span.test.outer")
+            .expect("span recorded");
+        assert!(ev.dur_ns >= 1_000_000, "{}", ev.dur_ns);
+    }
+
+    #[test]
+    fn worker_thread_spans_flush_at_exit() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let _g = SpanGuard::enter("span.test.worker");
+                });
+            }
+        });
+        crate::set_enabled(false);
+        let spans = drain_spans();
+        let workers: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "span.test.worker")
+            .collect();
+        assert_eq!(workers.len(), 3);
+        // Distinct worker threads get distinct ids.
+        let mut ids: Vec<u32> = workers.iter().map(|s| s.thread).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn inert_guard_records_nothing() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(false);
+        drop(SpanGuard::enter("span.test.inert"));
+        assert!(drain_spans().iter().all(|s| s.name != "span.test.inert"));
+    }
+}

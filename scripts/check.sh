@@ -14,4 +14,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test -q"
 cargo test --workspace -q --offline
 
+echo "== telemetry noop build (feature-gated compile-out)"
+cargo check -q -p abccc-suite --features telemetry-noop --offline
+
+echo "== telemetry disabled-path overhead contract (smoke)"
+ABCCC_SMOKE=1 cargo bench -q -p abccc-bench --bench telemetry_overhead --offline
+
 echo "All checks passed."
