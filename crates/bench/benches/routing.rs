@@ -38,11 +38,12 @@ fn bench_routing(c: &mut Criterion) {
             BenchmarkId::new("abccc_8192srv", strat.label()),
             &strat,
             |b, s| {
+                let router = abccc::DigitRouter::new(*s);
                 let mut i = 0;
                 b.iter(|| {
                     let (src, dst) = sample[i % sample.len()];
                     i += 1;
-                    abccc::routing::route_ids(&p, src, dst, s).expect("route")
+                    router.route_ids(&p, src, dst).expect("route")
                 })
             },
         );
@@ -67,13 +68,9 @@ fn bench_routing(c: &mut Criterion) {
             )
         })
     });
-    let mut mask = netgraph::FaultMask::new(topo.network());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-    for _ in 0..topo.network().server_count() / 10 {
-        mask.fail_node(NodeId(
-            rng.gen_range(0..topo.network().server_count()) as u32
-        ));
-    }
+    let mask = netgraph::FaultScenario::seeded(13)
+        .fail_servers_frac(0.1)
+        .build(topo.network());
     g.bench_function("broadcast_one_to_all_192srv", |b| {
         b.iter(|| abccc::broadcast::one_to_all(&small, NodeId(0)).expect("tree"))
     });

@@ -43,9 +43,10 @@ fn main() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x10AD);
         let pairs = traffic::random_permutation(net.server_count(), &mut rng);
         for strat in PermStrategy::all() {
+            let router = abccc::DigitRouter::new(strat);
             let routes: Vec<Route> = pairs
                 .iter()
-                .map(|&(s, d)| routing::route_ids(&p, s, d, &strat).expect("route"))
+                .map(|&(s, d)| router.route_ids(&p, s, d).expect("route"))
                 .collect();
             let load = dcn_metrics::load::link_load(net, &routes);
             let mean_hops =

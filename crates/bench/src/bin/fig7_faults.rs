@@ -1,14 +1,17 @@
-//! **Figure 7** — fault tolerance: routing success ratio and mean path
-//! length of the native fault-tolerant routing under growing server and
-//! switch failure rates (the omniscient-BFS connectivity ceiling shown for
-//! reference).
+//! **Figure 7** — fault tolerance: routing success ratio, path stretch and
+//! throughput retention of the native fault-tolerant routing under growing
+//! server and switch failure rates, measured with the seeded resilience
+//! campaign engine (the largest-component connectivity fraction shown as
+//! the reachability ceiling).
 
-use abccc::{Abccc, AbcccParams};
+use abccc::AbcccParams;
 use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_workloads::FailureScenario;
-use netgraph::{NodeId, Topology};
-use rand::SeedableRng;
+use dcn_resilience::{CampaignConfig, PairSampling, ScenarioKind};
 use serde::Serialize;
+
+const TRIALS: usize = 5;
+const PAIRS_PER_TRIAL: usize = 200;
+const RATES: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
 
 #[derive(Serialize)]
 struct Point {
@@ -17,79 +20,72 @@ struct Point {
     rate: f64,
     success_ratio: f64,
     connectivity_ceiling: f64,
+    mean_stretch: f64,
     mean_hops_survivors: f64,
+    throughput_retention: f64,
+    bfs_fallback_share: f64,
 }
 
 fn run_class(
-    topo: &Abccc,
+    p: AbcccParams,
     class: &str,
-    scenario_of: impl Fn(f64) -> FailureScenario,
+    scenario_of: impl Fn(f64) -> ScenarioKind,
     points: &mut Vec<Point>,
     table: &mut Table,
 ) {
-    let net = topo.network();
-    let n = net.server_count();
-    let trials = 5;
-    let pairs_per_trial = 200;
-    for rate in [0.0, 0.05, 0.10, 0.15, 0.20] {
-        let mut ok = 0usize;
-        let mut reachable = 0usize;
-        let mut total = 0usize;
-        let mut hops_sum = 0u64;
-        let mut rng = rand::rngs::StdRng::seed_from_u64((rate * 1000.0) as u64 ^ 0xFA);
-        for _ in 0..trials {
-            let mask = scenario_of(rate).sample(net, &mut rng);
-            for _ in 0..pairs_per_trial {
-                let s = NodeId(rng.gen_range(0..n) as u32);
-                let d = NodeId(rng.gen_range(0..n) as u32);
-                if s == d || !mask.node_alive(s) || !mask.node_alive(d) {
-                    continue;
-                }
-                total += 1;
-                if netgraph::bfs::shortest_path(net, s, d, Some(&mask)).is_some() {
-                    reachable += 1;
-                }
-                if let Ok(r) = topo.route_avoiding(s, d, &mask) {
-                    debug_assert!(r.validate(net, Some(&mask)).is_ok());
-                    ok += 1;
-                    hops_sum += r.server_hops(net) as u64;
-                }
-            }
-        }
-        let p = Point {
-            structure: topo.name(),
+    for rate in RATES {
+        let report = CampaignConfig::new(p)
+            .scenario(scenario_of(rate))
+            .sampling(PairSampling::UniformRandom {
+                pairs: PAIRS_PER_TRIAL,
+            })
+            .trials(TRIALS)
+            .seed((rate * 1000.0) as u64 ^ 0xFA)
+            .run()
+            .expect("campaign");
+        let s = &report.summary;
+        let point = Point {
+            structure: report.topology.clone(),
             class: class.to_string(),
             rate,
-            success_ratio: ok as f64 / total as f64,
-            connectivity_ceiling: reachable as f64 / total as f64,
-            mean_hops_survivors: if ok == 0 {
+            success_ratio: s.route_completion,
+            connectivity_ceiling: s.connectivity_fraction,
+            mean_stretch: s.mean_stretch,
+            mean_hops_survivors: report
+                .trials
+                .iter()
+                .map(|t| t.mean_hops / report.trials.len() as f64)
+                .sum(),
+            throughput_retention: s.throughput_retention,
+            bfs_fallback_share: if s.routed == 0 {
                 0.0
             } else {
-                hops_sum as f64 / ok as f64
+                s.tier_counts.bfs as f64 / s.routed as f64
             },
         };
         table.add_row(vec![
-            p.structure.clone(),
-            p.class.clone(),
-            fmt_f(p.rate, 2),
-            fmt_f(p.success_ratio, 4),
-            fmt_f(p.connectivity_ceiling, 4),
-            fmt_f(p.mean_hops_survivors, 2),
+            point.structure.clone(),
+            point.class.clone(),
+            fmt_f(point.rate, 2),
+            fmt_f(point.success_ratio, 4),
+            fmt_f(point.connectivity_ceiling, 4),
+            fmt_f(point.mean_stretch, 3),
+            fmt_f(point.mean_hops_survivors, 2),
+            fmt_f(point.throughput_retention, 3),
         ]);
-        points.push(p);
+        points.push(point);
     }
 }
-
-use rand::Rng;
 
 fn main() {
     let mut run = BenchRun::start("fig7_faults");
     run.param("n", 4)
         .param("k", 2)
         .param("h", "2 3")
-        .param("trials", 5)
-        .param("pairs_per_trial", 200)
+        .param("trials", TRIALS as u64)
+        .param("pairs_per_trial", PAIRS_PER_TRIAL as u64)
         .param("rates", "0.00..0.20")
+        .param("engine", "resilience campaign")
         .param("seed_scheme", "(rate*1000) ^ 0xFA");
     let mut points = Vec::new();
     let mut table = Table::new(
@@ -99,31 +95,42 @@ fn main() {
             "failed class",
             "rate",
             "success",
-            "BFS ceiling",
+            "conn ceiling",
+            "stretch",
             "mean hops",
+            "tput ret",
         ],
     );
     for h in [2, 3] {
-        let topo = Abccc::new(AbcccParams::new(4, 2, h).expect("params")).expect("build");
-        run.topology(topo.name());
+        let p = AbcccParams::new(4, 2, h).expect("params");
+        run.topology(p.to_string());
         run_class(
-            &topo,
+            p,
             "servers",
-            FailureScenario::servers,
+            |rate| ScenarioKind::Uniform {
+                server_rate: rate,
+                switch_rate: 0.0,
+                link_rate: 0.0,
+            },
             &mut points,
             &mut table,
         );
         run_class(
-            &topo,
+            p,
             "switches",
-            FailureScenario::switches,
+            |rate| ScenarioKind::Uniform {
+                server_rate: 0.0,
+                switch_rate: rate,
+                link_rate: 0.0,
+            },
             &mut points,
             &mut table,
         );
     }
     table.print();
-    println!("(shape: success tracks the BFS connectivity ceiling — the detour");
-    println!(" routing finds a path whenever one exists; path length degrades gracefully)");
+    println!("(shape: success tracks the connectivity ceiling — the retry ladder");
+    println!(" finds a path whenever one exists; stretch and throughput degrade");
+    println!(" gracefully as the failure rate grows)");
     abccc_bench::emit_json("fig7_faults", &points);
     run.finish();
 }

@@ -55,11 +55,12 @@ fn main() {
             })
             .collect();
         for strat in PermStrategy::all() {
+            let router = abccc::DigitRouter::new(strat);
             let mut hop_sum = 0u64;
             let mut xbar_sum = 0u64;
             let mut max_hops = 0u32;
             for &(src, dst) in &sample {
-                let r = routing::route_addrs(&p, src, dst, &strat);
+                let r = router.route_addrs(&p, src, dst);
                 let hops = routing::hops(&r) as u32;
                 let diff = src.label.differing_levels(&p, dst.label).len() as u32;
                 hop_sum += u64::from(hops);

@@ -3,7 +3,7 @@
 //! metrics to show the library is usable well beyond the toy sizes of the
 //! figure binaries.
 
-use abccc::{Abccc, AbcccParams, PermStrategy};
+use abccc::{Abccc, AbcccParams};
 use abccc_bench::{fmt_f, BenchRun, Table};
 use netgraph::{NodeId, Topology};
 use rand::{Rng, SeedableRng};
@@ -47,7 +47,8 @@ fn main() {
         let t1 = Instant::now();
         let mut total_hops = 0usize;
         for &(s, d) in &pairs {
-            let r = abccc::routing::route_ids(&p, s, d, &PermStrategy::DestinationAware)
+            let r = abccc::DigitRouter::shortest()
+                .route_ids(&p, s, d)
                 .expect("route");
             total_hops += abccc::routing::hops(&r);
         }

@@ -141,13 +141,19 @@ const USAGE: &str = "usage:
   abccc-cli svg      <family…> [<src> <dst>] [--out FILE]  SVG rendering
   abccc-cli trace    <family…> --file TRACE.csv            replay a CSV flow trace
   abccc-cli design   <target-servers> [--objective cost|latency|bandwidth]
+  abccc-cli resilience <n> <k> <h> [--scenario uniform|groups|level|flapping]
+      [--rate R] [--link-rate R] [--groups N] [--level N] [--steps N]
+      [--router resilient|digit|vlb] [--no-bfs] [--pattern random|permutation|convergent]
+      [--pairs N] [--trials N] [--seed N] [--threads N] [--no-throughput]
+                                             seeded fault campaign with degradation report
 
 families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d
 
 global flags:
   --trace              print a telemetry summary (spans + counters) to stderr
   --metrics-out FILE   write raw telemetry events as JSON lines to FILE
-  --json               JSON report instead of a table (props/simulate/capex/trace/broadcast)";
+  --json               JSON report instead of a table
+                       (props/simulate/capex/trace/broadcast/resilience)";
 
 type DynTopo = Box<dyn Topology>;
 
@@ -218,7 +224,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
     if json
         && !matches!(
             cmd.as_str(),
-            "props" | "simulate" | "capex" | "trace" | "broadcast"
+            "props" | "simulate" | "capex" | "trace" | "broadcast" | "resilience"
         )
     {
         return Err(format!("--json is not supported for `{cmd}`"));
@@ -235,6 +241,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
         "trace" => trace_cmd(rest, json),
         "design" => design_cmd(rest),
         "broadcast" => broadcast_cmd(rest, json),
+        "resilience" => resilience_cmd(rest, json),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -598,6 +605,127 @@ fn design_cmd(args: &[String]) -> Result<(), String> {
             c.capex_per_server,
             c.bisection_per_server
                 .map_or("—".to_string(), |b| format!("{b:.4}")),
+        );
+    }
+    Ok(())
+}
+
+fn resilience_cmd(args: &[String], json: bool) -> Result<(), String> {
+    use dcn_resilience::{CampaignConfig, PairSampling, RouterSpec, ScenarioKind};
+    if args.len() < 3 {
+        return Err("resilience needs <n> <k> <h>".into());
+    }
+    let n = parse_u32(&args[0], "n")?;
+    let k = parse_u32(&args[1], "k")?;
+    let h = parse_u32(&args[2], "h")?;
+    let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+
+    let num = |flag: &str, default: u64| -> Result<u64, String> {
+        flag_value(args, flag)
+            .map(|s| s.parse().map_err(|_| format!("{flag} expects a number")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let fnum = |flag: &str, default: f64| -> Result<f64, String> {
+        flag_value(args, flag)
+            .map(|s| s.parse().map_err(|_| format!("{flag} expects a number")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+
+    let rate = fnum("--rate", 0.05)?;
+    let scenario = match flag_value(args, "--scenario")
+        .as_deref()
+        .unwrap_or("uniform")
+    {
+        "uniform" => ScenarioKind::Uniform {
+            server_rate: rate,
+            switch_rate: rate,
+            link_rate: fnum("--link-rate", 0.0)?,
+        },
+        "groups" => ScenarioKind::CrossbarGroups {
+            groups: num("--groups", 1)? as usize,
+        },
+        "level" => ScenarioKind::LevelSwitches {
+            level: num("--level", 0)? as u32,
+        },
+        "flapping" => ScenarioKind::FlappingLinks {
+            rate,
+            steps: num("--steps", 4)? as usize,
+        },
+        other => return Err(format!("unknown scenario `{other}`")),
+    };
+    let router = match flag_value(args, "--router")
+        .as_deref()
+        .unwrap_or("resilient")
+    {
+        "resilient" => RouterSpec::Resilient(abccc::RetryBudget {
+            bfs_fallback: !args.iter().any(|a| a == "--no-bfs"),
+            ..abccc::RetryBudget::default()
+        }),
+        "digit" => RouterSpec::Digit(abccc::PermStrategy::DestinationAware),
+        "vlb" => RouterSpec::Vlb {
+            seed: num("--seed", 0)?,
+        },
+        other => return Err(format!("unknown router `{other}`")),
+    };
+    let sampling = match flag_value(args, "--pattern").as_deref().unwrap_or("random") {
+        "random" => PairSampling::UniformRandom {
+            pairs: num("--pairs", 64)? as usize,
+        },
+        "permutation" => PairSampling::Permutation,
+        "convergent" => PairSampling::Convergent,
+        other => return Err(format!("unknown pattern `{other}`")),
+    };
+
+    let report = CampaignConfig::new(p)
+        .scenario(scenario)
+        .router(router)
+        .sampling(sampling)
+        .trials(num("--trials", 8)? as usize)
+        .seed(num("--seed", 0)?)
+        .threads(num("--threads", 0)? as usize)
+        .measure_throughput(!args.iter().any(|a| a == "--no-throughput"))
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    if json {
+        return print_json(&report.to_value());
+    }
+    let s = &report.summary;
+    println!(
+        "{} — `{}` campaign, router `{}`, {} trials (seed {})",
+        report.topology, report.scenario, report.router, s.trials, report.seed
+    );
+    println!("  connectivity fraction  {:.4}", s.connectivity_fraction);
+    println!("  route completion       {:.4}", s.route_completion);
+    println!("  mean stretch           {:.3}", s.mean_stretch);
+    println!("  max stretch            {:.3}", s.max_stretch);
+    println!("  throughput retention   {:.4}", s.throughput_retention);
+    println!(
+        "  routed / unreachable / gave-up   {} / {} / {}",
+        s.routed, s.unreachable, s.gave_up
+    );
+    let t = &s.tier_counts;
+    println!(
+        "  tiers  primary {}  deterministic {}  random-perm {}  proxy {}  bfs {}",
+        t.primary, t.deterministic, t.random_perm, t.proxy, t.bfs
+    );
+    println!(
+        "  attempts {}  backoff units {}",
+        s.attempts_total, s.backoff_units_total
+    );
+    println!("  per trial:");
+    for tr in &report.trials {
+        println!(
+            "    #{:<3} failed n/l {:>6.1}/{:>6.1}  conn {:.3}  completion {:.3}  stretch {:.2}  retention {:.3}",
+            tr.trial,
+            tr.failed_nodes,
+            tr.failed_links,
+            tr.connectivity_fraction,
+            tr.route_completion,
+            tr.mean_stretch,
+            tr.throughput_retention,
         );
     }
     Ok(())

@@ -177,6 +177,62 @@ fn simulate_json_includes_pattern_and_seed() {
 }
 
 #[test]
+fn resilience_reports_campaign_summary() {
+    let out = stdout(&["resilience", "4", "2", "2", "--trials", "4", "--seed", "1"]);
+    assert!(out.contains("`uniform` campaign"));
+    assert!(out.contains("route completion"));
+    assert!(out.contains("throughput retention"));
+    assert!(out.contains("per trial:"));
+}
+
+#[test]
+fn resilience_json_is_byte_identical_across_runs() {
+    let args = [
+        "resilience",
+        "4",
+        "2",
+        "2",
+        "--trials",
+        "4",
+        "--seed",
+        "7",
+        "--json",
+    ];
+    let a = stdout(&args);
+    let b = stdout(&args);
+    assert_eq!(a, b, "fixed-seed campaign JSON must be reproducible");
+    let v: serde::Value = serde_json::from_str(&a).expect("valid JSON");
+    let serde::Value::Map(m) = v else {
+        panic!("expected object")
+    };
+    assert!(m.iter().any(|(k, _)| k == "summary"));
+    assert!(a.contains("route_completion"));
+}
+
+#[test]
+fn resilience_scenarios_and_routers_run() {
+    let out = stdout(&[
+        "resilience",
+        "3",
+        "2",
+        "2",
+        "--scenario",
+        "level",
+        "--level",
+        "1",
+        "--router",
+        "vlb",
+        "--pattern",
+        "permutation",
+        "--trials",
+        "2",
+        "--no-throughput",
+    ]);
+    assert!(out.contains("`level_switches` campaign"));
+    assert!(out.contains("router `vlb"));
+}
+
+#[test]
 fn json_rejected_for_unsupported_subcommand() {
     let out = cli(&["route", "abccc", "2", "1", "2", "0", "3", "--json"]);
     assert!(!out.status.success());

@@ -3,7 +3,7 @@
 //! ABCCC inherits the parallel-path structure of BCCC, so when the primary
 //! route hits a failed element there is usually an alternative that merely
 //! corrects the digits in a different order or detours through a proxy
-//! group. The scheme here, in order:
+//! group. The escalation ladder of [`ResilientRouter`], in order:
 //!
 //! 1. try the deterministic permutation strategies;
 //! 2. try randomized permutations (different digit orders explore
@@ -13,16 +13,235 @@
 //!    router *complete* (it fails only if the pair is truly disconnected),
 //!    while steps 1–3 are the cheap local strategies a real deployment
 //!    would use.
+//!
+//! Every ladder width is configurable through [`RetryBudget`] (the former
+//! hard-coded `RANDOM_PERM_ATTEMPTS` / `PROXY_ATTEMPTS` constants are its
+//! defaults), and each escalation past a tier accrues deterministic
+//! *backoff units* — an abstract, seeded stand-in for the pacing delay a
+//! deployment would insert between retry rounds, reported per route in
+//! [`RouteOutcome::backoff_units`] and aggregated by the campaign engine.
 
-use crate::{routing, Abccc, PermStrategy};
+use crate::router::{check_endpoints, pair_seed, RouteOutcome, RouteTier, Router};
+use crate::routing::DigitRouter;
+use crate::{Abccc, PermStrategy};
 use netgraph::{FaultMask, NodeId, Route, RouteError, Topology};
-use rand::Rng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
-/// How many randomized permutations to try before proxying.
-const RANDOM_PERM_ATTEMPTS: u64 = 8;
-/// How many random proxies to try before falling back to BFS.
-const PROXY_ATTEMPTS: usize = 16;
+/// Salt mixed into the pair seed for the backoff-jitter stream so it never
+/// correlates with the proxy-selection stream.
+const BACKOFF_SALT: u64 = 0xB0FF;
+
+/// The deterministic strategies tried first, cheapest tier of the ladder.
+const DETERMINISTIC_LADDER: [PermStrategy; 5] = [
+    PermStrategy::DestinationAware,
+    PermStrategy::CyclicFromSource,
+    PermStrategy::Ascending,
+    PermStrategy::Descending,
+    PermStrategy::Greedy,
+];
+
+/// Attempt budgets and backoff parameters of a [`ResilientRouter`].
+///
+/// The defaults reproduce the historical hard-coded scheme exactly
+/// (8 randomized permutations, 16 proxies, proxy RNG salted with
+/// `0xFA17`, BFS fallback on), so `ResilientRouter::default()` routes
+/// bit-identically to the old `route_avoiding` free function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryBudget {
+    /// How many randomized permutations to try before proxying.
+    pub random_perm_attempts: u64,
+    /// How many random proxies to try before the final fallback.
+    pub proxy_attempts: usize,
+    /// Base seed for the per-pair proxy-selection and jitter streams.
+    pub seed: u64,
+    /// Whether to run the omniscient BFS fallback after the local tiers.
+    /// With it on the router is complete; with it off the router fails
+    /// with [`RouteError::GaveUp`] once the local budget is spent.
+    pub bfs_fallback: bool,
+    /// Backoff units accrued when escalating past tier `t` (1-based):
+    /// `backoff_base << (t - 1)` — exponential pacing.
+    pub backoff_base: u64,
+    /// Upper bound (inclusive) of the seeded per-escalation jitter added
+    /// on top of the exponential term.
+    pub backoff_jitter: u64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            random_perm_attempts: 8,
+            proxy_attempts: 16,
+            seed: 0xFA17,
+            bfs_fallback: true,
+            backoff_base: 4,
+            backoff_jitter: 3,
+        }
+    }
+}
+
+impl RetryBudget {
+    /// Backoff accrued when escalating past 1-based tier `tier`.
+    fn backoff_step(&self, tier: u32, rng: &mut impl Rng) -> u64 {
+        let exp = self.backoff_base << (tier - 1);
+        let jitter = if self.backoff_jitter == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.backoff_jitter)
+        };
+        exp + jitter
+    }
+}
+
+/// The escalating fault-tolerant [`Router`] (see module docs for the
+/// ladder). `ResilientRouter::default()` is the historical scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilientRouter {
+    budget: RetryBudget,
+}
+
+impl ResilientRouter {
+    /// A router with an explicit attempt/backoff budget.
+    pub fn new(budget: RetryBudget) -> Self {
+        ResilientRouter { budget }
+    }
+
+    /// The budget this router escalates under.
+    pub fn budget(&self) -> &RetryBudget {
+        &self.budget
+    }
+
+    /// Runs the full escalation ladder, reporting the tier that answered
+    /// plus attempt/backoff accounting. `mask = None` behaves as a
+    /// fault-free network (the primary tier always answers).
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::NotAServer`] — an endpoint is not a server id;
+    /// * [`RouteError::Unreachable`] — an endpoint is failed, or the pair
+    ///   is genuinely disconnected in the surviving graph;
+    /// * [`RouteError::GaveUp`] — the local budget was exhausted and
+    ///   [`RetryBudget::bfs_fallback`] is off.
+    pub fn route_explained(
+        &self,
+        topo: &Abccc,
+        src: NodeId,
+        dst: NodeId,
+        mask: Option<&FaultMask>,
+    ) -> Result<RouteOutcome, RouteError> {
+        check_endpoints(topo, src, dst, mask)?;
+        let _span = dcn_telemetry::span!("abccc.fault.route_avoiding");
+        dcn_telemetry::counter!("abccc.fault.requests").inc();
+        let p = *topo.params();
+        let net = topo.network();
+        let mut attempts: u32 = 0;
+        let mut backoff: u64 = 0;
+        let mut jitter_rng =
+            rand::rngs::StdRng::seed_from_u64(pair_seed(self.budget.seed ^ BACKOFF_SALT, src, dst));
+
+        // 1. Deterministic strategies.
+        for (i, strat) in DETERMINISTIC_LADDER.iter().enumerate() {
+            attempts += 1;
+            let r = DigitRouter::new(*strat).route_ids(&p, src, dst)?;
+            if r.validate(net, mask).is_ok() {
+                dcn_telemetry::counter!("abccc.fault.deterministic_hit").inc();
+                return Ok(RouteOutcome {
+                    route: r,
+                    tier: if i == 0 {
+                        RouteTier::Primary
+                    } else {
+                        RouteTier::Deterministic
+                    },
+                    attempts,
+                    backoff_units: backoff,
+                });
+            }
+        }
+        backoff += self.budget.backoff_step(1, &mut jitter_rng);
+
+        // 2. Randomized permutations.
+        for seed in 0..self.budget.random_perm_attempts {
+            attempts += 1;
+            let r = DigitRouter::new(PermStrategy::Random(seed)).route_ids(&p, src, dst)?;
+            if r.validate(net, mask).is_ok() {
+                dcn_telemetry::counter!("abccc.fault.random_perm_hit").inc();
+                return Ok(RouteOutcome {
+                    route: r,
+                    tier: RouteTier::RandomPerm,
+                    attempts,
+                    backoff_units: backoff,
+                });
+            }
+        }
+        backoff += self.budget.backoff_step(2, &mut jitter_rng);
+
+        // 3. Random proxies.
+        let shortest = DigitRouter::shortest();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pair_seed(self.budget.seed, src, dst));
+        for _ in 0..self.budget.proxy_attempts {
+            attempts += 1;
+            let w = NodeId(rng.gen_range(0..p.server_count()) as u32);
+            if w == src || w == dst || mask.is_some_and(|m| !m.node_alive(w)) {
+                continue;
+            }
+            let first = shortest.route_ids(&p, src, w)?;
+            let second = shortest.route_ids(&p, w, dst)?;
+            let mut nodes = first.nodes().to_vec();
+            nodes.extend_from_slice(&second.nodes()[1..]);
+            let candidate = Route::new(nodes);
+            // validate() also rejects non-simple concatenations.
+            if candidate.validate(net, mask).is_ok() {
+                dcn_telemetry::counter!("abccc.fault.proxy_hit").inc();
+                return Ok(RouteOutcome {
+                    route: candidate,
+                    tier: RouteTier::Proxy,
+                    attempts,
+                    backoff_units: backoff,
+                });
+            }
+        }
+        backoff += self.budget.backoff_step(3, &mut jitter_rng);
+
+        // 4. Complete fallback (when budgeted).
+        if !self.budget.bfs_fallback {
+            return Err(RouteError::GaveUp {
+                src,
+                dst,
+                attempts: attempts as usize,
+            });
+        }
+        dcn_telemetry::counter!("abccc.fault.bfs_fallback").inc();
+        attempts += 1;
+        match netgraph::bfs::shortest_path(net, src, dst, mask).map(Route::new) {
+            Some(r) => Ok(RouteOutcome {
+                route: r,
+                tier: RouteTier::Bfs,
+                attempts,
+                backoff_units: backoff,
+            }),
+            None => {
+                dcn_telemetry::counter!("abccc.fault.unreachable").inc();
+                Err(RouteError::Unreachable { src, dst })
+            }
+        }
+    }
+}
+
+impl Router for ResilientRouter {
+    fn name(&self) -> String {
+        "resilient".to_string()
+    }
+
+    fn route(
+        &self,
+        topo: &Abccc,
+        src: NodeId,
+        dst: NodeId,
+        mask: Option<&FaultMask>,
+    ) -> Result<RouteOutcome, RouteError> {
+        self.route_explained(topo, src, dst, mask)
+    }
+}
 
 /// Fault-tolerant one-to-one routing (see module docs for the scheme).
 ///
@@ -31,87 +250,26 @@ const PROXY_ATTEMPTS: usize = 16;
 /// * [`RouteError::NotAServer`] — an endpoint is not a server id;
 /// * [`RouteError::Unreachable`] — an endpoint is failed, or the pair is
 ///   genuinely disconnected in the surviving graph.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ResilientRouter::default().route(topo, src, dst, Some(mask))`"
+)]
 pub fn route_avoiding(
     topo: &Abccc,
     src: NodeId,
     dst: NodeId,
     mask: &FaultMask,
 ) -> Result<Route, RouteError> {
-    let p = *topo.params();
-    if u64::from(src.0) >= p.server_count() {
-        return Err(RouteError::NotAServer(src));
-    }
-    if u64::from(dst.0) >= p.server_count() {
-        return Err(RouteError::NotAServer(dst));
-    }
-    if !mask.node_alive(src) || !mask.node_alive(dst) {
-        dcn_telemetry::counter!("abccc.fault.endpoint_failed").inc();
-        return Err(RouteError::Unreachable { src, dst });
-    }
-    let _span = dcn_telemetry::span!("abccc.fault.route_avoiding");
-    dcn_telemetry::counter!("abccc.fault.requests").inc();
-    let net = topo.network();
-
-    // 1. Deterministic strategies.
-    for strat in [
-        PermStrategy::DestinationAware,
-        PermStrategy::CyclicFromSource,
-        PermStrategy::Ascending,
-        PermStrategy::Descending,
-        PermStrategy::Greedy,
-    ] {
-        let r = routing::route_ids(&p, src, dst, &strat)?;
-        if r.validate(net, Some(mask)).is_ok() {
-            dcn_telemetry::counter!("abccc.fault.deterministic_hit").inc();
-            return Ok(r);
-        }
-    }
-
-    // 2. Randomized permutations.
-    for seed in 0..RANDOM_PERM_ATTEMPTS {
-        let r = routing::route_ids(&p, src, dst, &PermStrategy::Random(seed))?;
-        if r.validate(net, Some(mask)).is_ok() {
-            dcn_telemetry::counter!("abccc.fault.random_perm_hit").inc();
-            return Ok(r);
-        }
-    }
-
-    // 3. Random proxies.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(
-        0x_FA17_u64 ^ (u64::from(src.0) << 32) ^ u64::from(dst.0),
-    );
-    for _ in 0..PROXY_ATTEMPTS {
-        let w = NodeId(rng.gen_range(0..p.server_count()) as u32);
-        if w == src || w == dst || !mask.node_alive(w) {
-            continue;
-        }
-        let first = routing::route_ids(&p, src, w, &PermStrategy::DestinationAware)?;
-        let second = routing::route_ids(&p, w, dst, &PermStrategy::DestinationAware)?;
-        let mut nodes = first.nodes().to_vec();
-        nodes.extend_from_slice(&second.nodes()[1..]);
-        let candidate = Route::new(nodes);
-        // validate() also rejects non-simple concatenations.
-        if candidate.validate(net, Some(mask)).is_ok() {
-            dcn_telemetry::counter!("abccc.fault.proxy_hit").inc();
-            return Ok(candidate);
-        }
-    }
-
-    // 4. Complete fallback.
-    dcn_telemetry::counter!("abccc.fault.bfs_fallback").inc();
-    match netgraph::bfs::shortest_path(net, src, dst, Some(mask)).map(Route::new) {
-        Some(r) => Ok(r),
-        None => {
-            dcn_telemetry::counter!("abccc.fault.unreachable").inc();
-            Err(RouteError::Unreachable { src, dst })
-        }
-    }
+    ResilientRouter::default()
+        .route_explained(topo, src, dst, Some(mask))
+        .map(|o| o.route)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::AbcccParams;
+    use netgraph::{FaultScenario, Topology};
 
     fn topo() -> Abccc {
         Abccc::new(AbcccParams::new(3, 2, 2).unwrap()).unwrap() // 81 labels, m=3
@@ -123,9 +281,14 @@ mod tests {
         let mask = FaultMask::new(t.network());
         let a = NodeId(0);
         let b = NodeId((t.params().server_count() - 1) as u32);
-        let r = route_avoiding(&t, a, b, &mask).unwrap();
+        let out = ResilientRouter::default()
+            .route_explained(&t, a, b, Some(&mask))
+            .unwrap();
         let primary = t.route(a, b).unwrap();
-        assert_eq!(r, primary);
+        assert_eq!(out.route, primary);
+        assert_eq!(out.tier, RouteTier::Primary);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.backoff_units, 0);
     }
 
     #[test]
@@ -135,27 +298,33 @@ mod tests {
         let b = NodeId((t.params().server_count() - 1) as u32);
         let primary = t.route(a, b).unwrap();
         // Fail every interior node of the primary route.
-        let mut mask = FaultMask::new(t.network());
-        for &n in &primary.nodes()[1..primary.nodes().len() - 1] {
-            mask.fail_node(n);
-        }
-        let r = route_avoiding(&t, a, b, &mask).unwrap();
-        r.validate(t.network(), Some(&mask)).unwrap();
-        assert_eq!(r.src(), a);
-        assert_eq!(r.dst(), b);
+        let interior = primary.nodes()[1..primary.nodes().len() - 1].to_vec();
+        let mask = FaultScenario::seeded(0)
+            .fail_nodes(interior)
+            .build(t.network());
+        let out = ResilientRouter::default()
+            .route_explained(&t, a, b, Some(&mask))
+            .unwrap();
+        out.route.validate(t.network(), Some(&mask)).unwrap();
+        assert_eq!(out.route.src(), a);
+        assert_eq!(out.route.dst(), b);
+        assert!(out.tier > RouteTier::Primary);
+        assert!(out.attempts > 1);
     }
 
     #[test]
     fn failed_endpoint_is_unreachable() {
         let t = topo();
-        let mut mask = FaultMask::new(t.network());
-        mask.fail_node(NodeId(5));
+        let r = ResilientRouter::default();
+        let mask = FaultScenario::seeded(0)
+            .fail_nodes([NodeId(5)])
+            .build(t.network());
         assert!(matches!(
-            route_avoiding(&t, NodeId(5), NodeId(0), &mask),
+            r.route(&t, NodeId(5), NodeId(0), Some(&mask)),
             Err(RouteError::Unreachable { .. })
         ));
         assert!(matches!(
-            route_avoiding(&t, NodeId(0), NodeId(5), &mask),
+            r.route(&t, NodeId(0), NodeId(5), Some(&mask)),
             Err(RouteError::Unreachable { .. })
         ));
     }
@@ -164,32 +333,98 @@ mod tests {
     fn isolated_destination_is_unreachable() {
         let t = topo();
         let b = NodeId(7);
-        let mut mask = FaultMask::new(t.network());
         // Cut every cable of b.
-        for &(_, l) in t.network().neighbors(b) {
-            mask.fail_link(l);
-        }
+        let cables: Vec<_> = t.network().neighbors(b).iter().map(|&(_, l)| l).collect();
+        let mask = FaultScenario::seeded(0)
+            .fail_links(cables)
+            .build(t.network());
         assert!(matches!(
-            route_avoiding(&t, NodeId(0), b, &mask),
+            ResilientRouter::default().route(&t, NodeId(0), b, Some(&mask)),
             Err(RouteError::Unreachable { .. })
         ));
     }
 
     #[test]
-    fn survives_heavy_random_failures_when_connected() {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+    fn gives_up_without_bfs_when_budget_spent() {
         let t = topo();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let servers: Vec<NodeId> = t.network().server_ids().collect();
-        let mut mask = FaultMask::new(t.network());
-        // Fail 10% of servers.
-        for s in servers.choose_multiple(&mut rng, servers.len() / 10) {
-            mask.fail_node(*s);
+        let b = NodeId(7);
+        let cables: Vec<_> = t.network().neighbors(b).iter().map(|&(_, l)| l).collect();
+        let mask = FaultScenario::seeded(0)
+            .fail_links(cables)
+            .build(t.network());
+        let local_only = ResilientRouter::new(RetryBudget {
+            bfs_fallback: false,
+            ..RetryBudget::default()
+        });
+        assert!(matches!(
+            local_only.route(&t, NodeId(0), b, Some(&mask)),
+            Err(RouteError::GaveUp { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_widths_are_respected_and_backoff_accrues() {
+        let t = topo();
+        let b = NodeId(7);
+        let cables: Vec<_> = t.network().neighbors(b).iter().map(|&(_, l)| l).collect();
+        let mask = FaultScenario::seeded(0)
+            .fail_links(cables)
+            .build(t.network());
+        // Destination is isolated: every tier runs dry, so attempts hit the
+        // whole configured budget before BFS reports unreachable.
+        let budget = RetryBudget {
+            random_perm_attempts: 3,
+            proxy_attempts: 5,
+            backoff_base: 2,
+            backoff_jitter: 0,
+            ..RetryBudget::default()
+        };
+        let r = ResilientRouter::new(budget);
+        match r.route_explained(&t, NodeId(0), b, Some(&mask)) {
+            Err(RouteError::Unreachable { .. }) => {}
+            other => panic!("expected unreachable, got {other:?}"),
         }
-        let alive: Vec<NodeId> = servers
-            .iter()
-            .copied()
+        // A reachable-but-obstructed pair reports nonzero backoff once it
+        // escalates past the deterministic tier.
+        let a = NodeId(0);
+        let c = NodeId((t.params().server_count() - 1) as u32);
+        let primary = t.route(a, c).unwrap();
+        let interior = primary.nodes()[1..primary.nodes().len() - 1].to_vec();
+        let mask2 = FaultScenario::seeded(0)
+            .fail_nodes(interior)
+            .build(t.network());
+        let out = r.route_explained(&t, a, c, Some(&mask2)).unwrap();
+        if out.tier > RouteTier::Deterministic {
+            assert!(out.backoff_units >= budget.backoff_base);
+        }
+    }
+
+    #[test]
+    fn default_router_matches_deprecated_shim() {
+        let t = topo();
+        let mask = FaultScenario::seeded(11)
+            .fail_servers_frac(0.1)
+            .build(t.network());
+        let r = ResilientRouter::default();
+        for (s, d) in [(0u32, 80u32), (3, 44), (9, 61)] {
+            let (s, d) = (NodeId(s), NodeId(d));
+            #[allow(deprecated)]
+            let old = route_avoiding(&t, s, d, &mask);
+            let new = r.route_explained(&t, s, d, Some(&mask)).map(|o| o.route);
+            assert_eq!(old, new);
+        }
+    }
+
+    #[test]
+    fn survives_heavy_random_failures_when_connected() {
+        let t = topo();
+        let router = ResilientRouter::default();
+        let mask = FaultScenario::seeded(7)
+            .fail_servers_frac(0.1)
+            .build(t.network());
+        let alive: Vec<NodeId> = t
+            .network()
+            .server_ids()
             .filter(|&s| mask.node_alive(s))
             .collect();
         let mut routed = 0;
@@ -197,9 +432,9 @@ mod tests {
             if pair.len() < 2 {
                 continue;
             }
-            match route_avoiding(&t, pair[0], pair[1], &mask) {
-                Ok(r) => {
-                    r.validate(t.network(), Some(&mask)).unwrap();
+            match router.route_explained(&t, pair[0], pair[1], Some(&mask)) {
+                Ok(out) => {
+                    out.route.validate(t.network(), Some(&mask)).unwrap();
                     routed += 1;
                 }
                 Err(RouteError::Unreachable { .. }) => {
@@ -224,7 +459,7 @@ mod tests {
         let mask = FaultMask::new(t.network());
         let sw = NodeId(t.params().server_count() as u32);
         assert!(matches!(
-            route_avoiding(&t, sw, NodeId(0), &mask),
+            ResilientRouter::default().route(&t, sw, NodeId(0), Some(&mask)),
             Err(RouteError::NotAServer(_))
         ));
     }

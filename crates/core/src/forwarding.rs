@@ -155,7 +155,7 @@ mod tests {
                 let src = ServerAddr::from_node_id(&p, NodeId(s as u32));
                 let dst = ServerAddr::from_node_id(&p, NodeId(d as u32));
                 for strat in [PermStrategy::DestinationAware, PermStrategy::Ascending] {
-                    let control = routing::route_addrs(&p, src, dst, &strat);
+                    let control = routing::DigitRouter::new(strat).route_addrs(&p, src, dst);
                     let header = ForwardingHeader::new(&p, src, dst, &strat);
                     let data = forward(&p, src, header).unwrap();
                     assert_eq!(control.nodes(), &data[..], "{p} {s}->{d}");

@@ -45,12 +45,13 @@
 //! | [`address`] | cube labels, server/switch addresses, flat-id codecs |
 //! | [`Abccc`] | materialization as a [`netgraph::Network`] |
 //! | [`PermStrategy`] | digit-correction orders (ICC'15 companion paper) |
-//! | [`routing`] | one-to-one routing, closed-form distance |
+//! | [`router`] | the unified [`Router`] trait, [`RouteTier`], [`RouteOutcome`] |
+//! | [`routing`] | one-to-one routing ([`DigitRouter`]), closed-form distance |
 //! | [`parallel`] | internally vertex-disjoint parallel paths |
-//! | [`fault`] | fault-tolerant detour routing |
+//! | [`fault`] | fault-tolerant detour routing ([`ResilientRouter`], [`RetryBudget`]) |
 //! | [`broadcast`] | one-to-all / one-to-many trees (GBC3 journal extension) |
 //! | [`forwarding`] | hop-by-hop data plane with source-routing headers |
-//! | [`vlb`] | Valiant load balancing for adversarial traffic |
+//! | [`vlb`] | Valiant load balancing ([`VlbRouter`]) for adversarial traffic |
 //! | [`expansion`] | incremental growth planning and embedding verification |
 
 #![forbid(unsafe_code)]
@@ -64,6 +65,7 @@ pub mod forwarding;
 pub mod parallel;
 mod params;
 mod permutation;
+pub mod router;
 pub mod routing;
 mod topology;
 pub mod vlb;
@@ -71,6 +73,10 @@ pub mod vlb;
 pub use address::{CubeLabel, ServerAddr, SwitchAddr};
 pub use broadcast::BroadcastTree;
 pub use expansion::ExpansionStep;
+pub use fault::{ResilientRouter, RetryBudget};
 pub use params::AbcccParams;
 pub use permutation::PermStrategy;
+pub use router::{RouteOutcome, RouteTier, Router};
+pub use routing::DigitRouter;
 pub use topology::{Abccc, MAX_MATERIALIZED_NODES};
+pub use vlb::VlbRouter;

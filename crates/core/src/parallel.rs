@@ -46,7 +46,7 @@ pub fn parallel_routes(
 
     // Primary route first.
     push_if_disjoint(
-        routing::route_addrs(p, src, dst, &PermStrategy::DestinationAware),
+        routing::DigitRouter::shortest().route_addrs(p, src, dst),
         &mut chosen,
     );
 
@@ -110,8 +110,8 @@ pub fn parallel_routes(
             ];
             for s1 in &stage_strategies {
                 for s2 in &stage_strategies {
-                    let first = routing::route_addrs(p, src, mid, s1);
-                    let second = routing::route_addrs(p, mid, dst, s2);
+                    let first = routing::DigitRouter::new(*s1).route_addrs(p, src, mid);
+                    let second = routing::DigitRouter::new(*s2).route_addrs(p, mid, dst);
                     let mut nodes = first.nodes().to_vec();
                     nodes.extend_from_slice(&second.nodes()[1..]);
                     push_if_disjoint(Route::new(nodes), &mut chosen);

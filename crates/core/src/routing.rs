@@ -10,19 +10,123 @@
 //! *shortest* path (verified against BFS in the test suite), and
 //! [`distance`] gives its length in closed form.
 
-use crate::{AbcccParams, PermStrategy, ServerAddr, SwitchAddr};
-use netgraph::{NodeId, Route, RouteError};
+use crate::router::{check_endpoints, RouteOutcome, Router};
+use crate::{Abccc, AbcccParams, PermStrategy, ServerAddr, SwitchAddr};
+use netgraph::{FaultMask, NodeId, Route, RouteError, Topology};
+
+/// Deterministic digit-correction router: the [`Router`] impl of the
+/// family's native one-to-one algorithm.
+///
+/// A `DigitRouter` is *fault-oblivious*: it always produces the route its
+/// [`PermStrategy`] dictates. When [`Router::route`] is called with a
+/// fault mask, the produced route is validated against it and rejected
+/// with [`RouteError::GaveUp`] if it crosses a failed element — the router
+/// does not detour (use
+/// [`ResilientRouter`](crate::fault::ResilientRouter) for that).
+///
+/// ```
+/// use abccc::{routing::DigitRouter, Abccc, AbcccParams, Router};
+/// let topo = Abccc::new(AbcccParams::new(4, 1, 2).unwrap()).unwrap();
+/// let out = DigitRouter::shortest()
+///     .route(&topo, netgraph::NodeId(0), netgraph::NodeId(31), None)
+///     .unwrap();
+/// assert_eq!(out.tier, abccc::RouteTier::Primary);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigitRouter {
+    strategy: PermStrategy,
+}
+
+impl DigitRouter {
+    /// A router correcting digits in the order `strategy` dictates.
+    pub fn new(strategy: PermStrategy) -> Self {
+        DigitRouter { strategy }
+    }
+
+    /// The shortest-path router ([`PermStrategy::DestinationAware`]).
+    pub fn shortest() -> Self {
+        DigitRouter::new(PermStrategy::DestinationAware)
+    }
+
+    /// The strategy this router corrects digits with.
+    pub fn strategy(&self) -> &PermStrategy {
+        &self.strategy
+    }
+
+    /// Routes between two server addresses. Pure — needs only the
+    /// parameterization, and always succeeds on a fault-free network.
+    pub fn route_addrs(&self, p: &AbcccParams, src: ServerAddr, dst: ServerAddr) -> Route {
+        let order = self.strategy.order(p, src, dst);
+        route_with_order(p, src, dst, &order)
+    }
+
+    /// Routes between two server node ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::NotAServer`] if an endpoint is not a server id
+    /// of this parameterization.
+    pub fn route_ids(
+        &self,
+        p: &AbcccParams,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Route, RouteError> {
+        dcn_telemetry::counter!("abccc.routing.route_ids").inc();
+        if u64::from(src.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(src));
+        }
+        if u64::from(dst.0) >= p.server_count() {
+            return Err(RouteError::NotAServer(dst));
+        }
+        Ok(self.route_addrs(
+            p,
+            ServerAddr::from_node_id(p, src),
+            ServerAddr::from_node_id(p, dst),
+        ))
+    }
+}
+
+impl Router for DigitRouter {
+    fn name(&self) -> String {
+        format!("digit:{}", self.strategy.label())
+    }
+
+    fn route(
+        &self,
+        topo: &Abccc,
+        src: NodeId,
+        dst: NodeId,
+        mask: Option<&FaultMask>,
+    ) -> Result<RouteOutcome, RouteError> {
+        check_endpoints(topo, src, dst, mask)?;
+        let route = self.route_ids(topo.params(), src, dst)?;
+        if let Some(m) = mask {
+            if route.validate(topo.network(), Some(m)).is_err() {
+                return Err(RouteError::GaveUp {
+                    src,
+                    dst,
+                    attempts: 1,
+                });
+            }
+        }
+        Ok(RouteOutcome::primary(route))
+    }
+}
 
 /// Routes between two server addresses. Always succeeds on a fault-free
 /// network.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `DigitRouter::new(strategy).route_addrs(..)`"
+)]
 pub fn route_addrs(
     p: &AbcccParams,
     src: ServerAddr,
     dst: ServerAddr,
     strategy: &PermStrategy,
 ) -> Route {
-    let order = strategy.order(p, src, dst);
-    route_with_order(p, src, dst, &order)
+    DigitRouter::new(*strategy).route_addrs(p, src, dst)
 }
 
 /// Routes between two server node ids.
@@ -31,25 +135,17 @@ pub fn route_addrs(
 ///
 /// Returns [`RouteError::NotAServer`] if an endpoint is not a server id of
 /// this parameterization.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `DigitRouter::new(strategy).route_ids(..)`"
+)]
 pub fn route_ids(
     p: &AbcccParams,
     src: NodeId,
     dst: NodeId,
     strategy: &PermStrategy,
 ) -> Result<Route, RouteError> {
-    dcn_telemetry::counter!("abccc.routing.route_ids").inc();
-    if u64::from(src.0) >= p.server_count() {
-        return Err(RouteError::NotAServer(src));
-    }
-    if u64::from(dst.0) >= p.server_count() {
-        return Err(RouteError::NotAServer(dst));
-    }
-    Ok(route_addrs(
-        p,
-        ServerAddr::from_node_id(p, src),
-        ServerAddr::from_node_id(p, dst),
-        strategy,
-    ))
+    DigitRouter::new(*strategy).route_ids(p, src, dst)
 }
 
 /// Routes with an explicit correction order.
@@ -159,7 +255,7 @@ mod tests {
             for d_raw in 0..p.server_count() {
                 let dst_id = NodeId(d_raw as u32);
                 let dst = ServerAddr::from_node_id(&p, dst_id);
-                let route = route_addrs(&p, src, dst, &PermStrategy::DestinationAware);
+                let route = DigitRouter::shortest().route_addrs(&p, src, dst);
                 route.validate(net, None).unwrap_or_else(|e| {
                     panic!("{p}: invalid route {src:?}->{dst:?}: {e}");
                 });
@@ -210,7 +306,7 @@ mod tests {
         let src = ServerAddr::new(&p, CubeLabel::from_digits(&p, &[0, 1, 2]), 0);
         let dst = ServerAddr::new(&p, CubeLabel::from_digits(&p, &[2, 1, 0]), 2);
         for strat in PermStrategy::all() {
-            let r = route_addrs(&p, src, dst, &strat);
+            let r = DigitRouter::new(strat).route_addrs(&p, src, dst);
             r.validate(net, None)
                 .unwrap_or_else(|e| panic!("{}: {e}", strat.label()));
             assert!(hops(&r) as u64 >= distance(&p, src, dst));
@@ -222,9 +318,9 @@ mod tests {
         let p = AbcccParams::new(4, 2, 2).unwrap();
         let a = ServerAddr::new(&p, CubeLabel(17), 0);
         let b = ServerAddr::new(&p, CubeLabel(17), 2);
-        let r_self = route_addrs(&p, a, a, &PermStrategy::DestinationAware);
+        let r_self = DigitRouter::shortest().route_addrs(&p, a, a);
         assert_eq!(hops(&r_self), 0);
-        let r = route_addrs(&p, a, b, &PermStrategy::DestinationAware);
+        let r = DigitRouter::shortest().route_addrs(&p, a, b);
         assert_eq!(hops(&r), 1); // one crossbar hop
         assert_eq!(distance(&p, a, b), 1);
     }
@@ -234,11 +330,11 @@ mod tests {
         let p = AbcccParams::new(2, 1, 2).unwrap();
         let sw = NodeId(p.server_count() as u32); // first switch
         assert!(matches!(
-            route_ids(&p, sw, NodeId(0), &PermStrategy::Ascending),
+            DigitRouter::new(PermStrategy::Ascending).route_ids(&p, sw, NodeId(0)),
             Err(RouteError::NotAServer(_))
         ));
         assert!(matches!(
-            route_ids(&p, NodeId(0), sw, &PermStrategy::Ascending),
+            DigitRouter::new(PermStrategy::Ascending).route_ids(&p, NodeId(0), sw),
             Err(RouteError::NotAServer(_))
         ));
     }

@@ -135,12 +135,7 @@ impl Topology for Abccc {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Result<Route, RouteError> {
-        crate::routing::route_ids(
-            &self.params,
-            src,
-            dst,
-            &crate::PermStrategy::DestinationAware,
-        )
+        crate::routing::DigitRouter::shortest().route_ids(&self.params, src, dst)
     }
 
     fn parallel_routes(
@@ -172,7 +167,10 @@ impl Topology for Abccc {
         dst: NodeId,
         mask: &FaultMask,
     ) -> Result<Route, RouteError> {
-        crate::fault::route_avoiding(self, src, dst, mask)
+        use crate::router::Router;
+        crate::fault::ResilientRouter::default()
+            .route(self, src, dst, Some(mask))
+            .map(|o| o.route)
     }
 }
 

@@ -6,35 +6,143 @@
 //! group: `src → w → dst`, each stage with the shortest-path router. The
 //! price is up to 2× path length on benign traffic; the win is that *any*
 //! permutation spreads like uniform random traffic (experiment F17).
+//!
+//! [`VlbRouter`] is the [`Router`] face of the scheme: it derives a
+//! per-pair RNG from its seed (see
+//! [`pair_seed`](crate::router::pair_seed)-style mixing), so the same
+//! router value always picks the same intermediate for a pair regardless
+//! of call order — the determinism the campaign engine relies on. The
+//! RNG-threading free functions survive as `#[deprecated]` shims.
 
-use crate::{routing, AbcccParams, CubeLabel, PermStrategy, ServerAddr};
-use netgraph::{NodeId, Route, RouteError};
-use rand::Rng;
+use crate::router::{check_endpoints, pair_seed, RouteOutcome, RouteTier, Router};
+use crate::routing::DigitRouter;
+use crate::{Abccc, AbcccParams, CubeLabel, ServerAddr};
+use netgraph::{FaultMask, NodeId, Route, RouteError, Topology};
+use rand::{Rng, SeedableRng};
 
-/// Routes `src → dst` through a uniformly random intermediate server
-/// (excluding the endpoints' own labels to keep the path simple). Falls
-/// back to direct routing if no valid intermediate is found quickly
-/// (only possible in tiny networks).
-pub fn route_vlb(p: &AbcccParams, src: ServerAddr, dst: ServerAddr, rng: &mut impl Rng) -> Route {
-    for _ in 0..16 {
+/// How many random intermediates to try before falling back to the direct
+/// shortest-path route (rejections only happen when the stages intersect,
+/// i.e. in tiny networks).
+const INTERMEDIATE_ATTEMPTS: u32 = 16;
+
+/// Picks a random intermediate and concatenates the two shortest-path
+/// stages; returns the route plus how many candidates were examined.
+fn route_two_stage(
+    p: &AbcccParams,
+    src: ServerAddr,
+    dst: ServerAddr,
+    rng: &mut impl Rng,
+) -> (Route, u32) {
+    let shortest = DigitRouter::shortest();
+    for attempt in 1..=INTERMEDIATE_ATTEMPTS {
         let label = CubeLabel(rng.gen_range(0..p.label_space()));
         if label == src.label || label == dst.label {
             continue;
         }
         let pos = rng.gen_range(0..p.group_size());
         let mid = ServerAddr::new(p, label, pos);
-        let first = routing::route_addrs(p, src, mid, &PermStrategy::DestinationAware);
-        let second = routing::route_addrs(p, mid, dst, &PermStrategy::DestinationAware);
+        let first = shortest.route_addrs(p, src, mid);
+        let second = shortest.route_addrs(p, mid, dst);
         let mut nodes = first.nodes().to_vec();
         nodes.extend_from_slice(&second.nodes()[1..]);
         // Stages can intersect (they share digit corrections); only accept
         // simple concatenations.
         let mut seen = std::collections::HashSet::with_capacity(nodes.len());
         if nodes.iter().all(|n| seen.insert(*n)) {
-            return Route::new(nodes);
+            return (Route::new(nodes), attempt);
         }
     }
-    routing::route_addrs(p, src, dst, &PermStrategy::DestinationAware)
+    (shortest.route_addrs(p, src, dst), INTERMEDIATE_ATTEMPTS + 1)
+}
+
+/// Valiant load-balancing router: the [`Router`] impl of the two-stage
+/// randomized scheme.
+///
+/// The router owns a seed; each pair's intermediate is drawn from a fresh
+/// stream mixed from `(seed, src, dst)`, so routes are deterministic and
+/// independent of call order. Like
+/// [`DigitRouter`](crate::routing::DigitRouter) it is *fault-oblivious* —
+/// under a mask the produced route is validated and rejected with
+/// [`RouteError::GaveUp`] rather than detoured around failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlbRouter {
+    seed: u64,
+}
+
+impl VlbRouter {
+    /// A VLB router whose per-pair intermediate choices derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        VlbRouter { seed }
+    }
+
+    /// The seed the per-pair streams are mixed from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Routes between two server addresses, drawing the intermediate from
+    /// the caller's RNG stream instead of the router's per-pair stream.
+    /// This is the legacy entry point benches that interleave many draws
+    /// on one RNG still use.
+    pub fn route_addrs_with(
+        p: &AbcccParams,
+        src: ServerAddr,
+        dst: ServerAddr,
+        rng: &mut impl Rng,
+    ) -> Route {
+        route_two_stage(p, src, dst, rng).0
+    }
+}
+
+impl Router for VlbRouter {
+    fn name(&self) -> String {
+        "vlb".to_string()
+    }
+
+    fn route(
+        &self,
+        topo: &Abccc,
+        src: NodeId,
+        dst: NodeId,
+        mask: Option<&FaultMask>,
+    ) -> Result<RouteOutcome, RouteError> {
+        check_endpoints(topo, src, dst, mask)?;
+        let p = topo.params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pair_seed(self.seed, src, dst));
+        let (route, attempts) = route_two_stage(
+            p,
+            ServerAddr::from_node_id(p, src),
+            ServerAddr::from_node_id(p, dst),
+            &mut rng,
+        );
+        if let Some(m) = mask {
+            if route.validate(topo.network(), Some(m)).is_err() {
+                return Err(RouteError::GaveUp {
+                    src,
+                    dst,
+                    attempts: attempts as usize,
+                });
+            }
+        }
+        Ok(RouteOutcome {
+            route,
+            tier: RouteTier::Primary,
+            attempts,
+            backoff_units: 0,
+        })
+    }
+}
+
+/// Routes `src → dst` through a uniformly random intermediate server
+/// (excluding the endpoints' own labels to keep the path simple). Falls
+/// back to direct routing if no valid intermediate is found quickly
+/// (only possible in tiny networks).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `VlbRouter::new(seed)` via the `Router` trait, or `VlbRouter::route_addrs_with`"
+)]
+pub fn route_vlb(p: &AbcccParams, src: ServerAddr, dst: ServerAddr, rng: &mut impl Rng) -> Route {
+    VlbRouter::route_addrs_with(p, src, dst, rng)
 }
 
 /// Id-based convenience wrapper.
@@ -42,6 +150,10 @@ pub fn route_vlb(p: &AbcccParams, src: ServerAddr, dst: ServerAddr, rng: &mut im
 /// # Errors
 ///
 /// Returns [`RouteError::NotAServer`] for non-server endpoints.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `VlbRouter::new(seed)` via the `Router` trait"
+)]
 pub fn route_vlb_ids(
     p: &AbcccParams,
     src: NodeId,
@@ -54,7 +166,7 @@ pub fn route_vlb_ids(
     if u64::from(dst.0) >= p.server_count() {
         return Err(RouteError::NotAServer(dst));
     }
-    Ok(route_vlb(
+    Ok(VlbRouter::route_addrs_with(
         p,
         ServerAddr::from_node_id(p, src),
         ServerAddr::from_node_id(p, dst),
@@ -65,7 +177,7 @@ pub fn route_vlb_ids(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Abccc;
+    use crate::{routing, Abccc};
     use netgraph::Topology;
     use rand::SeedableRng;
 
@@ -73,6 +185,7 @@ mod tests {
     fn vlb_routes_are_valid_and_bounded() {
         let p = AbcccParams::new(3, 2, 2).unwrap();
         let topo = Abccc::new(p).unwrap();
+        let router = VlbRouter::new(7);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for _ in 0..64 {
             let s = NodeId(rng.gen_range(0..p.server_count()) as u32);
@@ -80,13 +193,39 @@ mod tests {
             if s == d {
                 continue;
             }
-            let r = route_vlb_ids(&p, s, d, &mut rng).unwrap();
-            r.validate(topo.network(), None).unwrap();
-            assert_eq!(r.src(), s);
-            assert_eq!(r.dst(), d);
+            let out = router.route(&topo, s, d, None).unwrap();
+            out.route.validate(topo.network(), None).unwrap();
+            assert_eq!(out.route.src(), s);
+            assert_eq!(out.route.dst(), d);
             // Two stages ⇒ at most 2× diameter.
-            assert!(routing::hops(&r) as u64 <= 2 * p.diameter());
+            assert!(routing::hops(&out.route) as u64 <= 2 * p.diameter());
         }
+    }
+
+    #[test]
+    fn per_pair_streams_make_routes_call_order_independent() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let router = VlbRouter::new(42);
+        let pairs = [(0u32, 40u32), (1, 33), (2, 57)];
+        let forward: Vec<Route> = pairs
+            .iter()
+            .map(|&(s, d)| router.route_simple(&topo, NodeId(s), NodeId(d)).unwrap())
+            .collect();
+        let backward: Vec<Route> = pairs
+            .iter()
+            .rev()
+            .map(|&(s, d)| router.route_simple(&topo, NodeId(s), NodeId(d)).unwrap())
+            .collect();
+        for (f, b) in forward.iter().zip(backward.iter().rev()) {
+            assert_eq!(f, b);
+        }
+        // A different seed picks different intermediates for at least one pair.
+        let other = VlbRouter::new(43);
+        assert!(pairs.iter().any(|&(s, d)| {
+            router.route_simple(&topo, NodeId(s), NodeId(d)).unwrap()
+                != other.route_simple(&topo, NodeId(s), NodeId(d)).unwrap()
+        }));
     }
 
     /// The convergent permutation: every group sends all `m` of its flows
@@ -123,9 +262,10 @@ mod tests {
     fn direct_routing_concentrates_the_convergent_pattern() {
         let p = AbcccParams::new(4, 2, 2).unwrap();
         let topo = Abccc::new(p).unwrap();
+        let shortest = DigitRouter::shortest();
         let routes: Vec<Route> = convergent_pairs(&p)
             .iter()
-            .map(|&(s, d)| routing::route_addrs(&p, s, d, &PermStrategy::DestinationAware))
+            .map(|&(s, d)| shortest.route_addrs(&p, s, d))
             .collect();
         // All m flows of each group share the position-0 S0 uplink.
         assert_eq!(max_directed_load(topo.network(), &routes), p.group_size());
@@ -142,7 +282,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let adv: Vec<Route> = convergent_pairs(&p)
             .iter()
-            .map(|&(s, d)| route_vlb(&p, s, d, &mut rng))
+            .map(|&(s, d)| VlbRouter::route_addrs_with(&p, s, d, &mut rng))
             .collect();
         // Random permutation with the same flow count, also through VLB.
         use rand::seq::SliceRandom;
@@ -153,7 +293,7 @@ mod tests {
             .enumerate()
             .filter(|(i, &d)| *i as u32 != d)
             .map(|(i, &d)| {
-                route_vlb(
+                VlbRouter::route_addrs_with(
                     &p,
                     ServerAddr::from_node_id(&p, NodeId(i as u32)),
                     ServerAddr::from_node_id(&p, NodeId(d)),
@@ -170,10 +310,26 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_match_the_router() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let (s, d) = (
+            ServerAddr::from_node_id(&p, NodeId(0)),
+            ServerAddr::from_node_id(&p, NodeId(50)),
+        );
+        let mut a = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = rand::rngs::StdRng::seed_from_u64(5);
+        #[allow(deprecated)]
+        let old = route_vlb(&p, s, d, &mut a);
+        let new = VlbRouter::route_addrs_with(&p, s, d, &mut b);
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn rejects_switch_endpoint() {
         let p = AbcccParams::new(2, 1, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
         let sw = NodeId(p.server_count() as u32);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        assert!(route_vlb_ids(&p, sw, NodeId(0), &mut rng).is_err());
+        let router = VlbRouter::new(0);
+        assert!(router.route(&topo, sw, NodeId(0), None).is_err());
     }
 }

@@ -243,11 +243,11 @@ mod tests {
     #[test]
     fn masked_run_counts_unroutable() {
         let t = topo();
-        let mut mask = netgraph::FaultMask::new(t.network());
         // Isolate server 1.
-        for &(_, l) in t.network().neighbors(NodeId(1)) {
-            mask.fail_link(l);
-        }
+        let cut = t.network().neighbors(NodeId(1)).iter().map(|&(_, l)| l);
+        let mask = netgraph::FaultScenario::seeded(0)
+            .fail_links(cut)
+            .build(t.network());
         let pairs = [(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
         let report = FlowSim::new(&t).run_with_mask(&pairs, &mask);
         assert_eq!(report.unroutable, 1);

@@ -42,6 +42,14 @@ impl fmt::Display for NetworkError {
 impl std::error::Error for NetworkError {}
 
 /// Errors raised while routing.
+///
+/// This is the single error type of every fallible routing API in the
+/// workspace: routers, simulators and the resilience campaign engine all
+/// return it. Failures that originate below routing (an invalid
+/// parameterization, an oversized construction) are carried in the
+/// [`RouteError::Network`] variant instead of a disjoint enum, so callers
+/// match one type and can still reach the underlying [`NetworkError`]
+/// through [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RouteError {
@@ -64,6 +72,12 @@ pub enum RouteError {
         /// How many detour attempts were made.
         attempts: usize,
     },
+    /// A network-level failure surfaced while routing (invalid topology
+    /// parameters, construction guards, malformed scenario configuration).
+    ///
+    /// The wrapped [`NetworkError`] is exposed via
+    /// [`std::error::Error::source`].
+    Network(NetworkError),
 }
 
 impl fmt::Display for RouteError {
@@ -79,11 +93,25 @@ impl fmt::Display for RouteError {
                     "routing {src} -> {dst} gave up after {attempts} attempts"
                 )
             }
+            RouteError::Network(e) => write!(f, "network error while routing: {e}"),
         }
     }
 }
 
-impl std::error::Error for RouteError {}
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetworkError> for RouteError {
+    fn from(e: NetworkError) -> Self {
+        RouteError::Network(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -107,5 +135,21 @@ mod tests {
             attempts: 7,
         };
         assert!(g.to_string().contains('7'));
+    }
+
+    #[test]
+    fn network_errors_wrap_with_source() {
+        use std::error::Error;
+        let inner = NetworkError::InvalidParameter {
+            name: "trials",
+            reason: "must be positive".into(),
+        };
+        let e: RouteError = inner.clone().into();
+        assert!(matches!(&e, RouteError::Network(n) if *n == inner));
+        assert!(e.to_string().contains("trials"));
+        let src = e.source().expect("Network variant exposes a source");
+        assert_eq!(src.to_string(), inner.to_string());
+        // The other variants have no source.
+        assert!(RouteError::NotAServer(NodeId(1)).source().is_none());
     }
 }

@@ -5,7 +5,8 @@
 //! * [`Network`] — a typed multigraph whose nodes are either **servers** or
 //!   **switches** and whose edges are physical cables with a capacity,
 //! * [`FaultMask`] — a cheap overlay marking failed nodes/links without
-//!   mutating the topology,
+//!   mutating the topology, and [`FaultScenario`] — the seedable builder
+//!   every fault experiment constructs masks through,
 //! * BFS-based metrics ([`bfs`]): hop distances, shortest paths, exact and
 //!   sampled diameter / average path length (switch-transparent "server
 //!   hops", the metric used throughout the ABCCC paper family),
@@ -52,6 +53,7 @@ mod graph;
 pub mod maxflow;
 pub mod paths;
 mod route;
+mod scenario;
 pub mod svg;
 
 pub use distance::{AllPairsStats, BfsScratch, DistanceEngine};
@@ -59,3 +61,4 @@ pub use error::{NetworkError, RouteError};
 pub use fault::FaultMask;
 pub use graph::{Link, LinkId, Network, NodeId, NodeKind};
 pub use route::{Route, Topology};
+pub use scenario::FaultScenario;

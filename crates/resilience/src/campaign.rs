@@ -1,0 +1,556 @@
+//! The campaign engine: configuration, parallel trial execution.
+
+use crate::report::{CampaignReport, TierCounts, TrialReport};
+use crate::{mix_seed, ScenarioKind};
+use abccc::{
+    routing, Abccc, AbcccParams, CubeLabel, DigitRouter, PermStrategy, ResilientRouter,
+    RetryBudget, Router, ServerAddr, VlbRouter,
+};
+use flowsim::{max_min_allocation, DirectedLink};
+use netgraph::{FaultMask, NetworkError, NodeId, Route, RouteError, Topology};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which [`Router`] a campaign drives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RouterSpec {
+    /// The escalating fault-tolerant router under a [`RetryBudget`].
+    Resilient(RetryBudget),
+    /// Fault-oblivious deterministic digit correction.
+    Digit(PermStrategy),
+    /// Fault-oblivious Valiant load balancing (per-pair seed given).
+    Vlb {
+        /// Seed of the per-pair intermediate streams.
+        seed: u64,
+    },
+}
+
+impl RouterSpec {
+    pub(crate) fn build(&self) -> Box<dyn Router> {
+        match *self {
+            RouterSpec::Resilient(budget) => Box::new(ResilientRouter::new(budget)),
+            RouterSpec::Digit(strategy) => Box::new(DigitRouter::new(strategy)),
+            RouterSpec::Vlb { seed } => Box::new(VlbRouter::new(seed)),
+        }
+    }
+}
+
+/// How each trial samples its source→destination pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairSampling {
+    /// `pairs` uniform random ordered pairs per time step (self-pairs
+    /// redrawn away by skipping, dead endpoints counted and skipped).
+    UniformRandom {
+        /// Pairs drawn per time step.
+        pairs: usize,
+    },
+    /// A fresh random permutation over the surviving servers per step.
+    Permutation,
+    /// The adversarial convergent pattern (all `m` flows of every group
+    /// correct the same digit), filtered to surviving endpoints.
+    Convergent,
+}
+
+/// A configured, runnable fault campaign. Construct with
+/// [`CampaignConfig::new`], chain the builder methods, then [`run`]
+/// (or [`run_on`] to reuse an existing topology).
+///
+/// [`run`]: CampaignConfig::run
+/// [`run_on`]: CampaignConfig::run_on
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Topology parameters the campaign materializes.
+    pub params: AbcccParams,
+    /// What breaks per trial.
+    pub scenario: ScenarioKind,
+    /// Which router carries the traffic.
+    pub router: RouterSpec,
+    /// How pairs are sampled.
+    pub pairs: PairSampling,
+    /// Independent trials.
+    pub trials: usize,
+    /// Campaign seed — the single source of all randomness.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Whether to run the max-min throughput simulation per step.
+    pub measure_throughput: bool,
+}
+
+impl CampaignConfig {
+    /// A default campaign over `params`: 5% uniform server+switch faults,
+    /// the resilient router with its default budget, 64 random pairs per
+    /// trial, 8 trials, seed 0, throughput measured.
+    pub fn new(params: AbcccParams) -> Self {
+        CampaignConfig {
+            params,
+            scenario: ScenarioKind::Uniform {
+                server_rate: 0.05,
+                switch_rate: 0.05,
+                link_rate: 0.0,
+            },
+            router: RouterSpec::Resilient(RetryBudget::default()),
+            pairs: PairSampling::UniformRandom { pairs: 64 },
+            trials: 8,
+            seed: 0,
+            threads: 0,
+            measure_throughput: true,
+        }
+    }
+
+    /// Sets the fault scenario.
+    #[must_use]
+    pub fn scenario(mut self, scenario: ScenarioKind) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Sets the router under test.
+    #[must_use]
+    pub fn router(mut self, router: RouterSpec) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Sets the pair-sampling policy.
+    #[must_use]
+    pub fn sampling(mut self, pairs: PairSampling) -> Self {
+        self.pairs = pairs;
+        self
+    }
+
+    /// Sets uniform-random sampling with `pairs` pairs per step.
+    #[must_use]
+    pub fn pairs_per_trial(self, pairs: usize) -> Self {
+        self.sampling(PairSampling::UniformRandom { pairs })
+    }
+
+    /// Sets the number of independent trials.
+    #[must_use]
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the campaign seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = all available cores). Never
+    /// changes the report, only how fast it arrives.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the per-step max-min throughput simulation.
+    #[must_use]
+    pub fn measure_throughput(mut self, on: bool) -> Self {
+        self.measure_throughput = on;
+        self
+    }
+
+    /// Checks the configuration without running anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Network`] wrapping the
+    /// [`NetworkError::InvalidParameter`] that describes the first
+    /// malformed field.
+    pub fn validate(&self) -> Result<(), RouteError> {
+        if self.trials == 0 {
+            return Err(NetworkError::InvalidParameter {
+                name: "trials",
+                reason: "a campaign needs at least one trial".into(),
+            }
+            .into());
+        }
+        if let PairSampling::UniformRandom { pairs } = self.pairs {
+            if pairs == 0 {
+                return Err(NetworkError::InvalidParameter {
+                    name: "pairs",
+                    reason: "uniform sampling needs at least one pair per step".into(),
+                }
+                .into());
+            }
+        }
+        self.scenario
+            .validate(&self.params)
+            .map_err(RouteError::from)
+    }
+
+    /// Materializes the topology and runs the campaign.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::Network`] — invalid configuration, or the topology
+    ///   failed to materialize (size guard, bad parameters);
+    /// * [`RouteError::NotAServer`] — cannot happen from campaign-sampled
+    ///   pairs, but propagated defensively.
+    pub fn run(&self) -> Result<CampaignReport, RouteError> {
+        let topo = Abccc::new(self.params)?;
+        self.run_on(&topo)
+    }
+
+    /// Runs the campaign over an already-materialized topology (which must
+    /// match `self.params`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignConfig::run`].
+    pub fn run_on(&self, topo: &Abccc) -> Result<CampaignReport, RouteError> {
+        self.validate()?;
+        let _span = dcn_telemetry::span!("resilience.campaign");
+        dcn_telemetry::counter!("resilience.campaigns").inc();
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+        .min(self.trials)
+        .max(1);
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<TrialReport>>> = Mutex::new(vec![None; self.trials]);
+        let first_err: Mutex<Option<RouteError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let router = self.router.build();
+                    loop {
+                        let trial = next.fetch_add(1, Ordering::Relaxed);
+                        if trial >= self.trials {
+                            break;
+                        }
+                        match run_trial(self, topo, router.as_ref(), trial) {
+                            Ok(report) => {
+                                slots.lock().expect("trial slots")[trial] = Some(report);
+                            }
+                            Err(e) => {
+                                first_err.lock().expect("err slot").get_or_insert(e);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_err.into_inner().expect("err slot") {
+            return Err(e);
+        }
+        let trials: Vec<TrialReport> = slots
+            .into_inner()
+            .expect("trial slots")
+            .into_iter()
+            .map(|t| t.expect("every trial completed"))
+            .collect();
+        dcn_telemetry::counter!("resilience.trials").add(trials.len() as u64);
+        Ok(CampaignReport::summarize(
+            topo.name(),
+            self.scenario.label().to_string(),
+            self.router.build().name(),
+            self.seed,
+            trials,
+        ))
+    }
+}
+
+/// Samples the pairs for one time step. Returns `(pairs, skipped)` where
+/// `skipped` counts draws dropped because an endpoint was down.
+fn sample_pairs(
+    topo: &Abccc,
+    mask: &FaultMask,
+    sampling: PairSampling,
+    seed: u64,
+) -> (Vec<(NodeId, NodeId)>, usize) {
+    let p = topo.params();
+    let n = p.server_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut skipped = 0usize;
+    let mut out = Vec::new();
+    match sampling {
+        PairSampling::UniformRandom { pairs } => {
+            for _ in 0..pairs {
+                let s = NodeId(rng.gen_range(0..n) as u32);
+                let d = NodeId(rng.gen_range(0..n) as u32);
+                if s == d {
+                    continue;
+                }
+                if !mask.node_alive(s) || !mask.node_alive(d) {
+                    skipped += 1;
+                    continue;
+                }
+                out.push((s, d));
+            }
+        }
+        PairSampling::Permutation => {
+            use rand::seq::SliceRandom;
+            let alive: Vec<NodeId> = topo
+                .network()
+                .server_ids()
+                .filter(|&s| mask.node_alive(s))
+                .collect();
+            skipped = n as usize - alive.len();
+            let mut dsts = alive.clone();
+            dsts.shuffle(&mut rng);
+            out.extend(
+                alive
+                    .iter()
+                    .zip(&dsts)
+                    .filter(|(s, d)| s != d)
+                    .map(|(&s, &d)| (s, d)),
+            );
+        }
+        PairSampling::Convergent => {
+            for raw in 0..p.label_space() {
+                let label = CubeLabel(raw);
+                let d0 = label.digit(p, 0);
+                let dst_label = label.with_digit(p, 0, (d0 + 1) % p.n());
+                for j in 0..p.group_size() {
+                    let s = ServerAddr::new(p, label, j).node_id(p);
+                    let d = ServerAddr::new(p, dst_label, j).node_id(p);
+                    if !mask.node_alive(s) || !mask.node_alive(d) {
+                        skipped += 1;
+                        continue;
+                    }
+                    out.push((s, d));
+                }
+            }
+        }
+    }
+    (out, skipped)
+}
+
+/// Σ of the finite max-min rates of `routes`, plus the worst finite rate.
+fn allocate(topo: &Abccc, routes: &[Route]) -> (f64, f64) {
+    if routes.is_empty() {
+        return (0.0, 0.0);
+    }
+    let net = topo.network();
+    let flows: Vec<Vec<DirectedLink>> = routes
+        .iter()
+        .map(|r| DirectedLink::of_route(net, r))
+        .collect();
+    let rates = max_min_allocation(net, &flows);
+    let finite: Vec<f64> = rates.into_iter().filter(|r| r.is_finite()).collect();
+    if finite.is_empty() {
+        return (0.0, 0.0);
+    }
+    let aggregate = finite.iter().sum();
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    (aggregate, min)
+}
+
+fn run_trial(
+    config: &CampaignConfig,
+    topo: &Abccc,
+    router: &dyn Router,
+    trial: usize,
+) -> Result<TrialReport, RouteError> {
+    let _span = dcn_telemetry::span!("resilience.trial");
+    let p = topo.params();
+    let net = topo.network();
+    let trial_seed = mix_seed(config.seed, trial as u64);
+    let steps = config.scenario.steps();
+
+    let mut failed_nodes = 0.0;
+    let mut failed_links = 0.0;
+    let mut connectivity = 0.0;
+    let mut pairs_total = 0usize;
+    let mut skipped = 0usize;
+    let mut routed = 0usize;
+    let mut unreachable = 0usize;
+    let mut gave_up = 0usize;
+    let mut tiers = TierCounts::default();
+    let mut attempts_total = 0u64;
+    let mut backoff_total = 0u64;
+    let mut stretch_sum = 0.0f64;
+    let mut max_stretch = 0.0f64;
+    let mut hops_sum = 0u64;
+    let mut aggregate = 0.0f64;
+    let mut min_rate = 0.0f64;
+    let mut retention = 0.0f64;
+
+    for step in 0..steps {
+        let mask = config.scenario.mask_for(topo, trial_seed, step);
+        failed_nodes += mask.failed_node_count() as f64 / steps as f64;
+        failed_links += mask.failed_link_count() as f64 / steps as f64;
+        connectivity += netgraph::connectivity::largest_component_server_fraction(net, Some(&mask))
+            / steps as f64;
+
+        let pair_seed = mix_seed(trial_seed, 0x5EED_0000 + step as u64);
+        let (pairs, step_skipped) = sample_pairs(topo, &mask, config.pairs, pair_seed);
+        pairs_total += pairs.len() + step_skipped;
+        skipped += step_skipped;
+
+        let mut survivors: Vec<Route> = Vec::with_capacity(pairs.len());
+        let mut baseline: Vec<Route> = Vec::with_capacity(pairs.len());
+        for &(s, d) in &pairs {
+            match router.route(topo, s, d, Some(&mask)) {
+                Ok(out) => {
+                    routed += 1;
+                    tiers.record(out.tier);
+                    attempts_total += u64::from(out.attempts);
+                    backoff_total += out.backoff_units;
+                    let hops = routing::hops(&out.route) as u64;
+                    hops_sum += hops;
+                    let fault_free = routing::distance(p, topo.server_addr(s), topo.server_addr(d));
+                    let stretch = if fault_free == 0 {
+                        1.0
+                    } else {
+                        hops as f64 / fault_free as f64
+                    };
+                    stretch_sum += stretch;
+                    max_stretch = max_stretch.max(stretch);
+                    if config.measure_throughput {
+                        survivors.push(out.route);
+                        baseline.push(router.route_simple(topo, s, d)?);
+                    }
+                }
+                Err(RouteError::Unreachable { .. }) => unreachable += 1,
+                Err(RouteError::GaveUp { .. }) => gave_up += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        if config.measure_throughput {
+            let (agg, min) = allocate(topo, &survivors);
+            let (base_agg, _) = allocate(topo, &baseline);
+            aggregate += agg / steps as f64;
+            min_rate += min / steps as f64;
+            retention += if base_agg == 0.0 { 1.0 } else { agg / base_agg } / steps as f64;
+        } else {
+            retention += 1.0 / steps as f64;
+        }
+    }
+
+    dcn_telemetry::counter!("resilience.pairs_routed").add(routed as u64);
+    dcn_telemetry::counter!("resilience.pairs_unroutable").add((unreachable + gave_up) as u64);
+    dcn_telemetry::histogram!("resilience.trial_attempts").record(attempts_total);
+
+    let decided = routed + unreachable + gave_up;
+    Ok(TrialReport {
+        trial,
+        seed: trial_seed,
+        steps,
+        failed_nodes,
+        failed_links,
+        connectivity_fraction: connectivity,
+        pairs_total,
+        pairs_skipped_endpoint: skipped,
+        routed,
+        unreachable,
+        gave_up,
+        route_completion: if decided == 0 {
+            1.0
+        } else {
+            routed as f64 / decided as f64
+        },
+        mean_stretch: if routed == 0 {
+            0.0
+        } else {
+            stretch_sum / routed as f64
+        },
+        max_stretch,
+        mean_hops: if routed == 0 {
+            0.0
+        } else {
+            hops_sum as f64 / routed as f64
+        },
+        aggregate_rate: aggregate,
+        min_rate,
+        throughput_retention: retention,
+        tier_counts: tiers,
+        attempts_total,
+        backoff_units_total: backoff_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CampaignConfig {
+        CampaignConfig::new(AbcccParams::new(3, 2, 2).unwrap())
+            .trials(3)
+            .pairs_per_trial(24)
+            .seed(11)
+    }
+
+    #[test]
+    fn reports_are_thread_count_independent() {
+        let serial = base().threads(1).run().unwrap();
+        let parallel = base().threads(4).run().unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_trials_is_invalid() {
+        let e = base().trials(0).run().unwrap_err();
+        assert!(matches!(e, RouteError::Network(_)), "{e}");
+    }
+
+    #[test]
+    fn digit_router_gives_up_instead_of_detourings() {
+        let report = base()
+            .router(RouterSpec::Digit(PermStrategy::DestinationAware))
+            .measure_throughput(false)
+            .run()
+            .unwrap();
+        // A fault-oblivious router never escalates.
+        assert_eq!(report.summary.tier_counts.deterministic, 0);
+        assert_eq!(report.summary.tier_counts.bfs, 0);
+        assert_eq!(report.summary.unreachable, 0);
+    }
+
+    #[test]
+    fn level_outage_caps_connectivity_at_one_over_n() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let report = CampaignConfig::new(p)
+            .scenario(ScenarioKind::LevelSwitches { level: 0 })
+            .trials(2)
+            .pairs_per_trial(16)
+            .measure_throughput(false)
+            .run()
+            .unwrap();
+        let expect = 1.0 / 3.0;
+        for t in &report.trials {
+            assert!((t.connectivity_fraction - expect).abs() < 1e-12);
+        }
+        assert!(report.summary.route_completion < 1.0);
+    }
+
+    #[test]
+    fn flapping_aggregates_over_steps() {
+        let report = base()
+            .scenario(ScenarioKind::FlappingLinks {
+                rate: 0.05,
+                steps: 3,
+            })
+            .measure_throughput(false)
+            .run()
+            .unwrap();
+        for t in &report.trials {
+            assert_eq!(t.steps, 3);
+        }
+        assert!(report.summary.route_completion > 0.9);
+    }
+
+    #[test]
+    fn convergent_sampling_covers_every_group() {
+        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let topo = Abccc::new(p).unwrap();
+        let mask = FaultMask::new(topo.network());
+        let (pairs, skipped) = sample_pairs(&topo, &mask, PairSampling::Convergent, 1);
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            pairs.len() as u64,
+            p.label_space() * u64::from(p.group_size())
+        );
+    }
+}

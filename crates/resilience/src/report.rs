@@ -1,0 +1,193 @@
+//! Degradation reports: per-trial measurements and campaign aggregates.
+
+use abccc::RouteTier;
+use serde::{Deserialize, Serialize};
+
+/// How many routed pairs each escalation tier answered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierCounts {
+    /// Primary shortest-path route survived the faults.
+    pub primary: u64,
+    /// Another deterministic permutation succeeded.
+    pub deterministic: u64,
+    /// A randomized digit-correction permutation succeeded.
+    pub random_perm: u64,
+    /// A proxy detour succeeded.
+    pub proxy: u64,
+    /// The omniscient BFS fallback succeeded.
+    pub bfs: u64,
+}
+
+impl TierCounts {
+    /// Records one outcome.
+    pub fn record(&mut self, tier: RouteTier) {
+        match tier {
+            RouteTier::Primary => self.primary += 1,
+            RouteTier::Deterministic => self.deterministic += 1,
+            RouteTier::RandomPerm => self.random_perm += 1,
+            RouteTier::Proxy => self.proxy += 1,
+            RouteTier::Bfs => self.bfs += 1,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &TierCounts) {
+        self.primary += other.primary;
+        self.deterministic += other.deterministic;
+        self.random_perm += other.random_perm;
+        self.proxy += other.proxy;
+        self.bfs += other.bfs;
+    }
+
+    /// Total routed pairs.
+    pub fn total(&self) -> u64 {
+        self.primary + self.deterministic + self.random_perm + self.proxy + self.bfs
+    }
+}
+
+/// Everything one trial measured, aggregated over its time steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialReport {
+    /// Trial index within the campaign.
+    pub trial: usize,
+    /// The seed this trial's streams derive from.
+    pub seed: u64,
+    /// Time steps evaluated (1 unless the scenario flaps).
+    pub steps: usize,
+    /// Failed nodes under the mask, averaged over steps.
+    pub failed_nodes: f64,
+    /// Failed links under the mask, averaged over steps.
+    pub failed_links: f64,
+    /// Server fraction of the largest surviving component, averaged over
+    /// steps.
+    pub connectivity_fraction: f64,
+    /// Pairs sampled across all steps.
+    pub pairs_total: usize,
+    /// Pairs dropped because an endpoint was down.
+    pub pairs_skipped_endpoint: usize,
+    /// Pairs the router completed.
+    pub routed: usize,
+    /// Pairs the router proved disconnected.
+    pub unreachable: usize,
+    /// Pairs the router abandoned with budget left unreported (fault-
+    /// oblivious routers or a disabled BFS fallback).
+    pub gave_up: usize,
+    /// `routed / (routed + unreachable + gave_up)`; 1.0 for an empty set.
+    pub route_completion: f64,
+    /// Mean hops / fault-free-distance over routed pairs (1.0 = no
+    /// detour).
+    pub mean_stretch: f64,
+    /// Worst stretch over routed pairs.
+    pub max_stretch: f64,
+    /// Mean server hops over routed pairs.
+    pub mean_hops: f64,
+    /// Σ max-min rates of the surviving flows, averaged over steps.
+    pub aggregate_rate: f64,
+    /// Worst max-min rate among surviving flows, averaged over steps.
+    pub min_rate: f64,
+    /// Faulted aggregate over the fault-free aggregate of the same pairs
+    /// (1.0 = no loss; 1.0 when throughput was not measured).
+    pub throughput_retention: f64,
+    /// Which escalation tier answered, per routed pair.
+    pub tier_counts: TierCounts,
+    /// Candidate routes examined across all pairs.
+    pub attempts_total: u64,
+    /// Deterministic backoff units accrued across all pairs.
+    pub backoff_units_total: u64,
+}
+
+/// Campaign-level aggregates (means over trials, totals over counters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Trials aggregated.
+    pub trials: usize,
+    /// Mean connectivity fraction.
+    pub connectivity_fraction: f64,
+    /// Mean route-completion rate.
+    pub route_completion: f64,
+    /// Mean of the trials' mean stretches.
+    pub mean_stretch: f64,
+    /// Worst stretch seen in any trial.
+    pub max_stretch: f64,
+    /// Mean throughput retention.
+    pub throughput_retention: f64,
+    /// Total tier counts over all trials.
+    pub tier_counts: TierCounts,
+    /// Total attempts over all trials.
+    pub attempts_total: u64,
+    /// Total backoff units over all trials.
+    pub backoff_units_total: u64,
+    /// Total routed pairs.
+    pub routed: u64,
+    /// Total unreachable pairs.
+    pub unreachable: u64,
+    /// Total abandoned pairs.
+    pub gave_up: u64,
+}
+
+/// The full outcome of a campaign: configuration echo, per-trial reports
+/// and the aggregate summary. Serialization is byte-stable: identical
+/// configuration (including seed) produces identical JSON regardless of
+/// worker-thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Topology the campaign ran on (display form).
+    pub topology: String,
+    /// Scenario label (see `ScenarioKind::label`).
+    pub scenario: String,
+    /// Router name (see `abccc::Router::name`).
+    pub router: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-trial degradation reports, in trial order.
+    pub trials: Vec<TrialReport>,
+    /// Aggregates over the trials.
+    pub summary: CampaignSummary,
+}
+
+impl CampaignReport {
+    pub(crate) fn summarize(
+        topology: String,
+        scenario: String,
+        router: String,
+        seed: u64,
+        trials: Vec<TrialReport>,
+    ) -> Self {
+        let n = trials.len().max(1) as f64;
+        let mut summary = CampaignSummary {
+            trials: trials.len(),
+            connectivity_fraction: 0.0,
+            route_completion: 0.0,
+            mean_stretch: 0.0,
+            max_stretch: 0.0,
+            throughput_retention: 0.0,
+            tier_counts: TierCounts::default(),
+            attempts_total: 0,
+            backoff_units_total: 0,
+            routed: 0,
+            unreachable: 0,
+            gave_up: 0,
+        };
+        for t in &trials {
+            summary.connectivity_fraction += t.connectivity_fraction / n;
+            summary.route_completion += t.route_completion / n;
+            summary.mean_stretch += t.mean_stretch / n;
+            summary.max_stretch = summary.max_stretch.max(t.max_stretch);
+            summary.throughput_retention += t.throughput_retention / n;
+            summary.tier_counts.add(&t.tier_counts);
+            summary.attempts_total += t.attempts_total;
+            summary.backoff_units_total += t.backoff_units_total;
+            summary.routed += t.routed as u64;
+            summary.unreachable += t.unreachable as u64;
+            summary.gave_up += t.gave_up as u64;
+        }
+        CampaignReport {
+            topology,
+            scenario,
+            router,
+            seed,
+            trials,
+            summary,
+        }
+    }
+}

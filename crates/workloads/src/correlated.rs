@@ -6,7 +6,7 @@
 //! generators produce such structured [`FaultMask`]s for the fault
 //! experiments.
 
-use netgraph::{FaultMask, Network, NodeId};
+use netgraph::{FaultMask, FaultScenario, Network, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -24,17 +24,17 @@ pub fn fail_abccc_groups(
 ) -> FaultMask {
     let labels: Vec<u64> = (0..p.label_space()).collect();
     assert!(groups <= labels.len(), "more groups than labels");
-    let mut mask = FaultMask::new(net);
+    let mut nodes = Vec::new();
     for &raw in labels.choose_multiple(rng, groups) {
         let label = abccc::CubeLabel(raw);
         for pos in 0..p.group_size() {
-            mask.fail_node(abccc::ServerAddr::new(p, label, pos).node_id(p));
+            nodes.push(abccc::ServerAddr::new(p, label, pos).node_id(p));
         }
         if p.group_size() > 1 {
-            mask.fail_node(abccc::SwitchAddr::Crossbar(label).node_id(p));
+            nodes.push(abccc::SwitchAddr::Crossbar(label).node_id(p));
         }
     }
-    mask
+    FaultScenario::seeded(0).fail_nodes(nodes).build(net)
 }
 
 /// Fails every switch of one ABCCC cube level (bad-firmware model).
@@ -49,36 +49,29 @@ pub fn fail_abccc_groups(
 /// Panics if `level > k`.
 pub fn fail_abccc_level(p: &abccc::AbcccParams, net: &Network, level: u32) -> FaultMask {
     assert!(level <= p.k(), "level out of range");
-    let mut mask = FaultMask::new(net);
-    for rest in 0..p.rest_space() {
-        mask.fail_node(abccc::SwitchAddr::Level { level, rest }.node_id(p));
-    }
-    mask
+    let switches =
+        (0..p.rest_space()).map(|rest| abccc::SwitchAddr::Level { level, rest }.node_id(p));
+    FaultScenario::seeded(0).fail_nodes(switches).build(net)
 }
 
 /// Fails a contiguous bundle of `count` cables starting at a random link
 /// id (cable-tray cut model — builders lay related cables adjacently, and
 /// our constructors emit them in structured order).
 pub fn fail_cable_bundle(net: &Network, count: usize, rng: &mut impl Rng) -> FaultMask {
-    let mut mask = FaultMask::new(net);
     if net.link_count() == 0 {
-        return mask;
+        return FaultMask::new(net);
     }
     let count = count.min(net.link_count());
     let start = rng.gen_range(0..net.link_count() - count + 1);
-    for l in start..start + count {
-        mask.fail_link(netgraph::LinkId(l as u32));
-    }
-    mask
+    let bundle = (start..start + count).map(|l| netgraph::LinkId(l as u32));
+    FaultScenario::seeded(0).fail_links(bundle).build(net)
 }
 
 /// Marks a set of servers down (maintenance window for an explicit list).
 pub fn fail_servers(net: &Network, servers: &[NodeId]) -> FaultMask {
-    let mut mask = FaultMask::new(net);
-    for &s in servers {
-        mask.fail_node(s);
-    }
-    mask
+    FaultScenario::seeded(0)
+        .fail_nodes(servers.iter().copied())
+        .build(net)
 }
 
 #[cfg(test)]

@@ -1,7 +1,6 @@
 //! Failure-scenario generators.
 
-use netgraph::{FaultMask, Network, NodeId};
-use rand::seq::SliceRandom;
+use netgraph::{FaultMask, FaultScenario, Network};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -44,37 +43,25 @@ impl FailureScenario {
         }
     }
 
+    /// The equivalent [`FaultScenario`] recipe (classes sampled in
+    /// server → switch → link order), ready to [`FaultScenario::build`]
+    /// from `seed` or to compose with further correlated operations.
+    pub fn scenario(&self, seed: u64) -> FaultScenario {
+        FaultScenario::seeded(seed)
+            .fail_servers_frac(self.server_rate)
+            .fail_switches_frac(self.switch_rate)
+            .fail_links_frac(self.link_rate)
+    }
+
     /// Samples a concrete fault mask: exactly `round(rate · population)`
-    /// elements of each class, chosen uniformly.
+    /// elements of each class, chosen uniformly from the caller's RNG
+    /// stream.
     ///
     /// # Panics
     ///
     /// Panics if any rate is outside `[0, 1]`.
     pub fn sample(&self, net: &Network, rng: &mut impl Rng) -> FaultMask {
-        for (name, r) in [
-            ("server_rate", self.server_rate),
-            ("switch_rate", self.switch_rate),
-            ("link_rate", self.link_rate),
-        ] {
-            assert!((0.0..=1.0).contains(&r), "{name} must be in [0,1], got {r}");
-        }
-        let mut mask = FaultMask::new(net);
-        let servers: Vec<NodeId> = net.server_ids().collect();
-        let kill = (self.server_rate * servers.len() as f64).round() as usize;
-        for s in servers.choose_multiple(rng, kill) {
-            mask.fail_node(*s);
-        }
-        let switches: Vec<NodeId> = net.switch_ids().collect();
-        let kill = (self.switch_rate * switches.len() as f64).round() as usize;
-        for s in switches.choose_multiple(rng, kill) {
-            mask.fail_node(*s);
-        }
-        let links: Vec<u32> = (0..net.link_count() as u32).collect();
-        let kill = (self.link_rate * links.len() as f64).round() as usize;
-        for l in links.choose_multiple(rng, kill) {
-            mask.fail_link(netgraph::LinkId(*l));
-        }
-        mask
+        self.scenario(0).build_with(net, rng)
     }
 }
 

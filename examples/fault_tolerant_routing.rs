@@ -27,21 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Disaster: one whole crossbar group (a "rack") plus 8% of switches.
-    let mut mask = FaultMask::new(net);
     let doomed_label = abccc::CubeLabel(17);
-    for pos in 0..params.group_size() {
-        let victim = ServerAddr::new(&params, doomed_label, pos).node_id(&params);
-        mask.fail_node(victim);
-    }
-    let switches: Vec<NodeId> = net.switch_ids().collect();
-    for sw in switches.choose_multiple(&mut rng, switches.len() * 8 / 100) {
-        mask.fail_node(*sw);
-    }
+    let rack = (0..params.group_size())
+        .map(|pos| ServerAddr::new(&params, doomed_label, pos).node_id(&params));
+    let mask = netgraph::FaultScenario::seeded(2026)
+        .fail_nodes(rack)
+        .fail_switches_frac(0.08)
+        .build(net);
     println!(
         "failed: {} servers (group {}), {} switches",
         params.group_size(),
         doomed_label.0,
-        switches.len() * 8 / 100
+        mask.failed_node_count() as u32 - params.group_size()
     );
 
     // Route 500 random alive pairs.

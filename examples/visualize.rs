@@ -47,10 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(out.join("abccc_routes.dot"), &dot_text)?;
 
     // A failure overlay: one group down.
-    let mut mask = FaultMask::new(topo.network());
-    for pos in 0..params.group_size() {
-        mask.fail_node(ServerAddr::new(&params, abccc::CubeLabel(4), pos).node_id(&params));
-    }
+    let group = (0..params.group_size())
+        .map(|pos| ServerAddr::new(&params, abccc::CubeLabel(4), pos).node_id(&params));
+    let mask = netgraph::FaultScenario::seeded(0)
+        .fail_nodes(group)
+        .build(topo.network());
     let svg_faults = svg::to_svg(
         topo.network(),
         &svg::SvgOptions {

@@ -20,4 +20,19 @@ cargo check -q -p abccc-suite --features telemetry-noop --offline
 echo "== telemetry disabled-path overhead contract (smoke)"
 ABCCC_SMOKE=1 cargo bench -q -p abccc-bench --bench telemetry_overhead --offline
 
+echo "== resilience smoke campaign (determinism + nonzero completion)"
+cargo build -q -p abccc-cli --offline
+CLI=target/debug/abccc-cli
+SMOKE=(resilience 4 2 2 --trials 8 --seed 1 --json)
+A="$("$CLI" "${SMOKE[@]}")"
+B="$("$CLI" "${SMOKE[@]}")"
+if [ "$A" != "$B" ]; then
+  echo "FAIL: fixed-seed campaign JSON differs between runs" >&2
+  exit 1
+fi
+if ! grep -q '"routed": [1-9]' <<<"$A"; then
+  echo "FAIL: smoke campaign routed zero pairs" >&2
+  exit 1
+fi
+
 echo "All checks passed."

@@ -1,7 +1,10 @@
 //! Property tests for the extension features: broadcast trees, hop-by-hop
 //! forwarding, VLB routing — over randomized parameters.
 
-use abccc::{broadcast, forwarding, routing, vlb, Abccc, AbcccParams, PermStrategy, ServerAddr};
+use abccc::{
+    broadcast, forwarding, routing, Abccc, AbcccParams, DigitRouter, PermStrategy, ServerAddr,
+    VlbRouter,
+};
 use netgraph::{NodeId, Topology};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -87,7 +90,7 @@ proptest! {
                 &p,
                 NodeId(rng.gen_range(0..p.server_count()) as u32),
             );
-            let control = routing::route_addrs(&p, s, d, &strat);
+            let control = DigitRouter::new(strat).route_addrs(&p, s, d);
             let header = forwarding::ForwardingHeader::new(&p, s, d, &strat);
             let data = forwarding::forward(&p, s, header).expect("forward");
             prop_assert_eq!(control.nodes(), &data[..]);
@@ -104,7 +107,12 @@ proptest! {
             if s == d {
                 continue;
             }
-            let r = vlb::route_vlb_ids(&p, s, d, &mut rng).expect("route");
+            let r = VlbRouter::route_addrs_with(
+                &p,
+                ServerAddr::from_node_id(&p, s),
+                ServerAddr::from_node_id(&p, d),
+                &mut rng,
+            );
             prop_assert!(r.validate(topo.network(), None).is_ok());
             prop_assert!(routing::hops(&r) as u64 <= 2 * p.diameter());
         }

@@ -2,7 +2,7 @@
 //! strategy-independence of correctness over randomized parameters and
 //! endpoint pairs.
 
-use abccc::{routing, Abccc, AbcccParams, PermStrategy, ServerAddr};
+use abccc::{routing, Abccc, AbcccParams, DigitRouter, PermStrategy, ServerAddr};
 use netgraph::{NodeId, Topology};
 use proptest::prelude::*;
 
@@ -77,7 +77,7 @@ proptest! {
             let da = ServerAddr::from_node_id(&p, d);
             let optimal = routing::distance(&p, sa, da);
             for strat in PermStrategy::all() {
-                let r = routing::route_addrs(&p, sa, da, &strat);
+                let r = DigitRouter::new(strat).route_addrs(&p, sa, da);
                 prop_assert!(r.validate(topo.network(), None).is_ok(), "{}", strat.label());
                 // Every strategy is within the trivial worst case …
                 prop_assert!(routing::hops(&r) as u64 <= 2 * u64::from(p.levels()) + 1);
