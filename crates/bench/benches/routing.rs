@@ -2,7 +2,7 @@
 //! per permutation strategy, parallel path sets, and fault-tolerant
 //! detours.
 
-use abccc::{Abccc, AbcccParams, PermStrategy};
+use abccc::{Abccc, AbcccParams, PermStrategy, Router};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netgraph::{NodeId, Topology};
 use rand::Rng;
@@ -75,6 +75,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| abccc::broadcast::one_to_all(&small, NodeId(0)).expect("tree"))
     });
     g.bench_function("fault_tolerant_route_10pct", |b| {
+        let router = abccc::ResilientRouter::default();
         let alive: Vec<(NodeId, NodeId)> = small_pairs
             .iter()
             .copied()
@@ -84,7 +85,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             let (src, dst) = alive[i % alive.len()];
             i += 1;
-            let _ = topo.route_avoiding(src, dst, &mask);
+            let _ = router.route(&topo, src, dst, Some(&mask));
         })
     });
     g.finish();

@@ -2,93 +2,6 @@
 //! fair rates when each flow stripes across the family's internally
 //! disjoint parallel paths (the property BCCC/ABCCC advertise).
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::{BCube, BCubeParams};
-use dcn_workloads::traffic;
-use flowsim::FlowSim;
-use netgraph::Topology;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    structure: String,
-    paths: usize,
-    aggregate: f64,
-    mean: f64,
-    min: f64,
-    abt: f64,
-}
-
-fn run<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table) {
-    let n = topo.network().server_count();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x3AB);
-    let pairs = traffic::random_permutation(n, &mut rng);
-    let sim = FlowSim::new(topo);
-    for paths in [1usize, 2, 3] {
-        let report = if paths == 1 {
-            sim.run(&pairs).expect("run")
-        } else {
-            sim.run_multipath(&pairs, paths).expect("run")
-        };
-        let row = Row {
-            structure: report.topology.clone(),
-            paths,
-            aggregate: report.aggregate_rate,
-            mean: report.mean_rate,
-            min: report.min_rate,
-            abt: report.abt,
-        };
-        table.add_row(vec![
-            row.structure.clone(),
-            row.paths.to_string(),
-            fmt_f(row.aggregate, 1),
-            fmt_f(row.mean, 3),
-            fmt_f(row.min, 3),
-            fmt_f(row.abt, 1),
-        ]);
-        rows.push(row);
-    }
-}
-
 fn main() {
-    let mut bench = BenchRun::start("fig10_multipath");
-    bench
-        .param("paths_per_flow", "1 2 3")
-        .param("structures", "ABCCC(4,2,2) ABCCC(4,2,3) BCube(4,2)")
-        .seed(0x3AB);
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 10: single-path vs multipath striping (random permutation)",
-        &[
-            "structure",
-            "paths/flow",
-            "aggregate Gbps",
-            "per-flow mean",
-            "per-flow min",
-            "ABT",
-        ],
-    );
-    run(
-        &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &BCube::new(BCubeParams::new(4, 2).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    table.print();
-    println!("(shape: striping lifts aggregate and mean per-flow throughput — the parallel");
-    println!(" paths are physically disjoint, so a second path adds NIC-port bandwidth;");
-    println!(" max-min fairness can trade some worst-flow rate for that aggregate gain)");
-    abccc_bench::emit_json("fig10_multipath", &rows);
-    bench.finish();
+    abccc_bench::registry::shim_main("fig10_multipath");
 }

@@ -2,99 +2,6 @@
 //! under a bulk permutation workload at packet granularity, validating the
 //! flow-level ranking with the discrete-event simulator.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::*;
-use dcn_workloads::traffic;
-use netgraph::Topology;
-use packetsim::{FlowSpec, PacketSim, PacketSimConfig, PacketSimReport};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    report: PacketSimReport,
-    flows: usize,
-}
-
-fn run<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table) {
-    let n = topo.network().server_count();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x1A7);
-    let pairs = traffic::random_permutation(n, &mut rng);
-    let flows: Vec<FlowSpec> = pairs
-        .iter()
-        .take(64)
-        .map(|&(s, d)| FlowSpec::bulk(s, d, 300))
-        .collect();
-    let cfg = PacketSimConfig::default();
-    let report = PacketSim::new(topo, cfg).run(&flows).expect("run");
-    table.add_row(vec![
-        report.topology.clone(),
-        flows.len().to_string(),
-        fmt_f(report.mean_latency_ns as f64 / 1000.0, 1),
-        fmt_f(report.p50_latency_ns as f64 / 1000.0, 1),
-        fmt_f(report.p99_latency_ns as f64 / 1000.0, 1),
-        fmt_f(report.loss_rate(), 4),
-        fmt_f(report.goodput_gbps(1), 2),
-    ]);
-    rows.push(Row {
-        report,
-        flows: flows.len(),
-    });
-}
-
 fn main() {
-    let mut bench = BenchRun::start("fig11_latency");
-    bench
-        .param("flows", 64)
-        .param("packets_per_flow", 300)
-        .param("packet_bytes", 1500)
-        .param("buffer_packets", 64)
-        .seed(0x1A7);
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 11: packet-level latency & loss (64 bulk flows × 300 pkts, 1500 B, 64-pkt buffers)",
-        &[
-            "structure",
-            "flows",
-            "mean µs",
-            "p50 µs",
-            "p99 µs",
-            "loss",
-            "agg goodput Gbps",
-        ],
-    );
-    run(
-        &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &BCube::new(BCubeParams::new(4, 2).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &FatTree::new(FatTreeParams::new(8).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &DCell::new(DCellParams::new(4, 1).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    table.print();
-    println!("(shape: latency orders by mean path length — BCube < ABCCC h=3 < h=2;");
-    println!(" the packet-level ranking matches the flow-level one of Figure 6)");
-    abccc_bench::emit_json("fig11_latency", &rows);
-    for r in &rows {
-        bench.topology(r.report.topology.clone());
-    }
-    bench.finish();
+    abccc_bench::registry::shim_main("fig11_latency");
 }

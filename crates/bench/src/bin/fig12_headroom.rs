@@ -7,93 +7,6 @@
 //! full crossbar replacement (plus recabling of every group) the moment
 //! `m` exceeds `c`.
 
-use abccc::AbcccParams;
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_metrics::CostModel;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Strategy {
-    initial_radix: u32,
-    upfront_crossbar_usd: f64,
-    total_crossbar_usd: f64,
-    crossbars_discarded: u64,
-    groups_recabled: u64,
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig12_headroom");
-    let cost = CostModel::default();
-    // BCCC-style deployment (h = 2, m = k + 1), growing k = 1 → 5.
-    let n = 4u32;
-    let k0 = 1u32;
-    let k1 = 5u32;
-    run.param("n", n)
-        .param("h", 2)
-        .param("k", format!("{k0}..={k1}"))
-        .param("initial_radix", "2 4 6 8");
-    let m_final = AbcccParams::new(n, k1, 2).expect("params").group_size();
-
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 12: crossbar radix buy-ahead, ABCCC(4,k,2) grown k=1→5 (m: 2→6)",
-        &[
-            "initial radix c",
-            "upfront crossbar $",
-            "total crossbar $",
-            "crossbars discarded",
-            "groups recabled",
-        ],
-    );
-    for c0 in [2u32, 4, 6, 8] {
-        let mut radix = c0;
-        let mut total = 0.0f64;
-        let mut upfront = 0.0f64;
-        let mut discarded = 0u64;
-        let mut recabled = 0u64;
-        for k in k0..=k1 {
-            let p = AbcccParams::new(n, k, 2).expect("params");
-            let m = p.group_size();
-            let labels = p.label_space();
-            let prev_labels = if k == k0 {
-                0
-            } else {
-                AbcccParams::new(n, k - 1, 2).expect("params").label_space()
-            };
-            if m > radix {
-                // Outgrew the installed crossbars: replace them all.
-                discarded += prev_labels;
-                recabled += prev_labels;
-                total += cost.switch_price(m_final as usize) * prev_labels as f64;
-                radix = m_final; // replacement buys full headroom
-            }
-            // New labels get crossbars at the current purchase radix.
-            let new_labels = labels - prev_labels;
-            let buy = cost.switch_price(radix.max(m) as usize) * new_labels as f64;
-            total += buy;
-            if k == k0 {
-                upfront = buy;
-            }
-        }
-        table.add_row(vec![
-            c0.to_string(),
-            fmt_f(upfront, 0),
-            fmt_f(total, 0),
-            discarded.to_string(),
-            recabled.to_string(),
-        ]);
-        rows.push(Strategy {
-            initial_radix: c0,
-            upfront_crossbar_usd: upfront,
-            total_crossbar_usd: total,
-            crossbars_discarded: discarded,
-            groups_recabled: recabled,
-        });
-    }
-    table.print();
-    println!("(shape: buying m_final-port crossbars up front costs pennies more per group");
-    println!(" and preserves the zero-touch expansion; under-buying forces a fabric-wide");
-    println!(" crossbar replacement — the BCube-style legacy cost ABCCC is built to avoid)");
-    abccc_bench::emit_json("fig12_headroom", &rows);
-    run.finish();
+    abccc_bench::registry::shim_main("fig12_headroom");
 }

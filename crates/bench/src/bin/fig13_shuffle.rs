@@ -4,157 +4,6 @@
 //! fair shuffle time (data ÷ min rate), packet-level mean flow completion
 //! time, and Jain's fairness index.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::*;
-use dcn_workloads::traffic;
-use flowsim::FlowSim;
-use netgraph::Topology;
-use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    structure: String,
-    flows: usize,
-    min_rate: f64,
-    flow_shuffle_time: f64,
-    fairness: f64,
-    pkt_mean_fct_us: Option<f64>,
-    pkt_loss: f64,
-}
-
-const DATA_GBITS_PER_FLOW: f64 = 1.0;
-
-fn run<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table) {
-    run_inner(topo, rows, table, 1)
-}
-
-fn run_multipath<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table, paths: usize) {
-    run_inner(topo, rows, table, paths)
-}
-
-fn run_inner<T: Topology>(topo: &T, rows: &mut Vec<Row>, table: &mut Table, paths: usize) {
-    let n = topo.network().server_count();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5_4F);
-    // Fixed 8×8 shuffle so every structure carries the same job.
-    let (mappers, reducers) = (8.min(n / 2 - 1), 8.min(n / 2 - 1));
-    let pairs = traffic::shuffle(n, mappers, reducers, &mut rng);
-
-    let flow = if paths <= 1 {
-        FlowSim::new(topo).run(&pairs).expect("run")
-    } else {
-        FlowSim::new(topo)
-            .run_multipath(&pairs, paths)
-            .expect("run")
-    };
-    // Shuffle finishes when the slowest transfer finishes.
-    let shuffle_time = DATA_GBITS_PER_FLOW / flow.min_rate;
-
-    // Packet level: shorter trains (50 pkts) with generous buffers so FCT
-    // reflects contention, not loss recovery.
-    let specs: Vec<FlowSpec> = pairs
-        .iter()
-        .map(|&(s, d)| FlowSpec::bulk(s, d, 50))
-        .collect();
-    let cfg = PacketSimConfig {
-        buffer_packets: 1024,
-        ..Default::default()
-    };
-    let pkt = PacketSim::new(topo, cfg).run(&specs).expect("run");
-
-    let row = Row {
-        structure: if paths > 1 {
-            format!("{} ×{paths}path", flow.topology)
-        } else {
-            flow.topology.clone()
-        },
-        flows: pairs.len(),
-        min_rate: flow.min_rate,
-        flow_shuffle_time: shuffle_time,
-        fairness: flow.fairness_index(),
-        pkt_mean_fct_us: pkt.mean_fct_ns().map(|v| v / 1000.0),
-        pkt_loss: pkt.loss_rate(),
-    };
-    table.add_row(vec![
-        row.structure.clone(),
-        row.flows.to_string(),
-        fmt_f(row.min_rate, 3),
-        fmt_f(row.flow_shuffle_time, 2),
-        fmt_f(row.fairness, 3),
-        row.pkt_mean_fct_us.map_or("—".into(), |v| fmt_f(v, 0)),
-        fmt_f(row.pkt_loss, 4),
-    ]);
-    rows.push(row);
-}
-
 fn main() {
-    let mut bench = BenchRun::start("fig13_shuffle");
-    bench
-        .param("mappers", 8)
-        .param("reducers", 8)
-        .param("gbits_per_flow", DATA_GBITS_PER_FLOW)
-        .param("pkt_train", 50)
-        .seed(0x5_4F);
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 13: MapReduce shuffle (m×r bulk transfers, 1 Gbit each)",
-        &[
-            "structure",
-            "flows",
-            "min rate Gbps",
-            "shuffle time s",
-            "Jain fairness",
-            "pkt mean FCT µs",
-            "pkt loss",
-        ],
-    );
-    run(
-        &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &BCube::new(BCubeParams::new(4, 2).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &FatTree::new(FatTreeParams::new(8).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    run(
-        &DCell::new(DCellParams::new(4, 1).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-    );
-    // The ABCCC lever: stripe each transfer over its disjoint paths.
-    run_multipath(
-        &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-        2,
-    );
-    run_multipath(
-        &Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build"),
-        &mut rows,
-        &mut table,
-        3,
-    );
-    table.print();
-    println!("(shape: single-path shuffle is incast-limited and similar across the");
-    println!(" server-centric families; striping over ABCCC's disjoint parallel paths");
-    println!(" is the lever — it engages all h NIC ports of the hot reducers)");
-    abccc_bench::emit_json("fig13_shuffle", &rows);
-    for r in &rows {
-        bench.topology(r.structure.clone());
-    }
-    bench.finish();
+    abccc_bench::registry::shim_main("fig13_shuffle");
 }

@@ -3,93 +3,6 @@
 //! shallow buffers; AIMD closed-loop senders share the sink NIC cleanly.
 //! Run across fan-in sizes and structures.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::{BCube, BCubeParams};
-use dcn_workloads::traffic;
-use netgraph::Topology;
-use packetsim::{AimdConfig, FlowSpec, PacketSim, PacketSimConfig};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    structure: String,
-    fan_in: usize,
-    open_loss: f64,
-    aimd_loss: f64,
-    open_p99_us: f64,
-    aimd_p99_us: f64,
-}
-
-fn run<T: Topology>(topo: &T, fan_in: usize, rows: &mut Vec<Row>, table: &mut Table) {
-    let n = topo.network().server_count();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x1CA5);
-    let pairs = traffic::many_to_one(n, fan_in, &mut rng);
-    let flows: Vec<FlowSpec> = pairs
-        .iter()
-        .map(|&(s, d)| FlowSpec::burst(s, d, 100, 0))
-        .collect();
-    let cfg = PacketSimConfig {
-        buffer_packets: 8,
-        ..Default::default()
-    };
-    let sim = PacketSim::new(topo, cfg);
-    let open = sim.run(&flows).expect("run");
-    let aimd = sim.run_aimd(&flows, AimdConfig::default()).expect("run");
-    let row = Row {
-        structure: open.topology.clone(),
-        fan_in,
-        open_loss: open.loss_rate(),
-        aimd_loss: aimd.loss_rate(),
-        open_p99_us: open.p99_latency_ns as f64 / 1000.0,
-        aimd_p99_us: aimd.p99_latency_ns as f64 / 1000.0,
-    };
-    table.add_row(vec![
-        row.structure.clone(),
-        row.fan_in.to_string(),
-        fmt_f(row.open_loss, 4),
-        fmt_f(row.aimd_loss, 4),
-        fmt_f(row.open_p99_us, 0),
-        fmt_f(row.aimd_p99_us, 0),
-    ]);
-    rows.push(row);
-}
-
 fn main() {
-    let mut bench = BenchRun::start("fig15_incast");
-    bench
-        .param("fan_in", "4 8 16 32")
-        .param("burst_packets", 100)
-        .param("buffer_packets", 8)
-        .seed(0x1CA5);
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 15: incast (100-pkt bursts, 8-pkt buffers) — open loop vs AIMD",
-        &[
-            "structure",
-            "fan-in",
-            "open loss",
-            "AIMD loss",
-            "open p99 µs",
-            "AIMD p99 µs",
-        ],
-    );
-    let a2 = Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build");
-    let a3 = Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build");
-    let bc = BCube::new(BCubeParams::new(4, 2).expect("params")).expect("build");
-    for t in [a2.name(), a3.name(), bc.name()] {
-        bench.topology(t);
-    }
-    for fan_in in [4usize, 8, 16, 32] {
-        run(&a2, fan_in, &mut rows, &mut table);
-        run(&a3, fan_in, &mut rows, &mut table);
-        run(&bc, fan_in, &mut rows, &mut table);
-    }
-    table.print();
-    println!("(shape: open-loop bursts lose >90% regardless of structure; AIMD cuts loss");
-    println!(" by 2–40×. Higher h helps (more sink NICs), and ABCCC beats even BCube:");
-    println!(" its crossbar spreads the convergence across the sink's ports)");
-    abccc_bench::emit_json("fig15_incast", &rows);
-    bench.finish();
+    abccc_bench::registry::shim_main("fig15_incast");
 }

@@ -3,118 +3,6 @@
 //! a whole-level firmware outage, and cable-bundle cuts. Reports surviving
 //! connectivity and detour-routing success among alive servers.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_workloads::correlated;
-use netgraph::{FaultMask, NodeId, Topology};
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    structure: String,
-    scenario: String,
-    failed_nodes: usize,
-    failed_links: usize,
-    largest_component: f64,
-    routing_success: f64,
-}
-
-fn evaluate(
-    topo: &Abccc,
-    scenario: &str,
-    mask: &FaultMask,
-    rows: &mut Vec<Row>,
-    table: &mut Table,
-) {
-    let net = topo.network();
-    let frac = netgraph::connectivity::largest_component_server_fraction(net, Some(mask));
-    let alive: Vec<NodeId> = net.server_ids().filter(|&s| mask.node_alive(s)).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FF);
-    let mut ok = 0usize;
-    let mut total = 0usize;
-    for _ in 0..400 {
-        let s = alive[rng.gen_range(0..alive.len())];
-        let d = alive[rng.gen_range(0..alive.len())];
-        if s == d {
-            continue;
-        }
-        total += 1;
-        if topo.route_avoiding(s, d, mask).is_ok() {
-            ok += 1;
-        }
-    }
-    let row = Row {
-        structure: topo.name(),
-        scenario: scenario.to_string(),
-        failed_nodes: mask.failed_node_count(),
-        failed_links: mask.failed_link_count(),
-        largest_component: frac,
-        routing_success: ok as f64 / total as f64,
-    };
-    table.add_row(vec![
-        row.structure.clone(),
-        row.scenario.clone(),
-        row.failed_nodes.to_string(),
-        row.failed_links.to_string(),
-        fmt_f(row.largest_component, 3),
-        fmt_f(row.routing_success, 3),
-    ]);
-    rows.push(row);
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig16_correlated");
-    run.param("n", 4)
-        .param("k", 2)
-        .param("h", "2 3")
-        .param("pairs_per_scenario", 400)
-        .seed(0xFEE1);
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 16: correlated outages (400 alive pairs per scenario)",
-        &[
-            "structure",
-            "scenario",
-            "nodes down",
-            "links down",
-            "largest comp",
-            "route success",
-        ],
-    );
-    for h in [2u32, 3] {
-        let p = AbcccParams::new(4, 2, h).expect("params");
-        run.topology(p.to_string());
-        let topo = Abccc::new(p).expect("build");
-        let net = topo.network();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEE1);
-
-        evaluate(
-            &topo,
-            "4 racks lost",
-            &correlated::fail_abccc_groups(&p, net, 4, &mut rng),
-            &mut rows,
-            &mut table,
-        );
-        evaluate(
-            &topo,
-            "level-1 firmware outage",
-            &correlated::fail_abccc_level(&p, net, 1),
-            &mut rows,
-            &mut table,
-        );
-        evaluate(
-            &topo,
-            "32-cable bundle cut",
-            &correlated::fail_cable_bundle(net, 32, &mut rng),
-            &mut rows,
-            &mut table,
-        );
-    }
-    table.print();
-    println!("(shape: rack losses and bundle cuts are absorbed — success tracks the");
-    println!(" surviving component. A whole-level outage is the Achilles heel: the cube");
-    println!(" partitions into n components, so deployments must diversify per level)");
-    abccc_bench::emit_json("fig16_correlated", &rows);
-    run.finish();
+    abccc_bench::registry::shim_main("fig16_correlated");
 }

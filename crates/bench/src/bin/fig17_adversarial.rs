@@ -7,139 +7,6 @@
 //! route-completion rate of the same pattern under faults (both routers
 //! are fault-oblivious, so completion is what degrades).
 
-use abccc::{AbcccParams, PermStrategy};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_resilience::{CampaignConfig, PairSampling, RouterSpec, ScenarioKind};
-use serde::Serialize;
-
-const SEED: u64 = 0xAD7;
-const FAULT_RATE: f64 = 0.05;
-
-#[derive(Serialize)]
-struct Row {
-    structure: String,
-    pattern: String,
-    router: String,
-    aggregate: f64,
-    min_rate: f64,
-    mean_hops: f64,
-    completion_under_faults: f64,
-}
-
-fn campaign(
-    p: AbcccParams,
-    sampling: PairSampling,
-    router: RouterSpec,
-    switch_rate: f64,
-) -> CampaignConfig {
-    CampaignConfig::new(p)
-        .scenario(ScenarioKind::Uniform {
-            server_rate: 0.0,
-            switch_rate,
-            link_rate: 0.0,
-        })
-        .sampling(sampling)
-        .router(router)
-        .seed(SEED)
-}
-
-fn evaluate(
-    p: AbcccParams,
-    pattern: &str,
-    sampling: PairSampling,
-    router_label: &str,
-    router: RouterSpec,
-    rows: &mut Vec<Row>,
-    table: &mut Table,
-) {
-    // Fault-free pass: the classic figure-17 numbers.
-    let clean = campaign(p, sampling, router, 0.0)
-        .trials(1)
-        .run()
-        .expect("fault-free campaign");
-    // Faulted pass: how many pairs the fault-oblivious router still
-    // completes.
-    let faulted = campaign(p, sampling, router, FAULT_RATE)
-        .trials(3)
-        .run()
-        .expect("faulted campaign");
-    let t0 = &clean.trials[0];
-    let row = Row {
-        structure: clean.topology.clone(),
-        pattern: pattern.into(),
-        router: router_label.into(),
-        aggregate: t0.aggregate_rate,
-        min_rate: t0.min_rate,
-        mean_hops: t0.mean_hops,
-        completion_under_faults: faulted.summary.route_completion,
-    };
-    table.add_row(vec![
-        row.structure.clone(),
-        row.pattern.clone(),
-        row.router.clone(),
-        fmt_f(row.aggregate, 1),
-        fmt_f(row.min_rate, 3),
-        fmt_f(row.mean_hops, 2),
-        fmt_f(row.completion_under_faults, 3),
-    ]);
-    rows.push(row);
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig17_adversarial");
-    run.param("n", 4)
-        .param("k", 2)
-        .param("h", "2 3")
-        .param("patterns", "convergent random-perm")
-        .param("engine", "resilience campaign")
-        .param("fault_rate", fmt_f(FAULT_RATE, 2))
-        .seed(SEED);
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 17: adversarial traffic — deterministic vs VLB routing",
-        &[
-            "structure",
-            "pattern",
-            "router",
-            "aggregate Gbps",
-            "min rate",
-            "mean hops",
-            "completion@5%",
-        ],
-    );
-    for h in [2u32, 3] {
-        let p = AbcccParams::new(4, 2, h).expect("params");
-        run.topology(p.to_string());
-        for (pattern, sampling) in [
-            ("convergent", PairSampling::Convergent),
-            ("random perm", PairSampling::Permutation),
-        ] {
-            evaluate(
-                p,
-                pattern,
-                sampling,
-                "direct",
-                RouterSpec::Digit(PermStrategy::DestinationAware),
-                &mut rows,
-                &mut table,
-            );
-            evaluate(
-                p,
-                pattern,
-                sampling,
-                "VLB",
-                RouterSpec::Vlb { seed: SEED },
-                &mut rows,
-                &mut table,
-            );
-        }
-    }
-    table.print();
-    println!("(shape: VLB is pattern-OBLIVIOUS — its rates are nearly identical on");
-    println!(" the crafted and the random pattern, unlike direct routing whose");
-    println!(" aggregate collapses between them; the price is ~2× hops and roughly");
-    println!(" halved aggregate, the textbook Valiant capacity factor. Use VLB as");
-    println!(" insurance against worst-case patterns, not as the default)");
-    abccc_bench::emit_json("fig17_adversarial", &rows);
-    run.finish();
+    abccc_bench::registry::shim_main("fig17_adversarial");
 }

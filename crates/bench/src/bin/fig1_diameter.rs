@@ -2,59 +2,6 @@
 //! BCube and the DCell bound (closed forms; every ABCCC/BCube formula is
 //! BFS-verified in the test suite).
 
-use abccc::AbcccParams;
-use abccc_bench::{BenchRun, Table};
-use dcn_baselines::{BCubeParams, DCellParams};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    series: String,
-    k: u32,
-    diameter: u64,
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig1_diameter");
-    let n = 4;
-    run.param("n", n).param("k", "1..=6").param("h", "2..=5");
-    let mut points: Vec<Point> = Vec::new();
-    let mut table = Table::new(
-        "Figure 1: diameter (server hops) vs order k, n = 4",
-        &[
-            "k",
-            "ABCCC h=2 (BCCC)",
-            "ABCCC h=3",
-            "ABCCC h=4",
-            "ABCCC h=5",
-            "BCube",
-            "DCell bound",
-        ],
-    );
-    for k in 1..=6u32 {
-        let mut cells = vec![k.to_string()];
-        for h in [2, 3, 4, 5] {
-            let p = AbcccParams::new(n, k, h).expect("params");
-            cells.push(p.diameter().to_string());
-            points.push(Point {
-                series: format!("ABCCC h={h}"),
-                k,
-                diameter: p.diameter(),
-            });
-        }
-        let bc = BCubeParams::new(n, k).expect("params");
-        cells.push(bc.diameter().to_string());
-        points.push(Point {
-            series: "BCube".into(),
-            k,
-            diameter: bc.diameter(),
-        });
-        let dc = DCellParams::new(n, k.min(3)).map(|p| p.diameter_bound());
-        cells.push(dc.map_or("—".into(), |d| d.to_string()));
-        table.add_row(cells);
-    }
-    table.print();
-    println!("(shape: BCube k+1 ≤ ABCCC (k+1)+m ≤ BCCC 2(k+1); larger h shrinks m)");
-    abccc_bench::emit_json("fig1_diameter", &points);
-    run.finish();
+    abccc_bench::registry::shim_main("fig1_diameter");
 }

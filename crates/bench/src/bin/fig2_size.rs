@@ -4,64 +4,6 @@
 //! DCell explodes doubly-exponentially and the fat-tree is capped at
 //! `p³/4`.
 
-use abccc::AbcccParams;
-use abccc_bench::{BenchRun, Table};
-use dcn_baselines::{BCubeParams, DCellParams, FatTreeParams};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    series: String,
-    k: u32,
-    servers: u64,
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig2_size");
-    let n = 4;
-    run.param("n", n)
-        .param("k", "1..=6")
-        .param("h", "2..=4")
-        .param("fattree_p", 16);
-    let mut points = Vec::new();
-    let mut table = Table::new(
-        "Figure 2: servers vs order k, n = 4 (fat-tree p=16 for reference)",
-        &[
-            "k",
-            "ABCCC h=2",
-            "ABCCC h=3",
-            "ABCCC h=4",
-            "BCube",
-            "DCell",
-            "FatTree(16)",
-        ],
-    );
-    let ft = FatTreeParams::new(16).expect("params").server_count();
-    for k in 1..=6u32 {
-        let mut cells = vec![k.to_string()];
-        for h in [2, 3, 4] {
-            let p = AbcccParams::new(n, k, h).expect("params");
-            cells.push(p.server_count().to_string());
-            points.push(Point {
-                series: format!("ABCCC h={h}"),
-                k,
-                servers: p.server_count(),
-            });
-        }
-        let bc = BCubeParams::new(n, k).expect("params");
-        cells.push(bc.server_count().to_string());
-        points.push(Point {
-            series: "BCube".into(),
-            k,
-            servers: bc.server_count(),
-        });
-        let dc = DCellParams::new(n, k.min(3)).map(|p| p.server_count());
-        cells.push(dc.map_or("—".into(), |s| s.to_string()));
-        cells.push(ft.to_string());
-        table.add_row(cells);
-    }
-    table.print();
-    println!("(shape: at equal k, ABCCC holds m× the servers of BCube on identical switches)");
-    abccc_bench::emit_json("fig2_size", &points);
-    run.finish();
+    abccc_bench::registry::shim_main("fig2_size");
 }

@@ -2,85 +2,6 @@
 //! sweep; small instances are verified exactly with max-flow min-cut and
 //! probed with random balanced bipartitions.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use netgraph::Topology;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    name: String,
-    k: u32,
-    h: u32,
-    bisection_formula: u64,
-    per_server: f64,
-    exact_small: Option<u64>,
-    probe_min: Option<u64>,
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig3_bisection");
-    let n = 4;
-    let seed = 0xB15EC;
-    run.param("n", n)
-        .param("k", "1..=4")
-        .param("h", "2..=4")
-        .seed(seed);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut points = Vec::new();
-    let mut table = Table::new(
-        "Figure 3: bisection width vs (k, h), n = 4",
-        &[
-            "config",
-            "servers",
-            "bisection",
-            "per server",
-            "max-flow check",
-            "probe min",
-        ],
-    );
-    for k in 1..=4u32 {
-        for h in [2, 3, 4] {
-            let p = AbcccParams::new(n, k, h).expect("params");
-            let formula = p.bisection_width().expect("even n");
-            let per_server = p.bisection_per_server().expect("even n");
-            // Exact verification on instances small enough for max-flow.
-            let (exact, probe) = if p.server_count() <= 512 {
-                let t = Abccc::new(p).expect("build");
-                let exact = dcn_metrics::bisection::exact_bisection_by_id(t.network());
-                let probe = dcn_metrics::bisection::random_balanced_probe(t.network(), 4, &mut rng);
-                (Some(exact), Some(probe.min_cut))
-            } else {
-                (None, None)
-            };
-            if let Some(e) = exact {
-                assert_eq!(e, formula, "{p}: max-flow disagrees with formula");
-            }
-            if let Some(pm) = probe {
-                assert!(pm >= formula, "{p}: random cut beat the canonical cut");
-            }
-            table.add_row(vec![
-                p.to_string(),
-                p.server_count().to_string(),
-                formula.to_string(),
-                fmt_f(per_server, 4),
-                exact.map_or("—".into(), |e| e.to_string()),
-                probe.map_or("—".into(), |e| e.to_string()),
-            ]);
-            points.push(Point {
-                name: p.to_string(),
-                k,
-                h,
-                bisection_formula: formula,
-                per_server,
-                exact_small: exact,
-                probe_min: probe,
-            });
-        }
-    }
-    table.print();
-    println!("(shape: per-server bisection = 1/(2m) — rises with h at fixed k)");
-    abccc_bench::emit_json("fig3_bisection", &points);
-    run.finish();
+    abccc_bench::registry::shim_main("fig3_bisection");
 }

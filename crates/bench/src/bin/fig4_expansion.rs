@@ -3,85 +3,6 @@
 //! must be touched? ABCCC/BCCC: zero. BCube/DCell: a NIC retrofitted into
 //! every existing server. Fat-tree: full fabric replacement.
 
-use abccc::AbcccParams;
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::{BCubeParams, DCellParams, FatTreeParams};
-use dcn_metrics::{expansion, CostModel, ExpansionLedger};
-
 fn main() {
-    let mut run = BenchRun::start("fig4_expansion");
-    run.param("n", 4).param("steps", "3 (2 for DCell/fat-tree)");
-    let cost = CostModel::default();
-    let mut ledgers: Vec<ExpansionLedger> = Vec::new();
-
-    // ABCCC h=3 and BCCC (h=2), three steps each.
-    for h in [2, 3] {
-        let mut p = AbcccParams::new(4, 1, h).expect("params");
-        for _ in 0..3 {
-            let l = expansion::abccc_expansion(p, &cost).expect("grow");
-            p = p.grown().expect("grow");
-            ledgers.push(l);
-        }
-    }
-    // BCube, three steps.
-    {
-        let mut p = BCubeParams::new(4, 1).expect("params");
-        for _ in 0..3 {
-            ledgers.push(expansion::bcube_expansion(p, &cost).expect("grow"));
-            p = BCubeParams::new(4, p.k() + 1).expect("params");
-        }
-    }
-    // DCell, two steps (size explodes).
-    {
-        let mut p = DCellParams::new(4, 0).expect("params");
-        for _ in 0..2 {
-            ledgers.push(expansion::dcell_expansion(p.clone(), &cost).expect("grow"));
-            p = DCellParams::new(4, p.k() + 1).expect("params");
-        }
-    }
-    // Fat-tree: p = 4 → 6 → 8.
-    {
-        ledgers.push(
-            expansion::fattree_expansion(FatTreeParams::new(4).expect("p"), 6, &cost)
-                .expect("grow"),
-        );
-        ledgers.push(
-            expansion::fattree_expansion(FatTreeParams::new(6).expect("p"), 8, &cost)
-                .expect("grow"),
-        );
-    }
-
-    let mut table = Table::new(
-        "Figure 4: expansion steps — new spend vs legacy impact",
-        &[
-            "step",
-            "servers",
-            "new capex $",
-            "legacy NICs added",
-            "legacy cables rewired",
-            "legacy switches discarded",
-            "legacy touch",
-        ],
-    );
-    for l in &ledgers {
-        table.add_row(vec![
-            l.name.clone(),
-            format!("{}→{}", l.from_servers, l.to_servers),
-            fmt_f(l.new_capex_usd, 0),
-            l.legacy_nics_added.to_string(),
-            l.legacy_cables_rewired.to_string(),
-            l.legacy_switches_discarded.to_string(),
-            if l.legacy_untouched() {
-                "none".into()
-            } else if l.legacy_switches_discarded > 0 {
-                "fabric rebuilt".into()
-            } else {
-                format!("{:.0}% of servers", 100.0 * l.legacy_touch_fraction())
-            },
-        ]);
-    }
-    table.print();
-    println!("(shape: ABCCC/BCCC rows show zero legacy impact; BCube/DCell touch 100% of servers)");
-    abccc_bench::emit_json("fig4_expansion", &ledgers);
-    run.finish();
+    abccc_bench::registry::shim_main("fig4_expansion");
 }

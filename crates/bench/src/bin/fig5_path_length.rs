@@ -3,67 +3,6 @@
 //! DCell rows for context. The ABCCC stretch must be exactly 1.0 (the
 //! destination-aware permutation is provably shortest; asserted here too).
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::{BCube, BCubeParams, DCell, DCellParams};
-use dcn_metrics::{routing_quality, RoutingQuality};
-use rand::SeedableRng;
-
 fn main() {
-    let mut run = BenchRun::start("fig5_path_length");
-    let seed = 0xF165;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let pairs = 1000;
-    run.param("n", 4).param("pairs", pairs).seed(seed);
-    let mut results: Vec<RoutingQuality> = Vec::new();
-
-    for (k, h) in [(1, 2), (2, 2), (3, 2), (2, 3), (3, 3), (2, 4), (3, 4)] {
-        let p = AbcccParams::new(4, k, h).expect("params");
-        let t = Abccc::new(p).expect("build");
-        let q = routing_quality(&t, pairs, &mut rng);
-        assert!(
-            (q.mean_stretch - 1.0).abs() < 1e-12,
-            "{p}: ABCCC routing must be shortest"
-        );
-        assert!(
-            u64::from(q.native_max) <= p.diameter(),
-            "{p}: exceeded diameter"
-        );
-        results.push(q);
-    }
-    for k in [1, 2] {
-        let t = BCube::new(BCubeParams::new(4, k).expect("params")).expect("build");
-        results.push(routing_quality(&t, pairs, &mut rng));
-    }
-    {
-        let t = DCell::new(DCellParams::new(4, 2).expect("params")).expect("build");
-        results.push(routing_quality(&t, pairs, &mut rng));
-    }
-
-    let mut table = Table::new(
-        "Figure 5: native routing vs BFS-optimal (1000 random pairs each)",
-        &[
-            "structure",
-            "mean native",
-            "mean optimal",
-            "stretch",
-            "max native",
-        ],
-    );
-    for q in &results {
-        table.add_row(vec![
-            q.name.clone(),
-            fmt_f(q.native_mean, 3),
-            fmt_f(q.optimal_mean, 3),
-            fmt_f(q.mean_stretch, 3),
-            q.native_max.to_string(),
-        ]);
-    }
-    table.print();
-    println!("(shape: ABCCC/BCube stretch = 1.000 exactly; DCellRouting slightly above 1)");
-    abccc_bench::emit_json("fig5_path_length", &results);
-    for q in &results {
-        run.topology(q.name.clone());
-    }
-    run.finish();
+    abccc_bench::registry::shim_main("fig5_path_length");
 }

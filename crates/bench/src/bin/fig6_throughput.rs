@@ -3,104 +3,6 @@
 //! bisection stress, and uniform random; per structure at comparable
 //! scale.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::*;
-use dcn_workloads::traffic;
-use flowsim::{FlowSim, FlowSimReport};
-use netgraph::Topology;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    pattern: String,
-    report: FlowSimReport,
-}
-
-fn run_patterns<T: Topology>(topo: &T, out: &mut Vec<Row>) {
-    let n = topo.network().server_count();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7_86);
-    let sim = FlowSim::new(topo);
-    let patterns: Vec<(&str, Vec<(netgraph::NodeId, netgraph::NodeId)>)> = vec![
-        ("permutation", traffic::random_permutation(n, &mut rng)),
-        ("bisection", traffic::bisection_pairs(n, &mut rng)),
-        ("uniform-2n", traffic::uniform_random(n, 2 * n, &mut rng)),
-    ];
-    for (name, pairs) in patterns {
-        let mut report = sim.run(&pairs).expect("fault-free run");
-        report.rates.clear(); // keep JSON artifacts small
-        out.push(Row {
-            pattern: name.to_string(),
-            report,
-        });
-    }
-}
-
 fn main() {
-    let mut bench = BenchRun::start("fig6_throughput");
-    bench
-        .param("patterns", "permutation bisection uniform-2n")
-        .seed(0x7_86);
-    let mut rows: Vec<Row> = Vec::new();
-    run_patterns(
-        &Abccc::new(AbcccParams::new(4, 2, 2).expect("params")).expect("build"),
-        &mut rows,
-    ); // 192 servers
-    run_patterns(
-        &Abccc::new(AbcccParams::new(4, 2, 3).expect("params")).expect("build"),
-        &mut rows,
-    ); // 128 servers
-    run_patterns(
-        &Abccc::new(AbcccParams::new(4, 2, 4).expect("params")).expect("build"),
-        &mut rows,
-    ); // 128 servers (BCube endpoint)
-    run_patterns(
-        &BCube::new(BCubeParams::new(4, 2).expect("params")).expect("build"),
-        &mut rows,
-    ); // 64 servers
-    run_patterns(
-        &DCell::new(DCellParams::new(4, 1).expect("params")).expect("build"),
-        &mut rows,
-    ); // 20 servers
-    run_patterns(
-        &FatTree::new(FatTreeParams::new(8).expect("params")).expect("build"),
-        &mut rows,
-    ); // 128 servers
-
-    let mut table = Table::new(
-        "Figure 6: max-min fair throughput by traffic pattern (1 Gbps links)",
-        &[
-            "structure",
-            "pattern",
-            "flows",
-            "aggregate Gbps",
-            "per-flow mean",
-            "per-flow min",
-            "ABT",
-            "mean hops",
-        ],
-    );
-    for r in &rows {
-        table.add_row(vec![
-            r.report.topology.clone(),
-            r.pattern.clone(),
-            r.report.flows.to_string(),
-            fmt_f(r.report.aggregate_rate, 1),
-            fmt_f(r.report.mean_rate, 3),
-            fmt_f(r.report.min_rate, 3),
-            fmt_f(r.report.abt, 1),
-            fmt_f(r.report.mean_hops, 2),
-        ]);
-    }
-    table.print();
-    println!("(shape: per-flow throughput rises with h — shorter paths contend less;");
-    println!(" fat-tree wins per-flow at equal N but at far higher switch cost — see Table 2)");
-    abccc_bench::emit_json("fig6_throughput", &rows);
-    for r in &rows {
-        if !r.report.topology.is_empty() && r.pattern == "permutation" {
-            bench.topology(r.report.topology.clone());
-        }
-    }
-    bench.finish();
+    abccc_bench::registry::shim_main("fig6_throughput");
 }

@@ -4,133 +4,6 @@
 //! campaign engine (the largest-component connectivity fraction shown as
 //! the reachability ceiling).
 
-use abccc::AbcccParams;
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_resilience::{CampaignConfig, PairSampling, ScenarioKind};
-use serde::Serialize;
-
-const TRIALS: usize = 5;
-const PAIRS_PER_TRIAL: usize = 200;
-const RATES: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
-
-#[derive(Serialize)]
-struct Point {
-    structure: String,
-    class: String,
-    rate: f64,
-    success_ratio: f64,
-    connectivity_ceiling: f64,
-    mean_stretch: f64,
-    mean_hops_survivors: f64,
-    throughput_retention: f64,
-    bfs_fallback_share: f64,
-}
-
-fn run_class(
-    p: AbcccParams,
-    class: &str,
-    scenario_of: impl Fn(f64) -> ScenarioKind,
-    points: &mut Vec<Point>,
-    table: &mut Table,
-) {
-    for rate in RATES {
-        let report = CampaignConfig::new(p)
-            .scenario(scenario_of(rate))
-            .sampling(PairSampling::UniformRandom {
-                pairs: PAIRS_PER_TRIAL,
-            })
-            .trials(TRIALS)
-            .seed((rate * 1000.0) as u64 ^ 0xFA)
-            .run()
-            .expect("campaign");
-        let s = &report.summary;
-        let point = Point {
-            structure: report.topology.clone(),
-            class: class.to_string(),
-            rate,
-            success_ratio: s.route_completion,
-            connectivity_ceiling: s.connectivity_fraction,
-            mean_stretch: s.mean_stretch,
-            mean_hops_survivors: report
-                .trials
-                .iter()
-                .map(|t| t.mean_hops / report.trials.len() as f64)
-                .sum(),
-            throughput_retention: s.throughput_retention,
-            bfs_fallback_share: if s.routed == 0 {
-                0.0
-            } else {
-                s.tier_counts.bfs as f64 / s.routed as f64
-            },
-        };
-        table.add_row(vec![
-            point.structure.clone(),
-            point.class.clone(),
-            fmt_f(point.rate, 2),
-            fmt_f(point.success_ratio, 4),
-            fmt_f(point.connectivity_ceiling, 4),
-            fmt_f(point.mean_stretch, 3),
-            fmt_f(point.mean_hops_survivors, 2),
-            fmt_f(point.throughput_retention, 3),
-        ]);
-        points.push(point);
-    }
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig7_faults");
-    run.param("n", 4)
-        .param("k", 2)
-        .param("h", "2 3")
-        .param("trials", TRIALS as u64)
-        .param("pairs_per_trial", PAIRS_PER_TRIAL as u64)
-        .param("rates", "0.00..0.20")
-        .param("engine", "resilience campaign")
-        .param("seed_scheme", "(rate*1000) ^ 0xFA");
-    let mut points = Vec::new();
-    let mut table = Table::new(
-        "Figure 7: routing under failures (5 trials × 200 pairs per point)",
-        &[
-            "structure",
-            "failed class",
-            "rate",
-            "success",
-            "conn ceiling",
-            "stretch",
-            "mean hops",
-            "tput ret",
-        ],
-    );
-    for h in [2, 3] {
-        let p = AbcccParams::new(4, 2, h).expect("params");
-        run.topology(p.to_string());
-        run_class(
-            p,
-            "servers",
-            |rate| ScenarioKind::Uniform {
-                server_rate: rate,
-                switch_rate: 0.0,
-                link_rate: 0.0,
-            },
-            &mut points,
-            &mut table,
-        );
-        run_class(
-            p,
-            "switches",
-            |rate| ScenarioKind::Uniform {
-                server_rate: 0.0,
-                switch_rate: rate,
-                link_rate: 0.0,
-            },
-            &mut points,
-            &mut table,
-        );
-    }
-    table.print();
-    println!("(shape: success tracks the connectivity ceiling — the retry ladder");
-    println!(" finds a path whenever one exists; stretch and throughput degrade");
-    println!(" gracefully as the failure rate grows)");
-    abccc_bench::emit_json("fig7_faults", &points);
-    run.finish();
+    abccc_bench::registry::shim_main("fig7_faults");
 }

@@ -2,91 +2,6 @@
 //! choice of digit-correction permutation matter? Mean path length and
 //! mean crossbar (intra-group) hops per strategy, over sampled pairs.
 
-use abccc::{routing, Abccc, AbcccParams, PermStrategy, ServerAddr};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use rand::Rng;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    structure: String,
-    strategy: String,
-    mean_hops: f64,
-    mean_crossbar_hops: f64,
-    max_hops: u32,
-}
-
 fn main() {
-    let mut run = BenchRun::start("fig8_permutations");
-    let pairs = 2000;
-    run.param("pairs", pairs)
-        .param("configs", "(4,2,2) (2,5,2) (4,3,3)")
-        .seed(0x9E12);
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 8: permutation strategies (2000 random pairs each)",
-        &[
-            "structure",
-            "strategy",
-            "mean hops",
-            "mean crossbar hops",
-            "max hops",
-        ],
-    );
-    for (n, k, h) in [(4, 2, 2), (2, 5, 2), (4, 3, 3)] {
-        let p = AbcccParams::new(n, k, h).expect("params");
-        run.topology(p.to_string());
-        let _topo = Abccc::new(p).expect("build"); // ensures the config materializes
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9E12);
-        let sample: Vec<(ServerAddr, ServerAddr)> = (0..pairs)
-            .map(|_| {
-                let a = rng.gen_range(0..p.server_count());
-                let b = loop {
-                    let b = rng.gen_range(0..p.server_count());
-                    if b != a {
-                        break b;
-                    }
-                };
-                (
-                    ServerAddr::from_node_id(&p, netgraph::NodeId(a as u32)),
-                    ServerAddr::from_node_id(&p, netgraph::NodeId(b as u32)),
-                )
-            })
-            .collect();
-        for strat in PermStrategy::all() {
-            let router = abccc::DigitRouter::new(strat);
-            let mut hop_sum = 0u64;
-            let mut xbar_sum = 0u64;
-            let mut max_hops = 0u32;
-            for &(src, dst) in &sample {
-                let r = router.route_addrs(&p, src, dst);
-                let hops = routing::hops(&r) as u32;
-                let diff = src.label.differing_levels(&p, dst.label).len() as u32;
-                hop_sum += u64::from(hops);
-                xbar_sum += u64::from(hops - diff); // crossbar hops = total − level crossings
-                max_hops = max_hops.max(hops);
-            }
-            let row = Row {
-                structure: p.to_string(),
-                strategy: strat.label().to_string(),
-                mean_hops: hop_sum as f64 / pairs as f64,
-                mean_crossbar_hops: xbar_sum as f64 / pairs as f64,
-                max_hops,
-            };
-            table.add_row(vec![
-                row.structure.clone(),
-                row.strategy.clone(),
-                fmt_f(row.mean_hops, 3),
-                fmt_f(row.mean_crossbar_hops, 3),
-                row.max_hops.to_string(),
-            ]);
-            rows.push(row);
-        }
-    }
-    table.print();
-    println!("(shape: destination-aware ≤ cyclic-from-source < greedy/ascending < random;");
-    println!(" the gap is entirely in crossbar hops — level crossings are fixed by the digit set)");
-    abccc_bench::emit_json("fig8_permutations", &rows);
-    run.finish();
+    abccc_bench::registry::shim_main("fig8_permutations");
 }

@@ -2,97 +2,6 @@
 //! broadcast-tree depth vs the unicast eccentricity, and the message
 //! savings of one-to-many trees over repeated unicast.
 
-use abccc::{broadcast, Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use netgraph::{NodeId, Topology};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    structure: String,
-    servers: u64,
-    tree_depth: u32,
-    eccentricity: u32,
-    one_to_many_dests: usize,
-    tree_messages: usize,
-    unicast_messages: u64,
-}
-
 fn main() {
-    let mut rows = Vec::new();
-    let mut table = Table::new(
-        "Figure 9: one-to-all / one-to-many (src = server 0, 32 random dests)",
-        &[
-            "structure",
-            "servers",
-            "bcast depth",
-            "ecc",
-            "tree msgs(1:many)",
-            "unicast msgs",
-            "saving",
-        ],
-    );
-    let mut run = BenchRun::start("fig9_broadcast");
-    run.param("src", 0)
-        .param("one_to_many_dests", 32)
-        .seed(0xB0A5);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB0A5);
-    for (n, k, h) in [(4, 1, 2), (4, 2, 2), (4, 2, 3), (2, 4, 3), (4, 2, 4)] {
-        let p = AbcccParams::new(n, k, h).expect("params");
-        run.topology(p.to_string());
-        let topo = Abccc::new(p).expect("build");
-        let src = NodeId(0);
-        let tree = broadcast::one_to_all(&p, src).expect("tree");
-        tree.validate(&p).expect("valid tree");
-        let ecc = netgraph::bfs::server_eccentricity(topo.network(), src).expect("connected");
-
-        // One-to-many to 32 random destinations.
-        let servers: Vec<NodeId> = topo.network().server_ids().filter(|&s| s != src).collect();
-        let dests: Vec<NodeId> = servers
-            .choose_multiple(&mut rng, 32.min(servers.len()))
-            .copied()
-            .collect();
-        let many = broadcast::one_to_many(&p, src, &dests).expect("tree");
-        many.validate(&p).expect("valid tree");
-        let tree_msgs = many.member_count() - 1; // one message per tree edge
-        let unicast_msgs: u64 = dests
-            .iter()
-            .map(|&d| {
-                abccc::routing::distance(
-                    &p,
-                    abccc::ServerAddr::from_node_id(&p, src),
-                    abccc::ServerAddr::from_node_id(&p, d),
-                )
-            })
-            .sum();
-        let row = Row {
-            structure: p.to_string(),
-            servers: p.server_count(),
-            tree_depth: tree.depth(),
-            eccentricity: ecc,
-            one_to_many_dests: dests.len(),
-            tree_messages: tree_msgs,
-            unicast_messages: unicast_msgs,
-        };
-        table.add_row(vec![
-            row.structure.clone(),
-            row.servers.to_string(),
-            row.tree_depth.to_string(),
-            row.eccentricity.to_string(),
-            row.tree_messages.to_string(),
-            row.unicast_messages.to_string(),
-            fmt_f(
-                1.0 - row.tree_messages as f64 / row.unicast_messages as f64,
-                2,
-            ),
-        ]);
-        rows.push(row);
-    }
-    table.print();
-    println!("(shape: broadcast depth tracks the eccentricity within +2 crossbar fan-outs;");
-    println!(" one-to-many trees send far fewer messages than repeated unicast)");
-    abccc_bench::emit_json("fig9_broadcast", &rows);
-    run.finish();
+    abccc_bench::registry::shim_main("fig9_broadcast");
 }

@@ -3,82 +3,6 @@
 //! metrics to show the library is usable well beyond the toy sizes of the
 //! figure binaries.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use netgraph::{NodeId, Topology};
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
-
 fn main() {
-    let mut run = BenchRun::start("scale_demo");
-    run.param("route_pairs", 20_000)
-        .param("apl_pairs", 1000)
-        .seed(1);
-    let mut table = Table::new(
-        "Scale demo: construction + routing at large N",
-        &[
-            "config",
-            "servers",
-            "nodes",
-            "links",
-            "build ms",
-            "routes/s (1-to-1)",
-            "sampled APL (1k pairs)",
-        ],
-    );
-    for (n, k, h) in [(8u32, 3u32, 3u32), (8, 3, 2), (16, 3, 3), (6, 4, 3)] {
-        let p = AbcccParams::new(n, k, h).expect("params");
-        run.topology(p.to_string());
-        let t0 = Instant::now();
-        let topo = Abccc::new(p).expect("build");
-        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let net = topo.network();
-
-        // Routing throughput (address arithmetic only — no graph walk).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let pairs: Vec<(NodeId, NodeId)> = (0..20_000)
-            .map(|_| {
-                (
-                    NodeId(rng.gen_range(0..p.server_count()) as u32),
-                    NodeId(rng.gen_range(0..p.server_count()) as u32),
-                )
-            })
-            .collect();
-        let t1 = Instant::now();
-        let mut total_hops = 0usize;
-        for &(s, d) in &pairs {
-            let r = abccc::DigitRouter::shortest()
-                .route_ids(&p, s, d)
-                .expect("route");
-            total_hops += abccc::routing::hops(&r);
-        }
-        let rps = pairs.len() as f64 / t1.elapsed().as_secs_f64();
-
-        // Sampled APL via the closed-form distance (exact per pair).
-        let sampled_apl: f64 = pairs
-            .iter()
-            .take(1000)
-            .map(|&(s, d)| {
-                abccc::routing::distance(
-                    &p,
-                    abccc::ServerAddr::from_node_id(&p, s),
-                    abccc::ServerAddr::from_node_id(&p, d),
-                ) as f64
-            })
-            .sum::<f64>()
-            / 1000.0;
-        std::hint::black_box(total_hops);
-
-        table.add_row(vec![
-            p.to_string(),
-            p.server_count().to_string(),
-            net.node_count().to_string(),
-            net.link_count().to_string(),
-            fmt_f(build_ms, 0),
-            fmt_f(rps, 0),
-            fmt_f(sampled_apl, 2),
-        ]);
-    }
-    table.print();
-    run.finish();
+    abccc_bench::registry::shim_main("scale_demo");
 }

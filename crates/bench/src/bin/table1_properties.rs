@@ -4,117 +4,6 @@
 //! diameter (closed form *and* exact BFS — they must agree), average path
 //! length, and bisection width.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, fmt_opt, BenchRun, Table};
-use dcn_baselines::*;
-use dcn_metrics::TopologyStats;
-use netgraph::Topology;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    servers: u64,
-    switches: u64,
-    wires: u64,
-    ports: u32,
-    diameter_formula: Option<u64>,
-    diameter_bfs: Option<u32>,
-    apl: Option<f64>,
-    bisection: Option<u64>,
-}
-
-fn measure<T: Topology>(topo: &T, diameter_formula: Option<u64>) -> Row {
-    let stats = TopologyStats::measure(topo);
-    let bisection = dcn_metrics::bisection::exact_bisection_by_id(topo.network());
-    Row {
-        name: stats.name.clone(),
-        servers: stats.servers,
-        switches: stats.switches,
-        wires: stats.wires,
-        ports: stats.max_server_ports,
-        diameter_formula,
-        diameter_bfs: stats.diameter_server_hops,
-        apl: stats.avg_path_length,
-        bisection: Some(bisection),
-    }
-}
-
 fn main() {
-    let mut run = BenchRun::start("table1_properties");
-    run.param("class", "n=4 configs");
-    let mut rows: Vec<Row> = Vec::new();
-
-    for h in [2, 3, 4] {
-        let p = AbcccParams::new(4, 2, h).expect("valid params");
-        let t = Abccc::new(p).expect("small build");
-        rows.push(measure(&t, Some(p.diameter())));
-    }
-    {
-        let p = BcccParams::new(4, 2).expect("valid params");
-        let t = Bccc::new(p).expect("small build");
-        rows.push(measure(&t, Some(p.diameter())));
-    }
-    {
-        let p = BCubeParams::new(4, 2).expect("valid params");
-        let t = BCube::new(p).expect("small build");
-        rows.push(measure(&t, Some(p.diameter())));
-    }
-    {
-        let p = DCellParams::new(4, 1).expect("valid params");
-        let t = DCell::new(p.clone()).expect("small build");
-        rows.push(measure(&t, None)); // closed form is only a bound
-    }
-    {
-        let p = FatTreeParams::new(8).expect("valid params");
-        let t = FatTree::new(p).expect("small build");
-        rows.push(measure(&t, Some(1))); // servers never forward
-    }
-    {
-        let p = HypercubeParams::new(4, 3).expect("valid params");
-        let t = Hypercube::new(p).expect("small build");
-        rows.push(measure(&t, Some(p.diameter())));
-    }
-
-    let mut table = Table::new(
-        "Table 1: structural properties (n=4-class configs)",
-        &[
-            "structure",
-            "servers",
-            "switches",
-            "wires",
-            "ports/srv",
-            "D(formula)",
-            "D(BFS)",
-            "APL",
-            "bisection",
-        ],
-    );
-    for r in &rows {
-        table.add_row(vec![
-            r.name.clone(),
-            r.servers.to_string(),
-            r.switches.to_string(),
-            r.wires.to_string(),
-            r.ports.to_string(),
-            fmt_opt(r.diameter_formula),
-            fmt_opt(r.diameter_bfs),
-            r.apl.map_or("—".into(), |v| fmt_f(v, 2)),
-            fmt_opt(r.bisection),
-        ]);
-    }
-    table.print();
-
-    // Consistency guard: where a closed form exists it must equal BFS.
-    for r in &rows {
-        if let (Some(f), Some(b)) = (r.diameter_formula, r.diameter_bfs) {
-            assert_eq!(f, u64::from(b), "{}: formula vs BFS mismatch", r.name);
-        }
-    }
-    println!("(all closed-form diameters verified against BFS)");
-    abccc_bench::emit_json("table1_properties", &rows);
-    for r in &rows {
-        run.topology(r.name.clone());
-    }
-    run.finish();
+    abccc_bench::registry::shim_main("table1_properties");
 }

@@ -2,75 +2,6 @@
 //! servers): switch / NIC / cable spend and CAPEX per server under the
 //! default 2015-commodity cost model.
 
-use abccc::{Abccc, AbcccParams};
-use abccc_bench::{fmt_f, BenchRun, Table};
-use dcn_baselines::*;
-use dcn_metrics::{Capex, CostModel, TopologyStats};
-
 fn main() {
-    let mut run = BenchRun::start("table2_capex");
-    run.param("scale", "~0.4k-1k servers");
-    let cost = CostModel::default();
-    let mut capexes: Vec<Capex> = Vec::new();
-
-    let mut push = |stats: TopologyStats| capexes.push(cost.capex(&stats));
-
-    push(TopologyStats::quick(
-        &Abccc::new(AbcccParams::new(4, 3, 2).expect("params")).expect("build"),
-    )); // 1024 servers
-    push(TopologyStats::quick(
-        &Abccc::new(AbcccParams::new(4, 3, 3).expect("params")).expect("build"),
-    )); // 512 servers
-    push(TopologyStats::quick(
-        &Abccc::new(AbcccParams::new(4, 3, 5).expect("params")).expect("build"),
-    )); // 256 servers (BCube endpoint)
-    push(TopologyStats::quick(
-        &Bccc::new(BcccParams::new(4, 3).expect("params")).expect("build"),
-    ));
-    push(TopologyStats::quick(
-        &BCube::new(BCubeParams::new(4, 4).expect("params")).expect("build"),
-    )); // 1024 servers
-    push(TopologyStats::quick(
-        &DCell::new(DCellParams::new(5, 2).expect("params")).expect("build"),
-    )); // 930 servers
-    push(TopologyStats::quick(
-        &FatTree::new(FatTreeParams::new(16).expect("params")).expect("build"),
-    )); // 1024 servers
-    push(TopologyStats::quick(
-        &Hypercube::new(HypercubeParams::new(4, 5).expect("params")).expect("build"),
-    )); // 1024 servers
-
-    let mut table = Table::new(
-        "Table 2: CAPEX at comparable scale (default cost model, USD)",
-        &[
-            "structure",
-            "servers",
-            "switch $",
-            "NIC $",
-            "cable $",
-            "total $",
-            "$/server",
-        ],
-    );
-    for c in &capexes {
-        table.add_row(vec![
-            c.name.clone(),
-            c.servers.to_string(),
-            fmt_f(c.switches_usd, 0),
-            fmt_f(c.nics_usd, 0),
-            fmt_f(c.cables_usd, 0),
-            fmt_f(c.total(), 0),
-            fmt_f(c.per_server(), 2),
-        ]);
-    }
-    table.print();
-    println!(
-        "(cost model: NIC port ${}, cable ${}, switch tiers {:?})",
-        cost.nic_port, cost.cable, cost.switch_port_tiers
-    );
-    abccc_bench::emit_json("table2_capex", &capexes);
-    for c in &capexes {
-        run.topology(c.name.clone());
-    }
-    run.finish();
+    abccc_bench::registry::shim_main("table2_capex");
 }

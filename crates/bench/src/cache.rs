@@ -1,0 +1,307 @@
+//! The shared per-run topology cache.
+//!
+//! Every experiment point that sweeps the same `(family, parameters)`
+//! configuration reuses one materialized [`Topology`] — and the expensive
+//! derived artifacts (all-pairs [`TopologyStats::measure`] via the fused
+//! `DistanceEngine`, exact max-flow bisection) are memoized per topology,
+//! so e.g. `table1_properties` and `fig3_bisection` measure
+//! `ABCCC(4,2,2)` exactly once per engine run instead of once per binary.
+
+use abccc::{Abccc, AbcccParams};
+use dcn_baselines::{
+    BCube, BCubeParams, Bccc, BcccParams, DCell, DCellParams, FatTree, FatTreeParams, Hypercube,
+    HypercubeParams,
+};
+use dcn_metrics::TopologyStats;
+use netgraph::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Cache key naming one topology configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopoKey {
+    /// `ABCCC(n,k,h)`.
+    Abccc {
+        /// Switch radix.
+        n: u32,
+        /// Order.
+        k: u32,
+        /// NIC ports per server.
+        h: u32,
+    },
+    /// `BCCC(n,k)`.
+    Bccc {
+        /// Switch radix.
+        n: u32,
+        /// Order.
+        k: u32,
+    },
+    /// `BCube(n,k)`.
+    BCube {
+        /// Switch radix.
+        n: u32,
+        /// Order.
+        k: u32,
+    },
+    /// `DCell(n,k)`.
+    DCell {
+        /// Switch radix.
+        n: u32,
+        /// Level.
+        k: u32,
+    },
+    /// `FatTree(p)`.
+    FatTree {
+        /// Port count.
+        p: u32,
+    },
+    /// Generalized hypercube `GHC(n,d)`.
+    Ghc {
+        /// Radix per dimension.
+        n: u32,
+        /// Dimensions.
+        d: u32,
+    },
+}
+
+impl TopoKey {
+    /// Shorthand for the ABCCC family.
+    pub fn abccc(n: u32, k: u32, h: u32) -> TopoKey {
+        TopoKey::Abccc { n, k, h }
+    }
+
+    /// Human-readable label, e.g. `ABCCC(4,2,3)`.
+    pub fn label(&self) -> String {
+        match *self {
+            TopoKey::Abccc { n, k, h } => format!("ABCCC({n},{k},{h})"),
+            TopoKey::Bccc { n, k } => format!("BCCC({n},{k})"),
+            TopoKey::BCube { n, k } => format!("BCube({n},{k})"),
+            TopoKey::DCell { n, k } => format!("DCell({n},{k})"),
+            TopoKey::FatTree { p } => format!("FatTree({p})"),
+            TopoKey::Ghc { n, d } => format!("GHC({n},{d})"),
+        }
+    }
+
+    fn build(&self) -> Result<BuiltTopo, String> {
+        let err = |e: netgraph::NetworkError| format!("{}: {e}", self.label());
+        match *self {
+            TopoKey::Abccc { n, k, h } => {
+                let p = AbcccParams::new(n, k, h).map_err(err)?;
+                Ok(BuiltTopo::Abccc(Abccc::new(p).map_err(err)?))
+            }
+            TopoKey::Bccc { n, k } => {
+                let p = BcccParams::new(n, k).map_err(err)?;
+                Ok(BuiltTopo::Bccc(Bccc::new(p).map_err(err)?))
+            }
+            TopoKey::BCube { n, k } => {
+                let p = BCubeParams::new(n, k).map_err(err)?;
+                Ok(BuiltTopo::BCube(BCube::new(p).map_err(err)?))
+            }
+            TopoKey::DCell { n, k } => {
+                let p = DCellParams::new(n, k).map_err(err)?;
+                Ok(BuiltTopo::DCell(DCell::new(p).map_err(err)?))
+            }
+            TopoKey::FatTree { p } => {
+                let fp = FatTreeParams::new(p).map_err(err)?;
+                Ok(BuiltTopo::FatTree(FatTree::new(fp).map_err(err)?))
+            }
+            TopoKey::Ghc { n, d } => {
+                let p = HypercubeParams::new(n, d).map_err(err)?;
+                Ok(BuiltTopo::Ghc(Hypercube::new(p).map_err(err)?))
+            }
+        }
+    }
+}
+
+/// A materialized topology of any family.
+#[derive(Debug)]
+pub enum BuiltTopo {
+    /// The paper's topology.
+    Abccc(Abccc),
+    /// BCCC baseline.
+    Bccc(Bccc),
+    /// BCube baseline.
+    BCube(BCube),
+    /// DCell baseline.
+    DCell(DCell),
+    /// Fat-tree baseline.
+    FatTree(FatTree),
+    /// Generalized hypercube baseline.
+    Ghc(Hypercube),
+}
+
+impl BuiltTopo {
+    /// The family-agnostic topology view.
+    pub fn as_topology(&self) -> &dyn Topology {
+        match self {
+            BuiltTopo::Abccc(t) => t,
+            BuiltTopo::Bccc(t) => t,
+            BuiltTopo::BCube(t) => t,
+            BuiltTopo::DCell(t) => t,
+            BuiltTopo::FatTree(t) => t,
+            BuiltTopo::Ghc(t) => t,
+        }
+    }
+}
+
+/// A cached topology plus its memoized derived measurements.
+#[derive(Debug)]
+pub struct SharedTopo {
+    key: TopoKey,
+    built: BuiltTopo,
+    stats_quick: OnceLock<TopologyStats>,
+    stats_full: OnceLock<TopologyStats>,
+    bisection: OnceLock<u64>,
+}
+
+impl SharedTopo {
+    /// The key this entry was built from.
+    pub fn key(&self) -> TopoKey {
+        self.key
+    }
+
+    /// The family-agnostic topology view.
+    pub fn topology(&self) -> &dyn Topology {
+        self.built.as_topology()
+    }
+
+    /// The concrete ABCCC topology, when this entry is one.
+    pub fn abccc(&self) -> Option<&Abccc> {
+        match &self.built {
+            BuiltTopo::Abccc(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Structural counts without path metrics (memoized).
+    pub fn stats_quick(&self) -> &TopologyStats {
+        self.stats_quick
+            .get_or_init(|| TopologyStats::quick(self.topology()))
+    }
+
+    /// Full stats including exact diameter/APL from the fused all-pairs
+    /// `DistanceEngine` sweep (memoized — computed once per engine run).
+    pub fn stats_full(&self) -> &TopologyStats {
+        self.stats_full
+            .get_or_init(|| TopologyStats::measure(self.topology()))
+    }
+
+    /// Exact max-flow bisection width in links (memoized).
+    pub fn exact_bisection(&self) -> u64 {
+        *self.bisection.get_or_init(|| {
+            dcn_metrics::bisection::exact_bisection_by_id(self.topology().network())
+        })
+    }
+}
+
+/// Concurrent `TopoKey → SharedTopo` cache with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct TopoCache {
+    map: RwLock<HashMap<TopoKey, Arc<SharedTopo>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TopoCache {
+    /// An empty cache.
+    pub fn new() -> TopoCache {
+        TopoCache::default()
+    }
+
+    /// Returns the cached topology for `key`, building it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures (invalid parameters, size guard)
+    /// as a labeled message.
+    pub fn get(&self, key: TopoKey) -> Result<Arc<SharedTopo>, String> {
+        if let Some(hit) = self.map.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Build outside the lock; a racing builder of the same key loses
+        // and its duplicate is dropped (first insert wins).
+        let built = Arc::new(SharedTopo {
+            key,
+            built: key.build()?,
+            stats_quick: OnceLock::new(),
+            stats_full: OnceLock::new(),
+            bisection: OnceLock::new(),
+        });
+        let mut map = self.map.write().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            built
+        });
+        Ok(Arc::clone(entry))
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached topologies.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_arc() {
+        let cache = TopoCache::new();
+        let a = cache.get(TopoKey::abccc(3, 1, 2)).unwrap();
+        let b = cache.get(TopoKey::abccc(3, 1, 2)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn derived_measurements_are_memoized() {
+        let cache = TopoCache::new();
+        let t = cache.get(TopoKey::abccc(3, 1, 2)).unwrap();
+        let s1 = t.stats_full() as *const _;
+        let s2 = t.stats_full() as *const _;
+        assert_eq!(s1, s2);
+        assert_eq!(t.exact_bisection(), t.exact_bisection());
+    }
+
+    #[test]
+    fn invalid_key_is_a_labeled_error() {
+        let cache = TopoCache::new();
+        let e = cache.get(TopoKey::abccc(1, 1, 2)).unwrap_err();
+        assert!(e.contains("ABCCC(1,1,2)"), "{e}");
+    }
+
+    #[test]
+    fn labels_match_topology_names() {
+        let cache = TopoCache::new();
+        for key in [
+            TopoKey::abccc(3, 1, 2),
+            TopoKey::Bccc { n: 3, k: 1 },
+            TopoKey::BCube { n: 3, k: 1 },
+            TopoKey::DCell { n: 3, k: 1 },
+            TopoKey::FatTree { p: 4 },
+            TopoKey::Ghc { n: 2, d: 3 },
+        ] {
+            let t = cache.get(key).unwrap();
+            assert_eq!(t.topology().name(), key.label());
+            assert_eq!(t.key(), key);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The shared sweep engine.
+//!
+//! [`run`] executes a set of registered [`Experiment`]s at one
+//! [`Preset`]: it prewarms the unique topologies the grids declare, then
+//! spreads every grid point of every experiment over a work-stealing
+//! thread pool that shares one [`TopoCache`] — so two experiments sweeping
+//! the same `(family, n, k, h)` reuse one constructed `Network` and one
+//! fused all-pairs distance sweep instead of rebuilding per binary.
+//!
+//! Determinism: every point's randomness derives from
+//! [`Experiment::point_seed`], and results land in slots indexed by
+//! `(experiment, point)` before assembly — so stdout tables and the JSON
+//! rows artifacts are byte-identical for a fixed seed at any thread count.
+//! Only the `<name>.manifest.json` provenance files carry wall-clock
+//! timings and are excluded from that guarantee.
+
+use crate::cache::{TopoCache, TopoKey};
+use crate::registry::{Experiment, PointCtx, Preset, Row};
+use crate::Table;
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Options for one engine run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Scale preset selecting each experiment's grid.
+    pub preset: Preset,
+    /// Worker threads; `0` uses the available parallelism.
+    pub threads: usize,
+    /// Directory for `<name>.json` rows + `<name>.manifest.json`
+    /// artifacts; created if missing. `None` writes no artifacts.
+    pub json_dir: Option<PathBuf>,
+    /// Print each experiment's stdout table + footer + config line.
+    pub print_tables: bool,
+    /// Print the engine summary line (cache sharing, wall-clock) at the
+    /// end of the run.
+    pub print_summary: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            preset: Preset::Paper,
+            threads: 0,
+            json_dir: None,
+            print_tables: true,
+            print_summary: false,
+        }
+    }
+}
+
+/// Per-experiment outcome of an engine run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Registry name.
+    pub name: &'static str,
+    /// Grid points executed.
+    pub points: usize,
+    /// Table rows produced.
+    pub rows: usize,
+    /// JSON records contributed to the rows artifact.
+    pub records: usize,
+}
+
+/// What one engine run did — the logged measurement behind the
+/// "one engine run beats 20 sequential binaries" claim.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Preset the run executed.
+    pub preset: Preset,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-experiment outcomes, in registry order.
+    pub experiments: Vec<ExperimentOutcome>,
+    /// Topology-cache hits across the run.
+    pub cache_hits: u64,
+    /// Topology-cache misses (actual constructions).
+    pub cache_misses: u64,
+    /// Distinct topologies materialized.
+    pub cache_entries: usize,
+    /// End-to-end wall clock, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl EngineReport {
+    /// Total grid points executed.
+    pub fn total_points(&self) -> usize {
+        self.experiments.iter().map(|e| e.points).sum()
+    }
+
+    /// Total JSON records produced.
+    pub fn total_records(&self) -> usize {
+        self.experiments.iter().map(|e| e.records).sum()
+    }
+
+    /// The one-line summary printed under `print_summary`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "engine: {} experiments, {} points, {} records in {:.0} ms \
+             (preset={}, threads={}, topo cache: {} built, {} reused)",
+            self.experiments.len(),
+            self.total_points(),
+            self.total_records(),
+            self.wall_ms,
+            self.preset,
+            self.threads,
+            self.cache_misses,
+            self.cache_hits,
+        )
+    }
+}
+
+/// Resolves `0` to the machine's available parallelism.
+fn worker_count(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `specs` at the given options.
+///
+/// # Errors
+///
+/// Returns the first failing point (`<experiment>[<label>]: message`) or
+/// artifact-write failure. Artifact errors are hard: a missing or
+/// unwritable `json_dir` aborts the run instead of silently dropping data.
+///
+/// # Panics
+///
+/// Propagates panics from experiment point functions.
+pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<EngineReport, String> {
+    let t0 = Instant::now();
+    let threads = worker_count(opts.threads);
+    let preset = opts.preset;
+
+    // Create the artifact directory up front so write failures surface
+    // before any compute is spent.
+    if let Some(dir) = &opts.json_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create artifact dir {}: {e}", dir.display()))?;
+    }
+
+    // Materialize every grid up front; tasks are (experiment, point) pairs.
+    let grids: Vec<Vec<crate::registry::PointSpec>> =
+        specs.iter().map(|s| s.points(preset)).collect();
+    let tasks: Vec<(usize, usize)> = grids
+        .iter()
+        .enumerate()
+        .flat_map(|(si, g)| (0..g.len()).map(move |pi| (si, pi)))
+        .collect();
+
+    let cache = TopoCache::new();
+
+    // Phase 1 — prewarm: build each unique declared topology exactly once,
+    // in parallel, so no two points race to construct the same key and the
+    // expensive builds don't serialize behind unrelated points. Build
+    // errors are deferred to the points that actually use the key.
+    let unique_keys: Vec<TopoKey> = {
+        let mut seen = std::collections::HashSet::new();
+        grids
+            .iter()
+            .flatten()
+            .flat_map(|p| p.topos.iter().copied())
+            .filter(|k| seen.insert(*k))
+            .collect()
+    };
+    {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(unique_keys.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(key) = unique_keys.get(i) else { break };
+                    let _span = dcn_telemetry::span!("bench.engine.prewarm");
+                    let _ = cache.get(*key);
+                });
+            }
+        });
+    }
+
+    // Phase 2 — execute every point, work-stealing, results into
+    // deterministic (experiment, point)-indexed slots.
+    type PointResult = (Result<Vec<Row>, String>, u64);
+    let slots: Mutex<Vec<Option<PointResult>>> = Mutex::new(vec![None; tasks.len()]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(tasks.len().max(1)) {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(si, pi)) = tasks.get(t) else { break };
+                let spec = specs[si];
+                let ctx = PointCtx {
+                    preset,
+                    index: pi,
+                    seed: spec.point_seed(preset, pi),
+                    cache: &cache,
+                };
+                let started = Instant::now();
+                let result = {
+                    let _span = dcn_telemetry::span!("bench.engine.point");
+                    spec.run_point(&ctx)
+                };
+                let dur_ns = started.elapsed().as_nanos() as u64;
+                slots.lock().expect("slots lock")[t] = Some((result, dur_ns));
+            });
+        }
+    });
+    let slots = slots.into_inner().expect("slots lock");
+
+    // Phase 3 — assemble in registry order: tables, artifacts, manifests.
+    let mut outcomes = Vec::with_capacity(specs.len());
+    let mut slot_base = 0usize;
+    for (si, spec) in specs.iter().enumerate() {
+        let grid = &grids[si];
+        let mut rows: Vec<Row> = Vec::new();
+        let mut point_ns: Vec<u64> = Vec::with_capacity(grid.len());
+        for pi in 0..grid.len() {
+            let (result, dur_ns) = slots[slot_base + pi]
+                .clone()
+                .unwrap_or_else(|| panic!("point {pi} of {} never ran", spec.name()));
+            point_ns.push(dur_ns);
+            let mut point_rows =
+                result.map_err(|e| format!("{}[{}]: {e}", spec.name(), grid[pi].label))?;
+            rows.append(&mut point_rows);
+        }
+        slot_base += grid.len();
+
+        if opts.print_tables {
+            let mut table = Table::new(&spec.title(preset), spec.headers());
+            for row in &rows {
+                table.add_row(row.cells.clone());
+            }
+            table.print();
+            for line in spec.footer(preset) {
+                println!("{line}");
+            }
+        }
+
+        let manifest = build_manifest(*spec, preset, grid, &point_ns, threads);
+        if opts.print_tables {
+            println!("{}", manifest.config_line());
+        }
+
+        let records: Vec<Value> = rows
+            .iter()
+            .flat_map(|r| r.records.iter().cloned())
+            .collect();
+        let record_count = records.len();
+        if let Some(dir) = &opts.json_dir {
+            let rows_path = dir.join(format!("{}.json", spec.name()));
+            let json = serde_json::to_string_pretty(&Value::Seq(records))
+                .map_err(|e| format!("cannot serialize {}: {e}", spec.name()))?;
+            std::fs::write(&rows_path, json)
+                .map_err(|e| format!("cannot write {}: {e}", rows_path.display()))?;
+            let manifest_path = dir.join(format!("{}.manifest.json", spec.name()));
+            manifest
+                .write(&manifest_path)
+                .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
+        }
+
+        outcomes.push(ExperimentOutcome {
+            name: spec.name(),
+            points: grid.len(),
+            rows: rows.len(),
+            records: record_count,
+        });
+    }
+
+    let (cache_hits, cache_misses) = cache.stats();
+    let report = EngineReport {
+        preset,
+        threads,
+        experiments: outcomes,
+        cache_hits,
+        cache_misses,
+        cache_entries: cache.len(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+    if opts.print_summary {
+        println!("{}", report.summary_line());
+    }
+    Ok(report)
+}
+
+/// Builds the per-experiment provenance manifest: declared parameters,
+/// base seed, the distinct topologies the grid touched, and per-point
+/// timing as an aggregated phase.
+fn build_manifest(
+    spec: &dyn Experiment,
+    preset: Preset,
+    grid: &[crate::registry::PointSpec],
+    point_ns: &[u64],
+    threads: usize,
+) -> dcn_telemetry::RunManifest {
+    let mut manifest = dcn_telemetry::RunManifest::new(spec.name());
+    manifest.param("preset", preset);
+    for (k, v) in spec.manifest_params(preset) {
+        manifest.param(k, v);
+    }
+    if let Some(seed) = spec.base_seed() {
+        manifest.seed(seed);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for point in grid {
+        for key in &point.topos {
+            let label = key.label();
+            if seen.insert(label.clone()) {
+                manifest.topology(label);
+            }
+        }
+    }
+    manifest.phases = vec![dcn_telemetry::PhaseAgg {
+        name: "engine.point".to_string(),
+        count: point_ns.len() as u64,
+        total_ns: point_ns.iter().sum(),
+        max_ns: point_ns.iter().copied().max().unwrap_or(0),
+        threads: threads.min(point_ns.len().max(1)) as u32,
+    }];
+    manifest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_resolves_zero() {
+        assert!(worker_count(0) >= 1);
+        assert_eq!(worker_count(3), 3);
+    }
+
+    #[test]
+    fn default_options_print_tables_only() {
+        let opts = RunOptions::default();
+        assert_eq!(opts.preset, Preset::Paper);
+        assert!(opts.print_tables);
+        assert!(!opts.print_summary);
+        assert!(opts.json_dir.is_none());
+    }
+
+    #[test]
+    fn summary_line_reports_cache_sharing() {
+        let report = EngineReport {
+            preset: Preset::Tiny,
+            threads: 4,
+            experiments: vec![ExperimentOutcome {
+                name: "x",
+                points: 2,
+                rows: 3,
+                records: 4,
+            }],
+            cache_hits: 7,
+            cache_misses: 2,
+            cache_entries: 2,
+            wall_ms: 12.0,
+        };
+        let line = report.summary_line();
+        assert!(line.contains("1 experiments"));
+        assert!(line.contains("2 built, 7 reused"));
+        assert_eq!(report.total_points(), 2);
+        assert_eq!(report.total_records(), 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! The registered experiments — every table/figure of the evaluation as a
+//! declarative spec (see [`crate::registry`]). Each module ports the
+//! historical `fig*`/`table*` binary: same paper grids, seeds, stdout
+//! tables and JSON record shapes, now with `tiny`/`scale` presets and
+//! engine-shared topologies.
+
+mod faults;
+mod packet;
+mod routing;
+mod scale;
+mod structural;
+mod traffic_sims;
+
+use crate::registry::{Experiment, Preset};
+
+/// The historical table title for the `paper` preset; other presets get a
+/// `[preset]` suffix so reduced/enlarged grids are not mistaken for the
+/// published numbers.
+pub(crate) fn titled(base: &str, preset: Preset) -> String {
+    match preset {
+        Preset::Paper => base.to_string(),
+        p => format!("{base} [{p}]"),
+    }
+}
+
+/// Every experiment, in evaluation order: tables first, then figures,
+/// then the scale demonstration.
+pub static REGISTRY: &[&dyn Experiment] = &[
+    &structural::Table1Properties,
+    &structural::Table2Capex,
+    &structural::Fig1Diameter,
+    &structural::Fig2Size,
+    &structural::Fig3Bisection,
+    &structural::Fig4Expansion,
+    &routing::Fig5PathLength,
+    &traffic_sims::Fig6Throughput,
+    &faults::Fig7Faults,
+    &routing::Fig8Permutations,
+    &routing::Fig9Broadcast,
+    &traffic_sims::Fig10Multipath,
+    &packet::Fig11Latency,
+    &structural::Fig12Headroom,
+    &traffic_sims::Fig13Shuffle,
+    &routing::Fig14LoadBalance,
+    &packet::Fig15Incast,
+    &faults::Fig16Correlated,
+    &faults::Fig17Adversarial,
+    &scale::ScaleDemo,
+];

@@ -1,0 +1,280 @@
+//! Packet-level experiments: Figures 11 and 15 — latency/loss under a
+//! permutation workload, and the incast ablation (open loop vs AIMD).
+
+use super::titled;
+use crate::cache::TopoKey;
+use crate::fmt_f;
+use crate::registry::{Experiment, PointCtx, PointSpec, Preset, Row};
+use dcn_workloads::traffic;
+use packetsim::{AimdConfig, FlowSpec, PacketSim, PacketSimConfig, PacketSimReport};
+use rand::SeedableRng;
+use serde::Serialize;
+
+// ---------------------------------------------------------------- Figure 11
+
+#[derive(Serialize)]
+struct LatencyRow {
+    report: PacketSimReport,
+    flows: usize,
+}
+
+/// **Figure 11** — packet-level latency distribution and loss.
+pub struct Fig11Latency;
+
+impl Fig11Latency {
+    fn grid(preset: Preset) -> Vec<TopoKey> {
+        match preset {
+            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2), TopoKey::BCube { n: 4, k: 1 }],
+            Preset::Paper => vec![
+                TopoKey::abccc(4, 2, 2),
+                TopoKey::abccc(4, 2, 3),
+                TopoKey::BCube { n: 4, k: 2 },
+                TopoKey::FatTree { p: 8 },
+                TopoKey::DCell { n: 4, k: 1 },
+            ],
+            Preset::Scale => {
+                let mut g = Self::grid(Preset::Paper);
+                g.push(TopoKey::abccc(4, 2, 4));
+                g.push(TopoKey::FatTree { p: 16 });
+                g
+            }
+        }
+    }
+}
+
+impl Experiment for Fig11Latency {
+    fn name(&self) -> &'static str {
+        "fig11_latency"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 11"
+    }
+    fn summary(&self) -> &'static str {
+        "packet-level latency percentiles, loss and goodput under bulk permutation"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled(
+            "Figure 11: packet-level latency & loss (64 bulk flows × 300 pkts, 1500 B, 64-pkt buffers)",
+            preset,
+        )
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "structure",
+            "flows",
+            "mean µs",
+            "p50 µs",
+            "p99 µs",
+            "loss",
+            "agg goodput Gbps",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec![
+            "(shape: latency orders by mean path length — BCube < ABCCC h=3 < h=2;".into(),
+            " the packet-level ranking matches the flow-level one of Figure 6)".into(),
+        ]
+    }
+    fn base_seed(&self) -> Option<u64> {
+        Some(0x1A7)
+    }
+    // The historical binary re-seeded every structure with the same
+    // constant; keep that to preserve the published numbers exactly.
+    fn point_seed(&self, _preset: Preset, _index: usize) -> u64 {
+        0x1A7
+    }
+    fn manifest_params(&self, _preset: Preset) -> Vec<(&'static str, String)> {
+        vec![
+            ("flows", "64".into()),
+            ("packets_per_flow", "300".into()),
+            ("packet_bytes", "1500".into()),
+            ("buffer_packets", "64".into()),
+        ]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::grid(preset)
+            .into_iter()
+            .map(|key| PointSpec::on(key.label(), key))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let key = Self::grid(ctx.preset)[ctx.index];
+        let t = ctx.topo(key)?;
+        let topo = t.topology();
+        let n = topo.network().server_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+        let pairs = traffic::random_permutation(n, &mut rng);
+        let flows: Vec<FlowSpec> = pairs
+            .iter()
+            .take(64)
+            .map(|&(s, d)| FlowSpec::bulk(s, d, 300))
+            .collect();
+        let cfg = PacketSimConfig::default();
+        let report = PacketSim::new(topo, cfg)
+            .run(&flows)
+            .map_err(|e| format!("{}: {e}", key.label()))?;
+        let cells = vec![
+            report.topology.clone(),
+            flows.len().to_string(),
+            fmt_f(report.mean_latency_ns as f64 / 1000.0, 1),
+            fmt_f(report.p50_latency_ns as f64 / 1000.0, 1),
+            fmt_f(report.p99_latency_ns as f64 / 1000.0, 1),
+            fmt_f(report.loss_rate(), 4),
+            fmt_f(report.goodput_gbps(1), 2),
+        ];
+        let row = LatencyRow {
+            report,
+            flows: flows.len(),
+        };
+        Ok(vec![Row::one(cells, &row)])
+    }
+}
+
+// ---------------------------------------------------------------- Figure 15
+
+#[derive(Serialize)]
+struct IncastRow {
+    structure: String,
+    fan_in: usize,
+    open_loss: f64,
+    aimd_loss: f64,
+    open_p99_us: f64,
+    aimd_p99_us: f64,
+}
+
+/// **Figure 15** — incast: open-loop bursts vs AIMD closed loop.
+pub struct Fig15Incast;
+
+impl Fig15Incast {
+    fn structures(preset: Preset) -> Vec<TopoKey> {
+        match preset {
+            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2)],
+            Preset::Paper => vec![
+                TopoKey::abccc(4, 2, 2),
+                TopoKey::abccc(4, 2, 3),
+                TopoKey::BCube { n: 4, k: 2 },
+            ],
+            Preset::Scale => {
+                let mut g = Self::structures(Preset::Paper);
+                g.push(TopoKey::abccc(4, 2, 4));
+                g
+            }
+        }
+    }
+
+    fn fan_ins(preset: Preset) -> Vec<usize> {
+        match preset {
+            Preset::Tiny => vec![4, 8],
+            Preset::Paper => vec![4, 8, 16, 32],
+            Preset::Scale => vec![4, 8, 16, 32, 64],
+        }
+    }
+
+    /// The historical row order: fan-in outer, structure inner.
+    fn grid(preset: Preset) -> Vec<(usize, TopoKey)> {
+        Self::fan_ins(preset)
+            .into_iter()
+            .flat_map(|f| Self::structures(preset).into_iter().map(move |s| (f, s)))
+            .collect()
+    }
+}
+
+impl Experiment for Fig15Incast {
+    fn name(&self) -> &'static str {
+        "fig15_incast"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 15"
+    }
+    fn summary(&self) -> &'static str {
+        "incast fan-in sweep: open-loop loss/p99 vs AIMD closed-loop"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled(
+            "Figure 15: incast (100-pkt bursts, 8-pkt buffers) — open loop vs AIMD",
+            preset,
+        )
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "structure",
+            "fan-in",
+            "open loss",
+            "AIMD loss",
+            "open p99 µs",
+            "AIMD p99 µs",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec![
+            "(shape: open-loop bursts lose >90% regardless of structure; AIMD cuts loss".into(),
+            " by 2–40×. Higher h helps (more sink NICs), and ABCCC beats even BCube:".into(),
+            " its crossbar spreads the convergence across the sink's ports)".into(),
+        ]
+    }
+    fn base_seed(&self) -> Option<u64> {
+        Some(0x1CA5)
+    }
+    // The historical binary re-seeded every run with the same constant;
+    // keep that to preserve the published numbers exactly.
+    fn point_seed(&self, _preset: Preset, _index: usize) -> u64 {
+        0x1CA5
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        let fan_ins = Self::fan_ins(preset)
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        vec![
+            ("fan_in", fan_ins),
+            ("burst_packets", "100".into()),
+            ("buffer_packets", "8".into()),
+        ]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::grid(preset)
+            .into_iter()
+            .map(|(fan_in, key)| PointSpec::on(format!("{} fan-in {fan_in}", key.label()), key))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let (fan_in, key) = Self::grid(ctx.preset)[ctx.index];
+        let t = ctx.topo(key)?;
+        let topo = t.topology();
+        let n = topo.network().server_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+        let pairs = traffic::many_to_one(n, fan_in, &mut rng);
+        let flows: Vec<FlowSpec> = pairs
+            .iter()
+            .map(|&(s, d)| FlowSpec::burst(s, d, 100, 0))
+            .collect();
+        let cfg = PacketSimConfig {
+            buffer_packets: 8,
+            ..Default::default()
+        };
+        let sim = PacketSim::new(topo, cfg);
+        let err = |e: netgraph::RouteError| format!("{}: {e}", key.label());
+        let open = sim.run(&flows).map_err(err)?;
+        let aimd = sim.run_aimd(&flows, AimdConfig::default()).map_err(err)?;
+        let row = IncastRow {
+            structure: open.topology.clone(),
+            fan_in,
+            open_loss: open.loss_rate(),
+            aimd_loss: aimd.loss_rate(),
+            open_p99_us: open.p99_latency_ns as f64 / 1000.0,
+            aimd_p99_us: aimd.p99_latency_ns as f64 / 1000.0,
+        };
+        Ok(vec![Row::one(
+            vec![
+                row.structure.clone(),
+                row.fan_in.to_string(),
+                fmt_f(row.open_loss, 4),
+                fmt_f(row.aimd_loss, 4),
+                fmt_f(row.open_p99_us, 0),
+                fmt_f(row.aimd_p99_us, 0),
+            ],
+            &row,
+        )])
+    }
+}

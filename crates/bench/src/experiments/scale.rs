@@ -1,0 +1,170 @@
+//! The scale demonstration — laptop-scale large instances (10⁵–10⁶ node
+//! networks): timed construction, routing throughput, sampled APL.
+
+use super::titled;
+use crate::fmt_f;
+use crate::registry::{Experiment, PointCtx, PointSpec, Preset, Row};
+use abccc::{Abccc, AbcccParams};
+use netgraph::{NodeId, Topology};
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The deterministic slice of a scale-demo row. Wall-clock build time and
+/// routes/s appear only in the stdout table — never in the JSON artifact,
+/// which must be byte-identical across runs and thread counts.
+#[derive(Serialize)]
+struct ScaleRow {
+    config: String,
+    servers: u64,
+    nodes: usize,
+    links: usize,
+    route_pairs: usize,
+    total_hops: u64,
+    sampled_apl: f64,
+}
+
+/// Scale demonstration — construction and routing well beyond figure sizes.
+pub struct ScaleDemo;
+
+impl ScaleDemo {
+    fn grid(preset: Preset) -> Vec<(u32, u32, u32)> {
+        match preset {
+            Preset::Tiny => vec![(8, 2, 2)],
+            Preset::Paper => vec![(8, 3, 3), (8, 3, 2), (16, 3, 3), (6, 4, 3)],
+            Preset::Scale => {
+                let mut g = Self::grid(Preset::Paper);
+                g.push((12, 3, 3));
+                g
+            }
+        }
+    }
+
+    fn route_pairs(preset: Preset) -> usize {
+        match preset {
+            Preset::Tiny => 2000,
+            Preset::Paper | Preset::Scale => 20_000,
+        }
+    }
+
+    fn apl_pairs(preset: Preset) -> usize {
+        match preset {
+            Preset::Tiny => 100,
+            Preset::Paper | Preset::Scale => 1000,
+        }
+    }
+}
+
+impl Experiment for ScaleDemo {
+    fn name(&self) -> &'static str {
+        "scale_demo"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Scale demo"
+    }
+    fn summary(&self) -> &'static str {
+        "construction + routing at 10⁵–10⁶ nodes: build time, routes/s, sampled APL"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled("Scale demo: construction + routing at large N", preset)
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "config",
+            "servers",
+            "nodes",
+            "links",
+            "build ms",
+            "routes/s (1-to-1)",
+            "sampled APL (1k pairs)",
+        ]
+    }
+    fn base_seed(&self) -> Option<u64> {
+        Some(1)
+    }
+    // The historical binary re-seeded every configuration with seed 1;
+    // keep that to preserve the sampled pairs exactly.
+    fn point_seed(&self, _preset: Preset, _index: usize) -> u64 {
+        1
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        vec![
+            ("route_pairs", Self::route_pairs(preset).to_string()),
+            ("apl_pairs", Self::apl_pairs(preset).to_string()),
+        ]
+    }
+    // Scale-demo points build their topologies fresh (PointSpec::pure, no
+    // cache) — the build itself is the thing being timed, and the large
+    // instances should be dropped as soon as the point completes.
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::grid(preset)
+            .into_iter()
+            .map(|(n, k, h)| PointSpec::pure(format!("ABCCC({n},{k},{h})")))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let (n, k, h) = Self::grid(ctx.preset)[ctx.index];
+        let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        let topo = Abccc::new(p).map_err(|e| format!("{p}: {e}"))?;
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let net = topo.network();
+
+        // Routing throughput (address arithmetic only — no graph walk).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+        let pairs: Vec<(NodeId, NodeId)> = (0..Self::route_pairs(ctx.preset))
+            .map(|_| {
+                (
+                    NodeId(rng.gen_range(0..p.server_count()) as u32),
+                    NodeId(rng.gen_range(0..p.server_count()) as u32),
+                )
+            })
+            .collect();
+        let t1 = Instant::now();
+        let mut total_hops = 0u64;
+        for &(s, d) in &pairs {
+            let r = abccc::DigitRouter::shortest()
+                .route_ids(&p, s, d)
+                .map_err(|e| format!("{p}: {e}"))?;
+            total_hops += abccc::routing::hops(&r) as u64;
+        }
+        let rps = pairs.len() as f64 / t1.elapsed().as_secs_f64();
+
+        // Sampled APL via the closed-form distance (exact per pair).
+        let apl_pairs = Self::apl_pairs(ctx.preset);
+        let sampled_apl: f64 = pairs
+            .iter()
+            .take(apl_pairs)
+            .map(|&(s, d)| {
+                abccc::routing::distance(
+                    &p,
+                    abccc::ServerAddr::from_node_id(&p, s),
+                    abccc::ServerAddr::from_node_id(&p, d),
+                ) as f64
+            })
+            .sum::<f64>()
+            / apl_pairs as f64;
+
+        let row = ScaleRow {
+            config: p.to_string(),
+            servers: p.server_count(),
+            nodes: net.node_count(),
+            links: net.link_count(),
+            route_pairs: pairs.len(),
+            total_hops,
+            sampled_apl,
+        };
+        Ok(vec![Row::one(
+            vec![
+                row.config.clone(),
+                row.servers.to_string(),
+                row.nodes.to_string(),
+                row.links.to_string(),
+                fmt_f(build_ms, 0),
+                fmt_f(rps, 0),
+                fmt_f(row.sampled_apl, 2),
+            ],
+            &row,
+        )])
+    }
+}

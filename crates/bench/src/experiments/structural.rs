@@ -1,0 +1,869 @@
+//! Structural experiments: Table 1/2 and Figures 1–4, 12 — closed-form
+//! sweeps, measured topology properties, bisection verification and the
+//! expansion/buy-ahead economics.
+
+use super::titled;
+use crate::cache::TopoKey;
+use crate::registry::{Experiment, PointCtx, PointSpec, Preset, Row};
+use crate::{fmt_f, fmt_opt};
+use abccc::AbcccParams;
+use dcn_baselines::{BCubeParams, BcccParams, DCellParams, FatTreeParams, HypercubeParams};
+use dcn_metrics::{expansion, CostModel, ExpansionLedger};
+use rand::SeedableRng;
+use serde::Serialize;
+
+fn e(err: impl std::fmt::Display) -> String {
+    err.to_string()
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Closed-form diameter for a configuration, where one exists.
+fn diameter_formula(key: TopoKey) -> Result<Option<u64>, String> {
+    Ok(match key {
+        TopoKey::Abccc { n, k, h } => Some(AbcccParams::new(n, k, h).map_err(e)?.diameter()),
+        TopoKey::Bccc { n, k } => Some(BcccParams::new(n, k).map_err(e)?.diameter()),
+        TopoKey::BCube { n, k } => Some(BCubeParams::new(n, k).map_err(e)?.diameter()),
+        TopoKey::DCell { .. } => None, // closed form is only a bound
+        TopoKey::FatTree { .. } => Some(1), // servers never forward
+        TopoKey::Ghc { n, d } => Some(HypercubeParams::new(n, d).map_err(e)?.diameter()),
+    })
+}
+
+#[derive(Serialize)]
+struct PropsRow {
+    name: String,
+    servers: u64,
+    switches: u64,
+    wires: u64,
+    ports: u32,
+    diameter_formula: Option<u64>,
+    diameter_bfs: Option<u32>,
+    apl: Option<f64>,
+    bisection: Option<u64>,
+}
+
+/// **Table 1** — structural comparison at representative configurations.
+pub struct Table1Properties;
+
+impl Table1Properties {
+    fn grid(preset: Preset) -> Vec<TopoKey> {
+        match preset {
+            Preset::Tiny => vec![
+                TopoKey::abccc(4, 1, 2),
+                TopoKey::Bccc { n: 4, k: 1 },
+                TopoKey::BCube { n: 4, k: 1 },
+                TopoKey::Ghc { n: 2, d: 3 },
+            ],
+            Preset::Paper => vec![
+                TopoKey::abccc(4, 2, 2),
+                TopoKey::abccc(4, 2, 3),
+                TopoKey::abccc(4, 2, 4),
+                TopoKey::Bccc { n: 4, k: 2 },
+                TopoKey::BCube { n: 4, k: 2 },
+                TopoKey::DCell { n: 4, k: 1 },
+                TopoKey::FatTree { p: 8 },
+                TopoKey::Ghc { n: 4, d: 3 },
+            ],
+            Preset::Scale => {
+                let mut g = Self::grid(Preset::Paper);
+                g.push(TopoKey::abccc(4, 3, 3));
+                g.push(TopoKey::BCube { n: 4, k: 3 });
+                g
+            }
+        }
+    }
+}
+
+impl Experiment for Table1Properties {
+    fn name(&self) -> &'static str {
+        "table1_properties"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 1"
+    }
+    fn summary(&self) -> &'static str {
+        "structural properties: servers, switches, wires, diameter, APL, bisection"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled("Table 1: structural properties (n=4-class configs)", preset)
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "structure",
+            "servers",
+            "switches",
+            "wires",
+            "ports/srv",
+            "D(formula)",
+            "D(BFS)",
+            "APL",
+            "bisection",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec!["(all closed-form diameters verified against BFS)".into()]
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        vec![(
+            "class",
+            format!("n=4 configs ({} structures)", Self::grid(preset).len()),
+        )]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::grid(preset)
+            .into_iter()
+            .map(|key| PointSpec::on(key.label(), key))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let key = Self::grid(ctx.preset)[ctx.index];
+        let t = ctx.topo(key)?;
+        let stats = t.stats_full();
+        let formula = diameter_formula(key)?;
+        // Consistency guard: where a closed form exists it must equal BFS.
+        if let (Some(f), Some(b)) = (formula, stats.diameter_server_hops) {
+            if f != u64::from(b) {
+                return Err(format!("{}: formula diameter {f} vs BFS {b}", stats.name));
+            }
+        }
+        let row = PropsRow {
+            name: stats.name.clone(),
+            servers: stats.servers,
+            switches: stats.switches,
+            wires: stats.wires,
+            ports: stats.max_server_ports,
+            diameter_formula: formula,
+            diameter_bfs: stats.diameter_server_hops,
+            apl: stats.avg_path_length,
+            bisection: Some(t.exact_bisection()),
+        };
+        Ok(vec![Row::one(
+            vec![
+                row.name.clone(),
+                row.servers.to_string(),
+                row.switches.to_string(),
+                row.wires.to_string(),
+                row.ports.to_string(),
+                fmt_opt(row.diameter_formula),
+                fmt_opt(row.diameter_bfs),
+                row.apl.map_or("—".into(), |v| fmt_f(v, 2)),
+                fmt_opt(row.bisection),
+            ],
+            &row,
+        )])
+    }
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// **Table 2** — CAPEX at comparable scale under the default cost model.
+pub struct Table2Capex;
+
+impl Table2Capex {
+    fn grid(preset: Preset) -> Vec<TopoKey> {
+        match preset {
+            Preset::Tiny => vec![
+                TopoKey::abccc(4, 1, 2),
+                TopoKey::Bccc { n: 4, k: 1 },
+                TopoKey::BCube { n: 4, k: 1 },
+            ],
+            Preset::Paper => vec![
+                TopoKey::abccc(4, 3, 2),
+                TopoKey::abccc(4, 3, 3),
+                TopoKey::abccc(4, 3, 5),
+                TopoKey::Bccc { n: 4, k: 3 },
+                TopoKey::BCube { n: 4, k: 4 },
+                TopoKey::DCell { n: 5, k: 2 },
+                TopoKey::FatTree { p: 16 },
+                TopoKey::Ghc { n: 4, d: 5 },
+            ],
+            Preset::Scale => {
+                let mut g = Self::grid(Preset::Paper);
+                g.push(TopoKey::abccc(6, 3, 2));
+                g.push(TopoKey::FatTree { p: 24 });
+                g
+            }
+        }
+    }
+}
+
+impl Experiment for Table2Capex {
+    fn name(&self) -> &'static str {
+        "table2_capex"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 2"
+    }
+    fn summary(&self) -> &'static str {
+        "capital expenditure at comparable scale (switch/NIC/cable spend per server)"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled(
+            "Table 2: CAPEX at comparable scale (default cost model, USD)",
+            preset,
+        )
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "structure",
+            "servers",
+            "switch $",
+            "NIC $",
+            "cable $",
+            "total $",
+            "$/server",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        let cost = CostModel::default();
+        vec![format!(
+            "(cost model: NIC port ${}, cable ${}, switch tiers {:?})",
+            cost.nic_port, cost.cable, cost.switch_port_tiers
+        )]
+    }
+    fn manifest_params(&self, _preset: Preset) -> Vec<(&'static str, String)> {
+        vec![("scale", "~0.4k-1k servers".into())]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::grid(preset)
+            .into_iter()
+            .map(|key| PointSpec::on(key.label(), key))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let key = Self::grid(ctx.preset)[ctx.index];
+        let t = ctx.topo(key)?;
+        let capex = CostModel::default().capex(t.stats_quick());
+        Ok(vec![Row::one(
+            vec![
+                capex.name.clone(),
+                capex.servers.to_string(),
+                fmt_f(capex.switches_usd, 0),
+                fmt_f(capex.nics_usd, 0),
+                fmt_f(capex.cables_usd, 0),
+                fmt_f(capex.total(), 0),
+                fmt_f(capex.per_server(), 2),
+            ],
+            &capex,
+        )])
+    }
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+#[derive(Serialize)]
+struct SeriesPoint {
+    series: String,
+    k: u32,
+    diameter: u64,
+}
+
+fn k_range(preset: Preset) -> std::ops::RangeInclusive<u32> {
+    match preset {
+        Preset::Tiny => 1..=2,
+        Preset::Paper => 1..=6,
+        Preset::Scale => 1..=8,
+    }
+}
+
+/// **Figure 1** — diameter vs order `k` (closed forms).
+pub struct Fig1Diameter;
+
+impl Experiment for Fig1Diameter {
+    fn name(&self) -> &'static str {
+        "fig1_diameter"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 1"
+    }
+    fn summary(&self) -> &'static str {
+        "diameter vs order k: ABCCC h∈{2..5} against BCube and the DCell bound"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled("Figure 1: diameter (server hops) vs order k, n = 4", preset)
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "k",
+            "ABCCC h=2 (BCCC)",
+            "ABCCC h=3",
+            "ABCCC h=4",
+            "ABCCC h=5",
+            "BCube",
+            "DCell bound",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec!["(shape: BCube k+1 ≤ ABCCC (k+1)+m ≤ BCCC 2(k+1); larger h shrinks m)".into()]
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        let r = k_range(preset);
+        vec![
+            ("n", "4".into()),
+            ("k", format!("{}..={}", r.start(), r.end())),
+            ("h", "2..=5".into()),
+        ]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        k_range(preset)
+            .map(|k| PointSpec::pure(format!("k={k}")))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let n = 4;
+        let k = *k_range(ctx.preset).start() + ctx.index as u32;
+        let mut cells = vec![k.to_string()];
+        let mut records = Vec::new();
+        for h in [2, 3, 4, 5] {
+            let p = AbcccParams::new(n, k, h).map_err(e)?;
+            cells.push(p.diameter().to_string());
+            records.push(SeriesPoint {
+                series: format!("ABCCC h={h}"),
+                k,
+                diameter: p.diameter(),
+            });
+        }
+        let bc = BCubeParams::new(n, k).map_err(e)?;
+        cells.push(bc.diameter().to_string());
+        records.push(SeriesPoint {
+            series: "BCube".into(),
+            k,
+            diameter: bc.diameter(),
+        });
+        let dc = DCellParams::new(n, k.min(3)).map(|p| p.diameter_bound());
+        cells.push(dc.map_or("—".into(), |d| d.to_string()));
+        Ok(vec![Row::with_records(cells, &records)])
+    }
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+#[derive(Serialize)]
+struct SizePoint {
+    series: String,
+    k: u32,
+    servers: u64,
+}
+
+/// **Figure 2** — network size (servers) vs order `k`.
+pub struct Fig2Size;
+
+impl Experiment for Fig2Size {
+    fn name(&self) -> &'static str {
+        "fig2_size"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 2"
+    }
+    fn summary(&self) -> &'static str {
+        "servers vs order k at fixed component classes, fat-tree cap for reference"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled(
+            "Figure 2: servers vs order k, n = 4 (fat-tree p=16 for reference)",
+            preset,
+        )
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "k",
+            "ABCCC h=2",
+            "ABCCC h=3",
+            "ABCCC h=4",
+            "BCube",
+            "DCell",
+            "FatTree(16)",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec![
+            "(shape: at equal k, ABCCC holds m× the servers of BCube on identical switches)".into(),
+        ]
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        let r = k_range(preset);
+        vec![
+            ("n", "4".into()),
+            ("k", format!("{}..={}", r.start(), r.end())),
+            ("h", "2..=4".into()),
+            ("fattree_p", "16".into()),
+        ]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        k_range(preset)
+            .map(|k| PointSpec::pure(format!("k={k}")))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let n = 4;
+        let k = *k_range(ctx.preset).start() + ctx.index as u32;
+        let ft = FatTreeParams::new(16).map_err(e)?.server_count();
+        let mut cells = vec![k.to_string()];
+        let mut records = Vec::new();
+        for h in [2, 3, 4] {
+            let p = AbcccParams::new(n, k, h).map_err(e)?;
+            cells.push(p.server_count().to_string());
+            records.push(SizePoint {
+                series: format!("ABCCC h={h}"),
+                k,
+                servers: p.server_count(),
+            });
+        }
+        let bc = BCubeParams::new(n, k).map_err(e)?;
+        cells.push(bc.server_count().to_string());
+        records.push(SizePoint {
+            series: "BCube".into(),
+            k,
+            servers: bc.server_count(),
+        });
+        let dc = DCellParams::new(n, k.min(3)).map(|p| p.server_count());
+        cells.push(dc.map_or("—".into(), |s| s.to_string()));
+        cells.push(ft.to_string());
+        Ok(vec![Row::with_records(cells, &records)])
+    }
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+#[derive(Serialize)]
+struct BisectionPoint {
+    name: String,
+    k: u32,
+    h: u32,
+    bisection_formula: u64,
+    per_server: f64,
+    exact_small: Option<u64>,
+    probe_min: Option<u64>,
+}
+
+/// **Figure 3** — bisection width across `(k, h)`, verified exactly on
+/// small instances with max-flow and probed with random bipartitions.
+pub struct Fig3Bisection;
+
+impl Fig3Bisection {
+    fn grid(preset: Preset) -> Vec<(u32, u32)> {
+        let (ks, hs): (Vec<u32>, Vec<u32>) = match preset {
+            Preset::Tiny => (vec![1], vec![2, 3]),
+            Preset::Paper => ((1..=4).collect(), vec![2, 3, 4]),
+            Preset::Scale => ((1..=5).collect(), vec![2, 3, 4, 5]),
+        };
+        ks.iter()
+            .flat_map(|&k| hs.iter().map(move |&h| (k, h)))
+            .collect()
+    }
+}
+
+impl Experiment for Fig3Bisection {
+    fn name(&self) -> &'static str {
+        "fig3_bisection"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 3"
+    }
+    fn summary(&self) -> &'static str {
+        "bisection width vs (k,h): formula, exact max-flow check, random-cut probe"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled("Figure 3: bisection width vs (k, h), n = 4", preset)
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "config",
+            "servers",
+            "bisection",
+            "per server",
+            "max-flow check",
+            "probe min",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec!["(shape: per-server bisection = 1/(2m) — rises with h at fixed k)".into()]
+    }
+    fn base_seed(&self) -> Option<u64> {
+        Some(0xB15EC)
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        vec![
+            ("n", "4".into()),
+            ("grid", format!("{} (k,h) points", Self::grid(preset).len())),
+        ]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::grid(preset)
+            .into_iter()
+            .map(|(k, h)| {
+                let key = TopoKey::abccc(4, k, h);
+                match AbcccParams::new(4, k, h) {
+                    Ok(p) if p.server_count() <= 512 => PointSpec::on(key.label(), key),
+                    _ => PointSpec::pure(key.label()),
+                }
+            })
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let (k, h) = Fig3Bisection::grid(ctx.preset)[ctx.index];
+        let p = AbcccParams::new(4, k, h).map_err(e)?;
+        let formula = p.bisection_width().ok_or_else(|| format!("{p}: odd n"))?;
+        let per_server = p
+            .bisection_per_server()
+            .ok_or_else(|| format!("{p}: odd n"))?;
+        // Exact verification on instances small enough for max-flow.
+        let (exact, probe) = if p.server_count() <= 512 {
+            let t = ctx.abccc(4, k, h)?;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+            let exact = t.exact_bisection();
+            let probe =
+                dcn_metrics::bisection::random_balanced_probe(t.topology().network(), 4, &mut rng);
+            (Some(exact), Some(probe.min_cut))
+        } else {
+            (None, None)
+        };
+        if let Some(ex) = exact {
+            if ex != formula {
+                return Err(format!(
+                    "{p}: max-flow {ex} disagrees with formula {formula}"
+                ));
+            }
+        }
+        if let Some(pm) = probe {
+            if pm < formula {
+                return Err(format!(
+                    "{p}: random cut {pm} beat the canonical cut {formula}"
+                ));
+            }
+        }
+        let point = BisectionPoint {
+            name: p.to_string(),
+            k,
+            h,
+            bisection_formula: formula,
+            per_server,
+            exact_small: exact,
+            probe_min: probe,
+        };
+        Ok(vec![Row::one(
+            vec![
+                p.to_string(),
+                p.server_count().to_string(),
+                formula.to_string(),
+                fmt_f(per_server, 4),
+                exact.map_or("—".into(), |v| v.to_string()),
+                probe.map_or("—".into(), |v| v.to_string()),
+            ],
+            &point,
+        )])
+    }
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// **Figure 4** — expansion cost: new spend vs legacy impact per family.
+pub struct Fig4Expansion;
+
+/// One expansion series: a family label and how many growth steps to take.
+struct ExpFamily {
+    label: &'static str,
+    steps: usize,
+}
+
+impl Fig4Expansion {
+    fn grid(preset: Preset) -> Vec<ExpFamily> {
+        let (a, d, f) = match preset {
+            Preset::Tiny => (1, 1, 1),
+            Preset::Paper => (3, 2, 2),
+            Preset::Scale => (4, 3, 3),
+        };
+        vec![
+            ExpFamily {
+                label: "ABCCC h=2",
+                steps: a,
+            },
+            ExpFamily {
+                label: "ABCCC h=3",
+                steps: a,
+            },
+            ExpFamily {
+                label: "BCube",
+                steps: a,
+            },
+            ExpFamily {
+                label: "DCell",
+                steps: d,
+            },
+            ExpFamily {
+                label: "FatTree",
+                steps: f,
+            },
+        ]
+    }
+
+    fn ledgers(family: &ExpFamily) -> Result<Vec<ExpansionLedger>, String> {
+        let cost = CostModel::default();
+        let mut ledgers = Vec::new();
+        match family.label {
+            "ABCCC h=2" | "ABCCC h=3" => {
+                let h = if family.label.ends_with('2') { 2 } else { 3 };
+                let mut p = AbcccParams::new(4, 1, h).map_err(e)?;
+                for _ in 0..family.steps {
+                    ledgers.push(expansion::abccc_expansion(p, &cost).map_err(e)?);
+                    p = p.grown().map_err(e)?;
+                }
+            }
+            "BCube" => {
+                let mut p = BCubeParams::new(4, 1).map_err(e)?;
+                for _ in 0..family.steps {
+                    ledgers.push(expansion::bcube_expansion(p, &cost).map_err(e)?);
+                    p = BCubeParams::new(4, p.k() + 1).map_err(e)?;
+                }
+            }
+            "DCell" => {
+                let mut p = DCellParams::new(4, 0).map_err(e)?;
+                for _ in 0..family.steps {
+                    ledgers.push(expansion::dcell_expansion(p.clone(), &cost).map_err(e)?);
+                    p = DCellParams::new(4, p.k() + 1).map_err(e)?;
+                }
+            }
+            "FatTree" => {
+                let mut from = 4u32;
+                for _ in 0..family.steps {
+                    let to = from + 2;
+                    ledgers.push(
+                        expansion::fattree_expansion(
+                            FatTreeParams::new(from).map_err(e)?,
+                            to,
+                            &cost,
+                        )
+                        .map_err(e)?,
+                    );
+                    from = to;
+                }
+            }
+            other => return Err(format!("unknown expansion family {other}")),
+        }
+        Ok(ledgers)
+    }
+}
+
+impl Experiment for Fig4Expansion {
+    fn name(&self) -> &'static str {
+        "fig4_expansion"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 4"
+    }
+    fn summary(&self) -> &'static str {
+        "expansion steps: new capex vs legacy hardware touched, per family"
+    }
+    fn title(&self, preset: Preset) -> String {
+        titled(
+            "Figure 4: expansion steps — new spend vs legacy impact",
+            preset,
+        )
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "step",
+            "servers",
+            "new capex $",
+            "legacy NICs added",
+            "legacy cables rewired",
+            "legacy switches discarded",
+            "legacy touch",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec![
+            "(shape: ABCCC/BCCC rows show zero legacy impact; BCube/DCell touch 100% of servers)"
+                .into(),
+        ]
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        let g = Self::grid(preset);
+        vec![
+            ("n", "4".into()),
+            (
+                "steps",
+                format!(
+                    "{} ({} for DCell, {} for fat-tree)",
+                    g[0].steps, g[3].steps, g[4].steps
+                ),
+            ),
+        ]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::grid(preset)
+            .into_iter()
+            .map(|f| PointSpec::pure(f.label))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let family = &Fig4Expansion::grid(ctx.preset)[ctx.index];
+        let ledgers = Fig4Expansion::ledgers(family)?;
+        Ok(ledgers
+            .iter()
+            .map(|l| {
+                Row::one(
+                    vec![
+                        l.name.clone(),
+                        format!("{}→{}", l.from_servers, l.to_servers),
+                        fmt_f(l.new_capex_usd, 0),
+                        l.legacy_nics_added.to_string(),
+                        l.legacy_cables_rewired.to_string(),
+                        l.legacy_switches_discarded.to_string(),
+                        if l.legacy_untouched() {
+                            "none".into()
+                        } else if l.legacy_switches_discarded > 0 {
+                            "fabric rebuilt".into()
+                        } else {
+                            format!("{:.0}% of servers", 100.0 * l.legacy_touch_fraction())
+                        },
+                    ],
+                    l,
+                )
+            })
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------- Figure 12
+
+#[derive(Serialize)]
+struct Strategy {
+    initial_radix: u32,
+    upfront_crossbar_usd: f64,
+    total_crossbar_usd: f64,
+    crossbars_discarded: u64,
+    groups_recabled: u64,
+}
+
+/// **Figure 12** — crossbar radix buy-ahead economics under growth.
+pub struct Fig12Headroom;
+
+impl Fig12Headroom {
+    fn radixes(preset: Preset) -> Vec<u32> {
+        match preset {
+            Preset::Tiny => vec![2, 4],
+            Preset::Paper => vec![2, 4, 6, 8],
+            Preset::Scale => vec![2, 4, 6, 8, 10],
+        }
+    }
+    fn k1(preset: Preset) -> u32 {
+        match preset {
+            Preset::Tiny => 3,
+            Preset::Paper => 5,
+            Preset::Scale => 6,
+        }
+    }
+}
+
+impl Experiment for Fig12Headroom {
+    fn name(&self) -> &'static str {
+        "fig12_headroom"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Figure 12"
+    }
+    fn summary(&self) -> &'static str {
+        "crossbar buy-ahead: upfront radix headroom vs forced replacement cost"
+    }
+    fn title(&self, preset: Preset) -> String {
+        let k1 = Self::k1(preset);
+        titled(
+            &format!(
+                "Figure 12: crossbar radix buy-ahead, ABCCC(4,k,2) grown k=1→{k1} (m: 2→{})",
+                k1 + 1
+            ),
+            preset,
+        )
+    }
+    fn headers(&self) -> &'static [&'static str] {
+        &[
+            "initial radix c",
+            "upfront crossbar $",
+            "total crossbar $",
+            "crossbars discarded",
+            "groups recabled",
+        ]
+    }
+    fn footer(&self, _preset: Preset) -> Vec<String> {
+        vec![
+            "(shape: buying m_final-port crossbars up front costs pennies more per group".into(),
+            " and preserves the zero-touch expansion; under-buying forces a fabric-wide".into(),
+            " crossbar replacement — the BCube-style legacy cost ABCCC is built to avoid)".into(),
+        ]
+    }
+    fn manifest_params(&self, preset: Preset) -> Vec<(&'static str, String)> {
+        vec![
+            ("n", "4".into()),
+            ("h", "2".into()),
+            ("k", format!("1..={}", Self::k1(preset))),
+            (
+                "initial_radix",
+                Self::radixes(preset)
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ),
+        ]
+    }
+    fn points(&self, preset: Preset) -> Vec<PointSpec> {
+        Self::radixes(preset)
+            .into_iter()
+            .map(|c| PointSpec::pure(format!("c0={c}")))
+            .collect()
+    }
+    fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
+        let cost = CostModel::default();
+        let (n, k0, k1) = (4u32, 1u32, Self::k1(ctx.preset));
+        let c0 = Self::radixes(ctx.preset)[ctx.index];
+        let m_final = AbcccParams::new(n, k1, 2).map_err(e)?.group_size();
+        let mut radix = c0;
+        let mut total = 0.0f64;
+        let mut upfront = 0.0f64;
+        let mut discarded = 0u64;
+        let mut recabled = 0u64;
+        for k in k0..=k1 {
+            let p = AbcccParams::new(n, k, 2).map_err(e)?;
+            let m = p.group_size();
+            let labels = p.label_space();
+            let prev_labels = if k == k0 {
+                0
+            } else {
+                AbcccParams::new(n, k - 1, 2).map_err(e)?.label_space()
+            };
+            if m > radix {
+                // Outgrew the installed crossbars: replace them all.
+                discarded += prev_labels;
+                recabled += prev_labels;
+                total += cost.switch_price(m_final as usize) * prev_labels as f64;
+                radix = m_final; // replacement buys full headroom
+            }
+            // New labels get crossbars at the current purchase radix.
+            let new_labels = labels - prev_labels;
+            let buy = cost.switch_price(radix.max(m) as usize) * new_labels as f64;
+            total += buy;
+            if k == k0 {
+                upfront = buy;
+            }
+        }
+        let row = Strategy {
+            initial_radix: c0,
+            upfront_crossbar_usd: upfront,
+            total_crossbar_usd: total,
+            crossbars_discarded: discarded,
+            groups_recabled: recabled,
+        };
+        Ok(vec![Row::one(
+            vec![
+                c0.to_string(),
+                fmt_f(upfront, 0),
+                fmt_f(total, 0),
+                discarded.to_string(),
+                recabled.to_string(),
+            ],
+            &row,
+        )])
+    }
+}

@@ -1,19 +1,28 @@
 //! # abccc-bench — the experiment harness
 //!
-//! One binary per table/figure of the ABCCC evaluation (see
-//! `EXPERIMENTS.md` at the repository root for the index). Each binary
-//! prints the paper-style rows to stdout and, when `ABCCC_BENCH_JSON` is
-//! set to a directory, also drops a machine-readable JSON series there.
+//! Every table/figure of the ABCCC evaluation is a registered
+//! [`registry::Experiment`] (see `EXPERIMENTS.md` at the repository root
+//! for the index). The [`engine`] executes any set of them at a chosen
+//! [`registry::Preset`] with a shared topology [`cache`] and
+//! work-stealing parallelism; each experiment prints its paper-style
+//! stdout table and, when a JSON directory is given, drops a
+//! deterministic rows artifact plus a provenance manifest there.
 //!
-//! Run e.g.:
+//! The historical one-binary-per-figure entry points still exist as thin
+//! shims over the registry. Run e.g.:
 //!
 //! ```text
-//! cargo run -p abccc-bench --release --bin table1_properties
+//! cargo run -p abccc-cli --release -- experiments run --all --preset tiny
 //! cargo run -p abccc-bench --release --bin fig6_throughput
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod experiments;
+pub mod registry;
 
 use serde::Serialize;
 
@@ -87,7 +96,12 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) {
     let Ok(dir) = std::env::var("ABCCC_BENCH_JSON") else {
         return;
     };
-    let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(s) => {
             if let Err(e) = std::fs::write(&path, s) {
@@ -149,6 +163,10 @@ impl BenchRun {
             return;
         };
         let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+            return;
+        }
         let name = &self.manifest.experiment;
         let manifest_path = dir.join(format!("{name}.manifest.json"));
         if let Err(e) = self.manifest.write(&manifest_path) {

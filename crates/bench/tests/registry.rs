@@ -1,0 +1,196 @@
+//! Registry + engine integration tests.
+//!
+//! Every registered experiment's tiny preset actually runs here: rows are
+//! produced, the JSON rows artifact parses into a sequence of records with
+//! a uniform schema, and the artifact bytes are identical whether the
+//! engine ran on one thread or several.
+
+use abccc_bench::engine::{run, RunOptions};
+use abccc_bench::registry::{all, find, Preset};
+use serde::Value;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// A scratch directory that is removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("abccc-registry-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn registry_names_are_unique_and_resolvable() {
+    let specs = all();
+    assert_eq!(specs.len(), 20, "the evaluation defines 20 experiments");
+    let names: BTreeSet<&str> = specs.iter().map(|s| s.name()).collect();
+    assert_eq!(
+        names.len(),
+        specs.len(),
+        "duplicate experiment name registered"
+    );
+    for spec in specs {
+        let found = find(spec.name()).expect("registered name must resolve");
+        assert_eq!(found.name(), spec.name());
+        assert!(!spec.paper_ref().is_empty());
+        assert!(!spec.summary().is_empty());
+        assert!(!spec.headers().is_empty());
+    }
+    assert!(find("no_such_experiment").is_none());
+}
+
+#[test]
+fn every_spec_declares_a_nonempty_tiny_grid() {
+    for spec in all() {
+        let points = spec.points(Preset::Tiny);
+        assert!(!points.is_empty(), "{}: empty tiny grid", spec.name());
+        for (i, p) in points.iter().enumerate() {
+            assert!(!p.label.is_empty(), "{}[{i}]: empty label", spec.name());
+        }
+    }
+}
+
+#[test]
+fn point_seeds_are_deterministic() {
+    for spec in all() {
+        for i in 0..spec.points(Preset::Tiny).len() {
+            assert_eq!(
+                spec.point_seed(Preset::Tiny, i),
+                spec.point_seed(Preset::Tiny, i),
+                "{}[{i}]: unstable seed",
+                spec.name()
+            );
+        }
+    }
+}
+
+/// The tentpole guarantee: the full tiny sweep succeeds, every experiment
+/// produces rows, every rows artifact is schema-valid JSON, and the bytes
+/// are identical at 1 vs 4 worker threads. Manifests are provenance (they
+/// carry wall-clock timings) and are excluded from the byte comparison.
+#[test]
+fn tiny_sweep_is_deterministic_across_thread_counts() {
+    let dir_a = Scratch::new("t1");
+    let dir_b = Scratch::new("t4");
+    let specs = all();
+
+    let base = RunOptions {
+        preset: Preset::Tiny,
+        print_tables: false,
+        print_summary: false,
+        ..Default::default()
+    };
+    let report_a = run(
+        specs,
+        &RunOptions {
+            threads: 1,
+            json_dir: Some(dir_a.0.clone()),
+            ..base.clone()
+        },
+    )
+    .expect("single-threaded tiny sweep");
+    let report_b = run(
+        specs,
+        &RunOptions {
+            threads: 4,
+            json_dir: Some(dir_b.0.clone()),
+            ..base
+        },
+    )
+    .expect("multi-threaded tiny sweep");
+
+    assert_eq!(report_a.experiments.len(), specs.len());
+    assert_eq!(report_b.experiments.len(), specs.len());
+
+    for (spec, outcome) in specs.iter().zip(&report_a.experiments) {
+        assert_eq!(outcome.name, spec.name());
+        assert!(outcome.rows > 0, "{}: produced no rows", spec.name());
+        assert!(outcome.records > 0, "{}: produced no records", spec.name());
+
+        let rows_a = std::fs::read(dir_a.0.join(format!("{}.json", spec.name())))
+            .unwrap_or_else(|e| panic!("{}: missing rows artifact: {e}", spec.name()));
+        let rows_b = std::fs::read(dir_b.0.join(format!("{}.json", spec.name())))
+            .unwrap_or_else(|e| panic!("{}: missing rows artifact: {e}", spec.name()));
+        assert_eq!(
+            rows_a,
+            rows_b,
+            "{}: rows artifact differs between 1 and 4 threads",
+            spec.name()
+        );
+
+        // Schema check: a sequence of records whose key sets agree.
+        let text = String::from_utf8(rows_a).expect("rows artifact is UTF-8");
+        let value: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{}: rows artifact does not parse: {e:?}", spec.name()));
+        let Value::Seq(records) = value else {
+            panic!("{}: rows artifact is not a JSON array", spec.name());
+        };
+        assert_eq!(
+            records.len(),
+            outcome.records,
+            "{}: record count mismatch",
+            spec.name()
+        );
+        let mut first_keys: Option<BTreeSet<String>> = None;
+        for record in &records {
+            let Value::Map(entries) = record else {
+                panic!("{}: record is not a JSON object", spec.name());
+            };
+            let keys: BTreeSet<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+            assert!(!keys.is_empty(), "{}: record with no fields", spec.name());
+            match &first_keys {
+                None => first_keys = Some(keys),
+                Some(expected) => assert_eq!(
+                    &keys,
+                    expected,
+                    "{}: records disagree on schema",
+                    spec.name()
+                ),
+            }
+        }
+
+        // Manifests exist for each experiment (contents carry timings, so
+        // no byte comparison here).
+        for dir in [&dir_a.0, &dir_b.0] {
+            let manifest = dir.join(format!("{}.manifest.json", spec.name()));
+            assert!(manifest.is_file(), "{}: missing manifest", spec.name());
+        }
+    }
+
+    // The shared cache must actually be shared: the sweep touches the same
+    // small topologies from many experiments.
+    assert!(
+        report_a.cache_hits > 0,
+        "tiny sweep never reused a cached topology (hits=0, misses={})",
+        report_a.cache_misses
+    );
+}
+
+/// The engine creates the artifact directory if missing (satellite 2) and
+/// hard-errors when it cannot.
+#[test]
+fn engine_creates_missing_artifact_dir() {
+    let scratch = Scratch::new("mkdir");
+    let nested = scratch.0.join("a/b/c");
+    let spec = find("table1_properties").expect("registered");
+    let opts = RunOptions {
+        preset: Preset::Tiny,
+        threads: 1,
+        json_dir: Some(nested.clone()),
+        print_tables: false,
+        print_summary: false,
+    };
+    let report = run(&[spec], &opts).expect("engine run with missing dir");
+    assert_eq!(report.experiments.len(), 1);
+    assert!(nested.join("table1_properties.json").is_file());
+    assert!(nested.join("table1_properties.manifest.json").is_file());
+}

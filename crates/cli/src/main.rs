@@ -8,6 +8,7 @@
 //! abccc-cli simulate abccc 4 2 3 --pattern permutation --seed 7
 //! abccc-cli expand   4 2 3 --steps 3        # expansion plan
 //! abccc-cli capex    abccc 4 2 3            # cost breakdown
+//! abccc-cli experiments run --all --preset tiny   # full paper sweep, small grids
 //! ```
 //!
 //! Families: `abccc n k h`, `bccc n k`, `bcube n k`, `dcell n k`,
@@ -36,10 +37,14 @@ struct CliOptions {
 
 impl CliOptions {
     fn extract(args: &mut Vec<String>) -> CliOptions {
+        // For `experiments` the `--json` flag takes a directory operand
+        // and is parsed by the subcommand itself; everywhere else it is a
+        // boolean toggling JSON report output.
+        let experiments = args.first().is_some_and(|a| a == "experiments");
         CliOptions {
             trace: take_flag(args, "--trace"),
             metrics_out: take_flag_value(args, "--metrics-out"),
-            json: take_flag(args, "--json"),
+            json: !experiments && take_flag(args, "--json"),
         }
     }
 }
@@ -146,6 +151,11 @@ const USAGE: &str = "usage:
       [--router resilient|digit|vlb] [--no-bfs] [--pattern random|permutation|convergent]
       [--pairs N] [--trials N] [--seed N] [--threads N] [--no-throughput]
                                              seeded fault campaign with degradation report
+  abccc-cli experiments list                 index of registered paper experiments
+  abccc-cli experiments run <name…> | --all [--preset tiny|paper|scale]
+      [--json DIR] [--threads N]             run experiments through the sweep engine
+                                             (--json here takes a directory for rows +
+                                             manifest artifacts)
 
 families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d
 
@@ -242,6 +252,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
         "design" => design_cmd(rest),
         "broadcast" => broadcast_cmd(rest, json),
         "resilience" => resilience_cmd(rest, json),
+        "experiments" => experiments_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -729,6 +740,81 @@ fn resilience_cmd(args: &[String], json: bool) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn experiments_cmd(args: &[String]) -> Result<(), String> {
+    use abccc_bench::engine::{run, RunOptions};
+    use abccc_bench::registry::{all, find, Preset};
+
+    let sub = args.first().ok_or("experiments needs `list` or `run`")?;
+    let rest = &args[1..];
+    match sub.as_str() {
+        "list" => {
+            println!(
+                "{:<20} {:<11} {:>4} {:>5} {:>5}  summary",
+                "name", "paper ref", "tiny", "paper", "scale"
+            );
+            for spec in all() {
+                println!(
+                    "{:<20} {:<11} {:>4} {:>5} {:>5}  {}",
+                    spec.name(),
+                    spec.paper_ref(),
+                    spec.points(Preset::Tiny).len(),
+                    spec.points(Preset::Paper).len(),
+                    spec.points(Preset::Scale).len(),
+                    spec.summary(),
+                );
+            }
+            println!("(point counts are grid points per preset)");
+            Ok(())
+        }
+        "run" => {
+            let mut rest: Vec<String> = rest.to_vec();
+            let run_all = take_flag(&mut rest, "--all");
+            let preset = match take_flag_value(&mut rest, "--preset") {
+                None => Preset::Paper,
+                Some(p) => Preset::parse(&p)
+                    .ok_or_else(|| format!("unknown preset `{p}` (tiny|paper|scale)"))?,
+            };
+            let json_dir = take_flag_value(&mut rest, "--json").map(Into::into);
+            let threads: usize = match take_flag_value(&mut rest, "--threads") {
+                None => 0,
+                Some(t) => t.parse().map_err(|_| "--threads expects a number")?,
+            };
+            if let Some(bad) = rest.iter().find(|a| a.starts_with("--")) {
+                return Err(format!("unknown flag `{bad}` for experiments run"));
+            }
+            let specs: Vec<&'static dyn abccc_bench::registry::Experiment> = if run_all {
+                if !rest.is_empty() {
+                    return Err("give either --all or experiment names, not both".into());
+                }
+                all().to_vec()
+            } else {
+                if rest.is_empty() {
+                    return Err(
+                        "experiments run needs names or --all (see `experiments list`)".into(),
+                    );
+                }
+                rest.iter()
+                    .map(|name| {
+                        find(name).ok_or_else(|| {
+                            format!("unknown experiment `{name}` (see `experiments list`)")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            let opts = RunOptions {
+                preset,
+                threads,
+                json_dir,
+                print_tables: true,
+                print_summary: true,
+            };
+            run(&specs, &opts)?;
+            Ok(())
+        }
+        other => Err(format!("unknown experiments subcommand `{other}`")),
+    }
 }
 
 fn capex(args: &[String], json: bool) -> Result<(), String> {

@@ -282,3 +282,44 @@ fn metrics_out_writes_jsonl() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn experiments_list_indexes_registry() {
+    let out = stdout(&["experiments", "list"]);
+    assert!(out.contains("table1_properties"));
+    assert!(out.contains("fig17_adversarial"));
+    assert!(out.contains("scale_demo"));
+    assert!(out.contains("Figure 11"));
+    // One row per registered experiment plus header and trailer.
+    assert_eq!(out.lines().count(), 22, "unexpected index length:\n{out}");
+}
+
+#[test]
+fn experiments_run_prints_table_and_artifacts() {
+    let dir = std::env::temp_dir().join(format!("abccc_cli_experiments_{}", std::process::id()));
+    let out = stdout(&[
+        "experiments",
+        "run",
+        "fig1_diameter",
+        "--preset",
+        "tiny",
+        "--json",
+        dir.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.contains("== Figure 1: diameter"));
+    assert!(out.contains("[tiny]"));
+    assert!(out.contains("engine: 1 experiments"));
+    assert!(dir.join("fig1_diameter.json").is_file());
+    assert!(dir.join("fig1_diameter.manifest.json").is_file());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiments_run_rejects_unknown_name_and_preset() {
+    let out = cli(&["experiments", "run", "fig99_nope", "--preset", "tiny"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+    let out = cli(&["experiments", "run", "--all", "--preset", "huge"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}

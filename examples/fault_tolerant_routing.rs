@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mask.failed_node_count() as u32 - params.group_size()
     );
 
-    // Route 500 random alive pairs.
+    // Route 500 random alive pairs through the resilient router
+    // (permutation retry → proxy detour → BFS fallback).
+    let router = ResilientRouter::default();
     let alive: Vec<NodeId> = net.server_ids().filter(|&s| mask.node_alive(s)).collect();
     let mut routed = 0usize;
     let mut detoured = 0usize;
@@ -57,13 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let healthy_len =
             abccc::routing::distance(&params, topo.server_addr(s), topo.server_addr(d)) as i64;
-        match topo.route_avoiding(s, d, &mask) {
-            Ok(route) => {
-                route
+        match router.route(&topo, s, d, Some(&mask)) {
+            Ok(outcome) => {
+                outcome
+                    .route
                     .validate(net, Some(&mask))
                     .map_err(|e| e.to_string())?;
                 routed += 1;
-                let len = route.server_hops(net) as i64;
+                let len = outcome.route.server_hops(net) as i64;
                 if len > healthy_len {
                     detoured += 1;
                     extra_hops += len - healthy_len;

@@ -35,4 +35,28 @@ if ! grep -q '"routed": [1-9]' <<<"$A"; then
   exit 1
 fi
 
+echo "== experiments tiny sweep (exit 0, nonzero rows, thread-count determinism)"
+EXP_A="$(mktemp -d)"
+EXP_B="$(mktemp -d)"
+trap 'rm -rf "$EXP_A" "$EXP_B"' EXIT
+"$CLI" experiments run --all --preset tiny --threads 1 --json "$EXP_A" >/dev/null
+"$CLI" experiments run --all --preset tiny --json "$EXP_B" >/dev/null
+for rows in "$EXP_A"/*.json; do
+  case "$rows" in *.manifest.json) continue ;; esac
+  name="$(basename "$rows")"
+  if ! grep -q '[{[]' "$rows" || ! grep -q '"' "$rows"; then
+    echo "FAIL: $name holds no rows" >&2
+    exit 1
+  fi
+  if ! cmp -s "$rows" "$EXP_B/$name"; then
+    echo "FAIL: $name differs between 1 and N worker threads" >&2
+    exit 1
+  fi
+done
+count="$(ls "$EXP_A"/*.json | grep -cv '\.manifest\.json$')"
+if [ "$count" -ne 20 ]; then
+  echo "FAIL: expected 20 rows artifacts, found $count" >&2
+  exit 1
+fi
+
 echo "All checks passed."

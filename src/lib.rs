@@ -35,7 +35,10 @@ pub use packetsim;
 
 /// The common imports for examples and quick experiments.
 pub mod prelude {
-    pub use abccc::{Abccc, AbcccParams, CubeLabel, ExpansionStep, PermStrategy, ServerAddr};
+    pub use abccc::{
+        Abccc, AbcccParams, CubeLabel, ExpansionStep, PermStrategy, ResilientRouter, RetryBudget,
+        Router, ServerAddr,
+    };
     pub use dcn_baselines::{
         BCube, BCubeParams, Bccc, BcccParams, DCell, DCellParams, FatTree, FatTreeParams,
         Hypercube, HypercubeParams,
