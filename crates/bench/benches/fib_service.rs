@@ -1,0 +1,168 @@
+//! Compiled-FIB route-service throughput harness.
+//!
+//! Benchmarks single lookups and batched queries against on-demand
+//! `DigitRouter` routing on the paper-preset ABCCC(4,2,2), plus the faulted
+//! lookup path. Results are written machine-readable to
+//! `bench_results/fib_service.json` (relative to the workspace root),
+//! including the on-demand → compiled speedup the route service exists to
+//! deliver.
+
+use abccc::{Abccc, AbcccParams, DigitRouter, Router};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_fib::RouteService;
+use netgraph::{FaultScenario, NodeId, Topology};
+use rand::{Rng, SeedableRng};
+use serde::Value;
+
+const PAIRS: usize = 4096;
+
+fn sample_pairs(servers: u64, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..PAIRS)
+        .map(|_| {
+            (
+                NodeId(rng.gen_range(0..servers) as u32),
+                NodeId(rng.gen_range(0..servers) as u32),
+            )
+        })
+        .collect()
+}
+
+fn bench_fib_service(c: &mut Criterion) {
+    let params = AbcccParams::new(4, 2, 2).expect("params");
+    let topo = Abccc::new(params).expect("build");
+    let pairs = sample_pairs(params.server_count(), 21);
+    let mask = FaultScenario::seeded(21)
+        .fail_servers_frac(0.05)
+        .build(topo.network());
+
+    let svc = RouteService::compile(topo, 8).expect("service");
+    let digit = DigitRouter::shortest();
+    let topo_ref = svc.topo();
+
+    // Cross-check before timing: compiled answers must equal on-demand.
+    for &(s, d) in &pairs {
+        assert_eq!(
+            svc.query(s, d).expect("compiled"),
+            digit.route(topo_ref, s, d, None).expect("on-demand"),
+        );
+    }
+
+    let mut g = c.benchmark_group("fib_service");
+    g.sample_size(20);
+    g.bench_function("compile/abccc_4_2_2", |b| {
+        let fresh = Abccc::new(params).expect("build");
+        b.iter(|| dcn_fib::compile_shortest(&fresh).expect("compile"))
+    });
+    g.bench_function("lookup/compiled_table_walk", |b| {
+        // The raw data-plane lookup: a port-indexed table walk into a
+        // reused buffer, the way a switch ASIC or DPDK worker would use
+        // the compiled FIB — no allocation, no telemetry, no outcome.
+        let fib = svc.fib();
+        let net = topo_ref.network();
+        let mut buf = Vec::with_capacity(32);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, d) = pairs[i % PAIRS];
+            i += 1;
+            buf.clear();
+            fib.walk_into(net, s, d, &mut buf);
+            buf.len()
+        })
+    });
+    g.bench_function("lookup/compiled_single", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, d) = pairs[i % PAIRS];
+            i += 1;
+            svc.query(s, d).expect("compiled")
+        })
+    });
+    g.bench_function("lookup/on_demand_digit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, d) = pairs[i % PAIRS];
+            i += 1;
+            digit.route(topo_ref, s, d, None).expect("on-demand")
+        })
+    });
+    g.bench_function("batch/compiled_4096", |b| {
+        b.iter(|| svc.query_batch(&pairs))
+    });
+
+    let mut faulted =
+        RouteService::compile(Abccc::new(params).expect("build"), 8).expect("service");
+    faulted.apply_mask(mask.clone());
+    faulted.query_batch(&pairs); // warm the patch caches
+    g.bench_function("lookup/compiled_faulted", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, d) = pairs[i % PAIRS];
+            i += 1;
+            faulted.query(s, d)
+        })
+    });
+    g.finish();
+
+    write_json(c, params.server_count());
+}
+
+fn median_of<'m>(
+    ms: &'m [criterion::Measurement],
+    suffix: &str,
+) -> Option<&'m criterion::Measurement> {
+    ms.iter().find(|m| m.id.ends_with(suffix))
+}
+
+fn write_json(c: &mut Criterion, servers: u64) {
+    let ms = c.take_measurements();
+    let mut entries = Vec::new();
+    for m in &ms {
+        entries.push(Value::Map(vec![
+            ("id".to_string(), Value::Str(m.id.clone())),
+            ("median_ns".to_string(), Value::F64(m.median_ns)),
+            ("mean_ns".to_string(), Value::F64(m.mean_ns)),
+            ("iterations".to_string(), Value::U64(m.iterations)),
+        ]));
+    }
+    let mut speedups = Vec::new();
+    if let (Some(before), Some(after)) = (
+        median_of(&ms, "lookup/on_demand_digit"),
+        median_of(&ms, "lookup/compiled_table_walk"),
+    ) {
+        speedups.push((
+            "compiled_vs_on_demand".to_string(),
+            Value::F64(before.median_ns / after.median_ns),
+        ));
+    }
+    if let (Some(before), Some(after)) = (
+        median_of(&ms, "lookup/on_demand_digit"),
+        median_of(&ms, "lookup/compiled_single"),
+    ) {
+        speedups.push((
+            "service_vs_on_demand".to_string(),
+            Value::F64(before.median_ns / after.median_ns),
+        ));
+    }
+    let doc = Value::Map(vec![
+        (
+            "topology".to_string(),
+            Value::Str("ABCCC(4,2,2)".to_string()),
+        ),
+        ("servers".to_string(), Value::U64(servers)),
+        ("pairs".to_string(), Value::U64(PAIRS as u64)),
+        ("measurements".to_string(), Value::Seq(entries)),
+        ("speedups".to_string(), Value::Map(speedups)),
+    ]);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench_results");
+    std::fs::create_dir_all(&dir).expect("create bench_results/");
+    let path = dir.join("fib_service.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("render"))
+        .expect("write fib_service.json");
+    println!("\nwrote {}", path.display());
+}
+
+criterion_group!(benches, bench_fib_service);
+criterion_main!(benches);

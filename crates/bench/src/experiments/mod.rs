@@ -5,6 +5,7 @@
 //! engine-shared topologies.
 
 mod faults;
+mod fib;
 mod packet;
 mod routing;
 mod scale;
@@ -46,4 +47,5 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &faults::Fig16Correlated,
     &faults::Fig17Adversarial,
     &scale::ScaleDemo,
+    &fib::FibThroughput,
 ];

@@ -151,6 +151,12 @@ const USAGE: &str = "usage:
       [--router resilient|digit|vlb] [--no-bfs] [--pattern random|permutation|convergent]
       [--pairs N] [--trials N] [--seed N] [--threads N] [--no-throughput]
                                              seeded fault campaign with degradation report
+  abccc-cli fib compile <n> <k> <h>          compile the forwarding table, print stats
+  abccc-cli fib query   <n> <k> <h> <src> <dst> [--shards N]
+      [--fail-rate R] [--fail-seed S]        answer one query from the compiled table
+  abccc-cli fib bench   <n> <k> <h> [--queries N] [--seed N] [--shards N]
+      [--fail-rate R] [--digest FILE]        batched route-service throughput; --digest
+                                             writes a deterministic result digest (JSON)
   abccc-cli experiments list                 index of registered paper experiments
   abccc-cli experiments run <name…> | --all [--preset tiny|paper|scale]
       [--json DIR] [--threads N]             run experiments through the sweep engine
@@ -234,7 +240,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
     if json
         && !matches!(
             cmd.as_str(),
-            "props" | "simulate" | "capex" | "trace" | "broadcast" | "resilience"
+            "props" | "simulate" | "capex" | "trace" | "broadcast" | "resilience" | "fib"
         )
     {
         return Err(format!("--json is not supported for `{cmd}`"));
@@ -252,6 +258,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
         "design" => design_cmd(rest),
         "broadcast" => broadcast_cmd(rest, json),
         "resilience" => resilience_cmd(rest, json),
+        "fib" => fib_cmd(rest, json),
         "experiments" => experiments_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -740,6 +747,220 @@ fn resilience_cmd(args: &[String], json: bool) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
+    use dcn_fib::RouteService;
+    use netgraph::FaultScenario;
+
+    let sub = args
+        .first()
+        .ok_or("fib needs `compile`, `query` or `bench`")?;
+    let rest = &args[1..];
+    if rest.len() < 3 {
+        return Err(format!("fib {sub} needs <n> <k> <h>"));
+    }
+    let n = parse_u32(&rest[0], "n")?;
+    let k = parse_u32(&rest[1], "k")?;
+    let h = parse_u32(&rest[2], "h")?;
+    let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+    let num = |flag: &str, default: u64| -> Result<u64, String> {
+        flag_value(rest, flag)
+            .map(|s| s.parse().map_err(|_| format!("{flag} expects a number")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let fnum = |flag: &str, default: f64| -> Result<f64, String> {
+        flag_value(rest, flag)
+            .map(|s| s.parse().map_err(|_| format!("{flag} expects a number")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let shards = num("--shards", 8)? as usize;
+    let fail_rate = fnum("--fail-rate", 0.0)?;
+    let fail_seed = num("--fail-seed", 0)?;
+
+    let build_service = || -> Result<(RouteService, f64), String> {
+        let topo = Abccc::new(p).map_err(|e| e.to_string())?;
+        let t0 = std::time::Instant::now();
+        let mut svc = RouteService::compile(topo, shards).map_err(|e| e.to_string())?;
+        let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if fail_rate > 0.0 {
+            let mask = FaultScenario::seeded(fail_seed)
+                .fail_servers_frac(fail_rate)
+                .fail_switches_frac(fail_rate)
+                .build(svc.topo().network());
+            svc.apply_mask(mask);
+        }
+        Ok((svc, compile_ms))
+    };
+
+    match sub.as_str() {
+        "compile" => {
+            let (svc, compile_ms) = build_service()?;
+            let fib = svc.fib();
+            if json {
+                return print_json(&Value::Map(
+                    [
+                        ("topology", Value::Str(p.to_string())),
+                        ("servers", Value::U64(u64::from(fib.servers()))),
+                        ("strategy", Value::Str(fib.strategy().label().to_string())),
+                        ("table_bytes", Value::U64(fib.bytes() as u64)),
+                        ("shards", Value::U64(svc.shard_count() as u64)),
+                        ("compile_ms", Value::F64(compile_ms)),
+                    ]
+                    .into_iter()
+                    .map(|(key, v)| (key.to_string(), v))
+                    .collect(),
+                ));
+            }
+            println!("{p}: compiled forwarding table");
+            println!("  strategy     {}", fib.strategy().label());
+            println!("  servers      {}", fib.servers());
+            println!(
+                "  table size   {} entries, {:.1} KiB",
+                u64::from(fib.servers()) * u64::from(fib.servers()),
+                fib.bytes() as f64 / 1024.0
+            );
+            println!("  shards       {}", svc.shard_count());
+            println!("  compile time {compile_ms:.2} ms");
+            Ok(())
+        }
+        "query" => {
+            if rest.len() < 5 {
+                return Err("fib query needs <n> <k> <h> <src> <dst>".into());
+            }
+            let s = parse_u32(&rest[3], "src")?;
+            let d = parse_u32(&rest[4], "dst")?;
+            if u64::from(s) >= p.server_count() || u64::from(d) >= p.server_count() {
+                return Err(format!("server ids must be < {}", p.server_count()));
+            }
+            let (svc, _) = build_service()?;
+            let out = svc.query(NodeId(s), NodeId(d)).map_err(|e| e.to_string())?;
+            if json {
+                return print_json(&Value::Map(
+                    [
+                        ("topology", Value::Str(p.to_string())),
+                        ("src", Value::U64(u64::from(s))),
+                        ("dst", Value::U64(u64::from(d))),
+                        ("tier", Value::Str(out.tier.label().to_string())),
+                        ("attempts", Value::U64(u64::from(out.attempts))),
+                        ("link_hops", Value::U64(out.route.link_hops() as u64)),
+                        (
+                            "nodes",
+                            Value::Seq(
+                                out.route
+                                    .nodes()
+                                    .iter()
+                                    .map(|node| Value::U64(u64::from(node.0)))
+                                    .collect(),
+                            ),
+                        ),
+                    ]
+                    .into_iter()
+                    .map(|(key, v)| (key.to_string(), v))
+                    .collect(),
+                ));
+            }
+            println!(
+                "{p}: {s} → {d} via compiled table ({} links, tier {}, {} attempt(s))",
+                out.route.link_hops(),
+                out.tier.label(),
+                out.attempts
+            );
+            let net = svc.topo().network();
+            for node in out.route.nodes() {
+                println!("  {:<6} {node}", net.kind(*node));
+            }
+            Ok(())
+        }
+        "bench" => {
+            let queries = num("--queries", 20_000)? as usize;
+            let seed = num("--seed", 21)?;
+            let (svc, compile_ms) = build_service()?;
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pairs: Vec<(NodeId, NodeId)> = (0..queries)
+                .map(|_| {
+                    (
+                        NodeId(rng.gen_range(0..p.server_count()) as u32),
+                        NodeId(rng.gen_range(0..p.server_count()) as u32),
+                    )
+                })
+                .collect();
+            let t0 = std::time::Instant::now();
+            let results = svc.query_batch(&pairs);
+            let qps = pairs.len() as f64 / t0.elapsed().as_secs_f64();
+
+            // Deterministic result digest: counts plus an FNV-1a hash over
+            // every returned node sequence. Identical for any --shards or
+            // thread count; `scripts/check.sh` compares digests byte-wise.
+            let mut ok = 0u64;
+            let mut errors = 0u64;
+            let mut fallbacks = 0u64;
+            let mut total_link_hops = 0u64;
+            let mut hash: u64 = 0xcbf29ce484222325;
+            let mut eat = |v: u64| {
+                for b in v.to_le_bytes() {
+                    hash ^= u64::from(b);
+                    hash = hash.wrapping_mul(0x100000001b3);
+                }
+            };
+            for r in &results {
+                match r {
+                    Ok(out) => {
+                        ok += 1;
+                        if out.tier > abccc::RouteTier::Primary {
+                            fallbacks += 1;
+                        }
+                        total_link_hops += out.route.link_hops() as u64;
+                        for node in out.route.nodes() {
+                            eat(u64::from(node.0));
+                        }
+                    }
+                    Err(_) => {
+                        errors += 1;
+                        eat(u64::MAX);
+                    }
+                }
+            }
+            let digest = Value::Map(
+                [
+                    ("topology", Value::Str(p.to_string())),
+                    ("queries", Value::U64(queries as u64)),
+                    ("seed", Value::U64(seed)),
+                    ("fail_rate", Value::F64(fail_rate)),
+                    ("fail_seed", Value::U64(fail_seed)),
+                    ("ok", Value::U64(ok)),
+                    ("errors", Value::U64(errors)),
+                    ("fallbacks", Value::U64(fallbacks)),
+                    ("total_link_hops", Value::U64(total_link_hops)),
+                    ("route_hash", Value::U64(hash)),
+                ]
+                .into_iter()
+                .map(|(key, v)| (key.to_string(), v))
+                .collect(),
+            );
+            if let Some(path) = flag_value(rest, "--digest") {
+                let text = serde_json::to_string_pretty(&digest).map_err(|e| e.to_string())?;
+                std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            if json {
+                return print_json(&digest);
+            }
+            println!("{p}: {queries} queries over {} shards", svc.shard_count());
+            println!("  compile time   {compile_ms:.2} ms");
+            println!("  throughput     {qps:.0} lookups/s (batched)");
+            println!("  ok / errors    {ok} / {errors}");
+            println!(
+                "  fallbacks      {fallbacks} (patched pairs: {})",
+                svc.patch_count()
+            );
+            println!("  route hash     {hash:#018x}");
+            Ok(())
+        }
+        other => Err(format!("unknown fib subcommand `{other}`")),
+    }
 }
 
 fn experiments_cmd(args: &[String]) -> Result<(), String> {

@@ -289,9 +289,10 @@ fn experiments_list_indexes_registry() {
     assert!(out.contains("table1_properties"));
     assert!(out.contains("fig17_adversarial"));
     assert!(out.contains("scale_demo"));
+    assert!(out.contains("fib_throughput"));
     assert!(out.contains("Figure 11"));
     // One row per registered experiment plus header and trailer.
-    assert_eq!(out.lines().count(), 22, "unexpected index length:\n{out}");
+    assert_eq!(out.lines().count(), 23, "unexpected index length:\n{out}");
 }
 
 #[test]
@@ -312,6 +313,72 @@ fn experiments_run_prints_table_and_artifacts() {
     assert!(dir.join("fig1_diameter.json").is_file());
     assert!(dir.join("fig1_diameter.manifest.json").is_file());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fib_compile_reports_table_stats() {
+    let out = stdout(&["fib", "compile", "2", "2", "2"]);
+    assert!(out.contains("compiled forwarding table"));
+    assert!(out.contains("strategy     destination-aware"));
+    assert!(out.contains("servers      24"));
+    assert!(out.contains("576 entries"));
+}
+
+#[test]
+fn fib_query_walks_the_compiled_table() {
+    let out = stdout(&["fib", "query", "2", "2", "2", "0", "17"]);
+    assert!(out.contains("via compiled table"));
+    assert!(out.contains("tier primary"));
+    assert!(out.contains("server n0"));
+    assert!(out.contains("server n17"));
+}
+
+#[test]
+fn fib_bench_digest_is_shard_independent() {
+    let dir = std::env::temp_dir().join(format!("abccc_cli_fib_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let d1 = dir.join("digest1.json");
+    let d8 = dir.join("digest8.json");
+    for (shards, path) in [("1", &d1), ("8", &d8)] {
+        let out = stdout(&[
+            "fib",
+            "bench",
+            "2",
+            "2",
+            "2",
+            "--queries",
+            "1000",
+            "--fail-rate",
+            "0.1",
+            "--shards",
+            shards,
+            "--digest",
+            path.to_str().expect("utf-8 path"),
+        ]);
+        assert!(out.contains("lookups/s"));
+        assert!(out.contains("route hash"));
+    }
+    let a = std::fs::read(&d1).expect("digest written");
+    let b = std::fs::read(&d8).expect("digest written");
+    assert_eq!(a, b, "bench digest must not depend on the shard count");
+    let v: serde::Value =
+        serde_json::from_str(&String::from_utf8(a).expect("utf-8")).expect("digest is valid JSON");
+    let serde::Value::Map(m) = v else {
+        panic!("expected object")
+    };
+    assert!(m.iter().any(|(k, _)| k == "route_hash"));
+    assert!(m.iter().any(|(k, _)| k == "fallbacks"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fib_rejects_bad_endpoints_and_subcommands() {
+    let out = cli(&["fib", "query", "2", "1", "2", "0", "999"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("server ids must be <"));
+    let out = cli(&["fib", "decompile", "2", "1", "2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fib subcommand"));
 }
 
 #[test]

@@ -243,28 +243,6 @@ impl Router for ResilientRouter {
     }
 }
 
-/// Fault-tolerant one-to-one routing (see module docs for the scheme).
-///
-/// # Errors
-///
-/// * [`RouteError::NotAServer`] — an endpoint is not a server id;
-/// * [`RouteError::Unreachable`] — an endpoint is failed, or the pair is
-///   genuinely disconnected in the surviving graph.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ResilientRouter::default().route(topo, src, dst, Some(mask))`"
-)]
-pub fn route_avoiding(
-    topo: &Abccc,
-    src: NodeId,
-    dst: NodeId,
-    mask: &FaultMask,
-) -> Result<Route, RouteError> {
-    ResilientRouter::default()
-        .route_explained(topo, src, dst, Some(mask))
-        .map(|o| o.route)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,7 +378,7 @@ mod tests {
     }
 
     #[test]
-    fn default_router_matches_deprecated_shim() {
+    fn trait_route_matches_route_explained() {
         let t = topo();
         let mask = FaultScenario::seeded(11)
             .fail_servers_frac(0.1)
@@ -408,10 +386,9 @@ mod tests {
         let r = ResilientRouter::default();
         for (s, d) in [(0u32, 80u32), (3, 44), (9, 61)] {
             let (s, d) = (NodeId(s), NodeId(d));
-            #[allow(deprecated)]
-            let old = route_avoiding(&t, s, d, &mask);
-            let new = r.route_explained(&t, s, d, Some(&mask)).map(|o| o.route);
-            assert_eq!(old, new);
+            let via_trait = Router::route(&r, &t, s, d, Some(&mask));
+            let explained = r.route_explained(&t, s, d, Some(&mask));
+            assert_eq!(via_trait, explained);
         }
     }
 

@@ -21,8 +21,11 @@
 //! much deterministic backoff was accrued — the observables the resilience
 //! campaign engine aggregates into degradation reports.
 //!
-//! The four original free functions survive as thin `#[deprecated]` shims
-//! so downstream call sites can migrate incrementally.
+//! The four original free functions (`route_addrs`, `route_ids`,
+//! `route_vlb`, `route_avoiding`) lived on as `#[deprecated]` shims for one
+//! release and are now gone; external implementations of the trait (e.g.
+//! the compiled forwarding tables of `dcn-fib`) share the exact endpoint
+//! and seeding semantics through [`check_endpoints`] and [`pair_seed`].
 
 use crate::Abccc;
 use netgraph::{FaultMask, NodeId, Route, RouteError};
@@ -128,7 +131,17 @@ pub trait Router {
 
 /// Shared endpoint validation for every router: both ids name servers and
 /// neither endpoint is failed under the mask.
-pub(crate) fn check_endpoints(
+///
+/// Exposed so external [`Router`] implementations (the compiled forwarding
+/// tables of `dcn-fib`) reproduce the in-crate routers bit for bit: same
+/// error order (`src` checked before `dst`), same
+/// [`RouteError::Unreachable`] on a dead endpoint, same telemetry counter.
+///
+/// # Errors
+///
+/// * [`RouteError::NotAServer`] — an endpoint is not a server id;
+/// * [`RouteError::Unreachable`] — an endpoint is failed under `mask`.
+pub fn check_endpoints(
     topo: &Abccc,
     src: NodeId,
     dst: NodeId,
@@ -151,8 +164,10 @@ pub(crate) fn check_endpoints(
 }
 
 /// Mixes a pair of endpoints into a router seed: distinct pairs get
-/// decorrelated, deterministic streams.
-pub(crate) fn pair_seed(seed: u64, src: NodeId, dst: NodeId) -> u64 {
+/// decorrelated, deterministic streams. Public so alternative data planes
+/// can reproduce [`VlbRouter`](crate::vlb::VlbRouter)-style per-pair
+/// streams exactly.
+pub fn pair_seed(seed: u64, src: NodeId, dst: NodeId) -> u64 {
     seed ^ (u64::from(src.0) << 32) ^ u64::from(dst.0)
 }
 

@@ -114,40 +114,6 @@ impl Router for DigitRouter {
     }
 }
 
-/// Routes between two server addresses. Always succeeds on a fault-free
-/// network.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `DigitRouter::new(strategy).route_addrs(..)`"
-)]
-pub fn route_addrs(
-    p: &AbcccParams,
-    src: ServerAddr,
-    dst: ServerAddr,
-    strategy: &PermStrategy,
-) -> Route {
-    DigitRouter::new(*strategy).route_addrs(p, src, dst)
-}
-
-/// Routes between two server node ids.
-///
-/// # Errors
-///
-/// Returns [`RouteError::NotAServer`] if an endpoint is not a server id of
-/// this parameterization.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `DigitRouter::new(strategy).route_ids(..)`"
-)]
-pub fn route_ids(
-    p: &AbcccParams,
-    src: NodeId,
-    dst: NodeId,
-    strategy: &PermStrategy,
-) -> Result<Route, RouteError> {
-    DigitRouter::new(*strategy).route_ids(p, src, dst)
-}
-
 /// Routes with an explicit correction order.
 ///
 /// # Panics

@@ -8,11 +8,12 @@
 //! permutation spreads like uniform random traffic (experiment F17).
 //!
 //! [`VlbRouter`] is the [`Router`] face of the scheme: it derives a
-//! per-pair RNG from its seed (see
-//! [`pair_seed`](crate::router::pair_seed)-style mixing), so the same
-//! router value always picks the same intermediate for a pair regardless
-//! of call order — the determinism the campaign engine relies on. The
-//! RNG-threading free functions survive as `#[deprecated]` shims.
+//! per-pair RNG from its seed (see [`pair_seed`](crate::router::pair_seed)
+//! mixing), so the same router value always picks the same intermediate
+//! for a pair regardless of call order — the determinism the campaign
+//! engine relies on. [`route_two_stage_with`] exposes the scheme with a
+//! pluggable stage router so alternative data planes (e.g. compiled
+//! forwarding tables) reproduce it exactly.
 
 use crate::router::{check_endpoints, pair_seed, RouteOutcome, RouteTier, Router};
 use crate::routing::DigitRouter;
@@ -25,15 +26,24 @@ use rand::{Rng, SeedableRng};
 /// i.e. in tiny networks).
 const INTERMEDIATE_ATTEMPTS: u32 = 16;
 
-/// Picks a random intermediate and concatenates the two shortest-path
-/// stages; returns the route plus how many candidates were examined.
-fn route_two_stage(
+/// The two-stage scheme parameterized over the stage router: picks a
+/// random intermediate from `rng` and concatenates `stage(src, mid)` with
+/// `stage(mid, dst)`; returns the route plus how many candidates were
+/// examined.
+///
+/// The RNG consumption (one label draw, then — only if the label is
+/// usable — one position draw, per attempt) is the determinism contract of
+/// [`VlbRouter`]: any caller that seeds the same stream and supplies a
+/// stage router agreeing with [`DigitRouter::shortest`] reproduces its
+/// routes bit for bit. The compiled forwarding tables of `dcn-fib` rely on
+/// exactly this to serve VLB queries from table walks.
+pub fn route_two_stage_with(
     p: &AbcccParams,
     src: ServerAddr,
     dst: ServerAddr,
     rng: &mut impl Rng,
+    mut stage: impl FnMut(ServerAddr, ServerAddr) -> Route,
 ) -> (Route, u32) {
-    let shortest = DigitRouter::shortest();
     for attempt in 1..=INTERMEDIATE_ATTEMPTS {
         let label = CubeLabel(rng.gen_range(0..p.label_space()));
         if label == src.label || label == dst.label {
@@ -41,8 +51,8 @@ fn route_two_stage(
         }
         let pos = rng.gen_range(0..p.group_size());
         let mid = ServerAddr::new(p, label, pos);
-        let first = shortest.route_addrs(p, src, mid);
-        let second = shortest.route_addrs(p, mid, dst);
+        let first = stage(src, mid);
+        let second = stage(mid, dst);
         let mut nodes = first.nodes().to_vec();
         nodes.extend_from_slice(&second.nodes()[1..]);
         // Stages can intersect (they share digit corrections); only accept
@@ -52,7 +62,19 @@ fn route_two_stage(
             return (Route::new(nodes), attempt);
         }
     }
-    (shortest.route_addrs(p, src, dst), INTERMEDIATE_ATTEMPTS + 1)
+    (stage(src, dst), INTERMEDIATE_ATTEMPTS + 1)
+}
+
+/// The canonical instantiation: both stages routed by
+/// [`DigitRouter::shortest`].
+fn route_two_stage(
+    p: &AbcccParams,
+    src: ServerAddr,
+    dst: ServerAddr,
+    rng: &mut impl Rng,
+) -> (Route, u32) {
+    let shortest = DigitRouter::shortest();
+    route_two_stage_with(p, src, dst, rng, |a, b| shortest.route_addrs(p, a, b))
 }
 
 /// Valiant load-balancing router: the [`Router`] impl of the two-stage
@@ -131,47 +153,6 @@ impl Router for VlbRouter {
             backoff_units: 0,
         })
     }
-}
-
-/// Routes `src → dst` through a uniformly random intermediate server
-/// (excluding the endpoints' own labels to keep the path simple). Falls
-/// back to direct routing if no valid intermediate is found quickly
-/// (only possible in tiny networks).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `VlbRouter::new(seed)` via the `Router` trait, or `VlbRouter::route_addrs_with`"
-)]
-pub fn route_vlb(p: &AbcccParams, src: ServerAddr, dst: ServerAddr, rng: &mut impl Rng) -> Route {
-    VlbRouter::route_addrs_with(p, src, dst, rng)
-}
-
-/// Id-based convenience wrapper.
-///
-/// # Errors
-///
-/// Returns [`RouteError::NotAServer`] for non-server endpoints.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `VlbRouter::new(seed)` via the `Router` trait"
-)]
-pub fn route_vlb_ids(
-    p: &AbcccParams,
-    src: NodeId,
-    dst: NodeId,
-    rng: &mut impl Rng,
-) -> Result<Route, RouteError> {
-    if u64::from(src.0) >= p.server_count() {
-        return Err(RouteError::NotAServer(src));
-    }
-    if u64::from(dst.0) >= p.server_count() {
-        return Err(RouteError::NotAServer(dst));
-    }
-    Ok(VlbRouter::route_addrs_with(
-        p,
-        ServerAddr::from_node_id(p, src),
-        ServerAddr::from_node_id(p, dst),
-        rng,
-    ))
 }
 
 #[cfg(test)]
@@ -310,18 +291,28 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_the_router() {
+    fn two_stage_hook_reproduces_the_router() {
+        // The contract dcn-fib builds on: seeding the per-pair stream and
+        // supplying a shortest-path-agreeing stage router reproduces
+        // `VlbRouter::route` bit for bit.
         let p = AbcccParams::new(3, 2, 2).unwrap();
-        let (s, d) = (
-            ServerAddr::from_node_id(&p, NodeId(0)),
-            ServerAddr::from_node_id(&p, NodeId(50)),
-        );
-        let mut a = rand::rngs::StdRng::seed_from_u64(5);
-        let mut b = rand::rngs::StdRng::seed_from_u64(5);
-        #[allow(deprecated)]
-        let old = route_vlb(&p, s, d, &mut a);
-        let new = VlbRouter::route_addrs_with(&p, s, d, &mut b);
-        assert_eq!(old, new);
+        let topo = Abccc::new(p).unwrap();
+        let router = VlbRouter::new(9);
+        let shortest = DigitRouter::shortest();
+        for (s, d) in [(0u32, 50u32), (3, 44), (17, 2)] {
+            let (s, d) = (NodeId(s), NodeId(d));
+            let via_router = router.route(&topo, s, d, None).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(pair_seed(9, s, d));
+            let (route, attempts) = route_two_stage_with(
+                &p,
+                ServerAddr::from_node_id(&p, s),
+                ServerAddr::from_node_id(&p, d),
+                &mut rng,
+                |a, b| shortest.route_addrs(&p, a, b),
+            );
+            assert_eq!(via_router.route, route);
+            assert_eq!(via_router.attempts, attempts);
+        }
     }
 
     #[test]

@@ -92,6 +92,38 @@ impl FaultMask {
             .filter(|(_, &d)| d)
             .map(|(i, _)| NodeId(i as u32))
     }
+
+    /// Iterator over explicitly failed link ids (links dead only via a
+    /// failed endpoint are not included).
+    pub fn failed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.link_down
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| LinkId(i as u32))
+    }
+
+    /// `true` if this mask's failures are a superset of `earlier`'s — every
+    /// node and link failed in `earlier` is also failed here. Incremental
+    /// consumers (e.g. a compiled forwarding table patching itself) use
+    /// this to tell "more faults accumulated" apart from "something was
+    /// repaired", which requires a full reset.
+    ///
+    /// Masks sized for different networks are never ordered (`false`).
+    pub fn covers(&self, earlier: &FaultMask) -> bool {
+        self.node_down.len() == earlier.node_down.len()
+            && self.link_down.len() == earlier.link_down.len()
+            && earlier
+                .node_down
+                .iter()
+                .zip(&self.node_down)
+                .all(|(&was, &is)| is || !was)
+            && earlier
+                .link_down
+                .iter()
+                .zip(&self.link_down)
+                .all(|(&was, &is)| is || !was)
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +147,42 @@ mod tests {
         assert!(!m.edge_usable(&net, l));
         assert!(m.node_alive(a) && m.node_alive(b));
         assert_eq!(m.failed_link_count(), 1);
+        assert_eq!(m.failed_links().collect::<Vec<_>>(), vec![l]);
+    }
+
+    #[test]
+    fn covers_orders_masks_by_failure_sets() {
+        let mut net = Network::new();
+        let a = net.add_server();
+        let b = net.add_server();
+        let l = net.add_link(a, b, 1.0);
+
+        let empty = FaultMask::new(&net);
+        let mut one = FaultMask::new(&net);
+        one.fail_node(a);
+        let mut two = one.clone();
+        two.fail_link(l);
+
+        assert!(empty.covers(&empty));
+        assert!(one.covers(&empty));
+        assert!(two.covers(&one));
+        assert!(!empty.covers(&one));
+        assert!(!one.covers(&two));
+
+        // A repair breaks the ordering in both directions.
+        let mut other = FaultMask::new(&net);
+        other.fail_node(b);
+        assert!(!one.covers(&other));
+        assert!(!other.covers(&one));
+
+        // Different network ⇒ never ordered.
+        let bigger = {
+            let mut n2 = Network::new();
+            n2.add_server();
+            n2.add_server();
+            n2.add_server();
+            FaultMask::new(&n2)
+        };
+        assert!(!bigger.covers(&empty));
     }
 }

@@ -378,6 +378,15 @@ impl Network {
         self.node_ids().filter(move |&n| !self.is_server(n))
     }
 
+    /// The port (index into [`Network::neighbors`]) through which `from`
+    /// reaches `to`, if they are adjacent. Ports are stable across runs
+    /// because adjacency is kept in link-insertion order — this is what a
+    /// compiled forwarding table stores instead of full node ids.
+    #[inline]
+    pub fn port_of(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.neighbors(from).iter().position(|&(n, _)| n == to)
+    }
+
     /// Returns the link connecting `a` and `b`, if any (first match in `a`'s
     /// adjacency if parallel links exist).
     ///
@@ -456,6 +465,18 @@ mod tests {
             assert!(servers.contains(&nb));
             assert_eq!(net.link(l).other_end(sw), nb);
         }
+    }
+
+    #[test]
+    fn port_of_matches_neighbor_order() {
+        let (net, servers, sw) = star();
+        // Switch ports follow link-insertion order: server i sits on port i.
+        for (i, &s) in servers.iter().enumerate() {
+            assert_eq!(net.port_of(sw, s), Some(i));
+            assert_eq!(net.port_of(s, sw), Some(0));
+            assert_eq!(net.neighbors(sw)[i].0, s);
+        }
+        assert_eq!(net.port_of(servers[0], servers[1]), None);
     }
 
     #[test]

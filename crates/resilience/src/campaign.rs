@@ -205,6 +205,26 @@ impl CampaignConfig {
     ///
     /// Same contract as [`CampaignConfig::run`].
     pub fn run_on(&self, topo: &Abccc) -> Result<CampaignReport, RouteError> {
+        self.run_with(topo, &|| self.router.build())
+    }
+
+    /// Runs the campaign with routers produced by an external factory
+    /// instead of [`CampaignConfig::router`] — each worker thread builds
+    /// its own router, so the factory must hand out equivalent instances.
+    ///
+    /// This is the hook for alternative data planes (e.g. `dcn-fib`'s
+    /// compiled route service wrapped as a [`Router`]): the campaign's
+    /// sampling, fault schedule and accounting stay byte-identical, only
+    /// the per-pair routing call is swapped.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignConfig::run`].
+    pub fn run_with(
+        &self,
+        topo: &Abccc,
+        router: &(dyn Fn() -> Box<dyn Router> + Sync),
+    ) -> Result<CampaignReport, RouteError> {
         self.validate()?;
         let _span = dcn_telemetry::span!("resilience.campaign");
         dcn_telemetry::counter!("resilience.campaigns").inc();
@@ -222,7 +242,7 @@ impl CampaignConfig {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let router = self.router.build();
+                    let router = router();
                     loop {
                         let trial = next.fetch_add(1, Ordering::Relaxed);
                         if trial >= self.trials {
@@ -254,7 +274,7 @@ impl CampaignConfig {
         Ok(CampaignReport::summarize(
             topo.name(),
             self.scenario.label().to_string(),
-            self.router.build().name(),
+            router().name(),
             self.seed,
             trials,
         ))

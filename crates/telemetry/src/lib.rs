@@ -60,7 +60,8 @@ mod span;
 
 pub use manifest::{git_describe, RunManifest};
 pub use metrics::{
-    Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, HistogramTimer, MetricsSnapshot,
+    Registry,
 };
 pub use sink::{aggregate_phases, events_to_jsonl, render_summary, write_jsonl, PhaseAgg};
 pub use span::{drain_spans, SpanEvent, SpanGuard};

@@ -140,6 +140,22 @@ impl FloatGauge {
     }
 }
 
+/// Drop guard of [`Histogram::start_timer`]: records the elapsed
+/// nanoseconds between construction and drop.
+#[derive(Debug)]
+pub struct HistogramTimer {
+    histogram: &'static Histogram,
+    started: Option<std::time::Instant>,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        if let Some(t0) = self.started {
+            self.histogram.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 /// Bucket count: one for zero plus one per power of two up to `2^63`.
 const BUCKETS: usize = 65;
 
@@ -189,6 +205,18 @@ impl Histogram {
             self.count.fetch_add(1, Ordering::Relaxed);
             self.sum.fetch_add(v, Ordering::Relaxed);
             self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a wall-clock timer whose elapsed nanoseconds are recorded
+    /// into this histogram when the guard drops. While telemetry is
+    /// disabled the guard holds no clock and drops for free, preserving
+    /// the near-zero disabled-path cost the overhead bench enforces.
+    #[inline]
+    pub fn start_timer(&'static self) -> HistogramTimer {
+        HistogramTimer {
+            histogram: self,
+            started: crate::enabled().then(std::time::Instant::now),
         }
     }
 
@@ -488,6 +516,20 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count, 7);
         assert_eq!(snap.buckets.iter().map(|(_, n)| n).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn timer_records_only_while_enabled() {
+        let h = crate::registry().histogram("t.timer");
+        let before = h.count();
+        {
+            let _t = h.start_timer(); // disabled: holds no clock
+        }
+        assert_eq!(h.count(), before);
+        with_enabled(|| {
+            let _t = h.start_timer();
+        });
+        assert_eq!(h.count(), before + 1);
     }
 
     #[test]

@@ -167,6 +167,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_comment_only_inputs_parse_to_no_flows() {
+        assert_eq!(parse_trace("", 10).unwrap(), vec![]);
+        assert_eq!(parse_trace("\n\n  \n", 10).unwrap(), vec![]);
+        assert_eq!(
+            parse_trace("# a trace with\n# nothing but comments\n", 10).unwrap(),
+            vec![]
+        );
+        // write_trace of an empty trace is itself a comment-only trace.
+        assert_eq!(parse_trace(&write_trace(&[]), 10).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn endpoint_bounds_are_half_open() {
+        // n_servers - 1 is the last valid id; n_servers itself is out.
+        let flows = parse_trace("0,9,1,0\n9,0,1,0\n", 10).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].dst, NodeId(9));
+
+        let e = parse_trace("0,10,1,0\n", 10).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.reason.contains("out of range (< 10)"));
+        let e = parse_trace("10,0,1,0\n", 10).unwrap_err();
+        assert!(e.reason.contains("out of range"));
+
+        // A zero-server net rejects every endpoint, even id 0.
+        let e = parse_trace("0,1,1,0\n", 0).unwrap_err();
+        assert!(e.reason.contains("out of range (< 0)"));
+    }
+
+    #[test]
+    fn error_line_numbers_count_comments_and_blanks() {
+        // The failing record sits on physical line 5; comments and the
+        // blank line above it must still be counted.
+        let text = "# header\n\n0,1,1,0\n# interlude\n0,1,1,-3\n";
+        let e = parse_trace(text, 10).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.reason.contains("start_ns"));
+        assert!(e.reason.contains("not a number"));
+    }
+
+    #[test]
     fn pairs_feed_the_flow_simulator() {
         let flows = parse_trace("0,1,100,0\n1,0,10,5\n", 4).unwrap();
         let pairs: Vec<_> = flows.iter().map(TraceFlow::pair).collect();

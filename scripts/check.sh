@@ -54,8 +54,23 @@ for rows in "$EXP_A"/*.json; do
   fi
 done
 count="$(ls "$EXP_A"/*.json | grep -cv '\.manifest\.json$')"
-if [ "$count" -ne 20 ]; then
-  echo "FAIL: expected 20 rows artifacts, found $count" >&2
+if [ "$count" -ne 21 ]; then
+  echo "FAIL: expected 21 rows artifacts, found $count" >&2
+  exit 1
+fi
+
+echo "== fib gate (compile+query smoke, equivalence suite, shard-count determinism)"
+"$CLI" fib compile 2 2 2 | grep -q 'compiled forwarding table'
+"$CLI" fib query 2 2 2 0 17 | grep -q 'via compiled table'
+cargo test -q -p dcn-fib --test equivalence --offline
+FIB_A="$(mktemp -d)"
+FIB_B="$(mktemp -d)"
+trap 'rm -rf "$EXP_A" "$EXP_B" "$FIB_A" "$FIB_B"' EXIT
+FIB_BENCH=(fib bench 2 2 2 --queries 2000 --fail-rate 0.1)
+"$CLI" "${FIB_BENCH[@]}" --shards 1 --digest "$FIB_A/digest.json" >/dev/null
+"$CLI" "${FIB_BENCH[@]}" --shards 8 --digest "$FIB_B/digest.json" >/dev/null
+if ! cmp -s "$FIB_A/digest.json" "$FIB_B/digest.json"; then
+  echo "FAIL: fib bench digest differs between 1 and 8 shards" >&2
   exit 1
 fi
 

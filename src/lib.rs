@@ -10,7 +10,8 @@
 //! * [`netgraph`] — the graph substrate (BFS, max-flow, disjoint paths);
 //! * [`dcn_metrics`] — diameter/bisection/CAPEX/expansion metrics;
 //! * [`flowsim`] / [`packetsim`] — the two simulators;
-//! * [`dcn_workloads`] — traffic and failure generators.
+//! * [`dcn_workloads`] — traffic and failure generators;
+//! * [`dcn_fib`] — compiled forwarding tables + the route-query service.
 //!
 //! ```
 //! use abccc_suite::prelude::*;
@@ -27,6 +28,7 @@
 
 pub use abccc;
 pub use dcn_baselines;
+pub use dcn_fib;
 pub use dcn_metrics;
 pub use dcn_workloads;
 pub use flowsim;
@@ -43,6 +45,7 @@ pub mod prelude {
         BCube, BCubeParams, Bccc, BcccParams, DCell, DCellParams, FatTree, FatTreeParams,
         Hypercube, HypercubeParams,
     };
+    pub use dcn_fib::{Fib, FibCompiler, RouteService};
     pub use dcn_metrics::{CostModel, TopologyStats};
     pub use flowsim::FlowSim;
     pub use netgraph::{FaultMask, Network, NodeId, Route, Topology};
