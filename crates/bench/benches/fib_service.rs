@@ -58,7 +58,7 @@ fn bench_fib_service(c: &mut Criterion) {
         // The raw data-plane lookup: a port-indexed table walk into a
         // reused buffer, the way a switch ASIC or DPDK worker would use
         // the compiled FIB — no allocation, no telemetry, no outcome.
-        let fib = svc.fib();
+        let fib = svc.table();
         let net = topo_ref.network();
         let mut buf = Vec::with_capacity(32);
         let mut i = 0usize;

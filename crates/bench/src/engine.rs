@@ -137,6 +137,11 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
     let threads = worker_count(opts.threads);
     let preset = opts.preset;
 
+    // Manifests carry memory provenance (peak RSS + `*_bytes` allocation
+    // gauges), and gauges only record while telemetry is on — turn it on
+    // for the sweep, restoring the caller's choice afterwards.
+    let _telemetry = TelemetryScope::enable();
+
     // Create the artifact directory up front so write failures surface
     // before any compute is spent.
     if let Some(dir) = &opts.json_dir {
@@ -286,6 +291,28 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
     Ok(report)
 }
 
+/// Re-disables telemetry on drop unless it was already on when the engine
+/// started (e.g. under the CLI's `--trace`).
+struct TelemetryScope {
+    was_on: bool,
+}
+
+impl TelemetryScope {
+    fn enable() -> TelemetryScope {
+        let was_on = dcn_telemetry::enabled();
+        dcn_telemetry::set_enabled(true);
+        TelemetryScope { was_on }
+    }
+}
+
+impl Drop for TelemetryScope {
+    fn drop(&mut self) {
+        if !self.was_on {
+            dcn_telemetry::set_enabled(false);
+        }
+    }
+}
+
 /// Builds the per-experiment provenance manifest: declared parameters,
 /// base seed, the distinct topologies the grid touched, and per-point
 /// timing as an aggregated phase.
@@ -320,6 +347,11 @@ fn build_manifest(
         max_ns: point_ns.iter().copied().max().unwrap_or(0),
         threads: threads.min(point_ns.len().max(1)) as u32,
     }];
+    // Memory provenance: the process high-water mark plus whatever
+    // `*_bytes` allocation gauges the run's experiments set. Wall-clock
+    // and memory live only here — never in the row JSON, which must stay
+    // byte-identical across runs.
+    manifest.measure_memory();
     manifest
 }
 

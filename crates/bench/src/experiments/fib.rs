@@ -111,7 +111,7 @@ impl Experiment for FibThroughput {
         let t0 = Instant::now();
         let mut svc = RouteService::compile(topo, Self::SHARDS).map_err(|e| format!("{p}: {e}"))?;
         let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let table_bytes = svc.fib().bytes() as u64;
+        let table_bytes = svc.table().bytes() as u64;
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
         let pairs: Vec<(NodeId, NodeId)> = (0..Self::queries(ctx.preset))

@@ -6,6 +6,7 @@
 
 mod faults;
 mod fib;
+mod frontier;
 mod packet;
 mod routing;
 mod scale;
@@ -48,4 +49,5 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &faults::Fig17Adversarial,
     &scale::ScaleDemo,
     &fib::FibThroughput,
+    &frontier::ScaleFrontier,
 ];

@@ -151,12 +151,18 @@ const USAGE: &str = "usage:
       [--router resilient|digit|vlb] [--no-bfs] [--pattern random|permutation|convergent]
       [--pairs N] [--trials N] [--seed N] [--threads N] [--no-throughput]
                                              seeded fault campaign with degradation report
-  abccc-cli fib compile <n> <k> <h>          compile the forwarding table, print stats
-  abccc-cli fib query   <n> <k> <h> <src> <dst> [--shards N]
+  abccc-cli fib compile <n> <k> <h> [--layout dense|hier]
+                                             compile the forwarding table, print stats
+  abccc-cli fib query   <n> <k> <h> <src> <dst> [--shards N] [--layout dense|hier]
       [--fail-rate R] [--fail-seed S]        answer one query from the compiled table
   abccc-cli fib bench   <n> <k> <h> [--queries N] [--seed N] [--shards N]
-      [--fail-rate R] [--digest FILE]        batched route-service throughput; --digest
+      [--fail-rate R] [--layout dense|hier] [--digest FILE]
+                                             batched route-service throughput; --digest
                                              writes a deterministic result digest (JSON)
+  abccc-cli topo stats  <family…> [--estimate [--samples N] [--seed S] [--trials T]]
+                                             graph metrics; --estimate uses seeded
+                                             sampling (diameter lower bound, APL ± CI,
+                                             bisection upper bound) at any scale
   abccc-cli experiments list                 index of registered paper experiments
   abccc-cli experiments run <name…> | --all [--preset tiny|paper|scale]
       [--json DIR] [--threads N]             run experiments through the sweep engine
@@ -240,7 +246,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
     if json
         && !matches!(
             cmd.as_str(),
-            "props" | "simulate" | "capex" | "trace" | "broadcast" | "resilience" | "fib"
+            "props" | "simulate" | "capex" | "trace" | "broadcast" | "resilience" | "fib" | "topo"
         )
     {
         return Err(format!("--json is not supported for `{cmd}`"));
@@ -259,6 +265,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
         "broadcast" => broadcast_cmd(rest, json),
         "resilience" => resilience_cmd(rest, json),
         "fib" => fib_cmd(rest, json),
+        "topo" => topo_cmd(rest, json),
         "experiments" => experiments_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -779,11 +786,17 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
     let shards = num("--shards", 8)? as usize;
     let fail_rate = fnum("--fail-rate", 0.0)?;
     let fail_seed = num("--fail-seed", 0)?;
+    let layout = match flag_value(rest, "--layout") {
+        None => dcn_fib::FibLayout::Dense,
+        Some(s) => dcn_fib::FibLayout::parse(&s)
+            .ok_or_else(|| format!("unknown layout `{s}` (dense|hier)"))?,
+    };
 
     let build_service = || -> Result<(RouteService, f64), String> {
         let topo = Abccc::new(p).map_err(|e| e.to_string())?;
         let t0 = std::time::Instant::now();
-        let mut svc = RouteService::compile(topo, shards).map_err(|e| e.to_string())?;
+        let mut svc =
+            RouteService::compile_with_layout(topo, layout, shards).map_err(|e| e.to_string())?;
         let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
         if fail_rate > 0.0 {
             let mask = FaultScenario::seeded(fail_seed)
@@ -798,13 +811,14 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
     match sub.as_str() {
         "compile" => {
             let (svc, compile_ms) = build_service()?;
-            let fib = svc.fib();
+            let fib = svc.table();
             if json {
                 return print_json(&Value::Map(
                     [
                         ("topology", Value::Str(p.to_string())),
                         ("servers", Value::U64(u64::from(fib.servers()))),
                         ("strategy", Value::Str(fib.strategy().label().to_string())),
+                        ("layout", Value::Str(fib.layout().label().to_string())),
                         ("table_bytes", Value::U64(fib.bytes() as u64)),
                         ("shards", Value::U64(svc.shard_count() as u64)),
                         ("compile_ms", Value::F64(compile_ms)),
@@ -816,12 +830,9 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
             }
             println!("{p}: compiled forwarding table");
             println!("  strategy     {}", fib.strategy().label());
+            println!("  layout       {}", fib.layout().label());
             println!("  servers      {}", fib.servers());
-            println!(
-                "  table size   {} entries, {:.1} KiB",
-                u64::from(fib.servers()) * u64::from(fib.servers()),
-                fib.bytes() as f64 / 1024.0
-            );
+            println!("  table size   {:.1} KiB", fib.bytes() as f64 / 1024.0);
             println!("  shards       {}", svc.shard_count());
             println!("  compile time {compile_ms:.2} ms");
             Ok(())
@@ -960,6 +971,104 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown fib subcommand `{other}`")),
+    }
+}
+
+fn topo_cmd(args: &[String], json: bool) -> Result<(), String> {
+    let sub = args.first().ok_or("topo needs `stats`")?;
+    let rest = &args[1..];
+    match sub.as_str() {
+        "stats" => {
+            let mut rest: Vec<String> = rest.to_vec();
+            let estimate = take_flag(&mut rest, "--estimate");
+            let samples: usize = match take_flag_value(&mut rest, "--samples") {
+                None => 64,
+                Some(s) => s.parse().map_err(|_| "--samples expects a number")?,
+            };
+            let seed: u64 = match take_flag_value(&mut rest, "--seed") {
+                None => 7,
+                Some(s) => s.parse().map_err(|_| "--seed expects a number")?,
+            };
+            let trials: usize = match take_flag_value(&mut rest, "--trials") {
+                None => 4,
+                Some(s) => s.parse().map_err(|_| "--trials expects a number")?,
+            };
+            let (topo, _) = parse_topology(&rest)?;
+            let net = topo.network();
+            if !estimate {
+                // Exact path: same engine `props` uses, without the CAPEX
+                // extras — diameter/APL only where the sweep is feasible.
+                let small = net.server_count() <= 2048;
+                let stats = if small {
+                    dcn_metrics::TopologyStats::measure(topo.as_ref())
+                } else {
+                    dcn_metrics::TopologyStats::quick(topo.as_ref())
+                };
+                if json {
+                    return print_json(&stats.to_value());
+                }
+                println!("{}", stats.name);
+                println!("  servers   {}", stats.servers);
+                println!("  switches  {}", stats.switches);
+                println!("  wires     {}", stats.wires);
+                match stats.diameter_server_hops {
+                    Some(d) => println!("  diameter  {d} server hops (exact)"),
+                    None => println!("  diameter  - (use --estimate at this size)"),
+                }
+                if let Some(apl) = stats.avg_path_length {
+                    println!("  APL       {apl:.4} server hops (exact)");
+                }
+                return Ok(());
+            }
+            // Sampled path: seeded source sampling, byte-identical at any
+            // thread count (the smoke test compares digests across runs).
+            let metrics = netgraph::sample::sampled_server_metrics(net, samples, seed)
+                .ok_or("sampled metrics unavailable (disconnected or <2 servers)")?;
+            let bisection = netgraph::sample::sampled_bisection(net, trials, seed)
+                .ok_or("sampled bisection unavailable")?;
+            if json {
+                return print_json(&Value::Map(
+                    [
+                        ("topology", Value::Str(topo.name())),
+                        ("servers", Value::U64(net.server_count() as u64)),
+                        ("switches", Value::U64(net.switch_count() as u64)),
+                        ("wires", Value::U64(net.link_count() as u64)),
+                        ("samples", Value::U64(metrics.apl.samples as u64)),
+                        ("seed", Value::U64(seed)),
+                        (
+                            "diameter_lower_bound",
+                            Value::U64(u64::from(metrics.diameter_lb)),
+                        ),
+                        ("apl_mean", Value::F64(metrics.apl.mean)),
+                        ("apl_ci95", Value::F64(metrics.apl.ci95)),
+                        ("bisection_trials", Value::U64(bisection.trials as u64)),
+                        ("bisection_min_cut", Value::U64(bisection.min_cut)),
+                        ("bisection_mean_cut", Value::F64(bisection.mean_cut)),
+                    ]
+                    .into_iter()
+                    .map(|(key, v)| (key.to_string(), v))
+                    .collect(),
+                ));
+            }
+            println!("{} (sampled, seed {seed})", topo.name());
+            println!("  servers       {}", net.server_count());
+            println!("  switches      {}", net.switch_count());
+            println!("  wires         {}", net.link_count());
+            println!(
+                "  diameter      ≥ {} server hops ({} sources)",
+                metrics.diameter_lb, metrics.apl.samples
+            );
+            println!(
+                "  APL           {:.4} ± {:.4} server hops (95% CI)",
+                metrics.apl.mean, metrics.apl.ci95
+            );
+            println!(
+                "  bisection     ≤ {} links (min of {} balanced probes, mean {:.1})",
+                bisection.min_cut, bisection.trials, bisection.mean_cut
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown topo subcommand `{other}`")),
     }
 }
 

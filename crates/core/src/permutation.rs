@@ -104,6 +104,78 @@ impl PermStrategy {
         }
     }
 
+    /// The first entry of [`PermStrategy::order`] without materializing the
+    /// permutation: `first(p, src, dst) == order(p, src, dst).first().copied()`
+    /// for every strategy (pinned by tests).
+    ///
+    /// Compiled forwarding tables only ever consume the *first* correction
+    /// level of a route — the suffix property means the rest of the journey
+    /// is re-derived hop by hop — so the hierarchical FIB calls this on the
+    /// lookup path where an `order()` allocation per query would dominate.
+    /// All deterministic strategies run in O(levels) with no heap use;
+    /// [`PermStrategy::Random`] has no closed form and falls back to
+    /// `order()`.
+    pub fn first(&self, p: &AbcccParams, src: ServerAddr, dst: ServerAddr) -> Option<u32> {
+        if matches!(self, PermStrategy::Random(_)) {
+            return self.order(p, src, dst).first().copied();
+        }
+        // Bitmask of differing levels (levels ≤ 20, so u32 suffices).
+        let n = u64::from(p.n());
+        let levels = p.levels();
+        let mut mask = 0u32;
+        let (mut ra, mut rb) = (src.label.0, dst.label.0);
+        for lvl in 0..levels {
+            if ra % n != rb % n {
+                mask |= 1 << lvl;
+            }
+            ra /= n;
+            rb /= n;
+        }
+        if mask == 0 {
+            return None;
+        }
+        let diff = |m: u32| (0..levels).filter(move |&i| m & (1 << i) != 0);
+        let m = p.group_size();
+        let key = |i: u32| (p.owner(i) + m - src.pos) % m;
+        Some(match self {
+            PermStrategy::Ascending => mask.trailing_zeros(),
+            PermStrategy::Descending => 31 - mask.leading_zeros(),
+            PermStrategy::CyclicFromSource => {
+                diff(mask).min_by_key(|&i| (key(i), i)).expect("non-empty")
+            }
+            PermStrategy::DestinationAware => {
+                // The destination's block moves to the back of the cyclic
+                // order, so the first entry is the cyclic minimum over the
+                // other blocks — unless every differing level sits in the
+                // destination block (or src and dst share a position).
+                let dst_key = (dst.pos + m - src.pos) % m;
+                let skip_dst = dst.pos != src.pos;
+                diff(mask)
+                    .filter(|&i| !skip_dst || key(i) != dst_key)
+                    .min_by_key(|&i| (key(i), i))
+                    .unwrap_or_else(|| diff(mask).min_by_key(|&i| (key(i), i)).expect("non-empty"))
+            }
+            PermStrategy::Greedy => {
+                // Levels owned by the source's position come first (ascending
+                // within the block); otherwise jump to the nearest owner with
+                // work remaining and take its lowest level.
+                match diff(mask).find(|&i| p.owner(i) == src.pos) {
+                    Some(i) => i,
+                    None => {
+                        let target = diff(mask)
+                            .map(|i| p.owner(i))
+                            .min_by_key(|&o| (o.abs_diff(src.pos), o))
+                            .expect("non-empty");
+                        diff(mask)
+                            .find(|&i| p.owner(i) == target)
+                            .expect("owner has work")
+                    }
+                }
+            }
+            PermStrategy::Random(_) => unreachable!("handled above"),
+        })
+    }
+
     /// All strategies with a representative random seed — handy for sweeps.
     pub fn all() -> Vec<PermStrategy> {
         vec![
@@ -216,6 +288,52 @@ mod tests {
         let (p, src, _) = setup();
         for s in PermStrategy::all() {
             assert!(s.order(&p, src, src).is_empty());
+        }
+    }
+
+    #[test]
+    fn first_matches_order_head_on_exhaustive_small_instance() {
+        // Every (src, dst) pair of ABCCC(2,3,3) and ABCCC(3,2,2), every
+        // strategy: the allocation-free fast path must equal order()[0].
+        for (n, k, h) in [(2, 3, 3), (3, 2, 2), (2, 5, 3)] {
+            let p = AbcccParams::new(n, k, h).unwrap();
+            let servers = p.server_count() as u32;
+            for s in PermStrategy::all() {
+                for a in 0..servers {
+                    for b in 0..servers {
+                        let src = ServerAddr::from_node_id(&p, netgraph::NodeId(a));
+                        let dst = ServerAddr::from_node_id(&p, netgraph::NodeId(b));
+                        assert_eq!(
+                            s.first(&p, src, dst),
+                            s.order(&p, src, dst).first().copied(),
+                            "{s:?} src={a} dst={b} in ABCCC({n},{k},{h})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_matches_order_head_on_sampled_large_instance() {
+        // Wide-radix, deep instance where digit arithmetic could overflow a
+        // naive implementation: sampled pairs, all strategies.
+        let p = AbcccParams::new(16, 4, 4).unwrap();
+        let servers = p.server_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1257);
+        use rand::Rng;
+        for _ in 0..256 {
+            let a = rng.gen_range(0..servers) as u32;
+            let b = rng.gen_range(0..servers) as u32;
+            let src = ServerAddr::from_node_id(&p, netgraph::NodeId(a));
+            let dst = ServerAddr::from_node_id(&p, netgraph::NodeId(b));
+            for s in PermStrategy::all() {
+                assert_eq!(
+                    s.first(&p, src, dst),
+                    s.order(&p, src, dst).first().copied(),
+                    "{s:?} src={a} dst={b}"
+                );
+            }
         }
     }
 

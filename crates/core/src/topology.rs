@@ -62,39 +62,43 @@ impl Abccc {
             });
         }
 
-        let mut net = Network::with_capacity(nodes as usize, params.wire_count() as usize);
-        for _ in 0..params.server_count() {
-            net.add_server();
-        }
-        for _ in 0..params.switch_count() {
-            net.add_switch();
-        }
-
+        // Stream cables straight into the network's compact store — no
+        // intermediate `Vec<Link>` is ever built. Emission order (crossbar
+        // cables first, then level cables) is the port-stability contract
+        // every compiled FIB depends on; do not reorder.
         let m = params.group_size();
-        // Crossbar cables: each group member to its crossbar.
-        if m > 1 {
-            for raw in 0..params.label_space() {
-                let label = CubeLabel(raw);
-                let cb = SwitchAddr::Crossbar(label).node_id(&params);
-                for j in 0..m {
-                    let sv = ServerAddr::new(&params, label, j).node_id(&params);
-                    net.add_link(sv, cb, capacity);
+        let net = Network::from_uniform_stream(
+            params.server_count() as usize,
+            params.switch_count() as usize,
+            params.wire_count() as usize,
+            capacity,
+            |sink| {
+                // Crossbar cables: each group member to its crossbar.
+                if m > 1 {
+                    for raw in 0..params.label_space() {
+                        let label = CubeLabel(raw);
+                        let cb = SwitchAddr::Crossbar(label).node_id(&params);
+                        for j in 0..m {
+                            let sv = ServerAddr::new(&params, label, j).node_id(&params);
+                            sink(sv, cb);
+                        }
+                    }
                 }
-            }
-        }
-        // Level cables: every server of the owning position to its level
-        // switch.
-        for level in 0..params.levels() {
-            let owner = params.owner(level);
-            for rest in 0..params.rest_space() {
-                let sw = SwitchAddr::Level { level, rest }.node_id(&params);
-                for d in 0..params.n() {
-                    let label = CubeLabel::from_rest(&params, level, rest, d);
-                    let sv = ServerAddr::new(&params, label, owner).node_id(&params);
-                    net.add_link(sv, sw, capacity);
+                // Level cables: every server of the owning position to its
+                // level switch.
+                for level in 0..params.levels() {
+                    let owner = params.owner(level);
+                    for rest in 0..params.rest_space() {
+                        let sw = SwitchAddr::Level { level, rest }.node_id(&params);
+                        for d in 0..params.n() {
+                            let label = CubeLabel::from_rest(&params, level, rest, d);
+                            let sv = ServerAddr::new(&params, label, owner).node_id(&params);
+                            sink(sv, sw);
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
         debug_assert_eq!(net.link_count() as u64, params.wire_count());
         Ok(Abccc { params, net })
     }

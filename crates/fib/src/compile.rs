@@ -211,6 +211,19 @@ impl FibCompiler {
         dcn_telemetry::gauge!("fib.table_bytes").set(fib.bytes() as i64);
         Ok(fib)
     }
+
+    /// Compiles the hierarchical digit-structured table for `topo` —
+    /// the same lookups as [`FibCompiler::compile`] at
+    /// `O(V·levels + E)` memory instead of `O(V²)`. O(E) single-threaded
+    /// (the [`threads`](FibCompiler::threads) knob is irrelevant at that
+    /// cost).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FibCompiler::compile`].
+    pub fn compile_hier(&self, topo: &Abccc) -> Result<crate::HierFib, FibError> {
+        crate::hier::compile(self.strategy, topo)
+    }
 }
 
 /// Fills the next-hop slab of destination `d`: for every source server,
@@ -382,6 +395,18 @@ impl Fib {
 /// ABCCC parameters with the destination-aware strategy).
 pub fn compile_shortest(topo: &Abccc) -> Result<Fib, FibError> {
     FibCompiler::shortest().compile(topo)
+}
+
+/// Convenience: compiles the shortest-path table in the hierarchical
+/// layout — same answers as [`compile_shortest`] at `O(V·levels + E)`
+/// memory.
+///
+/// # Errors
+///
+/// Propagates [`FibCompiler::compile_hier`] failures (not reachable for
+/// valid ABCCC parameters with the destination-aware strategy).
+pub fn compile_shortest_hier(topo: &Abccc) -> Result<crate::HierFib, FibError> {
+    FibCompiler::shortest().compile_hier(topo)
 }
 
 #[cfg(test)]

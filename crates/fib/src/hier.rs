@@ -1,0 +1,371 @@
+//! The hierarchical digit-structured FIB layout.
+//!
+//! The dense [`Fib`](crate::Fib) stores one packed entry per
+//! `(source, destination)` pair — `4·N²` bytes, which hits an O(V²) wall
+//! long before the million-server instances the ABCCC paper is about
+//! (10⁵ servers ⇒ 40 GB of table). But the entries are massively
+//! redundant: by the suffix property, the next hop out of a server depends
+//! only on (a) the *first* level its strategy would correct and (b) which
+//! digit the destination holds at that level — never on the full
+//! destination identity. [`HierFib`] stores exactly that factorization:
+//!
+//! * per server, the egress port toward each *owned level switch* and
+//!   toward its group crossbar (`O(V·levels)` entries);
+//! * per level switch, the egress port toward the member holding each
+//!   digit (`O(level-switch ports)` = one entry per level cable);
+//! * per crossbar, the egress port toward each group position (one entry
+//!   per crossbar cable).
+//!
+//! Total: `O(V·levels + E)` 16-bit entries — megabytes where the dense
+//! layout needs tens of gigabytes — while every lookup reproduces the
+//! dense table's answer bit for bit (the equivalence proptests pin
+//! hier-vs-dense under healthy *and* accumulated-fault queries). The
+//! first-level decision itself comes from the allocation-free
+//! [`PermStrategy::first`], so a lookup does O(levels) integer work and
+//! touches two `u16` cells.
+//!
+//! Port tables are filled by decoding the network's actual adjacency
+//! lists (O(E) compile), not by assuming the generator's emission order —
+//! if the builder ever reordered cables, compilation would still be
+//! correct and the bit-equivalence tests would still pass.
+
+use crate::compile::FibError;
+use abccc::{Abccc, AbcccParams, PermStrategy, ServerAddr, SwitchAddr};
+use netgraph::{FaultMask, Network, NodeId, Route, Topology};
+
+/// Sentinel for port cells no valid lookup dereferences (e.g. the
+/// level-switch slot of a level the server does not own).
+const NO_PORT: u16 = u16::MAX;
+
+/// A compiled forwarding table in the hierarchical digit-structured
+/// layout: same lookup contract as the dense [`Fib`](crate::Fib), at
+/// `O(V·levels + E)` memory instead of `O(V²)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierFib {
+    strategy: PermStrategy,
+    params: AbcccParams,
+    servers: u32,
+    max_nodes: u32,
+    /// Egress port of server `u` toward its group crossbar; empty when
+    /// `m == 1` (the BCube endpoint has no crossbars).
+    crossbar_sport: Vec<u16>,
+    /// Egress port of server `u` toward the switch of level `i`:
+    /// `[u · levels + i]`, [`NO_PORT`] where `u`'s position does not own
+    /// level `i`.
+    level_sport: Vec<u16>,
+    /// Egress port of crossbar `x` toward group member `j`:
+    /// `[x · m + j]`; empty when `m == 1`.
+    crossbar_wport: Vec<u16>,
+    /// Egress port of the level switch with compact index `s` toward the
+    /// member whose level digit is `d`: `[s · n + d]` (the compact index
+    /// is `level · rest_space + rest`, i.e. the switch's node id minus
+    /// servers and crossbars).
+    level_wport: Vec<u16>,
+}
+
+/// Compiles the hierarchical table for `topo` by decoding its adjacency
+/// lists — O(E) work, no per-destination sweep.
+pub(crate) fn compile(strategy: PermStrategy, topo: &Abccc) -> Result<HierFib, FibError> {
+    if let PermStrategy::Random(_) = strategy {
+        return Err(FibError::UnsupportedStrategy {
+            strategy: strategy.label(),
+        });
+    }
+    let net = topo.network();
+    for node in net.node_ids() {
+        if net.degree(node) > usize::from(NO_PORT) {
+            return Err(FibError::PortOverflow {
+                node,
+                degree: net.degree(node),
+            });
+        }
+    }
+
+    let _span = dcn_telemetry::span!("fib.compile_hier");
+    let p = *topo.params();
+    let servers = p.server_count() as usize;
+    let levels = p.levels() as usize;
+    let m = p.group_size() as usize;
+    let n = p.n() as usize;
+    let crossbars = p.crossbar_count() as usize;
+    let has_crossbars = m > 1;
+
+    let mut crossbar_sport = vec![NO_PORT; if has_crossbars { servers } else { 0 }];
+    let mut level_sport = vec![NO_PORT; servers * levels];
+    let mut crossbar_wport = vec![NO_PORT; if has_crossbars { crossbars * m } else { 0 }];
+    let mut level_wport = vec![NO_PORT; (p.level_switch_count() as usize) * n];
+
+    // Server side: which port leads to the crossbar / each owned level.
+    for u in 0..servers {
+        let id = NodeId(u as u32);
+        for (port, &(nb, _)) in net.neighbors(id).iter().enumerate() {
+            match SwitchAddr::from_node_id(&p, nb) {
+                SwitchAddr::Crossbar(_) => crossbar_sport[u] = port as u16,
+                SwitchAddr::Level { level, .. } => {
+                    level_sport[u * levels + level as usize] = port as u16;
+                }
+            }
+        }
+    }
+    // Switch side: which port leads to each member / digit.
+    for sw in 0..net.switch_count() {
+        let id = NodeId((servers + sw) as u32);
+        match SwitchAddr::from_node_id(&p, id) {
+            SwitchAddr::Crossbar(label) => {
+                let base = label.0 as usize * m;
+                for (port, &(nb, _)) in net.neighbors(id).iter().enumerate() {
+                    let member = ServerAddr::from_node_id(&p, nb);
+                    debug_assert_eq!(member.label, label, "crossbar member label");
+                    crossbar_wport[base + member.pos as usize] = port as u16;
+                }
+            }
+            SwitchAddr::Level { level, .. } => {
+                let base = (sw - crossbars) * n;
+                for (port, &(nb, _)) in net.neighbors(id).iter().enumerate() {
+                    let member = ServerAddr::from_node_id(&p, nb);
+                    let d = member.label.digit(&p, level) as usize;
+                    level_wport[base + d] = port as u16;
+                }
+            }
+        }
+    }
+
+    let fib = HierFib {
+        strategy,
+        params: p,
+        servers: servers as u32,
+        // Same worst-case route bound as the dense compiler.
+        max_nodes: 4 * p.levels() + 3,
+        crossbar_sport,
+        level_sport,
+        crossbar_wport,
+        level_wport,
+    };
+    dcn_telemetry::counter!("fib.compiles").inc();
+    dcn_telemetry::gauge!("fib.table_bytes").set(fib.bytes() as i64);
+    Ok(fib)
+}
+
+impl HierFib {
+    /// The strategy the table was compiled from.
+    pub fn strategy(&self) -> PermStrategy {
+        self.strategy
+    }
+
+    /// Number of servers the table covers.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Table size in bytes (port cells only).
+    pub fn bytes(&self) -> usize {
+        (self.crossbar_sport.len()
+            + self.level_sport.len()
+            + self.crossbar_wport.len()
+            + self.level_wport.len())
+            * std::mem::size_of::<u16>()
+    }
+
+    /// The `(server port, switch port)` pair for a hop, or `None` on the
+    /// diagonal — bit-identical to the dense [`Fib::ports`](crate::Fib::ports)
+    /// for the same strategy.
+    pub fn ports(&self, at: NodeId, toward: NodeId) -> Option<(u16, u16)> {
+        if at == toward {
+            return None;
+        }
+        let p = &self.params;
+        let su = ServerAddr::from_node_id(p, at);
+        let sd = ServerAddr::from_node_id(p, toward);
+        let levels = p.levels() as usize;
+        let n = p.n() as usize;
+        let m = p.group_size() as usize;
+        Some(match self.strategy.first(p, su, sd) {
+            Some(level) => {
+                let owner = p.owner(level);
+                if su.pos == owner {
+                    // Correct the first digit through the owned level
+                    // switch, exiting toward the destination's digit.
+                    let sport = self.level_sport[at.index() * levels + level as usize];
+                    let compact = u64::from(level) * p.rest_space() + su.label.rest_index(p, level);
+                    let wport =
+                        self.level_wport[compact as usize * n + sd.label.digit(p, level) as usize];
+                    (sport, wport)
+                } else {
+                    // Reach the owner through the group crossbar first.
+                    (
+                        self.crossbar_sport[at.index()],
+                        self.crossbar_wport[su.label.0 as usize * m + owner as usize],
+                    )
+                }
+            }
+            // Same label, different position: one crossbar hop finishes.
+            None => (
+                self.crossbar_sport[at.index()],
+                self.crossbar_wport[su.label.0 as usize * m + sd.pos as usize],
+            ),
+        })
+    }
+
+    /// Walks the table from `src` to `dst`, appending the full node
+    /// sequence to `nodes` — the hierarchical counterpart of
+    /// [`Fib::walk_into`](crate::Fib::walk_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, or — the corruption guard —
+    /// if the walk exceeds the worst-case route length of any strategy.
+    pub fn walk_into(&self, net: &Network, src: NodeId, dst: NodeId, nodes: &mut Vec<NodeId>) {
+        let cap = self.max_nodes as usize;
+        nodes.push(src);
+        let mut cur = src;
+        while cur != dst {
+            assert!(
+                nodes.len() < cap,
+                "fib walk {src}->{dst} exceeded the route-length bound — corrupt table"
+            );
+            let (sport, wport) = self.ports(cur, dst).expect("cur != dst");
+            let (via, _) = net.neighbors(cur)[sport as usize];
+            let (next, _) = net.neighbors(via)[wport as usize];
+            nodes.push(via);
+            nodes.push(next);
+            cur = next;
+        }
+    }
+
+    /// The compiled route `src → dst` as a [`Route`].
+    pub fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> Route {
+        let mut nodes = Vec::with_capacity(self.max_nodes as usize);
+        self.walk_into(net, src, dst, &mut nodes);
+        Route::new(nodes)
+    }
+
+    /// Walks `src → dst` under a fault mask, reporting whether every
+    /// traversed element is alive — the hierarchical counterpart of
+    /// [`Fib::walk_live_into`](crate::Fib::walk_live_into).
+    pub fn walk_live_into(
+        &self,
+        net: &Network,
+        mask: &FaultMask,
+        src: NodeId,
+        dst: NodeId,
+        nodes: &mut Vec<NodeId>,
+    ) -> bool {
+        let cap = self.max_nodes as usize;
+        nodes.push(src);
+        let mut alive = mask.node_alive(src);
+        let mut cur = src;
+        while cur != dst {
+            assert!(
+                nodes.len() < cap,
+                "fib walk {src}->{dst} exceeded the route-length bound — corrupt table"
+            );
+            let (sport, wport) = self.ports(cur, dst).expect("cur != dst");
+            let (via, l1) = net.neighbors(cur)[sport as usize];
+            let (next, l2) = net.neighbors(via)[wport as usize];
+            alive = alive
+                && mask.link_alive(l1)
+                && mask.node_alive(via)
+                && mask.link_alive(l2)
+                && mask.node_alive(next);
+            nodes.push(via);
+            nodes.push(next);
+            cur = next;
+        }
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::FibCompiler;
+    use abccc::AbcccParams;
+
+    fn topo(n: u32, k: u32, h: u32) -> Abccc {
+        Abccc::new(AbcccParams::new(n, k, h).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_random_strategy() {
+        let t = topo(2, 1, 2);
+        assert!(matches!(
+            FibCompiler::new(PermStrategy::Random(7)).compile_hier(&t),
+            Err(FibError::UnsupportedStrategy { .. })
+        ));
+    }
+
+    #[test]
+    fn hier_ports_match_dense_ports_exhaustively() {
+        for (n, k, h) in [(2, 2, 2), (3, 1, 2), (2, 3, 3), (3, 1, 3)] {
+            let t = topo(n, k, h);
+            let servers = t.params().server_count() as u32;
+            for strategy in [
+                PermStrategy::DestinationAware,
+                PermStrategy::CyclicFromSource,
+                PermStrategy::Ascending,
+                PermStrategy::Descending,
+                PermStrategy::Greedy,
+            ] {
+                let dense = FibCompiler::new(strategy).compile(&t).unwrap();
+                let hier = FibCompiler::new(strategy).compile_hier(&t).unwrap();
+                for s in 0..servers {
+                    for d in 0..servers {
+                        assert_eq!(
+                            hier.ports(NodeId(s), NodeId(d)),
+                            dense.ports(NodeId(s), NodeId(d)),
+                            "ABCCC({n},{k},{h}) {} {s}->{d}",
+                            strategy.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hier_routes_match_dense_routes() {
+        let t = topo(2, 3, 3);
+        let net = t.network();
+        let dense = FibCompiler::shortest().compile(&t).unwrap();
+        let hier = FibCompiler::shortest().compile_hier(&t).unwrap();
+        let servers = t.params().server_count() as u32;
+        for s in 0..servers {
+            for d in 0..servers {
+                assert_eq!(
+                    hier.route(net, NodeId(s), NodeId(d)),
+                    dense.route(net, NodeId(s), NodeId(d)),
+                    "{s}->{d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hier_is_at_least_10x_smaller_beyond_a_thousand_servers() {
+        let t = topo(4, 2, 2); // m=3, 192 servers
+        let dense = FibCompiler::shortest().compile(&t).unwrap();
+        let hier = FibCompiler::shortest().compile_hier(&t).unwrap();
+        assert!(
+            dense.bytes() >= 10 * hier.bytes(),
+            "dense {} vs hier {}",
+            dense.bytes(),
+            hier.bytes()
+        );
+    }
+
+    #[test]
+    fn bcube_endpoint_compiles_without_crossbar_tables() {
+        let t = topo(3, 1, 3); // m = 1
+        let hier = FibCompiler::shortest().compile_hier(&t).unwrap();
+        let dense = FibCompiler::shortest().compile(&t).unwrap();
+        let servers = t.params().server_count() as u32;
+        for s in 0..servers {
+            for d in 0..servers {
+                assert_eq!(
+                    hier.ports(NodeId(s), NodeId(d)),
+                    dense.ports(NodeId(s), NodeId(d))
+                );
+            }
+        }
+    }
+}

@@ -14,8 +14,14 @@
 //!   property** of the deterministic digit-correction strategies (see
 //!   the module docs of the compiler); the seeded `Random` strategy
 //!   lacks it and is rejected at compile time.
-//! * [`Fib`] is the immutable compiled artifact: O(1) per-hop lookups,
-//!   `4·N²` bytes for `N` servers, safely shareable across threads.
+//! * [`Fib`] is the immutable compiled artifact in the **dense** layout:
+//!   O(1) per-hop lookups, `4·N²` bytes for `N` servers, safely shareable
+//!   across threads. [`HierFib`] is the same contract in the
+//!   **hierarchical digit-structured** layout — per-level sub-tables
+//!   keyed by address digits at `O(N·levels + E)` bytes, the layout that
+//!   breaks the O(V²) wall for 10⁵+-server instances (where a dense
+//!   table would need tens of gigabytes). [`FibTable`] holds either;
+//!   [`FibLayout`] names the choice.
 //! * [`RouteService`] is the query front end: single and batched
 //!   src→dst lookups, a lock-free healthy hot path, and per-shard patch
 //!   caches that memoize [`ResilientRouter`](abccc::ResilientRouter)
@@ -48,7 +54,11 @@
 #![warn(missing_docs)]
 
 mod compile;
+mod hier;
 mod service;
+mod table;
 
-pub use compile::{compile_shortest, Fib, FibCompiler, FibError};
+pub use compile::{compile_shortest, compile_shortest_hier, Fib, FibCompiler, FibError};
+pub use hier::HierFib;
 pub use service::{InvalidationReport, RouteService};
+pub use table::{FibLayout, FibTable};

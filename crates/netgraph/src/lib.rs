@@ -53,10 +53,11 @@ mod graph;
 pub mod maxflow;
 pub mod paths;
 mod route;
+pub mod sample;
 mod scenario;
 pub mod svg;
 
-pub use distance::{AllPairsStats, BfsScratch, DistanceEngine};
+pub use distance::{AllPairsStats, BfsScratch, DistanceEngine, SourceStats};
 pub use error::{NetworkError, RouteError};
 pub use fault::FaultMask;
 pub use graph::{Link, LinkId, Network, NodeId, NodeKind};

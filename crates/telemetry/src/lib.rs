@@ -54,11 +54,13 @@
 #![warn(missing_docs)]
 
 mod manifest;
+mod memory;
 mod metrics;
 mod sink;
 mod span;
 
-pub use manifest::{git_describe, RunManifest};
+pub use manifest::{git_describe, MemoryStats, RunManifest};
+pub use memory::{current_rss_bytes, peak_rss_bytes};
 pub use metrics::{
     Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, HistogramTimer, MetricsSnapshot,
     Registry,

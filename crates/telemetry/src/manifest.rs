@@ -30,6 +30,22 @@ pub struct RunManifest {
     pub created_unix_ms: u64,
     /// Per-phase elapsed time (from [`crate::aggregate_phases`]).
     pub phases: Vec<PhaseAgg>,
+    /// Memory accounting sampled at the end of the run (absent when
+    /// [`RunManifest::measure_memory`] was never called).
+    pub memory: Option<MemoryStats>,
+}
+
+/// Memory figures recorded in a manifest: the process peak RSS plus the
+/// byte-denominated allocation gauges live in the metric registry at
+/// sampling time (e.g. `fib.table_bytes`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryStats {
+    /// Peak resident set size in bytes ([`crate::peak_rss_bytes`]; 0 when
+    /// the platform does not expose it).
+    pub peak_rss_bytes: u64,
+    /// `(name, level)` for every registered gauge whose name ends in
+    /// `_bytes` — the stack's convention for allocation gauges.
+    pub alloc_gauges: Vec<(String, i64)>,
 }
 
 impl RunManifest {
@@ -47,6 +63,7 @@ impl RunManifest {
                 .map(|d| d.as_millis() as u64)
                 .unwrap_or(0),
             phases: Vec::new(),
+            memory: None,
         }
     }
 
@@ -74,6 +91,22 @@ impl RunManifest {
         self
     }
 
+    /// Samples the process peak RSS and the current `*_bytes` allocation
+    /// gauges into [`RunManifest::memory`]. Call once, after the run's
+    /// work is done — the peak is a process-lifetime high-water mark.
+    pub fn measure_memory(&mut self) -> &mut Self {
+        let snap = crate::registry().snapshot();
+        self.memory = Some(MemoryStats {
+            peak_rss_bytes: crate::peak_rss_bytes(),
+            alloc_gauges: snap
+                .gauges
+                .into_iter()
+                .filter(|(name, _)| name.ends_with("_bytes"))
+                .collect(),
+        });
+        self
+    }
+
     /// One-line human-readable configuration echo, e.g.
     /// `config: fig6_throughput n=4 k=2 h=2 seed=1926 git=0bb07d7`.
     pub fn config_line(&self) -> String {
@@ -91,7 +124,7 @@ impl RunManifest {
 
     /// Renders the manifest as pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        let entries = vec![
+        let mut entries = vec![
             (
                 "experiment".to_string(),
                 Value::Str(self.experiment.clone()),
@@ -144,6 +177,23 @@ impl RunManifest {
                 ),
             ),
         ];
+        if let Some(mem) = &self.memory {
+            entries.push((
+                "memory".to_string(),
+                Value::Map(vec![
+                    ("peak_rss_bytes".to_string(), Value::U64(mem.peak_rss_bytes)),
+                    (
+                        "alloc_gauges".to_string(),
+                        Value::Map(
+                            mem.alloc_gauges
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::I64(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         serde_json::to_string_pretty(&Value::Map(entries)).expect("render manifest")
     }
 
@@ -232,6 +282,28 @@ mod tests {
             Value::Seq(p) => assert_eq!(p.len(), 1),
             other => panic!("phases not an array: {other:?}"),
         }
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn memory_section_records_peak_and_byte_gauges() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        crate::registry().gauge("manifest_test.table_bytes").set(64);
+        crate::registry().gauge("manifest_test.not_memory").set(9);
+        crate::set_enabled(false);
+        let mut m = sample();
+        assert!(!m.to_json().contains("\"memory\""));
+        m.measure_memory();
+        let mem = m.memory.as_ref().expect("memory measured");
+        assert!(mem
+            .alloc_gauges
+            .iter()
+            .any(|(k, v)| k == "manifest_test.table_bytes" && *v == 64));
+        assert!(mem.alloc_gauges.iter().all(|(k, _)| k.ends_with("_bytes")));
+        let json = m.to_json();
+        assert!(json.contains("\"peak_rss_bytes\""));
+        assert!(json.contains("\"manifest_test.table_bytes\""));
     }
 
     #[test]

@@ -54,8 +54,8 @@ for rows in "$EXP_A"/*.json; do
   fi
 done
 count="$(ls "$EXP_A"/*.json | grep -cv '\.manifest\.json$')"
-if [ "$count" -ne 21 ]; then
-  echo "FAIL: expected 21 rows artifacts, found $count" >&2
+if [ "$count" -ne 22 ]; then
+  echo "FAIL: expected 22 rows artifacts, found $count" >&2
   exit 1
 fi
 
@@ -71,6 +71,32 @@ FIB_BENCH=(fib bench 2 2 2 --queries 2000 --fail-rate 0.1)
 "$CLI" "${FIB_BENCH[@]}" --shards 8 --digest "$FIB_B/digest.json" >/dev/null
 if ! cmp -s "$FIB_A/digest.json" "$FIB_B/digest.json"; then
   echo "FAIL: fib bench digest differs between 1 and 8 shards" >&2
+  exit 1
+fi
+
+echo "== scale gate (streaming build, hier-vs-dense digest, estimator determinism)"
+# A mid-size instance (ABCCC(8,2,2): 1536 servers) exercises the streaming
+# CSR build and both FIB layouts; the bench digest deliberately excludes
+# the layout field, so the two runs must agree byte for byte.
+SCALE_A="$(mktemp -d)"
+SCALE_B="$(mktemp -d)"
+trap 'rm -rf "$EXP_A" "$EXP_B" "$FIB_A" "$FIB_B" "$SCALE_A" "$SCALE_B"' EXIT
+SCALE_BENCH=(fib bench 8 2 2 --queries 2000 --fail-rate 0.05)
+"$CLI" "${SCALE_BENCH[@]}" --layout dense --digest "$SCALE_A/digest.json" >/dev/null
+"$CLI" "${SCALE_BENCH[@]}" --layout hier --digest "$SCALE_B/digest.json" >/dev/null
+if ! cmp -s "$SCALE_A/digest.json" "$SCALE_B/digest.json"; then
+  echo "FAIL: fib bench digest differs between dense and hier layouts" >&2
+  exit 1
+fi
+TOPO_STATS=(--json topo stats abccc 8 2 2 --estimate --samples 32 --seed 5)
+SA="$("$CLI" "${TOPO_STATS[@]}")"
+SB="$("$CLI" "${TOPO_STATS[@]}")"
+if [ "$SA" != "$SB" ]; then
+  echo "FAIL: fixed-seed sampled topo stats differ between runs" >&2
+  exit 1
+fi
+if ! grep -q '"diameter_lower_bound"' <<<"$SA"; then
+  echo "FAIL: sampled topo stats missing diameter_lower_bound" >&2
   exit 1
 fi
 
