@@ -225,7 +225,10 @@ impl TopoCache {
         // and its duplicate is dropped (first insert wins).
         let built = Arc::new(SharedTopo {
             key,
-            built: key.build()?,
+            built: {
+                let _span = dcn_telemetry::span!("bench.cache.build");
+                key.build()?
+            },
             stats_quick: OnceLock::new(),
             stats_full: OnceLock::new(),
             bisection: OnceLock::new(),

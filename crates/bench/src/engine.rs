@@ -83,6 +83,11 @@ pub struct EngineReport {
     pub cache_entries: usize,
     /// End-to-end wall clock, milliseconds.
     pub wall_ms: f64,
+    /// Per-experiment provenance manifests, in registry order — the same
+    /// records written as `<name>.manifest.json` under `json_dir`, kept
+    /// in memory so callers (the perf sentinel) can consume them without
+    /// an artifact directory.
+    pub manifests: Vec<dcn_telemetry::RunManifest>,
 }
 
 impl EngineReport {
@@ -142,6 +147,12 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
     // for the sweep, restoring the caller's choice afterwards.
     let _telemetry = TelemetryScope::enable();
 
+    // Root of the run's causal span tree. Worker-side spans parent under
+    // it explicitly (they run on other threads, where the thread-local
+    // stack cannot see it).
+    let run_span = dcn_telemetry::SpanGuard::enter("bench.engine.run");
+    let run_id = run_span.id();
+
     // Create the artifact directory up front so write failures surface
     // before any compute is spent.
     if let Some(dir) = &opts.json_dir {
@@ -180,7 +191,8 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(key) = unique_keys.get(i) else { break };
-                    let _span = dcn_telemetry::span!("bench.engine.prewarm");
+                    let _span =
+                        dcn_telemetry::SpanGuard::enter_under("bench.engine.prewarm", run_id);
                     let _ = cache.get(*key);
                 });
             }
@@ -206,10 +218,16 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
                 };
                 let started = Instant::now();
                 let result = {
+                    // Two causal levels per point: the experiment the
+                    // point belongs to (parented under the run root, so
+                    // the tree reads run → experiment → point even
+                    // across worker threads), then the point itself.
+                    let _exp_span = dcn_telemetry::SpanGuard::enter_under(spec.name(), run_id);
                     let _span = dcn_telemetry::span!("bench.engine.point");
                     spec.run_point(&ctx)
                 };
                 let dur_ns = started.elapsed().as_nanos() as u64;
+                dcn_telemetry::histogram!("bench.engine.point_ns").record(dur_ns);
                 slots.lock().expect("slots lock")[t] = Some((result, dur_ns));
             });
         }
@@ -218,6 +236,7 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
 
     // Phase 3 — assemble in registry order: tables, artifacts, manifests.
     let mut outcomes = Vec::with_capacity(specs.len());
+    let mut manifests = Vec::with_capacity(specs.len());
     let mut slot_base = 0usize;
     for (si, spec) in specs.iter().enumerate() {
         let grid = &grids[si];
@@ -266,6 +285,7 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
                 .write(&manifest_path)
                 .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
         }
+        manifests.push(manifest);
 
         outcomes.push(ExperimentOutcome {
             name: spec.name(),
@@ -284,6 +304,7 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
         cache_misses,
         cache_entries: cache.len(),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        manifests,
     };
     if opts.print_summary {
         println!("{}", report.summary_line());
@@ -347,11 +368,18 @@ fn build_manifest(
         max_ns: point_ns.iter().copied().max().unwrap_or(0),
         threads: threads.min(point_ns.len().max(1)) as u32,
     }];
-    // Memory provenance: the process high-water mark plus whatever
-    // `*_bytes` allocation gauges the run's experiments set. Wall-clock
-    // and memory live only here — never in the row JSON, which must stay
-    // byte-identical across runs.
+    // The sweep interleaves experiments, so per-experiment "wall" time is
+    // the summed point time — the thread-count-independent figure the
+    // perf sentinel guards.
+    manifest.wall_ns(point_ns.iter().sum());
+    // Memory and histogram provenance: the process high-water mark,
+    // whatever `*_bytes` allocation gauges the run's experiments set, and
+    // the registry's histogram quantiles (process-level — shared across
+    // the manifests of one sweep). Wall-clock, memory and quantiles live
+    // only here — never in the row JSON, which must stay byte-identical
+    // across runs.
     manifest.measure_memory();
+    manifest.capture_histograms();
     manifest
 }
 
@@ -389,6 +417,7 @@ mod tests {
             cache_misses: 2,
             cache_entries: 2,
             wall_ms: 12.0,
+            manifests: Vec::new(),
         };
         let line = report.summary_line();
         assert!(line.contains("1 experiments"));

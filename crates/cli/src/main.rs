@@ -16,8 +16,11 @@
 //!
 //! Global flags (any command): `--trace` prints a telemetry summary to
 //! stderr on exit; `--metrics-out FILE` writes the raw span/metric events
-//! as JSON lines. Metric-producing subcommands additionally accept
-//! `--json` to emit their report as JSON instead of the aligned table.
+//! as JSON lines; `--trace-out FILE` writes a Chrome Trace Event JSON
+//! (open in `chrome://tracing` or Perfetto); `--flame-out FILE` writes
+//! folded flamegraph stacks. Metric-producing subcommands additionally
+//! accept `--json` to emit their report as JSON instead of the aligned
+//! table.
 
 use abccc::{Abccc, AbcccParams};
 use dcn_baselines::*;
@@ -31,6 +34,10 @@ struct CliOptions {
     trace: bool,
     /// Write span/metric events as JSON lines to this path on exit.
     metrics_out: Option<String>,
+    /// Write a Chrome Trace Event JSON to this path on exit.
+    trace_out: Option<String>,
+    /// Write folded flamegraph stacks to this path on exit.
+    flame_out: Option<String>,
     /// Subcommand output as JSON instead of an aligned table.
     json: bool,
 }
@@ -44,8 +51,18 @@ impl CliOptions {
         CliOptions {
             trace: take_flag(args, "--trace"),
             metrics_out: take_flag_value(args, "--metrics-out"),
+            trace_out: take_flag_value(args, "--trace-out"),
+            flame_out: take_flag_value(args, "--flame-out"),
             json: !experiments && take_flag(args, "--json"),
         }
+    }
+
+    /// Whether any global flag needs telemetry recording turned on.
+    fn wants_telemetry(&self) -> bool {
+        self.trace
+            || self.metrics_out.is_some()
+            || self.trace_out.is_some()
+            || self.flame_out.is_some()
     }
 }
 
@@ -85,12 +102,22 @@ fn finish_telemetry(opts: &CliOptions) {
             eprintln!("warning: writing {path}: {e}");
         }
     }
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = std::fs::write(path, dcn_telemetry::chrome_trace_json(&spans)) {
+            eprintln!("warning: writing {path}: {e}");
+        }
+    }
+    if let Some(path) = &opts.flame_out {
+        if let Err(e) = std::fs::write(path, dcn_telemetry::folded_stacks(&spans)) {
+            eprintln!("warning: writing {path}: {e}");
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let opts = CliOptions::extract(&mut args);
-    if opts.trace || opts.metrics_out.is_some() {
+    if opts.wants_telemetry() {
         dcn_telemetry::set_enabled(true);
     }
     // Exiting quietly when stdout closes early (`abccc-cli … | head`) is
@@ -109,9 +136,9 @@ fn main() -> ExitCode {
     }));
     let outcome = std::panic::catch_unwind(|| run(&args, &opts));
     match outcome {
-        Ok(Ok(())) => {
+        Ok(Ok(code)) => {
             finish_telemetry(&opts);
-            ExitCode::SUCCESS
+            code
         }
         Ok(Err(e)) => {
             eprintln!("error: {e}");
@@ -168,14 +195,28 @@ const USAGE: &str = "usage:
       [--json DIR] [--threads N]             run experiments through the sweep engine
                                              (--json here takes a directory for rows +
                                              manifest artifacts)
+  abccc-cli perf record [<name…> | --all] [--preset tiny|paper|scale] [--runs N]
+      [--threads N] [--baselines DIR]        run experiments N times, store the
+                                             median perf figures as baselines
+                                             (default: all, tiny, 3 runs,
+                                             bench_results/baselines)
+  abccc-cli perf diff   [<name…> | --all] [--preset tiny|paper|scale] [--runs N]
+      [--threads N] [--baselines DIR] [--rel R]
+                                             re-measure and compare against stored
+                                             baselines; exits nonzero on regression
+                                             (noise-aware: relative + absolute gates)
+  abccc-cli perf trace-stat FILE             validate a --trace-out Chrome trace and
+                                             print its span/lane/root counts
 
 families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d
 
 global flags:
   --trace              print a telemetry summary (spans + counters) to stderr
   --metrics-out FILE   write raw telemetry events as JSON lines to FILE
+  --trace-out FILE     write a Chrome Trace Event JSON (chrome://tracing, Perfetto)
+  --flame-out FILE     write folded flamegraph stacks (self-time weighted)
   --json               JSON report instead of a table
-                       (props/simulate/capex/trace/broadcast/resilience)";
+                       (props/simulate/capex/trace/broadcast/resilience/fib/topo/perf)";
 
 type DynTopo = Box<dyn Topology>;
 
@@ -239,37 +280,50 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn run(args: &[String], opts: &CliOptions) -> Result<(), String> {
+fn run(args: &[String], opts: &CliOptions) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing command")?;
     let rest = &args[1..];
     let json = opts.json;
     if json
         && !matches!(
             cmd.as_str(),
-            "props" | "simulate" | "capex" | "trace" | "broadcast" | "resilience" | "fib" | "topo"
+            "props"
+                | "simulate"
+                | "capex"
+                | "trace"
+                | "broadcast"
+                | "resilience"
+                | "fib"
+                | "topo"
+                | "perf"
         )
     {
         return Err(format!("--json is not supported for `{cmd}`"));
     }
+    // Most subcommands either succeed or error; only `perf diff` reports
+    // a legitimate non-success outcome (a regression verdict) without an
+    // error.
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "props" => props(rest, json),
-        "route" => route(rest),
-        "parallel" => parallel(rest),
-        "simulate" => simulate(rest, json),
-        "expand" => expand(rest),
-        "capex" => capex(rest, json),
-        "dot" => dot(rest),
-        "svg" => svg_cmd(rest),
-        "trace" => trace_cmd(rest, json),
-        "design" => design_cmd(rest),
-        "broadcast" => broadcast_cmd(rest, json),
-        "resilience" => resilience_cmd(rest, json),
-        "fib" => fib_cmd(rest, json),
-        "topo" => topo_cmd(rest, json),
-        "experiments" => experiments_cmd(rest),
+        "props" => done(props(rest, json)),
+        "route" => done(route(rest)),
+        "parallel" => done(parallel(rest)),
+        "simulate" => done(simulate(rest, json)),
+        "expand" => done(expand(rest)),
+        "capex" => done(capex(rest, json)),
+        "dot" => done(dot(rest)),
+        "svg" => done(svg_cmd(rest)),
+        "trace" => done(trace_cmd(rest, json)),
+        "design" => done(design_cmd(rest)),
+        "broadcast" => done(broadcast_cmd(rest, json)),
+        "resilience" => done(resilience_cmd(rest, json)),
+        "fib" => done(fib_cmd(rest, json)),
+        "topo" => done(topo_cmd(rest, json)),
+        "experiments" => done(experiments_cmd(rest)),
+        "perf" => perf_cmd(rest, json),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`")),
     }
@@ -899,13 +953,28 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
                     )
                 })
                 .collect();
+            // Record per-lookup latency (`fib.lookup_ns`) even without a
+            // global telemetry flag: the bench exists to report it.
+            let telemetry_was_on = dcn_telemetry::enabled();
+            dcn_telemetry::set_enabled(true);
             let t0 = std::time::Instant::now();
             let results = svc.query_batch(&pairs);
             let qps = pairs.len() as f64 / t0.elapsed().as_secs_f64();
+            if !telemetry_was_on {
+                dcn_telemetry::set_enabled(false);
+            }
+            let lookup_ns = dcn_telemetry::registry()
+                .snapshot()
+                .histogram("fib.lookup_ns")
+                .cloned();
 
             // Deterministic result digest: counts plus an FNV-1a hash over
             // every returned node sequence. Identical for any --shards or
             // thread count; `scripts/check.sh` compares digests byte-wise.
+            // The hop histogram is HDR-bucketed and value-addressed, so
+            // its quantiles share that guarantee (latency quantiles do
+            // not, and stay out of the digest).
+            let mut hops = dcn_telemetry::HdrHistogram::new();
             let mut ok = 0u64;
             let mut errors = 0u64;
             let mut fallbacks = 0u64;
@@ -925,6 +994,7 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
                             fallbacks += 1;
                         }
                         total_link_hops += out.route.link_hops() as u64;
+                        hops.record(out.route.link_hops() as u64);
                         for node in out.route.nodes() {
                             eat(u64::from(node.0));
                         }
@@ -946,6 +1016,10 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
                     ("errors", Value::U64(errors)),
                     ("fallbacks", Value::U64(fallbacks)),
                     ("total_link_hops", Value::U64(total_link_hops)),
+                    ("hop_p50", Value::U64(hops.percentile(0.50))),
+                    ("hop_p99", Value::U64(hops.percentile(0.99))),
+                    ("hop_p999", Value::U64(hops.percentile(0.999))),
+                    ("hop_p9999", Value::U64(hops.percentile(0.9999))),
                     ("route_hash", Value::U64(hash)),
                 ]
                 .into_iter()
@@ -967,6 +1041,20 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
                 "  fallbacks      {fallbacks} (patched pairs: {})",
                 svc.patch_count()
             );
+            println!(
+                "  link hops      p50≤{} p99≤{} p999≤{} p9999≤{} max={}",
+                hops.percentile(0.50),
+                hops.percentile(0.99),
+                hops.percentile(0.999),
+                hops.percentile(0.9999),
+                hops.max()
+            );
+            if let Some(l) = &lookup_ns {
+                println!(
+                    "  lookup ns      p50≤{} p99≤{} p999≤{} p9999≤{} max={} (n={})",
+                    l.p50, l.p99, l.p999, l.p9999, l.max, l.count
+                );
+            }
             println!("  route hash     {hash:#018x}");
             Ok(())
         }
@@ -1145,6 +1233,221 @@ fn experiments_cmd(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown experiments subcommand `{other}`")),
     }
+}
+
+/// `perf record|diff|trace-stat` — the performance sentinel.
+///
+/// `record` and `diff` run the selected experiments `--runs` times
+/// through the sweep engine (no artifact directory needed), fold each
+/// experiment's repetitions into a component-wise median
+/// [`dcn_telemetry::PerfRecord`], and either store them as baselines or
+/// compare them against the stored ones. `diff` exits nonzero when any
+/// metric crosses both the relative and absolute regression gates.
+fn perf_cmd(args: &[String], json: bool) -> Result<ExitCode, String> {
+    use abccc_bench::engine::{run, RunOptions};
+    use abccc_bench::registry::{all, find, Preset};
+
+    let sub = args
+        .first()
+        .ok_or("perf needs `record`, `diff` or `trace-stat`")?;
+    let mut rest: Vec<String> = args[1..].to_vec();
+
+    if sub == "trace-stat" {
+        let path = rest.first().ok_or("perf trace-stat needs a FILE")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let stat = trace_stat(&text)?;
+        if json {
+            return print_json(&Value::Map(
+                [
+                    ("file", Value::Str(path.clone())),
+                    ("spans", Value::U64(stat.spans)),
+                    ("lanes", Value::U64(stat.lanes)),
+                    ("roots", Value::U64(stat.roots)),
+                ]
+                .into_iter()
+                .map(|(key, v)| (key.to_string(), v))
+                .collect(),
+            ))
+            .map(|()| ExitCode::SUCCESS);
+        }
+        println!(
+            "{path}: valid Chrome trace, {} spans, {} lanes, {} roots",
+            stat.spans, stat.lanes, stat.roots
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    if sub != "record" && sub != "diff" {
+        return Err(format!("unknown perf subcommand `{sub}`"));
+    }
+
+    let run_all = take_flag(&mut rest, "--all");
+    let preset = match take_flag_value(&mut rest, "--preset") {
+        None => Preset::Tiny,
+        Some(p) => {
+            Preset::parse(&p).ok_or_else(|| format!("unknown preset `{p}` (tiny|paper|scale)"))?
+        }
+    };
+    let runs: usize = match take_flag_value(&mut rest, "--runs") {
+        None => 3,
+        Some(r) => match r.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err("--runs expects a number ≥ 1".into()),
+        },
+    };
+    let threads: usize = match take_flag_value(&mut rest, "--threads") {
+        None => 0,
+        Some(t) => t.parse().map_err(|_| "--threads expects a number")?,
+    };
+    let baselines_dir = take_flag_value(&mut rest, "--baselines")
+        .unwrap_or_else(|| "bench_results/baselines".to_string());
+    let rel: Option<f64> = take_flag_value(&mut rest, "--rel")
+        .map(|r| r.parse().map_err(|_| "--rel expects a number"))
+        .transpose()?;
+    if let Some(bad) = rest.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown flag `{bad}` for perf {sub}"));
+    }
+    let specs: Vec<&'static dyn abccc_bench::registry::Experiment> = if rest.is_empty() || run_all {
+        if run_all && !rest.is_empty() {
+            return Err("give either --all or experiment names, not both".into());
+        }
+        all().to_vec()
+    } else {
+        rest.iter()
+            .map(|name| {
+                find(name)
+                    .ok_or_else(|| format!("unknown experiment `{name}` (see `experiments list`)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    // Measure: N quiet engine runs, telemetry reset before each so every
+    // repetition's histograms and gauges stand alone (this also discards
+    // any spans recorded earlier in the process — perf is a measurement
+    // command, not a tracing one).
+    let opts = RunOptions {
+        preset,
+        threads,
+        json_dir: None,
+        print_tables: false,
+        print_summary: false,
+    };
+    let mut per_run: Vec<Vec<dcn_telemetry::PerfRecord>> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        dcn_telemetry::reset();
+        let report = run(&specs, &opts)?;
+        per_run.push(
+            report
+                .manifests
+                .iter()
+                .map(dcn_telemetry::PerfRecord::from_manifest)
+                .collect(),
+        );
+    }
+    let current: Vec<dcn_telemetry::PerfRecord> = specs
+        .iter()
+        .filter_map(|spec| {
+            let reps: Vec<dcn_telemetry::PerfRecord> = per_run
+                .iter()
+                .flat_map(|run| run.iter().filter(|r| r.experiment == spec.name()).cloned())
+                .collect();
+            dcn_telemetry::PerfRecord::median_of(&reps)
+        })
+        .collect();
+
+    if sub == "record" {
+        dcn_telemetry::save_baselines(&baselines_dir, &current)
+            .map_err(|e| format!("writing {baselines_dir}: {e}"))?;
+        if json {
+            print_json(&Value::Map(
+                [
+                    ("recorded", Value::U64(current.len() as u64)),
+                    ("preset", Value::Str(preset.to_string())),
+                    ("runs", Value::U64(runs as u64)),
+                    ("dir", Value::Str(baselines_dir.clone())),
+                ]
+                .into_iter()
+                .map(|(key, v)| (key.to_string(), v))
+                .collect(),
+            ))?;
+        } else {
+            println!(
+                "recorded {} baseline(s) (preset {preset}, median of {runs} run(s)) to {baselines_dir}",
+                current.len()
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baselines = dcn_telemetry::load_baselines(&baselines_dir)?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no baselines under {baselines_dir} — run `abccc-cli perf record` first"
+        ));
+    }
+    let mut thresholds = dcn_telemetry::DiffThresholds::default();
+    if let Some(rel) = rel {
+        thresholds.rel = rel;
+    }
+    let verdict = dcn_telemetry::diff(&baselines, &current, &thresholds);
+    if json {
+        println!("{}", verdict.to_json());
+    } else {
+        print!("{}", verdict.render());
+    }
+    Ok(if verdict.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Summary of a Chrome trace file: complete spans, distinct thread
+/// lanes, root spans (`args.parent == 0`).
+struct TraceStat {
+    spans: u64,
+    lanes: u64,
+    roots: u64,
+}
+
+/// Parses and validates `--trace-out` output.
+fn trace_stat(text: &str) -> Result<TraceStat, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = v
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "traceEvents"))
+        .and_then(|(_, v)| v.as_seq())
+        .ok_or("missing traceEvents array")?;
+    let field = |ev: &Value, key: &str| -> Option<Value> {
+        ev.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let mut spans = 0u64;
+    let mut roots = 0u64;
+    let mut lanes: Vec<u64> = Vec::new();
+    for ev in events {
+        if field(ev, "ph") != Some(Value::Str("X".to_string())) {
+            continue;
+        }
+        spans += 1;
+        if let Some(Value::U64(tid)) = field(ev, "tid") {
+            if !lanes.contains(&tid) {
+                lanes.push(tid);
+            }
+        }
+        let parent = field(ev, "args")
+            .as_ref()
+            .and_then(|a| a.as_map()?.iter().find(|(k, _)| k == "parent").cloned());
+        if let Some((_, Value::U64(0))) = parent {
+            roots += 1;
+        }
+    }
+    Ok(TraceStat {
+        spans,
+        lanes: lanes.len() as u64,
+        roots,
+    })
 }
 
 fn capex(args: &[String], json: bool) -> Result<(), String> {

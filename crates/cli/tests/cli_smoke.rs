@@ -516,3 +516,101 @@ fn experiments_run_rejects_unknown_name_and_preset() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
 }
+
+#[test]
+fn perf_record_then_diff_is_clean() {
+    let dir = std::env::temp_dir().join("abccc_cli_perf_smoke");
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_str().expect("utf-8 tmpdir");
+    let record = stdout(&[
+        "perf",
+        "record",
+        "table1_properties",
+        "--preset",
+        "tiny",
+        "--runs",
+        "1",
+        "--baselines",
+        dir_s,
+    ]);
+    assert!(record.contains("recorded 1 baseline(s)"), "{record}");
+    assert!(dir.join("table1_properties.json").exists());
+    let diff = stdout(&[
+        "--json",
+        "perf",
+        "diff",
+        "table1_properties",
+        "--preset",
+        "tiny",
+        "--runs",
+        "1",
+        "--baselines",
+        dir_s,
+    ]);
+    assert!(diff.contains("\"ok\": true"), "{diff}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_diff_without_baselines_fails() {
+    let out = cli(&[
+        "perf",
+        "diff",
+        "table1_properties",
+        "--preset",
+        "tiny",
+        "--runs",
+        "1",
+        "--baselines",
+        "/nonexistent/abccc_perf_baselines",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no baselines"));
+}
+
+#[test]
+fn trace_out_produces_a_valid_chrome_trace() {
+    let dir = std::env::temp_dir().join("abccc_cli_trace_smoke");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let trace = dir.join("trace.json");
+    let flame = dir.join("flame.txt");
+    stdout(&[
+        "--trace-out",
+        trace.to_str().expect("utf-8"),
+        "--flame-out",
+        flame.to_str().expect("utf-8"),
+        "fib",
+        "bench",
+        "2",
+        "1",
+        "2",
+        "--queries",
+        "200",
+    ]);
+    let stat = stdout(&["perf", "trace-stat", trace.to_str().expect("utf-8")]);
+    assert!(stat.contains("valid Chrome trace"), "{stat}");
+    assert!(!stat.contains(" 0 spans"), "{stat}");
+    let folded = std::fs::read_to_string(&flame).expect("flame file");
+    assert!(
+        folded.lines().any(|l| l.contains("fib.query_batch")),
+        "{folded}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_rejects_unknown_subcommand() {
+    let out = cli(&["perf", "measure"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown perf subcommand"));
+}
+
+#[test]
+fn fib_bench_reports_hop_quantiles() {
+    let out = stdout(&["fib", "bench", "2", "1", "2", "--queries", "500"]);
+    assert!(out.contains("link hops"), "{out}");
+    assert!(out.contains("p50≤"), "{out}");
+    assert!(out.contains("p9999≤"), "{out}");
+    assert!(out.contains("lookup ns"), "{out}");
+}

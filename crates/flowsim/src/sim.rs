@@ -49,6 +49,7 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
         paths: usize,
     ) -> Result<FlowSimReport, RouteError> {
         let _span = dcn_telemetry::span!("flowsim.run_multipath");
+        let _run_timer = dcn_telemetry::histogram!("flowsim.run_ns").start_timer();
         dcn_telemetry::counter!("flowsim.runs").inc();
         let net = self.topo.network();
         let mut subflows: Vec<Vec<DirectedLink>> = Vec::new();
@@ -108,6 +109,7 @@ impl<'a, T: Topology + ?Sized> FlowSim<'a, T> {
         mask: Option<&FaultMask>,
     ) -> Result<FlowSimReport, RouteError> {
         let _span = dcn_telemetry::span!("flowsim.run");
+        let _run_timer = dcn_telemetry::histogram!("flowsim.run_ns").start_timer();
         dcn_telemetry::counter!("flowsim.runs").inc();
         let net = self.topo.network();
         let mut flows: Vec<Vec<DirectedLink>> = Vec::with_capacity(pairs.len());

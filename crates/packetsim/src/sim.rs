@@ -174,6 +174,10 @@ impl<'a, T: Topology + ?Sized> PacketSim<'a, T> {
             match out {
                 None => {
                     // Delivered.
+                    if telemetry_on {
+                        dcn_telemetry::histogram!("packetsim.delivery_latency_ns")
+                            .record(now - inject_ns);
+                    }
                     latencies.push(now - inject_ns);
                     last_delivery = last_delivery.max(now);
                     let fo = &mut per_flow[flow as usize];

@@ -374,6 +374,7 @@ fn run_trial(
     trial: usize,
 ) -> Result<TrialReport, RouteError> {
     let _span = dcn_telemetry::span!("resilience.trial");
+    let _trial_timer = dcn_telemetry::histogram!("resilience.trial_ns").start_timer();
     let p = topo.params();
     let net = topo.network();
     let trial_seed = mix_seed(config.seed, trial as u64);

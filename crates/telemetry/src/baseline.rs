@@ -1,0 +1,709 @@
+//! Perf-baseline store and regression sentinel.
+//!
+//! A [`PerfRecord`] condenses one experiment run's manifest into the
+//! figures worth guarding: end-to-end wall time, peak RSS, the
+//! `*_bytes` allocation gauges, and tail quantiles of every captured
+//! histogram. `abccc-cli perf record` folds N repetitions into a
+//! component-wise **median** record (noise suppression) and stores one
+//! JSON file per experiment under `bench_results/baselines/`;
+//! `perf diff` re-measures and compares with [`diff`].
+//!
+//! ## Noise model
+//!
+//! A metric regresses only when it exceeds the baseline by **both** a
+//! relative factor and an absolute floor ([`DiffThresholds`]). The
+//! relative gate alone would flag microsecond jitter on microsecond
+//! phases; the absolute floor alone would hide a 2× slowdown of a fast
+//! path. Medians-of-N on both sides of the comparison keep single-run
+//! outliers from tripping either gate. The result is a machine-readable
+//! [`PerfVerdict`] — `regressions` empty ⇔ exit 0 in the CLI.
+
+use crate::{HistogramSnapshot, RunManifest};
+use serde::Value;
+use std::path::Path;
+
+/// Tail quantiles of one histogram, as recorded in a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistQuantiles {
+    /// Histogram name (e.g. `fib.lookup_ns`).
+    pub name: String,
+    /// Sample count behind the quantiles.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// 99.99th percentile.
+    pub p9999: u64,
+}
+
+impl HistQuantiles {
+    fn from_snapshot(h: &HistogramSnapshot) -> Self {
+        HistQuantiles {
+            name: h.name.clone(),
+            count: h.count,
+            p50: h.p50,
+            p99: h.p99,
+            p999: h.p999,
+            p9999: h.p9999,
+        }
+    }
+}
+
+/// One experiment's guarded performance figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Experiment name (the baseline file is `<experiment>.json`).
+    pub experiment: String,
+    /// Grid preset the figures were measured at (`tiny`/`paper`/…).
+    /// Records at different presets are never compared.
+    pub preset: String,
+    /// Number of repetitions folded into this record (1 for a raw run).
+    pub samples: u64,
+    /// End-to-end wall time, nanoseconds (median across repetitions).
+    pub wall_ns: u64,
+    /// Peak RSS in bytes; `None` when the platform exposes none.
+    pub peak_rss_bytes: Option<u64>,
+    /// `*_bytes` allocation gauges from the manifest's memory section.
+    pub gauges: Vec<(String, i64)>,
+    /// Tail quantiles per captured histogram, sorted by name.
+    pub histograms: Vec<HistQuantiles>,
+}
+
+impl PerfRecord {
+    /// Builds a single-run record from a manifest. `wall_ns` falls back
+    /// to the summed phase time when the driver never stamped a wall
+    /// clock; the preset is read from the manifest's `preset` parameter.
+    pub fn from_manifest(m: &RunManifest) -> Self {
+        let preset = m
+            .params
+            .iter()
+            .find(|(k, _)| k == "preset")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let wall_ns = m
+            .wall_ns
+            .unwrap_or_else(|| m.phases.iter().map(|p| p.total_ns).sum());
+        let mut histograms: Vec<HistQuantiles> = m
+            .histograms
+            .iter()
+            .map(HistQuantiles::from_snapshot)
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges = m
+            .memory
+            .as_ref()
+            .map(|mem| mem.alloc_gauges.clone())
+            .unwrap_or_default();
+        gauges.sort();
+        PerfRecord {
+            experiment: m.experiment.clone(),
+            preset,
+            samples: 1,
+            wall_ns,
+            peak_rss_bytes: m.memory.as_ref().and_then(|mem| mem.peak_rss_bytes),
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Folds repetitions of the **same experiment** into one record by
+    /// taking the component-wise median of every figure. Returns `None`
+    /// on an empty slice; panics if experiments are mixed (driver bug).
+    pub fn median_of(runs: &[PerfRecord]) -> Option<PerfRecord> {
+        let first = runs.first()?;
+        assert!(
+            runs.iter().all(|r| r.experiment == first.experiment),
+            "median_of mixes experiments"
+        );
+        let med = |pick: &dyn Fn(&PerfRecord) -> Option<u64>| -> Option<u64> {
+            let mut vals: Vec<u64> = runs.iter().filter_map(pick).collect();
+            if vals.is_empty() {
+                return None;
+            }
+            vals.sort_unstable();
+            Some(vals[vals.len() / 2])
+        };
+        let mut gauge_names: Vec<String> = runs
+            .iter()
+            .flat_map(|r| r.gauges.iter().map(|(n, _)| n.clone()))
+            .collect();
+        gauge_names.sort();
+        gauge_names.dedup();
+        let gauges = gauge_names
+            .into_iter()
+            .filter_map(|name| {
+                med(&|r: &PerfRecord| {
+                    r.gauges
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|(_, v)| *v as u64)
+                })
+                .map(|v| (name, v as i64))
+            })
+            .collect();
+        let mut hist_names: Vec<String> = runs
+            .iter()
+            .flat_map(|r| r.histograms.iter().map(|h| h.name.clone()))
+            .collect();
+        hist_names.sort();
+        hist_names.dedup();
+        let histograms = hist_names
+            .into_iter()
+            .map(|name| {
+                let q = |pick: &dyn Fn(&HistQuantiles) -> u64| {
+                    med(&|r: &PerfRecord| r.histograms.iter().find(|h| h.name == name).map(pick))
+                        .unwrap_or(0)
+                };
+                HistQuantiles {
+                    count: q(&|h| h.count),
+                    p50: q(&|h| h.p50),
+                    p99: q(&|h| h.p99),
+                    p999: q(&|h| h.p999),
+                    p9999: q(&|h| h.p9999),
+                    name,
+                }
+            })
+            .collect();
+        Some(PerfRecord {
+            experiment: first.experiment.clone(),
+            preset: first.preset.clone(),
+            samples: runs.len() as u64,
+            wall_ns: med(&|r: &PerfRecord| Some(r.wall_ns)).unwrap_or(0),
+            peak_rss_bytes: med(&|r: &PerfRecord| r.peak_rss_bytes),
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Renders the record as pretty-printed JSON (the baseline file
+    /// format).
+    pub fn to_json(&self) -> String {
+        let doc = Value::Map(vec![
+            (
+                "experiment".to_string(),
+                Value::Str(self.experiment.clone()),
+            ),
+            ("preset".to_string(), Value::Str(self.preset.clone())),
+            ("samples".to_string(), Value::U64(self.samples)),
+            ("wall_ns".to_string(), Value::U64(self.wall_ns)),
+            (
+                "peak_rss_bytes".to_string(),
+                self.peak_rss_bytes.map_or(Value::Null, Value::U64),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Map(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::I64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Map(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            (
+                                h.name.clone(),
+                                Value::Map(vec![
+                                    ("count".to_string(), Value::U64(h.count)),
+                                    ("p50".to_string(), Value::U64(h.p50)),
+                                    ("p99".to_string(), Value::U64(h.p99)),
+                                    ("p999".to_string(), Value::U64(h.p999)),
+                                    ("p9999".to_string(), Value::U64(h.p9999)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("render perf record")
+    }
+
+    /// Parses a baseline file produced by [`PerfRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(text: &str) -> Result<PerfRecord, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let map = v.as_map().ok_or("perf record must be a JSON object")?;
+        let field = |k: &str| -> Result<&Value, String> {
+            map.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{k}`"))
+        };
+        let gauges = match field("gauges")? {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), as_i64(v).ok_or(format!("gauge `{k}`"))?)))
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("`gauges` must be an object".to_string()),
+        };
+        let histograms = match field("histograms")? {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(name, v)| {
+                    let h = v
+                        .as_map()
+                        .ok_or_else(|| format!("histogram `{name}` must be an object"))?;
+                    let q = |k: &str| -> Result<u64, String> {
+                        h.iter()
+                            .find(|(n, _)| n == k)
+                            .and_then(|(_, v)| as_u64(v))
+                            .ok_or_else(|| format!("histogram `{name}` field `{k}`"))
+                    };
+                    Ok(HistQuantiles {
+                        name: name.clone(),
+                        count: q("count")?,
+                        p50: q("p50")?,
+                        p99: q("p99")?,
+                        p999: q("p999")?,
+                        p9999: q("p9999")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("`histograms` must be an object".to_string()),
+        };
+        Ok(PerfRecord {
+            experiment: as_str(field("experiment")?).ok_or("`experiment` must be a string")?,
+            preset: as_str(field("preset")?).ok_or("`preset` must be a string")?,
+            samples: as_u64(field("samples")?).ok_or("`samples` must be an integer")?,
+            wall_ns: as_u64(field("wall_ns")?).ok_or("`wall_ns` must be an integer")?,
+            peak_rss_bytes: match field("peak_rss_bytes")? {
+                Value::Null => None,
+                other => Some(as_u64(other).ok_or("`peak_rss_bytes` must be an integer")?),
+            },
+            gauges,
+            histograms,
+        })
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn as_i64(v: &Value) -> Option<i64> {
+    match v {
+        Value::U64(n) => i64::try_from(*n).ok(),
+        Value::I64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Writes one `<experiment>.json` baseline file per record into `dir`
+/// (created if missing).
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn save_baselines(dir: impl AsRef<Path>, records: &[PerfRecord]) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for r in records {
+        std::fs::write(dir.join(format!("{}.json", r.experiment)), r.to_json())?;
+    }
+    Ok(())
+}
+
+/// Loads every `*.json` baseline in `dir`, sorted by experiment name.
+/// A missing directory is an empty store, not an error.
+///
+/// # Errors
+///
+/// Reports the first unreadable or unparseable file.
+pub fn load_baselines(dir: impl AsRef<Path>) -> Result<Vec<PerfRecord>, String> {
+    let dir = dir.as_ref();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read {}: {e}", dir.display())),
+    };
+    let mut records = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        records.push(PerfRecord::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    records.sort_by(|a, b| a.experiment.cmp(&b.experiment));
+    Ok(records)
+}
+
+/// Regression gates: a metric must exceed the baseline by the relative
+/// factor **and** the matching absolute floor to count as a regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffThresholds {
+    /// Relative growth gate: regression requires
+    /// `current > baseline × (1 + rel)`.
+    pub rel: f64,
+    /// Absolute floor for wall-time comparisons, nanoseconds.
+    pub wall_floor_ns: u64,
+    /// Absolute floor for RSS and `*_bytes` gauge comparisons, bytes.
+    pub rss_floor_bytes: u64,
+    /// Absolute floor for histogram-quantile comparisons (metric units,
+    /// typically nanoseconds).
+    pub hist_floor: u64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            // 50% headroom: shared-runner noise on sub-second experiments
+            // routinely hits ±30%; a real hot-path regression (2×+)
+            // clears this comfortably.
+            rel: 0.5,
+            wall_floor_ns: 50_000_000,         // 50 ms
+            rss_floor_bytes: 32 * 1024 * 1024, // 32 MiB
+            // Tail quantiles of micro-timings (per-trial, per-lookup)
+            // jitter by hundreds of µs under scheduler noise; only a
+            // millisecond-scale *and* ≥1.5× move is a real regression.
+            hist_floor: 1_000_000, // 1 ms for *_ns histograms
+        }
+    }
+}
+
+/// One metric that crossed the regression gates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Experiment the metric belongs to.
+    pub experiment: String,
+    /// Dotted metric path (`wall_ns`, `peak_rss_bytes`,
+    /// `gauge:<name>`, `hist:<name>.p99`, …).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Currently measured value.
+    pub current: u64,
+    /// `current / baseline` (∞-safe: baseline 0 reports 0.0).
+    pub ratio: f64,
+}
+
+/// Machine-readable outcome of a baseline comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfVerdict {
+    /// Experiments compared against a stored baseline.
+    pub compared: Vec<String>,
+    /// Current experiments with no stored baseline.
+    pub missing_baseline: Vec<String>,
+    /// Experiments skipped because baseline and current were measured at
+    /// different presets.
+    pub preset_mismatch: Vec<String>,
+    /// Metrics that crossed both regression gates.
+    pub regressions: Vec<Regression>,
+    /// Metrics that improved past the same gates (informational).
+    pub improvements: Vec<Regression>,
+}
+
+impl PerfVerdict {
+    /// `true` when no metric regressed.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the verdict as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let entry = |r: &Regression| {
+            Value::Map(vec![
+                ("experiment".to_string(), Value::Str(r.experiment.clone())),
+                ("metric".to_string(), Value::Str(r.metric.clone())),
+                ("baseline".to_string(), Value::U64(r.baseline)),
+                ("current".to_string(), Value::U64(r.current)),
+                ("ratio".to_string(), Value::F64(r.ratio)),
+            ])
+        };
+        let names = |v: &[String]| Value::Seq(v.iter().map(|s| Value::Str(s.clone())).collect());
+        let doc = Value::Map(vec![
+            ("ok".to_string(), Value::Bool(self.ok())),
+            ("compared".to_string(), names(&self.compared)),
+            (
+                "missing_baseline".to_string(),
+                names(&self.missing_baseline),
+            ),
+            ("preset_mismatch".to_string(), names(&self.preset_mismatch)),
+            (
+                "regressions".to_string(),
+                Value::Seq(self.regressions.iter().map(entry).collect()),
+            ),
+            (
+                "improvements".to_string(),
+                Value::Seq(self.improvements.iter().map(entry).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("render perf verdict")
+    }
+
+    /// Renders the verdict as a short human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf diff: {} compared, {} regression(s), {} improvement(s)\n",
+            self.compared.len(),
+            self.regressions.len(),
+            self.improvements.len()
+        ));
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION {} {}: {} -> {} ({:.2}x)\n",
+                r.experiment, r.metric, r.baseline, r.current, r.ratio
+            ));
+        }
+        for r in &self.improvements {
+            out.push_str(&format!(
+                "  improved   {} {}: {} -> {} ({:.2}x)\n",
+                r.experiment, r.metric, r.baseline, r.current, r.ratio
+            ));
+        }
+        if !self.missing_baseline.is_empty() {
+            out.push_str(&format!(
+                "  no baseline for: {}\n",
+                self.missing_baseline.join(", ")
+            ));
+        }
+        if !self.preset_mismatch.is_empty() {
+            out.push_str(&format!(
+                "  preset mismatch (skipped): {}\n",
+                self.preset_mismatch.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Compares current records against stored baselines (matched by
+/// experiment name; presets must agree) under the given gates.
+pub fn diff(
+    baselines: &[PerfRecord],
+    current: &[PerfRecord],
+    thresholds: &DiffThresholds,
+) -> PerfVerdict {
+    let mut verdict = PerfVerdict::default();
+    for cur in current {
+        let Some(base) = baselines.iter().find(|b| b.experiment == cur.experiment) else {
+            verdict.missing_baseline.push(cur.experiment.clone());
+            continue;
+        };
+        if base.preset != cur.preset {
+            verdict.preset_mismatch.push(cur.experiment.clone());
+            continue;
+        }
+        verdict.compared.push(cur.experiment.clone());
+        let mut check = |metric: String, baseline: u64, current_v: u64, floor: u64| {
+            let ratio = if baseline == 0 {
+                0.0
+            } else {
+                current_v as f64 / baseline as f64
+            };
+            let entry = Regression {
+                experiment: cur.experiment.clone(),
+                metric,
+                baseline,
+                current: current_v,
+                ratio,
+            };
+            let grew = current_v as f64 > baseline as f64 * (1.0 + thresholds.rel)
+                && current_v.saturating_sub(baseline) > floor;
+            let shrank = baseline as f64 > current_v as f64 * (1.0 + thresholds.rel)
+                && baseline.saturating_sub(current_v) > floor;
+            if grew {
+                verdict.regressions.push(entry);
+            } else if shrank {
+                verdict.improvements.push(entry);
+            }
+        };
+        check(
+            "wall_ns".to_string(),
+            base.wall_ns,
+            cur.wall_ns,
+            thresholds.wall_floor_ns,
+        );
+        if let (Some(b), Some(c)) = (base.peak_rss_bytes, cur.peak_rss_bytes) {
+            check(
+                "peak_rss_bytes".to_string(),
+                b,
+                c,
+                thresholds.rss_floor_bytes,
+            );
+        }
+        for (name, cur_v) in &cur.gauges {
+            if let Some((_, base_v)) = base.gauges.iter().find(|(n, _)| n == name) {
+                check(
+                    format!("gauge:{name}"),
+                    (*base_v).max(0) as u64,
+                    (*cur_v).max(0) as u64,
+                    thresholds.rss_floor_bytes,
+                );
+            }
+        }
+        // Only the median gates: tail quantiles (p99 and up) of these
+        // micro-timing histograms are max-dominated and swing orders of
+        // magnitude under scheduler contention in the parallel sweep.
+        // They stay in the stored records for inspection; systemic
+        // slowdowns that shift the whole distribution move p50 (and
+        // wall_ns) well past the gates.
+        for cur_h in &cur.histograms {
+            if let Some(base_h) = base.histograms.iter().find(|h| h.name == cur_h.name) {
+                check(
+                    format!("hist:{}.p50", cur_h.name),
+                    base_h.p50,
+                    cur_h.p50,
+                    thresholds.hist_floor,
+                );
+            }
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(experiment: &str, wall_ns: u64) -> PerfRecord {
+        PerfRecord {
+            experiment: experiment.to_string(),
+            preset: "tiny".to_string(),
+            samples: 1,
+            wall_ns,
+            peak_rss_bytes: Some(100 << 20),
+            gauges: vec![("fib.table_bytes".to_string(), 1 << 20)],
+            histograms: vec![HistQuantiles {
+                name: "fib.lookup_ns".to_string(),
+                count: 1000,
+                p50: 200,
+                p99: 900,
+                p999: 2_000,
+                p9999: 4_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let r = record("fig1", 123_456_789);
+        let parsed = PerfRecord::from_json(&r.to_json()).expect("roundtrip");
+        assert_eq!(parsed, r);
+        // Null RSS survives too.
+        let mut none = r.clone();
+        none.peak_rss_bytes = None;
+        assert_eq!(PerfRecord::from_json(&none.to_json()).unwrap(), none);
+    }
+
+    #[test]
+    fn median_of_is_the_middle_run() {
+        let runs: Vec<PerfRecord> = [300u64, 100, 200]
+            .iter()
+            .map(|w| record("fig1", *w))
+            .collect();
+        let med = PerfRecord::median_of(&runs).expect("nonempty");
+        assert_eq!(med.wall_ns, 200);
+        assert_eq!(med.samples, 3);
+        assert_eq!(med.histograms[0].p99, 900);
+        assert!(PerfRecord::median_of(&[]).is_none());
+    }
+
+    #[test]
+    fn identical_records_never_regress() {
+        let base = vec![record("fig1", 1_000_000_000)];
+        let v = diff(&base, &base, &DiffThresholds::default());
+        assert!(v.ok());
+        assert_eq!(v.compared, ["fig1"]);
+        assert!(v.improvements.is_empty());
+    }
+
+    #[test]
+    fn regression_needs_relative_and_absolute_growth() {
+        let thr = DiffThresholds::default();
+        let base = vec![record("fig1", 1_000_000_000)];
+        // 2× on a 1 s experiment: both gates trip.
+        let slow = vec![record("fig1", 2_000_000_000)];
+        let v = diff(&base, &slow, &thr);
+        assert_eq!(v.regressions.len(), 1);
+        assert_eq!(v.regressions[0].metric, "wall_ns");
+        assert!((v.regressions[0].ratio - 2.0).abs() < 1e-9);
+        // 2× on a 1 ms experiment: relative gate trips, floor does not.
+        let tiny_base = vec![record("fig2", 1_000_000)];
+        let tiny_slow = vec![record("fig2", 2_000_000)];
+        assert!(diff(&tiny_base, &tiny_slow, &thr).ok());
+        // +40% on a 10 s experiment: floor trips, relative gate does not.
+        let big_base = vec![record("fig3", 10_000_000_000)];
+        let big_slow = vec![record("fig3", 14_000_000_000)];
+        assert!(diff(&big_base, &big_slow, &thr).ok());
+    }
+
+    #[test]
+    fn histogram_median_gates_but_tails_do_not() {
+        let base = vec![record("fig1", 1_000_000_000)];
+        let mut cur = base.clone();
+        // Tail quantiles swinging wildly is scheduler noise — ignored.
+        cur[0].histograms[0].p999 = 1_000_000_000; // 2 µs -> 1 s
+        cur[0].histograms[0].p9999 = 2_000_000_000;
+        assert!(diff(&base, &cur, &DiffThresholds::default()).ok());
+        // A median shift past both gates is a real regression.
+        cur[0].histograms[0].p50 = 5_000_000; // 200 ns -> 5 ms
+        let v = diff(&base, &cur, &DiffThresholds::default());
+        assert_eq!(v.regressions.len(), 1);
+        assert_eq!(v.regressions[0].metric, "hist:fib.lookup_ns.p50");
+        assert!(v.to_json().contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn improvements_and_missing_baselines_are_reported_not_fatal() {
+        let base = vec![record("fig1", 2_000_000_000)];
+        let cur = vec![record("fig1", 500_000_000), record("fig_new", 1)];
+        let v = diff(&base, &cur, &DiffThresholds::default());
+        assert!(v.ok());
+        assert_eq!(v.improvements.len(), 1);
+        assert_eq!(v.missing_baseline, ["fig_new"]);
+        assert!(v.render().contains("improved"));
+    }
+
+    #[test]
+    fn preset_mismatch_skips_comparison() {
+        let base = vec![record("fig1", 1_000)];
+        let mut cur = vec![record("fig1", 1_000_000_000_000)];
+        cur[0].preset = "paper".to_string();
+        let v = diff(&base, &cur, &DiffThresholds::default());
+        assert!(v.ok());
+        assert_eq!(v.preset_mismatch, ["fig1"]);
+        assert!(v.compared.is_empty());
+    }
+
+    #[test]
+    fn store_roundtrips_on_disk() {
+        let dir = std::env::temp_dir().join("dcn_telemetry_baseline_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let records = vec![record("fig_a", 10), record("fig_b", 20)];
+        save_baselines(&dir, &records).expect("save");
+        let loaded = load_baselines(&dir).expect("load");
+        assert_eq!(loaded, records);
+        assert!(load_baselines(dir.join("missing"))
+            .expect("empty")
+            .is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

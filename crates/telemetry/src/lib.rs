@@ -8,21 +8,31 @@
 //!
 //! ## Model
 //!
-//! * **Spans** ([`SpanGuard`], [`span!`]) — RAII wall-clock timers. Each
-//!   finished span records `(name, thread, start, duration)` into a
-//!   per-thread buffer that is drained into a global registry either when
-//!   it fills or when the thread exits, so worker threads (e.g. the
-//!   distance engine's stealing workers) never contend on a lock per
-//!   span.
+//! * **Spans** ([`SpanGuard`], [`span!`]) — RAII wall-clock timers with
+//!   causal structure: each finished span records
+//!   `(name, thread, id, parent, start, duration)` into a per-thread
+//!   buffer that is drained into a global registry either when it fills
+//!   or when the thread exits, so worker threads (e.g. the distance
+//!   engine's stealing workers) never contend on a lock per span. The
+//!   parent link is the innermost open span on the same thread, or an
+//!   explicit id via [`SpanGuard::enter_under`] when work crosses
+//!   threads.
 //! * **Metrics** ([`Counter`], [`Gauge`], [`FloatGauge`], [`Histogram`],
 //!   via [`counter!`] and friends) — process-global atomics registered by
-//!   name on first use. Histograms use fixed log₂ buckets with percentile
-//!   extraction, so recording is a couple of atomic adds and never
-//!   allocates.
-//! * **Sinks** ([`render_summary`], [`write_jsonl`], [`RunManifest`]) —
-//!   pull-based: nothing is written anywhere until a driver (the CLI's
-//!   `--trace`/`--metrics-out`, or a bench binary's [`RunManifest`])
+//!   name on first use. Histograms are log-bucketed HDR style — every
+//!   power-of-two octave split into 16 linear sub-buckets, bounding
+//!   quantile error by [`MAX_RELATIVE_ERROR`] — with p50/p90/p99/p999/
+//!   p9999 extraction; recording is a couple of atomic adds and never
+//!   allocates. [`HdrHistogram`] is the owned, merge-order-invariant
+//!   variant for deterministic per-run statistics.
+//! * **Sinks** ([`render_summary`], [`write_jsonl`], [`RunManifest`],
+//!   [`chrome_trace_json`], [`folded_stacks`]) — pull-based: nothing is
+//!   written anywhere until a driver (the CLI's `--trace`/
+//!   `--metrics-out`/`--trace-out`, or a bench binary's [`RunManifest`])
 //!   drains the registry.
+//! * **Perf sentinel** ([`PerfRecord`], [`diff`]) — condensed manifests
+//!   stored under `bench_results/baselines/` and compared with
+//!   noise-aware thresholds by `abccc-cli perf record|diff`.
 //!
 //! ## Cost contract
 //!
@@ -53,20 +63,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
 mod manifest;
 mod memory;
 mod metrics;
 mod sink;
 mod span;
+mod trace;
 
+pub use baseline::{
+    diff, load_baselines, save_baselines, DiffThresholds, HistQuantiles, PerfRecord, PerfVerdict,
+    Regression,
+};
 pub use manifest::{git_describe, MemoryStats, RunManifest};
 pub use memory::{current_rss_bytes, peak_rss_bytes};
 pub use metrics::{
-    Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, HistogramTimer, MetricsSnapshot,
-    Registry,
+    bucket_bounds, Counter, FloatGauge, Gauge, HdrHistogram, Histogram, HistogramSnapshot,
+    HistogramTimer, MetricsSnapshot, Registry, MAX_RELATIVE_ERROR, SUB_COUNT,
 };
 pub use sink::{aggregate_phases, events_to_jsonl, render_summary, write_jsonl, PhaseAgg};
 pub use span::{drain_spans, SpanEvent, SpanGuard};
+pub use trace::{chrome_trace_json, folded_stacks};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -9,7 +9,7 @@
 //! of hard-coded unlabeled values.
 
 use crate::sink::PhaseAgg;
-use crate::SpanEvent;
+use crate::{HistogramSnapshot, SpanEvent};
 use serde::Value;
 use std::path::Path;
 
@@ -30,9 +30,17 @@ pub struct RunManifest {
     pub created_unix_ms: u64,
     /// Per-phase elapsed time (from [`crate::aggregate_phases`]).
     pub phases: Vec<PhaseAgg>,
+    /// End-to-end wall time of the run in nanoseconds (absent when the
+    /// driver never called [`RunManifest::wall_ns`]).
+    pub wall_ns: Option<u64>,
     /// Memory accounting sampled at the end of the run (absent when
     /// [`RunManifest::measure_memory`] was never called).
     pub memory: Option<MemoryStats>,
+    /// Histogram snapshots captured at the end of the run (empty when
+    /// [`RunManifest::capture_histograms`] was never called). These are
+    /// process-level: drivers that run several experiments in one
+    /// process record the same registry state into each manifest.
+    pub histograms: Vec<HistogramSnapshot>,
 }
 
 /// Memory figures recorded in a manifest: the process peak RSS plus the
@@ -40,9 +48,10 @@ pub struct RunManifest {
 /// sampling time (e.g. `fib.table_bytes`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemoryStats {
-    /// Peak resident set size in bytes ([`crate::peak_rss_bytes`]; 0 when
-    /// the platform does not expose it).
-    pub peak_rss_bytes: u64,
+    /// Peak resident set size in bytes ([`crate::peak_rss_bytes`];
+    /// `None` — serialized as JSON `null` — when the platform does not
+    /// expose it).
+    pub peak_rss_bytes: Option<u64>,
     /// `(name, level)` for every registered gauge whose name ends in
     /// `_bytes` — the stack's convention for allocation gauges.
     pub alloc_gauges: Vec<(String, i64)>,
@@ -63,7 +72,9 @@ impl RunManifest {
                 .map(|d| d.as_millis() as u64)
                 .unwrap_or(0),
             phases: Vec::new(),
+            wall_ns: None,
             memory: None,
+            histograms: Vec::new(),
         }
     }
 
@@ -88,6 +99,25 @@ impl RunManifest {
     /// Fills [`RunManifest::phases`] from raw span events.
     pub fn set_phases(&mut self, spans: &[SpanEvent]) -> &mut Self {
         self.phases = crate::aggregate_phases(spans);
+        self
+    }
+
+    /// Records the run's end-to-end wall time.
+    pub fn wall_ns(&mut self, ns: u64) -> &mut Self {
+        self.wall_ns = Some(ns);
+        self
+    }
+
+    /// Snapshots every non-empty registry histogram into the manifest —
+    /// the quantile record the perf-baseline store diffs against. Call
+    /// once, after the run's work is done.
+    pub fn capture_histograms(&mut self) -> &mut Self {
+        self.histograms = crate::registry()
+            .snapshot()
+            .histograms
+            .into_iter()
+            .filter(|h| h.count > 0)
+            .collect();
         self
     }
 
@@ -177,11 +207,17 @@ impl RunManifest {
                 ),
             ),
         ];
+        if let Some(wall) = self.wall_ns {
+            entries.push(("wall_ns".to_string(), Value::U64(wall)));
+        }
         if let Some(mem) = &self.memory {
             entries.push((
                 "memory".to_string(),
                 Value::Map(vec![
-                    ("peak_rss_bytes".to_string(), Value::U64(mem.peak_rss_bytes)),
+                    (
+                        "peak_rss_bytes".to_string(),
+                        mem.peak_rss_bytes.map_or(Value::Null, Value::U64),
+                    ),
                     (
                         "alloc_gauges".to_string(),
                         Value::Map(
@@ -192,6 +228,32 @@ impl RunManifest {
                         ),
                     ),
                 ]),
+            ));
+        }
+        if !self.histograms.is_empty() {
+            entries.push((
+                "histograms".to_string(),
+                Value::Map(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            (
+                                h.name.clone(),
+                                Value::Map(vec![
+                                    ("count".to_string(), Value::U64(h.count)),
+                                    ("sum".to_string(), Value::U64(h.sum)),
+                                    ("mean".to_string(), Value::F64(h.mean)),
+                                    ("p50".to_string(), Value::U64(h.p50)),
+                                    ("p90".to_string(), Value::U64(h.p90)),
+                                    ("p99".to_string(), Value::U64(h.p99)),
+                                    ("p999".to_string(), Value::U64(h.p999)),
+                                    ("p9999".to_string(), Value::U64(h.p9999)),
+                                    ("max".to_string(), Value::U64(h.max)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
             ));
         }
         serde_json::to_string_pretty(&Value::Map(entries)).expect("render manifest")
@@ -234,6 +296,8 @@ mod tests {
         m.set_phases(&[SpanEvent {
             name: "phase.build",
             thread: 0,
+            id: 1,
+            parent: 0,
             start_ns: 0,
             dur_ns: 123,
         }]);

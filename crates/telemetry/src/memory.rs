@@ -3,41 +3,41 @@
 //! The crate forbids `unsafe`, so there is no `getrusage` call here: on
 //! Linux the kernel already exports the numbers in `/proc/self/status`,
 //! and that file is the most portable unsafe-free source of
-//! peak-resident-set truth. On other platforms the probes return 0 —
-//! callers treat 0 as "unavailable", never as "the process used no
-//! memory".
+//! peak-resident-set truth. On platforms without it the probes return
+//! `None` — callers must not conflate "unavailable" with "the process
+//! used no memory", and manifests serialize the distinction as JSON
+//! `null`.
 
-/// Peak resident set size (`VmHWM`) of this process in bytes, or 0 when
-/// the platform does not expose it.
+/// Peak resident set size (`VmHWM`) of this process in bytes, or `None`
+/// when the platform does not expose it.
 ///
 /// The high-water mark is monotone over the process lifetime: sampling it
 /// after an experiment phase bounds the phase's resident footprint from
 /// above (earlier phases may own part of the peak — manifests record it
 /// as a run-level, not phase-level, figure).
-pub fn peak_rss_bytes() -> u64 {
+pub fn peak_rss_bytes() -> Option<u64> {
     proc_status_bytes("VmHWM:")
 }
 
-/// Current resident set size (`VmRSS`) in bytes, or 0 when unavailable.
-pub fn current_rss_bytes() -> u64 {
+/// Current resident set size (`VmRSS`) in bytes, or `None` when
+/// unavailable.
+pub fn current_rss_bytes() -> Option<u64> {
     proc_status_bytes("VmRSS:")
 }
 
 /// Reads a `kB`-denominated field out of `/proc/self/status`.
-fn proc_status_bytes(field: &str) -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
+fn proc_status_bytes(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
     parse_status_field(&status, field)
 }
 
-fn parse_status_field(status: &str, field: &str) -> u64 {
+fn parse_status_field(status: &str, field: &str) -> Option<u64> {
     status
         .lines()
         .find_map(|line| line.strip_prefix(field))
         .and_then(|rest| rest.split_whitespace().next())
         .and_then(|kb| kb.parse::<u64>().ok())
-        .map_or(0, |kb| kb * 1024)
+        .map(|kb| kb * 1024)
 }
 
 #[cfg(test)]
@@ -47,21 +47,27 @@ mod tests {
     #[test]
     fn parses_kb_fields() {
         let status = "Name:\tx\nVmHWM:\t  123456 kB\nVmRSS:\t   4096 kB\n";
-        assert_eq!(parse_status_field(status, "VmHWM:"), 123_456 * 1024);
-        assert_eq!(parse_status_field(status, "VmRSS:"), 4096 * 1024);
-        assert_eq!(parse_status_field(status, "VmPeak:"), 0);
-        assert_eq!(parse_status_field("", "VmHWM:"), 0);
+        assert_eq!(parse_status_field(status, "VmHWM:"), Some(123_456 * 1024));
+        assert_eq!(parse_status_field(status, "VmRSS:"), Some(4096 * 1024));
+        assert_eq!(parse_status_field(status, "VmPeak:"), None);
+        assert_eq!(parse_status_field("", "VmHWM:"), None);
+    }
+
+    #[test]
+    fn malformed_fields_are_unavailable_not_zero() {
+        assert_eq!(parse_status_field("VmHWM:\tgarbage kB\n", "VmHWM:"), None);
+        assert_eq!(parse_status_field("VmHWM:\n", "VmHWM:"), None);
     }
 
     #[test]
     fn live_probes_are_sane() {
         let peak = peak_rss_bytes();
         let cur = current_rss_bytes();
-        if peak != 0 {
+        if let Some(peak) = peak {
             // A running test binary occupies at least a page and the peak
             // bounds the current level.
             assert!(peak >= 4096, "peak {peak}");
-            assert!(peak >= cur, "peak {peak} < current {cur}");
+            assert!(peak >= cur.unwrap_or(0), "peak {peak} < current {cur:?}");
         }
     }
 }

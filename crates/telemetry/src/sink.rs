@@ -107,8 +107,8 @@ pub fn render_summary(spans: &[SpanEvent], metrics: &MetricsSnapshot) -> String 
         for h in &metrics.histograms {
             if h.count > 0 {
                 out.push_str(&format!(
-                    "{:<52} n={} mean={:.1} p50≤{} p90≤{} p99≤{} max={}\n",
-                    h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
+                    "{:<52} n={} mean={:.1} p50≤{} p90≤{} p99≤{} p999≤{} max={}\n",
+                    h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.p999, h.max
                 ));
             }
         }
@@ -141,6 +141,8 @@ pub fn events_to_jsonl(spans: &[SpanEvent], metrics: &MetricsSnapshot) -> String
             ("type", Value::Str("span".into())),
             ("name", Value::Str(ev.name.into())),
             ("thread", Value::U64(u64::from(ev.thread))),
+            ("id", Value::U64(ev.id)),
+            ("parent", Value::U64(ev.parent)),
             ("start_ns", Value::U64(ev.start_ns)),
             ("dur_ns", Value::U64(ev.dur_ns)),
         ]));
@@ -176,14 +178,16 @@ pub fn events_to_jsonl(spans: &[SpanEvent], metrics: &MetricsSnapshot) -> String
             ("p50", Value::U64(h.p50)),
             ("p90", Value::U64(h.p90)),
             ("p99", Value::U64(h.p99)),
+            ("p999", Value::U64(h.p999)),
+            ("p9999", Value::U64(h.p9999)),
             ("max", Value::U64(h.max)),
             (
                 "buckets",
                 Value::Seq(
                     h.buckets
                         .iter()
-                        .map(|(log2, n)| {
-                            Value::Seq(vec![Value::U64(u64::from(*log2)), Value::U64(*n)])
+                        .map(|(bucket, n)| {
+                            Value::Seq(vec![Value::U64(u64::from(*bucket)), Value::U64(*n)])
                         })
                         .collect(),
                 ),
@@ -217,18 +221,24 @@ mod tests {
             SpanEvent {
                 name: "a",
                 thread: 0,
+                id: 1,
+                parent: 0,
                 start_ns: 0,
                 dur_ns: 100,
             },
             SpanEvent {
                 name: "a",
                 thread: 1,
+                id: 2,
+                parent: 1,
                 start_ns: 50,
                 dur_ns: 300,
             },
             SpanEvent {
                 name: "b",
                 thread: 0,
+                id: 3,
+                parent: 0,
                 start_ns: 10,
                 dur_ns: 4_000,
             },

@@ -1,4 +1,4 @@
-//! RAII span timing with per-thread buffering.
+//! RAII span timing with per-thread buffering and causal parent links.
 //!
 //! A [`SpanGuard`] stamps wall-clock time on construction and, on drop,
 //! pushes one [`SpanEvent`] into a thread-local buffer. Buffers flush
@@ -6,6 +6,17 @@
 //! thread exits, so short-lived worker threads (the distance engine's
 //! stealing workers, scoped simulation threads) pay one lock per
 //! *lifetime*, not per span.
+//!
+//! ## Causality
+//!
+//! Every live span gets a process-unique id and a parent id: by default
+//! the innermost span still open **on the same thread** (a thread-local
+//! stack tracks this for free), or an explicit id passed to
+//! [`SpanGuard::enter_under`] when work hops threads — the sweep engine
+//! uses that to parent each worker's per-point spans under the
+//! orchestrator's run span. Parent id 0 means "root". The id/parent
+//! pairs are what the Chrome-trace and flamegraph exporters in
+//! [`crate::trace`] reconstruct the tree from.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -18,6 +29,11 @@ pub struct SpanEvent {
     pub name: &'static str,
     /// Small dense id of the recording thread (assigned on first span).
     pub thread: u32,
+    /// Process-unique span id (thread id in the high bits, per-thread
+    /// sequence in the low 40 — see [`LocalBuf::alloc_id`]). Never 0.
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
     /// Start, nanoseconds since the process telemetry epoch.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -27,16 +43,30 @@ pub struct SpanEvent {
 /// Flush threshold for the thread-local buffer.
 const FLUSH_AT: usize = 1024;
 
+/// Bits of the span id reserved for the per-thread sequence number.
+const SEQ_BITS: u32 = 40;
+
 static GLOBAL: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
 static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
 
 /// Thread-local buffer whose `Drop` flushes leftovers at thread exit.
 struct LocalBuf {
     id: u32,
+    next_seq: u64,
+    /// Ids of the spans currently open on this thread, innermost last.
+    stack: Vec<u64>,
     events: Vec<SpanEvent>,
 }
 
 impl LocalBuf {
+    /// A fresh process-unique span id: `(thread + 1) << SEQ_BITS | seq`.
+    /// The `+ 1` keeps 0 free to mean "no parent" even for thread 0's
+    /// first span.
+    fn alloc_id(&mut self) -> u64 {
+        self.next_seq += 1;
+        (u64::from(self.id) + 1) << SEQ_BITS | (self.next_seq & ((1 << SEQ_BITS) - 1))
+    }
+
     fn flush(&mut self) {
         if !self.events.is_empty() {
             GLOBAL
@@ -56,6 +86,8 @@ impl Drop for LocalBuf {
 thread_local! {
     static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
         id: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        next_seq: 0,
+        stack: Vec::new(),
         events: Vec::new(),
     });
 }
@@ -70,18 +102,58 @@ pub struct SpanGuard {
     name: &'static str,
     /// `u64::MAX` marks an inert guard (telemetry disabled at entry).
     start_ns: u64,
+    id: u64,
+    parent: u64,
 }
 
 impl SpanGuard {
-    /// Starts a span named `name` if telemetry is enabled.
+    /// Starts a span named `name` if telemetry is enabled, parented
+    /// under the innermost span already open on this thread.
     #[inline]
     pub fn enter(name: &'static str) -> Self {
-        let start_ns = if crate::enabled() {
-            crate::now_ns()
-        } else {
-            u64::MAX
-        };
-        SpanGuard { name, start_ns }
+        Self::with_parent(name, None)
+    }
+
+    /// Starts a span with an explicit parent id — for work that crosses
+    /// threads, where the thread-local stack cannot see the causal
+    /// parent. Pass the parent guard's [`SpanGuard::id`]; 0 makes this
+    /// a root span.
+    #[inline]
+    pub fn enter_under(name: &'static str, parent: u64) -> Self {
+        Self::with_parent(name, Some(parent))
+    }
+
+    fn with_parent(name: &'static str, parent: Option<u64>) -> Self {
+        if !crate::enabled() {
+            return SpanGuard {
+                name,
+                start_ns: u64::MAX,
+                id: 0,
+                parent: 0,
+            };
+        }
+        let start_ns = crate::now_ns();
+        let (id, parent) = LOCAL
+            .try_with(|local| {
+                let mut local = local.borrow_mut();
+                let id = local.alloc_id();
+                let parent = parent.unwrap_or_else(|| local.stack.last().copied().unwrap_or(0));
+                local.stack.push(id);
+                (id, parent)
+            })
+            .unwrap_or((0, 0));
+        SpanGuard {
+            name,
+            start_ns,
+            id,
+            parent,
+        }
+    }
+
+    /// This span's process-unique id (0 when the guard is inert), for
+    /// parenting cross-thread children via [`SpanGuard::enter_under`].
+    pub fn id(&self) -> u64 {
+        self.id
     }
 }
 
@@ -94,10 +166,18 @@ impl Drop for SpanGuard {
         let dur_ns = crate::now_ns().saturating_sub(self.start_ns);
         let _ = LOCAL.try_with(|local| {
             let mut local = local.borrow_mut();
-            let id = local.id;
+            // Guards usually drop LIFO, but search from the end so an
+            // out-of-order drop (guard moved into a struct, say) cannot
+            // corrupt unrelated entries.
+            if let Some(pos) = local.stack.iter().rposition(|&id| id == self.id) {
+                local.stack.remove(pos);
+            }
+            let thread = local.id;
             local.events.push(SpanEvent {
                 name: self.name,
-                thread: id,
+                thread,
+                id: self.id,
+                parent: self.parent,
                 start_ns: self.start_ns,
                 dur_ns,
             });
@@ -143,6 +223,68 @@ mod tests {
             .find(|s| s.name == "span.test.outer")
             .expect("span recorded");
         assert!(ev.dur_ns >= 1_000_000, "{}", ev.dur_ns);
+        assert_ne!(ev.id, 0);
+        assert_eq!(ev.parent, 0);
+    }
+
+    #[test]
+    fn nested_spans_link_to_their_parent() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        {
+            let outer = SpanGuard::enter("span.test.nest.outer");
+            assert_ne!(outer.id(), 0);
+            {
+                let inner = SpanGuard::enter("span.test.nest.inner");
+                assert_ne!(inner.id(), outer.id());
+            }
+            let sibling = SpanGuard::enter("span.test.nest.sibling");
+            drop(sibling);
+        }
+        crate::set_enabled(false);
+        let spans = drain_spans();
+        let find = |n: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("{n} recorded"))
+        };
+        let outer = find("span.test.nest.outer");
+        let inner = find("span.test.nest.inner");
+        let sibling = find("span.test.nest.sibling");
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(sibling.parent, outer.id);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        let root = SpanGuard::enter("span.test.cross.root");
+        let root_id = root.id();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _child = SpanGuard::enter_under("span.test.cross.child", root_id);
+                // The thread-local stack still parents grandchildren
+                // under the cross-thread child.
+                let _grand = SpanGuard::enter("span.test.cross.grand");
+            });
+        });
+        drop(root);
+        crate::set_enabled(false);
+        let spans = drain_spans();
+        let find = |n: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("{n} recorded"))
+        };
+        let child = find("span.test.cross.child");
+        let grand = find("span.test.cross.grand");
+        assert_eq!(child.parent, root_id);
+        assert_eq!(grand.parent, child.id);
+        assert_ne!(child.thread, find("span.test.cross.root").thread);
     }
 
     #[test]
@@ -163,18 +305,25 @@ mod tests {
             .filter(|s| s.name == "span.test.worker")
             .collect();
         assert_eq!(workers.len(), 3);
-        // Distinct worker threads get distinct ids.
+        // Distinct worker threads get distinct thread ids and distinct
+        // span ids.
         let mut ids: Vec<u32> = workers.iter().map(|s| s.thread).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 3);
+        let mut span_ids: Vec<u64> = workers.iter().map(|s| s.id).collect();
+        span_ids.sort_unstable();
+        span_ids.dedup();
+        assert_eq!(span_ids.len(), 3);
     }
 
     #[test]
     fn inert_guard_records_nothing() {
         let _lock = crate::test_guard();
         crate::set_enabled(false);
-        drop(SpanGuard::enter("span.test.inert"));
+        let g = SpanGuard::enter("span.test.inert");
+        assert_eq!(g.id(), 0);
+        drop(g);
         assert!(drain_spans().iter().all(|s| s.name != "span.test.inert"));
     }
 }

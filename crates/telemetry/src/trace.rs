@@ -1,0 +1,209 @@
+//! Trace exporters: Chrome Trace Event JSON and folded flamegraph text.
+//!
+//! Both exporters consume drained [`SpanEvent`]s and reconstruct the
+//! causal tree from their id/parent links.
+//!
+//! * [`chrome_trace_json`] emits the Chrome Trace Event Format — open the
+//!   file in `chrome://tracing` or <https://ui.perfetto.dev> to see one
+//!   lane per recording thread with nested complete (`ph:"X"`) events.
+//! * [`folded_stacks`] emits classic folded-stack lines
+//!   (`root;child;leaf <self-ns>`) consumable by any flamegraph
+//!   renderer. Weights are **self** time (duration minus the summed
+//!   duration of direct children), so a stack's total equals the run's
+//!   wall-clock contribution and nothing is double counted.
+
+use crate::SpanEvent;
+use serde::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// Renders spans as a Chrome Trace Event Format JSON object.
+///
+/// Each span becomes one complete event: `ts`/`dur` in microseconds (the
+/// format's unit), `pid` fixed at 1, `tid` the recording thread's dense
+/// id, and the span's id/parent pair under `args` so the causal tree
+/// survives the export even when lanes interleave. Metadata events name
+/// the process and each thread lane.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + 8);
+    events.push(meta_event(
+        "process_name",
+        0,
+        vec![("name".to_string(), Value::Str("abccc".to_string()))],
+    ));
+    let mut tids: Vec<u32> = spans.iter().map(|s| s.thread).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for t in &tids {
+        events.push(meta_event(
+            "thread_name",
+            *t,
+            vec![("name".to_string(), Value::Str(format!("lane-{t}")))],
+        ));
+    }
+    for s in spans {
+        events.push(Value::Map(vec![
+            ("name".to_string(), Value::Str(s.name.to_string())),
+            ("cat".to_string(), Value::Str("span".to_string())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::F64(s.start_ns as f64 / 1000.0)),
+            ("dur".to_string(), Value::F64(s.dur_ns as f64 / 1000.0)),
+            ("pid".to_string(), Value::U64(1)),
+            ("tid".to_string(), Value::U64(u64::from(s.thread))),
+            (
+                "args".to_string(),
+                Value::Map(vec![
+                    ("id".to_string(), Value::U64(s.id)),
+                    ("parent".to_string(), Value::U64(s.parent)),
+                ]),
+            ),
+        ]));
+    }
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ns".to_string())),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("render chrome trace")
+}
+
+fn meta_event(name: &str, tid: u32, args: Vec<(String, Value)>) -> Value {
+    Value::Map(vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::U64(1)),
+        ("tid".to_string(), Value::U64(u64::from(tid))),
+        ("args".to_string(), Value::Map(args)),
+    ])
+}
+
+/// Renders spans as folded flamegraph stacks: one
+/// `name;name;…;name weight` line per distinct root-to-span path, sorted
+/// lexically (deterministic for a fixed span set). Weights are self time
+/// in nanoseconds; spans fully covered by their children are omitted.
+pub fn folded_stacks(spans: &[SpanEvent]) -> String {
+    let by_id: HashMap<u64, &SpanEvent> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_ns.entry(s.parent).or_default() += s.dur_ns;
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        if self_ns == 0 {
+            continue;
+        }
+        let mut names = vec![s.name];
+        let mut cursor = s.parent;
+        // Depth cap guards against a corrupt parent cycle; real trees in
+        // this stack are a handful of levels deep.
+        let mut depth = 0;
+        while cursor != 0 && depth < 64 {
+            let Some(parent) = by_id.get(&cursor) else {
+                break;
+            };
+            names.push(parent.name);
+            cursor = parent.parent;
+            depth += 1;
+        }
+        names.reverse();
+        *folded.entry(names.join(";")).or_default() += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in &folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        name: &'static str,
+        thread: u32,
+        id: u64,
+        parent: u64,
+        start: u64,
+        dur: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            name,
+            thread,
+            id,
+            parent,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    fn sample() -> Vec<SpanEvent> {
+        vec![
+            ev("run", 0, 1, 0, 0, 1000),
+            ev("exp", 1, 10, 1, 100, 600),
+            ev("point", 1, 11, 10, 150, 200),
+            ev("point", 2, 20, 10, 150, 100),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_event_per_span() {
+        let json = chrome_trace_json(&sample());
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let map = v.as_map().expect("object");
+        let events = map
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_seq())
+            .expect("traceEvents array");
+        let complete: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                e.as_map()
+                    .and_then(|m| m.iter().find(|(k, _)| k == "ph"))
+                    .map(|(_, v)| v == &Value::Str("X".to_string()))
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert_eq!(complete.len(), 4);
+        // Three lanes → three thread_name metadata events + process_name.
+        let meta = events.len() - complete.len();
+        assert_eq!(meta, 4);
+        // µs conversion: 1000 ns → 1.0 µs.
+        let first = complete[0].as_map().unwrap();
+        let dur = first.iter().find(|(k, _)| k == "dur").unwrap();
+        assert_eq!(dur.1, Value::F64(1.0));
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time_and_full_paths() {
+        let text = folded_stacks(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        // run self = 1000 - 600; exp self = 600 - 300; the two points
+        // share a stack and sum.
+        assert_eq!(
+            lines,
+            ["run 400", "run;exp 300", "run;exp;point 300"],
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn orphan_parent_truncates_stack_instead_of_panicking() {
+        let text = folded_stacks(&[ev("lost", 0, 5, 999, 0, 50)]);
+        assert_eq!(text, "lost 50\n");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_outputs() {
+        assert_eq!(folded_stacks(&[]), "");
+        let v: Value = serde_json::from_str(&chrome_trace_json(&[])).expect("valid JSON");
+        assert!(v.as_map().is_some());
+    }
+}

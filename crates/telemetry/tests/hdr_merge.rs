@@ -1,0 +1,115 @@
+//! The HDR histogram's load-bearing contracts: merging is a lossless,
+//! order-independent fold (so per-shard histograms can be combined in any
+//! grouping and still produce byte-identical snapshots), and every
+//! reported quantile brackets the exact nearest-rank value from above by
+//! at most [`MAX_RELATIVE_ERROR`].
+
+use dcn_telemetry::{HdrHistogram, MAX_RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Draws `count` values spanning the full dynamic range from a seeded
+/// stream (the vendored proptest stand-in has no collection strategies).
+fn sample_values(seed: u64, count: usize) -> Vec<u64> {
+    use rand::{Rng, RngCore, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // Log-uniform: pick a bit width, then a value below it, so
+            // small exact buckets and wide high octaves are both hit.
+            let bits = rng.gen_range(1..=64u32);
+            let v = rng.next_u64();
+            if bits == 64 {
+                v
+            } else {
+                v & ((1u64 << bits) - 1)
+            }
+        })
+        .collect()
+}
+
+fn record_all(values: &[u64]) -> HdrHistogram {
+    let mut h = HdrHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact nearest-rank quantile over the raw samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+const QS: [f64; 5] = [0.5, 0.9, 0.99, 0.999, 0.9999];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any way of sharding the sample stream and any merge order yields
+    /// the same snapshot as recording everything into one histogram.
+    #[test]
+    fn merge_is_order_and_grouping_invariant(
+        seed in any::<u64>(),
+        count in 1usize..400,
+        shards in 1usize..8,
+    ) {
+        let values = sample_values(seed, count);
+        let whole = record_all(&values);
+
+        // Shard round-robin, then merge left-to-right…
+        let parts: Vec<HdrHistogram> = (0..shards)
+            .map(|s| {
+                let vs: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(s)
+                    .step_by(shards)
+                    .collect();
+                record_all(&vs)
+            })
+            .collect();
+        let mut ltr = HdrHistogram::new();
+        for p in &parts {
+            ltr.merge(p);
+        }
+        // …and right-to-left.
+        let mut rtl = HdrHistogram::new();
+        for p in parts.iter().rev() {
+            rtl.merge(p);
+        }
+
+        for h in [&ltr, &rtl] {
+            prop_assert_eq!(h.count(), whole.count());
+            prop_assert_eq!(h.sum(), whole.sum());
+            prop_assert_eq!(h.max(), whole.max());
+            for q in QS {
+                prop_assert_eq!(h.percentile(q), whole.percentile(q), "q={}", q);
+            }
+            prop_assert_eq!(h.snapshot("x"), whole.snapshot("x"));
+        }
+    }
+
+    /// Every reported quantile is an upper bound on the exact
+    /// nearest-rank value, within the bucket scheme's relative error.
+    #[test]
+    fn quantiles_bracket_exact_within_bound(
+        seed in any::<u64>(),
+        count in 1usize..400,
+    ) {
+        let values = sample_values(seed, count);
+        let h = record_all(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in QS {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.percentile(q);
+            prop_assert!(got >= exact, "q={}: reported {} < exact {}", q, got, exact);
+            prop_assert!(
+                got as f64 <= exact as f64 * (1.0 + MAX_RELATIVE_ERROR) + 1.0,
+                "q={}: reported {} exceeds bound over exact {}",
+                q, got, exact
+            );
+        }
+    }
+}

@@ -100,4 +100,36 @@ if ! grep -q '"diameter_lower_bound"' <<<"$SA"; then
   exit 1
 fi
 
+echo "== perf sentinel (record + self-diff exits 0, causal trace valid + stable)"
+# A two-experiment subset keeps the gate fast; diffing a fresh measurement
+# against baselines recorded seconds earlier must find zero regressions,
+# or the noise gates are mistuned.
+PERF_DIR="$(mktemp -d)"
+trap 'rm -rf "$EXP_A" "$EXP_B" "$FIB_A" "$FIB_B" "$SCALE_A" "$SCALE_B" "$PERF_DIR"' EXIT
+SENTINEL=(table1_properties fig7_faults --preset tiny --runs 2 --baselines "$PERF_DIR/baselines")
+"$CLI" perf record "${SENTINEL[@]}" >/dev/null
+if ! "$CLI" perf diff "${SENTINEL[@]}" >/dev/null; then
+  echo "FAIL: perf diff against a just-recorded baseline reported regressions" >&2
+  exit 1
+fi
+# The causal trace must be valid Chrome Trace JSON with a span count that
+# is stable across runs for a fixed seed (single-threaded: the topology
+# cache races builders under parallelism, legitimately duplicating
+# bench.cache.build spans).
+TRACE=(experiments run table1_properties fig7_faults --preset tiny --threads 1)
+"$CLI" --trace-out "$PERF_DIR/trace_a.json" "${TRACE[@]}" >/dev/null
+"$CLI" --trace-out "$PERF_DIR/trace_b.json" "${TRACE[@]}" >/dev/null
+STAT_A="$("$CLI" perf trace-stat "$PERF_DIR/trace_a.json")"
+STAT_B="$("$CLI" perf trace-stat "$PERF_DIR/trace_b.json")"
+if ! grep -q 'valid Chrome trace' <<<"$STAT_A"; then
+  echo "FAIL: --trace-out did not produce a valid Chrome trace" >&2
+  exit 1
+fi
+if [ "${STAT_A#*: }" != "${STAT_B#*: }" ]; then
+  echo "FAIL: span counts differ between fixed-seed single-threaded runs" >&2
+  echo "  a: $STAT_A" >&2
+  echo "  b: $STAT_B" >&2
+  exit 1
+fi
+
 echo "All checks passed."
