@@ -78,6 +78,32 @@ impl fmt::Display for BcccParams {
     }
 }
 
+impl std::str::FromStr for BcccParams {
+    type Err = NetworkError;
+
+    /// Parses the bare pair `"4,2"` or the [`fmt::Display`] form
+    /// `"BCCC(4,2)"`.
+    fn from_str(text: &str) -> Result<Self, NetworkError> {
+        let v = crate::family::parse_positional(
+            crate::family::strip_display_wrapper(text, "bccc"),
+            &["n", "k"],
+        )?;
+        BcccParams::new(v[0], v[1])
+    }
+}
+
+impl Bccc {
+    /// Raw-integer shim from the pre-`Params` constructor era.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
+    #[deprecated(since = "0.8.0", note = "use `Bccc::new(BcccParams::new(n, k)?)`")]
+    pub fn from_dims(n: u32, k: u32) -> Result<Self, NetworkError> {
+        Self::new(BcccParams::new(n, k)?)
+    }
+}
+
 /// A materialized `BCCC(n, k)` network.
 #[derive(Debug, Clone)]
 pub struct Bccc {

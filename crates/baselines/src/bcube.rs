@@ -120,6 +120,32 @@ impl fmt::Display for BCubeParams {
     }
 }
 
+impl std::str::FromStr for BCubeParams {
+    type Err = NetworkError;
+
+    /// Parses the bare pair `"4,1"` or the [`fmt::Display`] form
+    /// `"BCube(4,1)"`.
+    fn from_str(text: &str) -> Result<Self, NetworkError> {
+        let v = crate::family::parse_positional(
+            crate::family::strip_display_wrapper(text, "bcube"),
+            &["n", "k"],
+        )?;
+        BCubeParams::new(v[0], v[1])
+    }
+}
+
+impl BCube {
+    /// Raw-integer shim from the pre-`Params` constructor era.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
+    #[deprecated(since = "0.8.0", note = "use `BCube::new(BCubeParams::new(n, k)?)`")]
+    pub fn from_dims(n: u32, k: u32) -> Result<Self, NetworkError> {
+        Self::new(BCubeParams::new(n, k)?)
+    }
+}
+
 /// A materialized `BCube(n, k)` network with its native single-path routing
 /// (digit correction in a fixed order).
 #[derive(Debug, Clone)]

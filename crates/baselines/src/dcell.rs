@@ -110,6 +110,32 @@ impl fmt::Display for DCellParams {
     }
 }
 
+impl std::str::FromStr for DCellParams {
+    type Err = NetworkError;
+
+    /// Parses the bare pair `"3,1"` or the [`fmt::Display`] form
+    /// `"DCell(3,1)"`.
+    fn from_str(text: &str) -> Result<Self, NetworkError> {
+        let v = crate::family::parse_positional(
+            crate::family::strip_display_wrapper(text, "dcell"),
+            &["n", "k"],
+        )?;
+        DCellParams::new(v[0], v[1])
+    }
+}
+
+impl DCell {
+    /// Raw-integer shim from the pre-`Params` constructor era.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
+    #[deprecated(since = "0.8.0", note = "use `DCell::new(DCellParams::new(n, k)?)`")]
+    pub fn from_dims(n: u32, k: u32) -> Result<Self, NetworkError> {
+        Self::new(DCellParams::new(n, k)?)
+    }
+}
+
 /// A materialized `DCell(n, k)` network with native `DCellRouting`.
 #[derive(Debug, Clone)]
 pub struct DCell {

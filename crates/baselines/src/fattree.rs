@@ -107,6 +107,32 @@ impl fmt::Display for FatTreeParams {
     }
 }
 
+impl std::str::FromStr for FatTreeParams {
+    type Err = NetworkError;
+
+    /// Parses the bare port count `"8"` or the [`fmt::Display`] form
+    /// `"FatTree(8)"`.
+    fn from_str(text: &str) -> Result<Self, NetworkError> {
+        let v = crate::family::parse_positional(
+            crate::family::strip_display_wrapper(text, "fattree"),
+            &["p"],
+        )?;
+        FatTreeParams::new(v[0])
+    }
+}
+
+impl FatTree {
+    /// Raw-integer shim from the pre-`Params` constructor era.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on an invalid port count.
+    #[deprecated(since = "0.8.0", note = "use `FatTree::new(FatTreeParams::new(p)?)`")]
+    pub fn from_ports(p: u32) -> Result<Self, NetworkError> {
+        Self::new(FatTreeParams::new(p)?)
+    }
+}
+
 /// A materialized `FatTree(p)` with deterministic ECMP-style routing (the
 /// core/aggregation choice is a hash of the endpoint pair, spreading flows
 /// across the equal-cost paths as flow-level ECMP would).

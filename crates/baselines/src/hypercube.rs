@@ -93,6 +93,35 @@ impl fmt::Display for HypercubeParams {
     }
 }
 
+impl std::str::FromStr for HypercubeParams {
+    type Err = NetworkError;
+
+    /// Parses the bare pair `"2,3"` or the [`fmt::Display`] form
+    /// `"GHC(2,3)"`.
+    fn from_str(text: &str) -> Result<Self, NetworkError> {
+        let v = crate::family::parse_positional(
+            crate::family::strip_display_wrapper(text, "ghc"),
+            &["n", "d"],
+        )?;
+        HypercubeParams::new(v[0], v[1])
+    }
+}
+
+impl Hypercube {
+    /// Raw-integer shim from the pre-`Params` constructor era.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `Hypercube::new(HypercubeParams::new(n, d)?)`"
+    )]
+    pub fn from_dims(n: u32, d: u32) -> Result<Self, NetworkError> {
+        Self::new(HypercubeParams::new(n, d)?)
+    }
+}
+
 /// A materialized generalized hypercube with e-cube (dimension-ordered)
 /// routing.
 #[derive(Debug, Clone)]

@@ -13,14 +13,17 @@
 //! * [`FatTree`] — the three-tier folded-Clos switch-centric baseline with
 //!   deterministic ECMP routing;
 //! * [`Hypercube`] — the generalized hypercube direct network, the
-//!   "unlimited ports" end of the design space.
+//!   "unlimited ports" end of the design space;
+//! * [`Jellyfish`] — the seeded random r-regular switch graph (NSDI 2012)
+//!   with k-shortest-path/ECMP routing, the strongest non-cube rival;
+//! * [`SpaceShuffle`] — greedy routing over seeded random ring coordinates
+//!   (ICNP 2014).
 //!
 //! All of them implement [`netgraph::Topology`], so the metrics engine and
 //! both simulators treat them uniformly:
 //!
 //! ```
-//! use dcn_baselines::{BCube, BCubeParams};
-//! use netgraph::Topology;
+//! use dcn_baselines::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let t = BCube::new(BCubeParams::new(4, 1)?)?;
@@ -29,6 +32,11 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The [`family`] module is the uniform construction surface: every family
+//! registers a [`family::TopologyFamily`] descriptor, and text specs such
+//! as `abccc:4,2,3` or `jellyfish:v=16,r=4` build any of them through
+//! [`family::build_spec`] — no per-family match arms in consumers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,11 +45,32 @@ pub mod bccc;
 pub mod bccc_direct;
 pub mod bcube;
 pub mod dcell;
+pub mod family;
 pub mod fattree;
 pub mod hypercube;
+pub mod jellyfish;
+pub mod spaceshuffle;
 
 pub use bccc::{Bccc, BcccParams};
 pub use bcube::{BCube, BCubeParams};
 pub use dcell::{DCell, DCellParams};
+pub use family::{FamilyParams, TopologyFamily};
 pub use fattree::{FatTree, FatTreeParams};
 pub use hypercube::{Hypercube, HypercubeParams};
+pub use jellyfish::{Jellyfish, JellyfishParams};
+pub use spaceshuffle::{SpaceShuffle, SpaceShuffleParams};
+
+/// One-stop import: every family, its params, the [`family`] registry
+/// entry points, and the [`netgraph::Topology`] trait they all implement.
+pub mod prelude {
+    pub use crate::family::{
+        build_spec, families, find, parse_spec, size_for_budget, size_for_servers, FamilyParams,
+        TopologyFamily,
+    };
+    pub use crate::{
+        BCube, BCubeParams, Bccc, BcccParams, DCell, DCellParams, FatTree, FatTreeParams,
+        Hypercube, HypercubeParams, Jellyfish, JellyfishParams, SpaceShuffle, SpaceShuffleParams,
+    };
+    pub use abccc::{Abccc, AbcccParams};
+    pub use netgraph::Topology;
+}

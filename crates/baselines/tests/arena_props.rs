@@ -1,0 +1,96 @@
+//! Property tests for the arena rivals: Jellyfish construction must be a
+//! pure function of its parameters (seed included) regardless of how many
+//! threads build it, and Space Shuffle greedy routing must stay within its
+//! proven stretch bound of the true BFS shortest path.
+
+use dcn_baselines::prelude::*;
+use netgraph::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The graph is a pure function of the seed: building the same params
+    /// concurrently on 1, 2, 4, and 8 threads yields byte-identical link
+    /// tables (and two different seeds yield different graphs, so the
+    /// comparison is not vacuous).
+    #[test]
+    fn jellyfish_build_is_thread_count_invariant(
+        v in 8u32..=24,
+        seed in any::<u64>(),
+    ) {
+        let p = JellyfishParams::new(v, 4, 1, seed).expect("params");
+        let reference = Jellyfish::new(p).expect("build");
+        let reference_links = format!("{:?}", reference.network().links());
+        for threads in [1usize, 2, 4, 8] {
+            let built: Vec<String> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let t = Jellyfish::new(p).expect("build");
+                            format!("{:?}", t.network().links())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("join")).collect()
+            });
+            for links in built {
+                prop_assert_eq!(&links, &reference_links);
+            }
+        }
+    }
+
+    /// Every Jellyfish draw is connected, r-regular on the switch layer,
+    /// and hosts exactly s servers per switch.
+    #[test]
+    fn jellyfish_is_connected_and_r_regular(
+        v in 6u32..=30,
+        r in 2u32..=5,
+        s in 1u32..=2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(r < v && (u64::from(v) * u64::from(r)) % 2 == 0);
+        let p = JellyfishParams::new(v, r, s, seed).expect("params");
+        let t = Jellyfish::new(p).expect("build");
+        prop_assert!(netgraph::connectivity::servers_connected(t.network(), None));
+        for sw in t.network().switch_ids() {
+            prop_assert_eq!(t.network().degree(sw) as u32, r + s);
+        }
+        prop_assert_eq!(t.network().server_count() as u64, p.server_count());
+        prop_assert_eq!(t.network().link_count() as u64, p.wire_count());
+    }
+
+    /// Greedy multi-space routing is never shorter than the BFS optimum
+    /// and never longer than the proven bound: the minimum circular ring
+    /// distance between the host switches, plus the two server links.
+    #[test]
+    fn spaceshuffle_greedy_within_stretch_bound_of_bfs(
+        v in 4u32..=20,
+        d in 1u32..=3,
+        seed in any::<u64>(),
+    ) {
+        let p = SpaceShuffleParams::new(v, d, 1, seed).expect("params");
+        let t = SpaceShuffle::new(p).expect("build");
+        let n = p.server_count() as u32;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let r = t.route(NodeId(src), NodeId(dst)).expect("route");
+                prop_assert!(r.validate(t.network(), None).is_ok());
+                let bfs = netgraph::bfs::link_shortest_path(
+                    t.network(), NodeId(src), NodeId(dst), None,
+                ).expect("connected");
+                let (ssw, dsw) = (src / p.s(), dst / p.s());
+                let bound = t.min_space_distance(ssw, dsw) as usize + 2;
+                prop_assert!(r.link_hops() >= bfs.len() - 1);
+                prop_assert!(
+                    r.link_hops() <= bound,
+                    "greedy {} hops vs bfs {} and bound {bound}",
+                    r.link_hops(), bfs.len() - 1
+                );
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Property tests for the baseline families: native routing must always
 //! produce valid routes with the documented length guarantees.
 
-use dcn_baselines::*;
+use dcn_baselines::prelude::*;
 use netgraph::{NodeId, Topology};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};

@@ -1,6 +1,7 @@
 //! Criterion: topology construction time across families and sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_baselines::prelude::{BCube, BCubeParams, DCell, DCellParams, FatTree, FatTreeParams};
 
 fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("construction");
@@ -15,27 +16,27 @@ fn bench_construction(c: &mut Criterion) {
         );
     }
     for (n, k) in [(4, 2), (4, 3), (8, 2)] {
-        let p = dcn_baselines::BCubeParams::new(n, k).expect("params");
+        let p = BCubeParams::new(n, k).expect("params");
         g.bench_with_input(
             BenchmarkId::new("bcube", format!("{p} ({} srv)", p.server_count())),
             &p,
-            |b, p| b.iter(|| dcn_baselines::BCube::new(*p).expect("build")),
+            |b, p| b.iter(|| BCube::new(*p).expect("build")),
         );
     }
     {
-        let p = dcn_baselines::DCellParams::new(4, 2).expect("params");
+        let p = DCellParams::new(4, 2).expect("params");
         g.bench_with_input(
             BenchmarkId::new("dcell", format!("{p} ({} srv)", p.server_count())),
             &p,
-            |b, p| b.iter(|| dcn_baselines::DCell::new(p.clone()).expect("build")),
+            |b, p| b.iter(|| DCell::new(p.clone()).expect("build")),
         );
     }
     {
-        let p = dcn_baselines::FatTreeParams::new(16).expect("params");
+        let p = FatTreeParams::new(16).expect("params");
         g.bench_with_input(
             BenchmarkId::new("fattree", format!("{p} ({} srv)", p.server_count())),
             &p,
-            |b, p| b.iter(|| dcn_baselines::FatTree::new(*p).expect("build")),
+            |b, p| b.iter(|| FatTree::new(*p).expect("build")),
         );
     }
     g.finish();

@@ -6,173 +6,217 @@
 //! `DistanceEngine`, exact max-flow bisection) are memoized per topology,
 //! so e.g. `table1_properties` and `fig3_bisection` measure
 //! `ABCCC(4,2,2)` exactly once per engine run instead of once per binary.
+//!
+//! Keys are round-trip text specs resolved through the
+//! [`dcn_baselines::family`] registry (`abccc:4,2,3`,
+//! `jellyfish:v=16,r=4,s=1,seed=7`, …), so the cache supports every
+//! registered family without a match arm of its own.
 
 use abccc::{Abccc, AbcccParams};
-use dcn_baselines::{
-    BCube, BCubeParams, Bccc, BcccParams, DCell, DCellParams, FatTree, FatTreeParams, Hypercube,
-    HypercubeParams,
-};
+use dcn_baselines::family::{self, TopologyFamily};
 use dcn_metrics::TopologyStats;
 use netgraph::Topology;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// Cache key naming one topology configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum TopoKey {
-    /// `ABCCC(n,k,h)`.
-    Abccc {
-        /// Switch radix.
-        n: u32,
-        /// Order.
-        k: u32,
-        /// NIC ports per server.
-        h: u32,
-    },
-    /// `BCCC(n,k)`.
-    Bccc {
-        /// Switch radix.
-        n: u32,
-        /// Order.
-        k: u32,
-    },
-    /// `BCube(n,k)`.
-    BCube {
-        /// Switch radix.
-        n: u32,
-        /// Order.
-        k: u32,
-    },
-    /// `DCell(n,k)`.
-    DCell {
-        /// Switch radix.
-        n: u32,
-        /// Level.
-        k: u32,
-    },
-    /// `FatTree(p)`.
-    FatTree {
-        /// Port count.
-        p: u32,
-    },
-    /// Generalized hypercube `GHC(n,d)`.
-    Ghc {
-        /// Radix per dimension.
-        n: u32,
-        /// Dimensions.
-        d: u32,
-    },
+/// Cache key naming one topology configuration: a registered family id
+/// plus its parameter text.
+///
+/// The canonical text form is `family:params` (`abccc:4,2,3`); it
+/// round-trips through [`fmt::Display`]/[`FromStr`] and is the single spec
+/// syntax of the CLI. Constructed keys carry whatever parameter text they
+/// were given — even invalid text, so error labels can name the offending
+/// configuration — and validation happens when the topology is built or
+/// the key is parsed from text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TopoKey {
+    family: &'static str,
+    params: String,
 }
 
 impl TopoKey {
+    /// A key from a registered family id and raw parameter text. Prefer
+    /// the per-family shorthands; this is the escape hatch for spec text.
+    pub fn new(family: &'static dyn TopologyFamily, params: impl Into<String>) -> TopoKey {
+        TopoKey {
+            family: family.name(),
+            params: params.into(),
+        }
+    }
+
     /// Shorthand for the ABCCC family.
     pub fn abccc(n: u32, k: u32, h: u32) -> TopoKey {
-        TopoKey::Abccc { n, k, h }
+        TopoKey {
+            family: "abccc",
+            params: format!("{n},{k},{h}"),
+        }
     }
 
-    /// Human-readable label, e.g. `ABCCC(4,2,3)`.
+    /// Shorthand for the BCCC family.
+    pub fn bccc(n: u32, k: u32) -> TopoKey {
+        TopoKey {
+            family: "bccc",
+            params: format!("{n},{k}"),
+        }
+    }
+
+    /// Shorthand for the BCube family.
+    pub fn bcube(n: u32, k: u32) -> TopoKey {
+        TopoKey {
+            family: "bcube",
+            params: format!("{n},{k}"),
+        }
+    }
+
+    /// Shorthand for the DCell family.
+    pub fn dcell(n: u32, k: u32) -> TopoKey {
+        TopoKey {
+            family: "dcell",
+            params: format!("{n},{k}"),
+        }
+    }
+
+    /// Shorthand for the fat-tree family.
+    pub fn fattree(p: u32) -> TopoKey {
+        TopoKey {
+            family: "fattree",
+            params: format!("{p}"),
+        }
+    }
+
+    /// Shorthand for the generalized hypercube family.
+    pub fn ghc(n: u32, d: u32) -> TopoKey {
+        TopoKey {
+            family: "ghc",
+            params: format!("{n},{d}"),
+        }
+    }
+
+    /// Shorthand for the Jellyfish family.
+    pub fn jellyfish(v: u32, r: u32, s: u32, seed: u64) -> TopoKey {
+        TopoKey {
+            family: "jellyfish",
+            params: format!("v={v},r={r},s={s},seed={seed}"),
+        }
+    }
+
+    /// Shorthand for the Space Shuffle family.
+    pub fn spaceshuffle(v: u32, d: u32, s: u32, seed: u64) -> TopoKey {
+        TopoKey {
+            family: "spaceshuffle",
+            params: format!("v={v},d={d},s={s},seed={seed}"),
+        }
+    }
+
+    /// The registered family id, e.g. `"abccc"`.
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// The parameter text, e.g. `"4,2,3"`.
+    pub fn params(&self) -> &str {
+        &self.params
+    }
+
+    /// The family's registry descriptor.
+    pub fn descriptor(&self) -> &'static dyn TopologyFamily {
+        family::find(self.family).expect("constructed keys name registered families")
+    }
+
+    /// Human-readable label, e.g. `ABCCC(4,2,3)` — formattable even for
+    /// invalid parameter text, so error messages can name the key.
     pub fn label(&self) -> String {
-        match *self {
-            TopoKey::Abccc { n, k, h } => format!("ABCCC({n},{k},{h})"),
-            TopoKey::Bccc { n, k } => format!("BCCC({n},{k})"),
-            TopoKey::BCube { n, k } => format!("BCube({n},{k})"),
-            TopoKey::DCell { n, k } => format!("DCell({n},{k})"),
-            TopoKey::FatTree { p } => format!("FatTree({p})"),
-            TopoKey::Ghc { n, d } => format!("GHC({n},{d})"),
+        self.descriptor().label(&self.params)
+    }
+
+    /// The ABCCC parameters, when this key names the paper's family.
+    pub fn as_abccc(&self) -> Option<AbcccParams> {
+        if self.family == "abccc" {
+            self.params.parse().ok()
+        } else {
+            None
         }
     }
 
-    fn build(&self) -> Result<BuiltTopo, String> {
-        let err = |e: netgraph::NetworkError| format!("{}: {e}", self.label());
-        match *self {
-            TopoKey::Abccc { n, k, h } => {
-                let p = AbcccParams::new(n, k, h).map_err(err)?;
-                Ok(BuiltTopo::Abccc(Abccc::new(p).map_err(err)?))
-            }
-            TopoKey::Bccc { n, k } => {
-                let p = BcccParams::new(n, k).map_err(err)?;
-                Ok(BuiltTopo::Bccc(Bccc::new(p).map_err(err)?))
-            }
-            TopoKey::BCube { n, k } => {
-                let p = BCubeParams::new(n, k).map_err(err)?;
-                Ok(BuiltTopo::BCube(BCube::new(p).map_err(err)?))
-            }
-            TopoKey::DCell { n, k } => {
-                let p = DCellParams::new(n, k).map_err(err)?;
-                Ok(BuiltTopo::DCell(DCell::new(p).map_err(err)?))
-            }
-            TopoKey::FatTree { p } => {
-                let fp = FatTreeParams::new(p).map_err(err)?;
-                Ok(BuiltTopo::FatTree(FatTree::new(fp).map_err(err)?))
-            }
-            TopoKey::Ghc { n, d } => {
-                let p = HypercubeParams::new(n, d).map_err(err)?;
-                Ok(BuiltTopo::Ghc(Hypercube::new(p).map_err(err)?))
-            }
-        }
+    pub(crate) fn build(&self) -> Result<Box<dyn Topology + Send + Sync>, String> {
+        self.descriptor()
+            .build(&self.params)
+            .map_err(|e| format!("{}: {e}", self.label()))
     }
 }
 
-/// A materialized topology of any family.
-#[derive(Debug)]
-pub enum BuiltTopo {
-    /// The paper's topology.
-    Abccc(Abccc),
-    /// BCCC baseline.
-    Bccc(Bccc),
-    /// BCube baseline.
-    BCube(BCube),
-    /// DCell baseline.
-    DCell(DCell),
-    /// Fat-tree baseline.
-    FatTree(FatTree),
-    /// Generalized hypercube baseline.
-    Ghc(Hypercube),
+impl fmt::Display for TopoKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.family, self.params)
+    }
 }
 
-impl BuiltTopo {
-    /// The family-agnostic topology view.
-    pub fn as_topology(&self) -> &dyn Topology {
-        match self {
-            BuiltTopo::Abccc(t) => t,
-            BuiltTopo::Bccc(t) => t,
-            BuiltTopo::BCube(t) => t,
-            BuiltTopo::DCell(t) => t,
-            BuiltTopo::FatTree(t) => t,
-            BuiltTopo::Ghc(t) => t,
+impl FromStr for TopoKey {
+    type Err = String;
+
+    /// Parses and canonicalizes a spec: `abccc:4,2,3`,
+    /// `jellyfish:seed=7,r=4,v=256` (key order free — the canonical order
+    /// is restored), or the label form `ABCCC(4,2,3)`.
+    fn from_str(spec: &str) -> Result<Self, String> {
+        let (fam, canonical) = family::parse_spec(spec).map_err(|e| e.to_string())?;
+        Ok(TopoKey {
+            family: fam.name(),
+            params: canonical,
+        })
+    }
+}
+
+impl Serialize for TopoKey {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for TopoKey {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::Str(s) => s.parse().map_err(serde::Error),
+            _ => Err(serde::Error::expected("topology spec string")),
         }
     }
 }
 
 /// A cached topology plus its memoized derived measurements.
-#[derive(Debug)]
 pub struct SharedTopo {
     key: TopoKey,
-    built: BuiltTopo,
+    built: Box<dyn Topology + Send + Sync>,
     stats_quick: OnceLock<TopologyStats>,
     stats_full: OnceLock<TopologyStats>,
     bisection: OnceLock<u64>,
 }
 
+impl fmt::Debug for SharedTopo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedTopo")
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SharedTopo {
     /// The key this entry was built from.
-    pub fn key(&self) -> TopoKey {
-        self.key
+    pub fn key(&self) -> &TopoKey {
+        &self.key
     }
 
-    /// The family-agnostic topology view.
-    pub fn topology(&self) -> &dyn Topology {
-        self.built.as_topology()
+    /// The family-agnostic topology view (`Sync` so it can be handed
+    /// straight to parallel drivers like `CampaignConfig::run_on`).
+    pub fn topology(&self) -> &(dyn Topology + Sync) {
+        self.built.as_ref()
     }
 
     /// The concrete ABCCC topology, when this entry is one.
     pub fn abccc(&self) -> Option<&Abccc> {
-        match &self.built {
-            BuiltTopo::Abccc(t) => Some(t),
-            _ => None,
-        }
+        self.topology().as_any().downcast_ref::<Abccc>()
     }
 
     /// Structural counts without path metrics (memoized).
@@ -216,15 +260,15 @@ impl TopoCache {
     ///
     /// Propagates construction failures (invalid parameters, size guard)
     /// as a labeled message.
-    pub fn get(&self, key: TopoKey) -> Result<Arc<SharedTopo>, String> {
-        if let Some(hit) = self.map.read().expect("cache lock").get(&key) {
+    pub fn get(&self, key: &TopoKey) -> Result<Arc<SharedTopo>, String> {
+        if let Some(hit) = self.map.read().expect("cache lock").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
         // Build outside the lock; a racing builder of the same key loses
         // and its duplicate is dropped (first insert wins).
         let built = Arc::new(SharedTopo {
-            key,
+            key: key.clone(),
             built: {
                 let _span = dcn_telemetry::span!("bench.cache.build");
                 key.build()?
@@ -234,7 +278,7 @@ impl TopoCache {
             bisection: OnceLock::new(),
         });
         let mut map = self.map.write().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| {
+        let entry = map.entry(key.clone()).or_insert_with(|| {
             self.misses.fetch_add(1, Ordering::Relaxed);
             built
         });
@@ -267,8 +311,8 @@ mod tests {
     #[test]
     fn same_key_returns_same_arc() {
         let cache = TopoCache::new();
-        let a = cache.get(TopoKey::abccc(3, 1, 2)).unwrap();
-        let b = cache.get(TopoKey::abccc(3, 1, 2)).unwrap();
+        let a = cache.get(&TopoKey::abccc(3, 1, 2)).unwrap();
+        let b = cache.get(&TopoKey::abccc(3, 1, 2)).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.len(), 1);
@@ -277,7 +321,7 @@ mod tests {
     #[test]
     fn derived_measurements_are_memoized() {
         let cache = TopoCache::new();
-        let t = cache.get(TopoKey::abccc(3, 1, 2)).unwrap();
+        let t = cache.get(&TopoKey::abccc(3, 1, 2)).unwrap();
         let s1 = t.stats_full() as *const _;
         let s2 = t.stats_full() as *const _;
         assert_eq!(s1, s2);
@@ -287,7 +331,7 @@ mod tests {
     #[test]
     fn invalid_key_is_a_labeled_error() {
         let cache = TopoCache::new();
-        let e = cache.get(TopoKey::abccc(1, 1, 2)).unwrap_err();
+        let e = cache.get(&TopoKey::abccc(1, 1, 2)).unwrap_err();
         assert!(e.contains("ABCCC(1,1,2)"), "{e}");
     }
 
@@ -296,15 +340,58 @@ mod tests {
         let cache = TopoCache::new();
         for key in [
             TopoKey::abccc(3, 1, 2),
-            TopoKey::Bccc { n: 3, k: 1 },
-            TopoKey::BCube { n: 3, k: 1 },
-            TopoKey::DCell { n: 3, k: 1 },
-            TopoKey::FatTree { p: 4 },
-            TopoKey::Ghc { n: 2, d: 3 },
+            TopoKey::bccc(3, 1),
+            TopoKey::bcube(3, 1),
+            TopoKey::dcell(3, 1),
+            TopoKey::fattree(4),
+            TopoKey::ghc(2, 3),
+            TopoKey::jellyfish(8, 3, 1, 7),
+            TopoKey::spaceshuffle(6, 2, 1, 7),
         ] {
-            let t = cache.get(key).unwrap();
+            let t = cache.get(&key).unwrap();
             assert_eq!(t.topology().name(), key.label());
-            assert_eq!(t.key(), key);
+            assert_eq!(t.key(), &key);
         }
+    }
+
+    #[test]
+    fn text_form_round_trips() {
+        for key in [
+            TopoKey::abccc(4, 2, 3),
+            TopoKey::jellyfish(16, 4, 1, 7),
+            TopoKey::spaceshuffle(8, 2, 1, 7),
+            TopoKey::fattree(8),
+        ] {
+            let text = key.to_string();
+            let back: TopoKey = text.parse().unwrap();
+            assert_eq!(back, key);
+            // Labels re-parse too.
+            let from_label: TopoKey = key.label().parse().unwrap();
+            assert_eq!(from_label, key);
+        }
+        // Key order in keyed specs is free; the canonical order returns.
+        let k: TopoKey = "jellyfish:seed=7,r=4,v=256".parse().unwrap();
+        assert_eq!(k, TopoKey::jellyfish(256, 4, 1, 7));
+        assert_eq!(k.to_string(), "jellyfish:v=256,r=4,s=1,seed=7");
+        assert!("martian:4,2".parse::<TopoKey>().is_err());
+    }
+
+    #[test]
+    fn serde_round_trips_as_spec_string() {
+        let key = TopoKey::abccc(4, 2, 3);
+        let json = serde_json::to_string(&key).unwrap();
+        assert_eq!(json, "\"abccc:4,2,3\"");
+        let back: TopoKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, key);
+    }
+
+    #[test]
+    fn abccc_accessors() {
+        let key = TopoKey::abccc(4, 2, 3);
+        assert_eq!(key.as_abccc(), Some(AbcccParams::new(4, 2, 3).unwrap()));
+        assert_eq!(TopoKey::fattree(4).as_abccc(), None);
+        let cache = TopoCache::new();
+        assert!(cache.get(&key).unwrap().abccc().is_some());
+        assert!(cache.get(&TopoKey::fattree(4)).unwrap().abccc().is_none());
     }
 }

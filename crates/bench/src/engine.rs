@@ -180,8 +180,8 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
         grids
             .iter()
             .flatten()
-            .flat_map(|p| p.topos.iter().copied())
-            .filter(|k| seen.insert(*k))
+            .flat_map(|p| p.topos.iter().cloned())
+            .filter(|k| seen.insert(k.clone()))
             .collect()
     };
     {
@@ -193,7 +193,7 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
                     let Some(key) = unique_keys.get(i) else { break };
                     let _span =
                         dcn_telemetry::SpanGuard::enter_under("bench.engine.prewarm", run_id);
-                    let _ = cache.get(*key);
+                    let _ = cache.get(key);
                 });
             }
         });
@@ -307,7 +307,11 @@ pub fn run(specs: &[&'static dyn Experiment], opts: &RunOptions) -> Result<Engin
         manifests,
     };
     if opts.print_summary {
-        println!("{}", report.summary_line());
+        // The trailer carries run provenance (wall clock, worker count,
+        // cache traffic) that varies between otherwise identical runs, so
+        // it goes to stderr: report stdout stays byte-identical across
+        // thread counts.
+        eprintln!("{}", report.summary_line());
     }
     Ok(report)
 }

@@ -176,7 +176,6 @@ impl Experiment for Fig7Faults {
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
         let cfg = Self::cfg(ctx.preset);
         let (h, class, rate) = Self::grid(ctx.preset)[ctx.index];
-        let p = AbcccParams::new(4, cfg.k, h).map_err(e)?;
         let t = ctx.abccc(4, cfg.k, h)?;
         let topo = t.abccc().ok_or("non-ABCCC cache entry")?;
         let scenario = match class {
@@ -191,7 +190,7 @@ impl Experiment for Fig7Faults {
                 link_rate: 0.0,
             },
         };
-        let report = CampaignConfig::new(p)
+        let report = CampaignConfig::new()
             .scenario(scenario)
             .sampling(PairSampling::UniformRandom { pairs: cfg.pairs })
             .trials(cfg.trials)
@@ -582,11 +581,10 @@ impl Experiment for Fig17Adversarial {
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
         let cfg = Self::cfg(ctx.preset);
         let (h, pattern, sampling, router_label, router) = Self::grid(ctx.preset)[ctx.index];
-        let p = AbcccParams::new(4, cfg.k, h).map_err(e)?;
         let t = ctx.abccc(4, cfg.k, h)?;
         let topo = t.abccc().ok_or("non-ABCCC cache entry")?;
         let campaign = |switch_rate: f64, trials: usize| {
-            CampaignConfig::new(p)
+            CampaignConfig::new()
                 .scenario(ScenarioKind::Uniform {
                     server_rate: 0.0,
                     switch_rate,

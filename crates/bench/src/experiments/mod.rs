@@ -4,6 +4,7 @@
 //! tables and JSON record shapes, now with `tiny`/`scale` presets and
 //! engine-shared topologies.
 
+mod arena;
 mod faults;
 mod fib;
 mod frontier;
@@ -50,4 +51,5 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &scale::ScaleDemo,
     &fib::FibThroughput,
     &frontier::ScaleFrontier,
+    &arena::Arena,
 ];

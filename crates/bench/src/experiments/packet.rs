@@ -24,18 +24,18 @@ pub struct Fig11Latency;
 impl Fig11Latency {
     fn grid(preset: Preset) -> Vec<TopoKey> {
         match preset {
-            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2), TopoKey::BCube { n: 4, k: 1 }],
+            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2), TopoKey::bcube(4, 1)],
             Preset::Paper => vec![
                 TopoKey::abccc(4, 2, 2),
                 TopoKey::abccc(4, 2, 3),
-                TopoKey::BCube { n: 4, k: 2 },
-                TopoKey::FatTree { p: 8 },
-                TopoKey::DCell { n: 4, k: 1 },
+                TopoKey::bcube(4, 2),
+                TopoKey::fattree(8),
+                TopoKey::dcell(4, 1),
             ],
             Preset::Scale => {
                 let mut g = Self::grid(Preset::Paper);
                 g.push(TopoKey::abccc(4, 2, 4));
-                g.push(TopoKey::FatTree { p: 16 });
+                g.push(TopoKey::fattree(16));
                 g
             }
         }
@@ -98,7 +98,8 @@ impl Experiment for Fig11Latency {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let key = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let key = &grid[ctx.index];
         let t = ctx.topo(key)?;
         let topo = t.topology();
         let n = topo.network().server_count();
@@ -152,7 +153,7 @@ impl Fig15Incast {
             Preset::Paper => vec![
                 TopoKey::abccc(4, 2, 2),
                 TopoKey::abccc(4, 2, 3),
-                TopoKey::BCube { n: 4, k: 2 },
+                TopoKey::bcube(4, 2),
             ],
             Preset::Scale => {
                 let mut g = Self::structures(Preset::Paper);
@@ -239,7 +240,9 @@ impl Experiment for Fig15Incast {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let (fan_in, key) = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let (fan_in, key) = &grid[ctx.index];
+        let fan_in = *fan_in;
         let t = ctx.topo(key)?;
         let topo = t.topology();
         let n = topo.network().server_count();

@@ -26,21 +26,21 @@ pub struct Fig5PathLength;
 impl Fig5PathLength {
     fn grid(preset: Preset) -> Vec<TopoKey> {
         match preset {
-            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2), TopoKey::BCube { n: 4, k: 1 }],
+            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2), TopoKey::bcube(4, 1)],
             Preset::Paper => {
                 let mut g: Vec<TopoKey> = [(1, 2), (2, 2), (3, 2), (2, 3), (3, 3), (2, 4), (3, 4)]
                     .iter()
                     .map(|&(k, h)| TopoKey::abccc(4, k, h))
                     .collect();
-                g.push(TopoKey::BCube { n: 4, k: 1 });
-                g.push(TopoKey::BCube { n: 4, k: 2 });
-                g.push(TopoKey::DCell { n: 4, k: 2 });
+                g.push(TopoKey::bcube(4, 1));
+                g.push(TopoKey::bcube(4, 2));
+                g.push(TopoKey::dcell(4, 2));
                 g
             }
             Preset::Scale => {
                 let mut g = Self::grid(Preset::Paper);
                 g.push(TopoKey::abccc(4, 4, 3));
-                g.push(TopoKey::BCube { n: 4, k: 3 });
+                g.push(TopoKey::bcube(4, 3));
                 g
             }
         }
@@ -102,12 +102,12 @@ impl Experiment for Fig5PathLength {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let key = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let key = &grid[ctx.index];
         let t = ctx.topo(key)?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
         let q = routing_quality(t.topology(), Self::pairs(ctx.preset), &mut rng);
-        if let TopoKey::Abccc { n, k, h } = key {
-            let p = AbcccParams::new(n, k, h).map_err(e)?;
+        if let Some(p) = key.as_abccc() {
             if (q.mean_stretch - 1.0).abs() >= 1e-12 {
                 return Err(format!("{p}: ABCCC routing must be shortest"));
             }

@@ -7,7 +7,7 @@ use crate::cache::TopoKey;
 use crate::registry::{Experiment, PointCtx, PointSpec, Preset, Row};
 use crate::{fmt_f, fmt_opt};
 use abccc::AbcccParams;
-use dcn_baselines::{BCubeParams, BcccParams, DCellParams, FatTreeParams, HypercubeParams};
+use dcn_baselines::{BCubeParams, DCellParams, FatTreeParams};
 use dcn_metrics::{expansion, CostModel, ExpansionLedger};
 use rand::SeedableRng;
 use serde::Serialize;
@@ -18,16 +18,11 @@ fn e(err: impl std::fmt::Display) -> String {
 
 // ---------------------------------------------------------------- Table 1
 
-/// Closed-form diameter for a configuration, where one exists.
-fn diameter_formula(key: TopoKey) -> Result<Option<u64>, String> {
-    Ok(match key {
-        TopoKey::Abccc { n, k, h } => Some(AbcccParams::new(n, k, h).map_err(e)?.diameter()),
-        TopoKey::Bccc { n, k } => Some(BcccParams::new(n, k).map_err(e)?.diameter()),
-        TopoKey::BCube { n, k } => Some(BCubeParams::new(n, k).map_err(e)?.diameter()),
-        TopoKey::DCell { .. } => None, // closed form is only a bound
-        TopoKey::FatTree { .. } => Some(1), // servers never forward
-        TopoKey::Ghc { n, d } => Some(HypercubeParams::new(n, d).map_err(e)?.diameter()),
-    })
+/// Closed-form diameter for a configuration, where one exists — delegated
+/// to the family registry (DCell's closed form is only a bound, fat-tree
+/// servers never forward, random graphs have no formula).
+fn diameter_formula(key: &TopoKey) -> Result<Option<u64>, String> {
+    key.descriptor().diameter_formula(key.params()).map_err(e)
 }
 
 #[derive(Serialize)]
@@ -51,24 +46,24 @@ impl Table1Properties {
         match preset {
             Preset::Tiny => vec![
                 TopoKey::abccc(4, 1, 2),
-                TopoKey::Bccc { n: 4, k: 1 },
-                TopoKey::BCube { n: 4, k: 1 },
-                TopoKey::Ghc { n: 2, d: 3 },
+                TopoKey::bccc(4, 1),
+                TopoKey::bcube(4, 1),
+                TopoKey::ghc(2, 3),
             ],
             Preset::Paper => vec![
                 TopoKey::abccc(4, 2, 2),
                 TopoKey::abccc(4, 2, 3),
                 TopoKey::abccc(4, 2, 4),
-                TopoKey::Bccc { n: 4, k: 2 },
-                TopoKey::BCube { n: 4, k: 2 },
-                TopoKey::DCell { n: 4, k: 1 },
-                TopoKey::FatTree { p: 8 },
-                TopoKey::Ghc { n: 4, d: 3 },
+                TopoKey::bccc(4, 2),
+                TopoKey::bcube(4, 2),
+                TopoKey::dcell(4, 1),
+                TopoKey::fattree(8),
+                TopoKey::ghc(4, 3),
             ],
             Preset::Scale => {
                 let mut g = Self::grid(Preset::Paper);
                 g.push(TopoKey::abccc(4, 3, 3));
-                g.push(TopoKey::BCube { n: 4, k: 3 });
+                g.push(TopoKey::bcube(4, 3));
                 g
             }
         }
@@ -117,7 +112,8 @@ impl Experiment for Table1Properties {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let key = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let key = &grid[ctx.index];
         let t = ctx.topo(key)?;
         let stats = t.stats_full();
         let formula = diameter_formula(key)?;
@@ -165,23 +161,23 @@ impl Table2Capex {
         match preset {
             Preset::Tiny => vec![
                 TopoKey::abccc(4, 1, 2),
-                TopoKey::Bccc { n: 4, k: 1 },
-                TopoKey::BCube { n: 4, k: 1 },
+                TopoKey::bccc(4, 1),
+                TopoKey::bcube(4, 1),
             ],
             Preset::Paper => vec![
                 TopoKey::abccc(4, 3, 2),
                 TopoKey::abccc(4, 3, 3),
                 TopoKey::abccc(4, 3, 5),
-                TopoKey::Bccc { n: 4, k: 3 },
-                TopoKey::BCube { n: 4, k: 4 },
-                TopoKey::DCell { n: 5, k: 2 },
-                TopoKey::FatTree { p: 16 },
-                TopoKey::Ghc { n: 4, d: 5 },
+                TopoKey::bccc(4, 3),
+                TopoKey::bcube(4, 4),
+                TopoKey::dcell(5, 2),
+                TopoKey::fattree(16),
+                TopoKey::ghc(4, 5),
             ],
             Preset::Scale => {
                 let mut g = Self::grid(Preset::Paper);
                 g.push(TopoKey::abccc(6, 3, 2));
-                g.push(TopoKey::FatTree { p: 24 });
+                g.push(TopoKey::fattree(24));
                 g
             }
         }
@@ -232,7 +228,8 @@ impl Experiment for Table2Capex {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let key = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let key = &grid[ctx.index];
         let t = ctx.topo(key)?;
         let capex = CostModel::default().capex(t.stats_quick());
         Ok(vec![Row::one(

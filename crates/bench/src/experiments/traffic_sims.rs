@@ -26,19 +26,19 @@ pub struct Fig6Throughput;
 impl Fig6Throughput {
     fn grid(preset: Preset) -> Vec<TopoKey> {
         match preset {
-            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2), TopoKey::BCube { n: 4, k: 1 }],
+            Preset::Tiny => vec![TopoKey::abccc(4, 1, 2), TopoKey::bcube(4, 1)],
             Preset::Paper => vec![
                 TopoKey::abccc(4, 2, 2),
                 TopoKey::abccc(4, 2, 3),
                 TopoKey::abccc(4, 2, 4),
-                TopoKey::BCube { n: 4, k: 2 },
-                TopoKey::DCell { n: 4, k: 1 },
-                TopoKey::FatTree { p: 8 },
+                TopoKey::bcube(4, 2),
+                TopoKey::dcell(4, 1),
+                TopoKey::fattree(8),
             ],
             Preset::Scale => {
                 let mut g = Self::grid(Preset::Paper);
                 g.push(TopoKey::abccc(4, 3, 3));
-                g.push(TopoKey::FatTree { p: 16 });
+                g.push(TopoKey::fattree(16));
                 g
             }
         }
@@ -98,7 +98,8 @@ impl Experiment for Fig6Throughput {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let key = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let key = &grid[ctx.index];
         let t = ctx.topo(key)?;
         let topo = t.topology();
         let n = topo.network().server_count();
@@ -159,7 +160,7 @@ impl Fig10Multipath {
             Preset::Paper => vec![
                 TopoKey::abccc(4, 2, 2),
                 TopoKey::abccc(4, 2, 3),
-                TopoKey::BCube { n: 4, k: 2 },
+                TopoKey::bcube(4, 2),
             ],
             Preset::Scale => {
                 let mut g = Self::grid(Preset::Paper);
@@ -229,7 +230,8 @@ impl Experiment for Fig10Multipath {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let key = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let key = &grid[ctx.index];
         let t = ctx.topo(key)?;
         let topo = t.topology();
         let n = topo.network().server_count();
@@ -295,9 +297,9 @@ impl Fig13Shuffle {
             Preset::Paper => vec![
                 (TopoKey::abccc(4, 2, 2), 1),
                 (TopoKey::abccc(4, 2, 3), 1),
-                (TopoKey::BCube { n: 4, k: 2 }, 1),
-                (TopoKey::FatTree { p: 8 }, 1),
-                (TopoKey::DCell { n: 4, k: 1 }, 1),
+                (TopoKey::bcube(4, 2), 1),
+                (TopoKey::fattree(8), 1),
+                (TopoKey::dcell(4, 1), 1),
                 (TopoKey::abccc(4, 2, 2), 2),
                 (TopoKey::abccc(4, 2, 3), 3),
             ],
@@ -375,7 +377,9 @@ impl Experiment for Fig13Shuffle {
             .collect()
     }
     fn run_point(&self, ctx: &PointCtx<'_>) -> Result<Vec<Row>, String> {
-        let (key, paths) = Self::grid(ctx.preset)[ctx.index];
+        let grid = Self::grid(ctx.preset);
+        let (key, paths) = &grid[ctx.index];
+        let paths = *paths;
         let t = ctx.topo(key)?;
         let topo = t.topology();
         let n = topo.network().server_count();

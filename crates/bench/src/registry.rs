@@ -105,7 +105,7 @@ impl PointCtx<'_> {
     /// # Errors
     ///
     /// Propagates construction failures as a labeled message.
-    pub fn topo(&self, key: TopoKey) -> Result<Arc<SharedTopo>, String> {
+    pub fn topo(&self, key: &TopoKey) -> Result<Arc<SharedTopo>, String> {
         self.cache.get(key)
     }
 
@@ -115,7 +115,7 @@ impl PointCtx<'_> {
     ///
     /// Fails if the parameters are invalid or the key is not ABCCC.
     pub fn abccc(&self, n: u32, k: u32, h: u32) -> Result<Arc<SharedTopo>, String> {
-        let t = self.cache.get(TopoKey::abccc(n, k, h))?;
+        let t = self.cache.get(&TopoKey::abccc(n, k, h))?;
         if t.abccc().is_none() {
             return Err(format!(
                 "ABCCC({n},{k},{h}): cache returned a non-ABCCC entry"

@@ -12,7 +12,8 @@
 //! ```
 //!
 //! Families: `abccc n k h`, `bccc n k`, `bcube n k`, `dcell n k`,
-//! `fattree p`, `ghc n d`.
+//! `fattree p`, `ghc n d` — or any one-token spec such as `abccc:4,2,3`,
+//! `jellyfish:seed=7,r=4,v=64`, `spaceshuffle:seed=7,d=3,v=64`.
 //!
 //! Global flags (any command): `--trace` prints a telemetry summary to
 //! stderr on exit; `--metrics-out FILE` writes the raw span/metric events
@@ -173,16 +174,18 @@ const USAGE: &str = "usage:
   abccc-cli svg      <family…> [<src> <dst>] [--out FILE]  SVG rendering
   abccc-cli trace    <family…> --file TRACE.csv            replay a CSV flow trace
   abccc-cli design   <target-servers> [--objective cost|latency|bandwidth]
-  abccc-cli resilience <n> <k> <h> [--scenario uniform|groups|level|flapping]
+  abccc-cli resilience <spec>|<n> <k> <h> [--scenario uniform|groups|level|flapping]
       [--rate R] [--link-rate R] [--groups N] [--level N] [--steps N]
       [--router resilient|digit|vlb] [--no-bfs] [--pattern random|permutation|convergent]
       [--pairs N] [--trials N] [--seed N] [--threads N] [--no-throughput]
-                                             seeded fault campaign with degradation report
-  abccc-cli fib compile <n> <k> <h> [--layout dense|hier]
+                                             seeded fault campaign with degradation
+                                             report (any family; non-ABCCC specs run
+                                             on their native routing plane)
+  abccc-cli fib compile <spec>|<n> <k> <h> [--layout dense|hier]
                                              compile the forwarding table, print stats
-  abccc-cli fib query   <n> <k> <h> <src> <dst> [--shards N] [--layout dense|hier]
+  abccc-cli fib query   <spec>|<n> <k> <h> <src> <dst> [--shards N] [--layout dense|hier]
       [--fail-rate R] [--fail-seed S]        answer one query from the compiled table
-  abccc-cli fib bench   <n> <k> <h> [--queries N] [--seed N] [--shards N]
+  abccc-cli fib bench   <spec>|<n> <k> <h> [--queries N] [--seed N] [--shards N]
       [--fail-rate R] [--layout dense|hier] [--digest FILE]
                                              batched route-service throughput; --digest
                                              writes a deterministic result digest (JSON)
@@ -209,6 +212,9 @@ const USAGE: &str = "usage:
                                              print its span/lane/root counts
 
 families: abccc n k h | bccc n k | bcube n k | dcell n k | fattree p | ghc n d
+  every <family…> also accepts one-token specs — `abccc:4,2,3`, `fattree:6`,
+  `jellyfish:seed=7,r=4,v=64`, `spaceshuffle:seed=7,d=3,v=64` (the canonical
+  round-trip form printed by `topo stats`); jellyfish/spaceshuffle are spec-only
 
 global flags:
   --trace              print a telemetry summary (spans + counters) to stderr
@@ -225,10 +231,23 @@ fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
         .map_err(|_| format!("{what}: expected a number, got `{s}`"))
 }
 
-/// Parses `family params…` and returns the topology plus how many args it
+/// Whether an argument is a one-token topology spec (`abccc:4,2,3`,
+/// `jellyfish:v=64,r=4`, or the label form `ABCCC(4,2,3)`) rather than a
+/// legacy `family n k …` head.
+fn is_topology_spec(arg: &str) -> bool {
+    arg.contains(':') || arg.contains('(')
+}
+
+/// Parses either a one-token canonical spec (any registered family,
+/// including `jellyfish:…` and `spaceshuffle:…`) or the legacy
+/// `family params…` form, returning the topology plus how many args it
 /// consumed.
 fn parse_topology(args: &[String]) -> Result<(DynTopo, usize), String> {
     let family = args.first().ok_or("missing topology family")?;
+    if is_topology_spec(family) {
+        let topo: DynTopo = family::build_spec(family).map_err(|e| e.to_string())?;
+        return Ok((topo, 1));
+    }
     let need = |n: usize| -> Result<Vec<u32>, String> {
         if args.len() < 1 + n {
             return Err(format!("{family} needs {n} numeric parameter(s)"));
@@ -270,7 +289,14 @@ fn parse_topology(args: &[String]) -> Result<(DynTopo, usize), String> {
             let p = HypercubeParams::new(v[0], v[1]).map_err(err)?;
             Ok((Box::new(Hypercube::new(p).map_err(err)?), 3))
         }
-        other => Err(format!("unknown family `{other}`")),
+        other => Err(format!(
+            "unknown family `{other}` (try a spec like `{other}:…` — families: {})",
+            family::families()
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
     }
 }
 
@@ -691,13 +717,21 @@ fn design_cmd(args: &[String]) -> Result<(), String> {
 
 fn resilience_cmd(args: &[String], json: bool) -> Result<(), String> {
     use dcn_resilience::{CampaignConfig, PairSampling, RouterSpec, ScenarioKind};
-    if args.len() < 3 {
-        return Err("resilience needs <n> <k> <h>".into());
-    }
-    let n = parse_u32(&args[0], "n")?;
-    let k = parse_u32(&args[1], "k")?;
-    let h = parse_u32(&args[2], "h")?;
-    let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+    // A one-token spec runs the campaign on any family (native routing
+    // plane for non-ABCCC); the legacy `<n> <k> <h>` form stays ABCCC.
+    let topo: Box<dyn Topology + Send + Sync> = match args.first().map(|a| is_topology_spec(a)) {
+        Some(true) => family::build_spec(&args[0]).map_err(|e| e.to_string())?,
+        _ => {
+            if args.len() < 3 {
+                return Err("resilience needs a topology spec or <n> <k> <h>".into());
+            }
+            let n = parse_u32(&args[0], "n")?;
+            let k = parse_u32(&args[1], "k")?;
+            let h = parse_u32(&args[2], "h")?;
+            let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+            Box::new(Abccc::new(p).map_err(|e| e.to_string())?)
+        }
+    };
 
     let num = |flag: &str, default: u64| -> Result<u64, String> {
         flag_value(args, flag)
@@ -757,7 +791,7 @@ fn resilience_cmd(args: &[String], json: bool) -> Result<(), String> {
         other => return Err(format!("unknown pattern `{other}`")),
     };
 
-    let report = CampaignConfig::new(p)
+    let report = CampaignConfig::new()
         .scenario(scenario)
         .router(router)
         .sampling(sampling)
@@ -765,7 +799,7 @@ fn resilience_cmd(args: &[String], json: bool) -> Result<(), String> {
         .seed(num("--seed", 0)?)
         .threads(num("--threads", 0)? as usize)
         .measure_throughput(!args.iter().any(|a| a == "--no-throughput"))
-        .run()
+        .run_on(topo.as_ref())
         .map_err(|e| e.to_string())?;
 
     if json {
@@ -818,13 +852,29 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
         .first()
         .ok_or("fib needs `compile`, `query` or `bench`")?;
     let rest = &args[1..];
-    if rest.len() < 3 {
-        return Err(format!("fib {sub} needs <n> <k> <h>"));
-    }
-    let n = parse_u32(&rest[0], "n")?;
-    let k = parse_u32(&rest[1], "k")?;
-    let h = parse_u32(&rest[2], "h")?;
-    let p = AbcccParams::new(n, k, h).map_err(|e| e.to_string())?;
+    // Compiled FIBs are digit-indexed, so fib only runs on ABCCC: accept
+    // an `abccc:n,k,h` spec or the legacy `<n> <k> <h>` form.
+    let p = match rest.first().map(|a| is_topology_spec(a)) {
+        Some(true) => {
+            let (fam, params) = family::parse_spec(&rest[0]).map_err(|e| e.to_string())?;
+            if fam.name() != "abccc" {
+                return Err(format!(
+                    "fib {sub} requires an ABCCC topology, got `{}`",
+                    fam.name()
+                ));
+            }
+            params.parse::<AbcccParams>().map_err(|e| e.to_string())?
+        }
+        _ => {
+            if rest.len() < 3 {
+                return Err(format!("fib {sub} needs a topology spec or <n> <k> <h>"));
+            }
+            let n = parse_u32(&rest[0], "n")?;
+            let k = parse_u32(&rest[1], "k")?;
+            let h = parse_u32(&rest[2], "h")?;
+            AbcccParams::new(n, k, h).map_err(|e| e.to_string())?
+        }
+    };
     let num = |flag: &str, default: u64| -> Result<u64, String> {
         flag_value(rest, flag)
             .map(|s| s.parse().map_err(|_| format!("{flag} expects a number")))

@@ -233,6 +233,50 @@ fn resilience_scenarios_and_routers_run() {
 }
 
 #[test]
+fn resilience_accepts_topology_specs() {
+    // Spec form of the ABCCC campaign matches the positional form exactly.
+    let flags = ["--trials", "4", "--seed", "7", "--json"];
+    let positional: Vec<&str> = ["resilience", "4", "2", "2"]
+        .into_iter()
+        .chain(flags)
+        .collect();
+    let spec: Vec<&str> = ["resilience", "abccc:4,2,2"]
+        .into_iter()
+        .chain(flags)
+        .collect();
+    assert_eq!(stdout(&positional), stdout(&spec));
+
+    // Non-ABCCC families run the campaign on their native routing plane.
+    let out = stdout(&[
+        "resilience",
+        "jellyfish:v=10,r=3,seed=7",
+        "--trials",
+        "2",
+        "--rate",
+        "0.1",
+        "--pairs",
+        "16",
+        "--no-throughput",
+    ]);
+    assert!(out.contains("Jellyfish(v=10,r=3,s=1,seed=7)"));
+    assert!(out.contains("router `native`"));
+}
+
+#[test]
+fn resilience_rejects_cube_scenarios_on_native_plane() {
+    let out = cli(&[
+        "resilience",
+        "spaceshuffle:v=8,seed=7",
+        "--scenario",
+        "level",
+        "--trials",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires an ABCCC topology"));
+}
+
+#[test]
 fn json_rejected_for_unsupported_subcommand() {
     let out = cli(&["route", "abccc", "2", "1", "2", "0", "3", "--json"]);
     assert!(!out.status.success());
@@ -291,15 +335,16 @@ fn experiments_list_indexes_registry() {
     assert!(out.contains("scale_demo"));
     assert!(out.contains("fib_throughput"));
     assert!(out.contains("scale_frontier"));
+    assert!(out.contains("arena"));
     assert!(out.contains("Figure 11"));
     // One row per registered experiment plus header and trailer.
-    assert_eq!(out.lines().count(), 24, "unexpected index length:\n{out}");
+    assert_eq!(out.lines().count(), 25, "unexpected index length:\n{out}");
 }
 
 #[test]
 fn experiments_run_prints_table_and_artifacts() {
     let dir = std::env::temp_dir().join(format!("abccc_cli_experiments_{}", std::process::id()));
-    let out = stdout(&[
+    let run = cli(&[
         "experiments",
         "run",
         "fig1_diameter",
@@ -308,9 +353,14 @@ fn experiments_run_prints_table_and_artifacts() {
         "--json",
         dir.to_str().expect("utf-8 path"),
     ]);
+    assert!(run.status.success());
+    let out = String::from_utf8(run.stdout).expect("utf-8");
     assert!(out.contains("== Figure 1: diameter"));
     assert!(out.contains("[tiny]"));
-    assert!(out.contains("engine: 1 experiments"));
+    // The engine trailer is provenance (wall clock, worker count) and
+    // goes to stderr so report stdout is thread-count deterministic.
+    assert!(String::from_utf8_lossy(&run.stderr).contains("engine: 1 experiments"));
+    assert!(!out.contains("engine:"));
     assert!(dir.join("fig1_diameter.json").is_file());
     assert!(dir.join("fig1_diameter.manifest.json").is_file());
     std::fs::remove_dir_all(&dir).ok();
@@ -323,6 +373,26 @@ fn fib_compile_reports_table_stats() {
     assert!(out.contains("strategy     destination-aware"));
     assert!(out.contains("layout       dense"));
     assert!(out.contains("servers      24"));
+}
+
+#[test]
+fn fib_accepts_abccc_specs_only() {
+    // The spec form compiles the same table as the positional form
+    // (drop the wall-clock `compile time` line before comparing).
+    let stable = |out: String| -> String {
+        out.lines()
+            .filter(|l| !l.contains("compile time"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        stable(stdout(&["fib", "compile", "abccc:2,2,2"])),
+        stable(stdout(&["fib", "compile", "2", "2", "2"]))
+    );
+    // Digit-indexed FIBs have no meaning on random graphs.
+    let out = cli(&["fib", "compile", "jellyfish:v=8,r=3,seed=7"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires an ABCCC topology"));
 }
 
 #[test]

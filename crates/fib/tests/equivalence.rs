@@ -308,7 +308,7 @@ fn campaign_on_compiled_plane_matches_on_demand_report() {
     use dcn_resilience::{CampaignConfig, RouterSpec, ScenarioKind};
 
     let params = AbcccParams::new(3, 2, 2).expect("params");
-    let config = CampaignConfig::new(params)
+    let config = CampaignConfig::new()
         .scenario(ScenarioKind::Uniform {
             server_rate: 0.06,
             switch_rate: 0.06,

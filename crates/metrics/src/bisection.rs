@@ -80,6 +80,7 @@ pub fn bisection_of<T: Topology + ?Sized>(topo: &T) -> u64 {
 mod tests {
     use super::*;
     use abccc::{Abccc, AbcccParams};
+    use dcn_baselines::prelude::{BCube, BCubeParams, FatTree, FatTreeParams};
     use rand::SeedableRng;
 
     #[test]
@@ -109,14 +110,14 @@ mod tests {
 
     #[test]
     fn bcube_canonical() {
-        let t = dcn_baselines::BCube::new(dcn_baselines::BCubeParams::new(4, 1).unwrap()).unwrap();
+        let t = BCube::new(BCubeParams::new(4, 1).unwrap()).unwrap();
         assert_eq!(exact_bisection_by_id(t.network()), 8); // n^(k+1)/2
     }
 
     #[test]
     fn fattree_full_bisection() {
-        let pt = dcn_baselines::FatTreeParams::new(4).unwrap();
-        let t = dcn_baselines::FatTree::new(pt).unwrap();
+        let pt = FatTreeParams::new(4).unwrap();
+        let t = FatTree::new(pt).unwrap();
         assert_eq!(exact_bisection_by_id(t.network()), pt.bisection_width());
     }
 }

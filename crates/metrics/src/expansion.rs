@@ -9,6 +9,7 @@
 //! grow beyond its radix at all and must be rebuilt.
 
 use crate::CostModel;
+use dcn_baselines::prelude::{BCubeParams, DCellParams, FatTreeParams};
 use serde::{Deserialize, Serialize};
 
 /// The ledger of one family-level expansion step.
@@ -101,11 +102,11 @@ pub fn abccc_radix_histogram(p: &abccc::AbcccParams) -> std::collections::BTreeM
 ///
 /// Propagates parameter-validation failures from the grown configuration.
 pub fn bcube_expansion(
-    from: dcn_baselines::BCubeParams,
+    from: BCubeParams,
     cost: &CostModel,
 ) -> Result<ExpansionLedger, netgraph::NetworkError> {
-    let to = dcn_baselines::BCubeParams::new(from.n(), from.k() + 1)?;
-    let stats = |p: dcn_baselines::BCubeParams| {
+    let to = BCubeParams::new(from.n(), from.k() + 1)?;
+    let stats = |p: BCubeParams| {
         let mut hist = std::collections::BTreeMap::new();
         hist.insert(p.n() as usize, p.switch_count() as usize);
         crate::TopologyStats {
@@ -137,11 +138,11 @@ pub fn bcube_expansion(
 ///
 /// Propagates parameter-validation failures from the grown configuration.
 pub fn dcell_expansion(
-    from: dcn_baselines::DCellParams,
+    from: DCellParams,
     cost: &CostModel,
 ) -> Result<ExpansionLedger, netgraph::NetworkError> {
-    let to = dcn_baselines::DCellParams::new(from.n(), from.k() + 1)?;
-    let stats = |p: &dcn_baselines::DCellParams| {
+    let to = DCellParams::new(from.n(), from.k() + 1)?;
+    let stats = |p: &DCellParams| {
         let mut hist = std::collections::BTreeMap::new();
         hist.insert(p.n() as usize, p.switch_count() as usize);
         crate::TopologyStats {
@@ -174,11 +175,11 @@ pub fn dcell_expansion(
 ///
 /// Propagates parameter-validation failures from the grown configuration.
 pub fn fattree_expansion(
-    from: dcn_baselines::FatTreeParams,
+    from: FatTreeParams,
     to_p: u32,
     cost: &CostModel,
 ) -> Result<ExpansionLedger, netgraph::NetworkError> {
-    let to = dcn_baselines::FatTreeParams::new(to_p)?;
+    let to = FatTreeParams::new(to_p)?;
     // New build: all switches + all cables are new; server NICs reused.
     let new_switches = cost.switch_price(to.p() as usize) * to.switch_count() as f64;
     let new_cables = cost.cable * to.wire_count() as f64;
@@ -210,7 +211,7 @@ mod tests {
     #[test]
     fn bcube_touches_every_server() {
         let cost = CostModel::default();
-        let l = bcube_expansion(dcn_baselines::BCubeParams::new(4, 1).unwrap(), &cost).unwrap();
+        let l = bcube_expansion(BCubeParams::new(4, 1).unwrap(), &cost).unwrap();
         assert_eq!(l.legacy_nics_added, 16);
         assert!((l.legacy_touch_fraction() - 1.0).abs() < 1e-12);
         assert!(!l.legacy_untouched());
@@ -219,14 +220,14 @@ mod tests {
     #[test]
     fn dcell_touches_every_server() {
         let cost = CostModel::default();
-        let l = dcell_expansion(dcn_baselines::DCellParams::new(3, 1).unwrap(), &cost).unwrap();
+        let l = dcell_expansion(DCellParams::new(3, 1).unwrap(), &cost).unwrap();
         assert_eq!(l.legacy_nics_added, 12);
     }
 
     #[test]
     fn fattree_discards_fabric() {
         let cost = CostModel::default();
-        let from = dcn_baselines::FatTreeParams::new(4).unwrap();
+        let from = FatTreeParams::new(4).unwrap();
         let l = fattree_expansion(from, 6, &cost).unwrap();
         assert_eq!(l.legacy_switches_discarded, from.switch_count());
         assert_eq!(l.legacy_cables_rewired, from.wire_count());

@@ -170,6 +170,7 @@ pub fn routing_quality<T: Topology + ?Sized>(
 mod tests {
     use super::*;
     use abccc::{Abccc, AbcccParams};
+    use dcn_baselines::prelude::{DCell, DCellParams, FatTree, FatTreeParams};
     use rand::SeedableRng;
 
     #[test]
@@ -193,8 +194,7 @@ mod tests {
         let s = TopologyStats::quick(&t);
         // Server-centric: every cable has exactly one server end.
         assert_eq!(s.server_ports_in_use(), s.wires);
-        let ft =
-            dcn_baselines::FatTree::new(dcn_baselines::FatTreeParams::new(4).unwrap()).unwrap();
+        let ft = FatTree::new(FatTreeParams::new(4).unwrap()).unwrap();
         let fs = TopologyStats::quick(&ft);
         // Fat-tree: only the bottom tier touches servers.
         assert_eq!(fs.server_ports_in_use(), fs.servers);
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn routing_quality_dcell_stretch_bounded() {
-        let t = dcn_baselines::DCell::new(dcn_baselines::DCellParams::new(3, 2).unwrap()).unwrap();
+        let t = DCell::new(DCellParams::new(3, 2).unwrap()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let q = routing_quality(&t, 64, &mut rng);
         assert!(q.mean_stretch >= 1.0);

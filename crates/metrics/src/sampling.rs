@@ -108,6 +108,7 @@ pub fn double_sweep_diameter<T: Topology + ?Sized>(
 mod tests {
     use super::*;
     use abccc::{Abccc, AbcccParams};
+    use dcn_baselines::prelude::{DCell, DCellParams};
     use rand::SeedableRng;
 
     #[test]
@@ -135,7 +136,7 @@ mod tests {
 
     #[test]
     fn double_sweep_is_a_lower_bound_on_dcell() {
-        let t = dcn_baselines::DCell::new(dcn_baselines::DCellParams::new(3, 2).unwrap()).unwrap();
+        let t = DCell::new(DCellParams::new(3, 2).unwrap()).unwrap();
         let exact = netgraph::bfs::server_diameter(netgraph::Topology::network(&t)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let bound = double_sweep_diameter(&t, 3, &mut rng);

@@ -3,7 +3,7 @@
 //! second for the average path length) on the concrete paper topologies.
 
 use abccc::{Abccc, AbcccParams};
-use dcn_baselines::{BCube, BCubeParams, Bccc, BcccParams};
+use dcn_baselines::prelude::{BCube, BCubeParams, Bccc, BcccParams};
 use dcn_metrics::TopologyStats;
 use netgraph::{Network, NodeId, Topology};
 

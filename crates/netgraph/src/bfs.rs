@@ -134,6 +134,60 @@ pub fn shortest_path(
     Some(path)
 }
 
+/// Shortest path in **link hops** (plain BFS) from `src` to `dst` as the
+/// full node sequence, or `None` if unreachable.
+///
+/// Unlike [`shortest_path`], which minimizes server hops and is therefore
+/// free to meander through switches, this minimizes the number of physical
+/// cables traversed — the metric of switch-centric and random-graph
+/// topologies (fat-tree, Jellyfish, Space Shuffle) where every inter-server
+/// path costs the same single server hop.
+pub fn link_shortest_path(
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    mask: Option<&FaultMask>,
+) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    if let Some(m) = mask {
+        if !m.node_alive(src) {
+            return None;
+        }
+    }
+    let mut dist = vec![UNREACHABLE; net.node_count()];
+    let mut parent = vec![NodeId(u32::MAX); net.node_count()];
+    dist[src.index()] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    'outer: while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for &(v, l) in net.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE && usable(mask, u, v, l) {
+                dist[v.index()] = du + 1;
+                parent[v.index()] = u;
+                if v == dst {
+                    break 'outer;
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    if dist[dst.index()] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur.index()];
+        debug_assert_ne!(cur.0, u32::MAX, "broken parent chain");
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
 /// The eccentricity (max server-hop distance to any *reachable* server) of
 /// server `src`. Returns `None` if some server is unreachable.
 pub fn server_eccentricity(net: &Network, src: NodeId) -> Option<u32> {
@@ -224,6 +278,23 @@ mod tests {
         let r = crate::Route::new(p);
         assert_eq!(r.server_hops(&net), 2);
         r.validate(&net, None).unwrap();
+    }
+
+    #[test]
+    fn link_shortest_path_minimizes_cables() {
+        let (net, n) = dumbbell();
+        let p = link_shortest_path(&net, n[0], n[3], None).unwrap();
+        assert_eq!(p, vec![n[0], n[5], n[2], n[6], n[3]]);
+        assert_eq!(
+            p.len() - 1,
+            link_distances(&net, n[0], None)[n[3].index()] as usize
+        );
+        assert_eq!(link_shortest_path(&net, n[0], n[0], None), Some(vec![n[0]]));
+        let mut mask = crate::FaultMask::new(&net);
+        mask.fail_node(n[2]);
+        assert_eq!(link_shortest_path(&net, n[0], n[3], Some(&mask)), None);
+        mask.fail_node(n[0]);
+        assert_eq!(link_shortest_path(&net, n[0], n[1], Some(&mask)), None);
     }
 
     #[test]

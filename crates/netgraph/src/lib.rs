@@ -61,5 +61,5 @@ pub use distance::{AllPairsStats, BfsScratch, DistanceEngine, SourceStats};
 pub use error::{NetworkError, RouteError};
 pub use fault::FaultMask;
 pub use graph::{Link, LinkId, Network, NodeId, NodeKind};
-pub use route::{Route, Topology};
+pub use route::{AsAny, Route, Topology};
 pub use scenario::FaultScenario;

@@ -122,6 +122,21 @@ impl Route {
     }
 }
 
+/// Object-safe upcast to [`std::any::Any`], so consumers holding a
+/// `&dyn Topology` can recover the concrete family (e.g. to reach
+/// cube-specific accessors). Blanket-implemented for every `'static` type;
+/// implementors never write this by hand.
+pub trait AsAny {
+    /// `self` as `&dyn Any`, for downcasting.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl<T: std::any::Any> AsAny for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 /// The interface every network family (ABCCC, BCCC, BCube, DCell, fat-tree,
 /// …) implements, so metrics and simulators are family-agnostic.
 ///
@@ -129,7 +144,7 @@ impl Route {
 /// network first (ids `0..server_count`), and `route` uses the family's
 /// *native* routing algorithm (not generic shortest path) so that simulator
 /// results reflect the algorithms the papers propose.
-pub trait Topology {
+pub trait Topology: AsAny {
     /// Human-readable family name with parameters, e.g. `"ABCCC(4,2,3)"`.
     fn name(&self) -> String;
 

@@ -3,11 +3,11 @@
 use crate::report::{CampaignReport, TierCounts, TrialReport};
 use crate::{mix_seed, ScenarioKind};
 use abccc::{
-    routing, Abccc, AbcccParams, CubeLabel, DigitRouter, PermStrategy, ResilientRouter,
-    RetryBudget, Router, ServerAddr, VlbRouter,
+    routing, Abccc, CubeLabel, DigitRouter, PermStrategy, ResilientRouter, RetryBudget, RouteTier,
+    Router, ServerAddr, VlbRouter,
 };
 use flowsim::{max_min_allocation, DirectedLink};
-use netgraph::{FaultMask, NetworkError, NodeId, Route, RouteError, Topology};
+use netgraph::{FaultMask, Network, NetworkError, NodeId, Route, RouteError, Topology};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,15 +54,19 @@ pub enum PairSampling {
 }
 
 /// A configured, runnable fault campaign. Construct with
-/// [`CampaignConfig::new`], chain the builder methods, then [`run`]
-/// (or [`run_on`] to reuse an existing topology).
+/// [`CampaignConfig::new`], chain the builder methods, then hand any
+/// materialized [`Topology`] to [`run_on`].
 ///
-/// [`run`]: CampaignConfig::run
+/// The campaign is topology-agnostic: on an [`Abccc`] instance it drives
+/// the configured [`RouterSpec`] control plane (escalation tiers, retry
+/// accounting — exactly the historical behavior); on any other family it
+/// drives the family's **native plane**, `Topology::route_avoiding`, so
+/// Jellyfish, Space Shuffle and the rest degrade under the same seeded
+/// scenarios without family-specific code here.
+///
 /// [`run_on`]: CampaignConfig::run_on
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
-    /// Topology parameters the campaign materializes.
-    pub params: AbcccParams,
     /// What breaks per trial.
     pub scenario: ScenarioKind,
     /// Which router carries the traffic.
@@ -79,13 +83,18 @@ pub struct CampaignConfig {
     pub measure_throughput: bool,
 }
 
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl CampaignConfig {
-    /// A default campaign over `params`: 5% uniform server+switch faults,
-    /// the resilient router with its default budget, 64 random pairs per
-    /// trial, 8 trials, seed 0, throughput measured.
-    pub fn new(params: AbcccParams) -> Self {
+    /// A default campaign: 5% uniform server+switch faults, the resilient
+    /// router with its default budget, 64 random pairs per trial, 8
+    /// trials, seed 0, throughput measured.
+    pub fn new() -> Self {
         CampaignConfig {
-            params,
             scenario: ScenarioKind::Uniform {
                 server_rate: 0.05,
                 switch_rate: 0.05,
@@ -180,32 +189,26 @@ impl CampaignConfig {
                 .into());
             }
         }
-        self.scenario
-            .validate(&self.params)
-            .map_err(RouteError::from)
+        Ok(())
     }
 
-    /// Materializes the topology and runs the campaign.
+    /// Runs the campaign over an already-materialized topology of any
+    /// family. ABCCC instances get the configured [`RouterSpec`] control
+    /// plane; every other family is driven through its native
+    /// [`Topology::route_avoiding`] plane.
     ///
     /// # Errors
     ///
-    /// * [`RouteError::Network`] — invalid configuration, or the topology
-    ///   failed to materialize (size guard, bad parameters);
+    /// * [`RouteError::Network`] — invalid configuration, a cube-only
+    ///   scenario or convergent sampling on a non-ABCCC topology;
     /// * [`RouteError::NotAServer`] — cannot happen from campaign-sampled
     ///   pairs, but propagated defensively.
-    pub fn run(&self) -> Result<CampaignReport, RouteError> {
-        let topo = Abccc::new(self.params)?;
-        self.run_on(&topo)
-    }
-
-    /// Runs the campaign over an already-materialized topology (which must
-    /// match `self.params`).
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`CampaignConfig::run`].
-    pub fn run_on(&self, topo: &Abccc) -> Result<CampaignReport, RouteError> {
-        self.run_with(topo, &|| self.router.build())
+    pub fn run_on(&self, topo: &(dyn Topology + Sync)) -> Result<CampaignReport, RouteError> {
+        if let Some(cube) = topo.as_any().downcast_ref::<Abccc>() {
+            self.run_with(cube, &|| self.router.build())
+        } else {
+            self.run_campaign(&Plane::Native { topo })
+        }
     }
 
     /// Runs the campaign with routers produced by an external factory
@@ -219,13 +222,28 @@ impl CampaignConfig {
     ///
     /// # Errors
     ///
-    /// Same contract as [`CampaignConfig::run`].
+    /// Same contract as [`CampaignConfig::run_on`].
     pub fn run_with(
         &self,
         topo: &Abccc,
         router: &(dyn Fn() -> Box<dyn Router> + Sync),
     ) -> Result<CampaignReport, RouteError> {
+        self.run_campaign(&Plane::Abccc { topo, router })
+    }
+
+    fn run_campaign(&self, plane: &Plane<'_>) -> Result<CampaignReport, RouteError> {
         self.validate()?;
+        self.scenario.validate_for(plane.topology())?;
+        if matches!(plane, Plane::Native { .. }) && self.pairs == PairSampling::Convergent {
+            return Err(NetworkError::InvalidParameter {
+                name: "pairs",
+                reason: format!(
+                    "convergent sampling needs ABCCC cube labels; {} has none",
+                    plane.topology().name()
+                ),
+            }
+            .into());
+        }
         let _span = dcn_telemetry::span!("resilience.campaign");
         dcn_telemetry::counter!("resilience.campaigns").inc();
         let threads = if self.threads == 0 {
@@ -242,13 +260,23 @@ impl CampaignConfig {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let router = router();
+                    let router = match plane {
+                        Plane::Abccc { router, .. } => Some(router()),
+                        Plane::Native { .. } => None,
+                    };
                     loop {
                         let trial = next.fetch_add(1, Ordering::Relaxed);
                         if trial >= self.trials {
                             break;
                         }
-                        match run_trial(self, topo, router.as_ref(), trial) {
+                        let result = match plane {
+                            Plane::Abccc { topo, .. } => {
+                                let router = router.as_deref().expect("abccc plane router");
+                                run_trial(self, topo, router, trial)
+                            }
+                            Plane::Native { topo } => run_trial_native(self, *topo, trial),
+                        };
+                        match result {
                             Ok(report) => {
                                 slots.lock().expect("trial slots")[trial] = Some(report);
                             }
@@ -272,25 +300,53 @@ impl CampaignConfig {
             .collect();
         dcn_telemetry::counter!("resilience.trials").add(trials.len() as u64);
         Ok(CampaignReport::summarize(
-            topo.name(),
+            plane.topology().name(),
             self.scenario.label().to_string(),
-            router().name(),
+            plane.router_name(),
             self.seed,
             trials,
         ))
     }
 }
 
+/// Which routing plane a campaign drives over its topology.
+enum Plane<'a> {
+    /// The ABCCC control plane: a [`RouterSpec`]/factory-built [`Router`]
+    /// with escalation tiers and retry accounting.
+    Abccc {
+        topo: &'a Abccc,
+        router: &'a (dyn Fn() -> Box<dyn Router> + Sync),
+    },
+    /// Any other family: its native fault-avoiding routing,
+    /// [`Topology::route_avoiding`].
+    Native { topo: &'a (dyn Topology + Sync) },
+}
+
+impl Plane<'_> {
+    fn topology(&self) -> &dyn Topology {
+        match self {
+            Plane::Abccc { topo, .. } => *topo,
+            Plane::Native { topo } => *topo,
+        }
+    }
+
+    fn router_name(&self) -> String {
+        match self {
+            Plane::Abccc { router, .. } => router().name(),
+            Plane::Native { .. } => "native".to_string(),
+        }
+    }
+}
+
 /// Samples the pairs for one time step. Returns `(pairs, skipped)` where
 /// `skipped` counts draws dropped because an endpoint was down.
 fn sample_pairs(
-    topo: &Abccc,
+    topo: &dyn Topology,
     mask: &FaultMask,
     sampling: PairSampling,
     seed: u64,
 ) -> (Vec<(NodeId, NodeId)>, usize) {
-    let p = topo.params();
-    let n = p.server_count();
+    let n = topo.server_count() as u64;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut skipped = 0usize;
     let mut out = Vec::new();
@@ -328,6 +384,11 @@ fn sample_pairs(
             );
         }
         PairSampling::Convergent => {
+            let p = topo
+                .as_any()
+                .downcast_ref::<Abccc>()
+                .expect("convergent sampling validated for an ABCCC topology")
+                .params();
             for raw in 0..p.label_space() {
                 let label = CubeLabel(raw);
                 let d0 = label.digit(p, 0);
@@ -348,11 +409,10 @@ fn sample_pairs(
 }
 
 /// Σ of the finite max-min rates of `routes`, plus the worst finite rate.
-fn allocate(topo: &Abccc, routes: &[Route]) -> (f64, f64) {
+fn allocate(net: &Network, routes: &[Route]) -> (f64, f64) {
     if routes.is_empty() {
         return (0.0, 0.0);
     }
-    let net = topo.network();
     let flows: Vec<Vec<DirectedLink>> = routes
         .iter()
         .map(|r| DirectedLink::of_route(net, r))
@@ -440,8 +500,8 @@ fn run_trial(
             }
         }
         if config.measure_throughput {
-            let (agg, min) = allocate(topo, &survivors);
-            let (base_agg, _) = allocate(topo, &baseline);
+            let (agg, min) = allocate(net, &survivors);
+            let (base_agg, _) = allocate(net, &baseline);
             aggregate += agg / steps as f64;
             min_rate += min / steps as f64;
             retention += if base_agg == 0.0 { 1.0 } else { agg / base_agg } / steps as f64;
@@ -492,27 +552,158 @@ fn run_trial(
     })
 }
 
+/// One trial on the native plane: the family's own fault-avoiding routing,
+/// one attempt per pair. Hops and stretch are measured in link hops against
+/// the family's fault-free route (the closed-form distance the ABCCC plane
+/// uses has no analogue here); every completed route counts as tier
+/// `Primary` with one attempt and no backoff.
+fn run_trial_native(
+    config: &CampaignConfig,
+    topo: &dyn Topology,
+    trial: usize,
+) -> Result<TrialReport, RouteError> {
+    let _span = dcn_telemetry::span!("resilience.trial");
+    let _trial_timer = dcn_telemetry::histogram!("resilience.trial_ns").start_timer();
+    let net = topo.network();
+    let trial_seed = mix_seed(config.seed, trial as u64);
+    let steps = config.scenario.steps();
+
+    let mut failed_nodes = 0.0;
+    let mut failed_links = 0.0;
+    let mut connectivity = 0.0;
+    let mut pairs_total = 0usize;
+    let mut skipped = 0usize;
+    let mut routed = 0usize;
+    let mut unreachable = 0usize;
+    let mut gave_up = 0usize;
+    let mut tiers = TierCounts::default();
+    let mut attempts_total = 0u64;
+    let mut stretch_sum = 0.0f64;
+    let mut max_stretch = 0.0f64;
+    let mut hops_sum = 0u64;
+    let mut aggregate = 0.0f64;
+    let mut min_rate = 0.0f64;
+    let mut retention = 0.0f64;
+
+    for step in 0..steps {
+        let mask = config.scenario.mask_for(topo, trial_seed, step);
+        failed_nodes += mask.failed_node_count() as f64 / steps as f64;
+        failed_links += mask.failed_link_count() as f64 / steps as f64;
+        connectivity += netgraph::connectivity::largest_component_server_fraction(net, Some(&mask))
+            / steps as f64;
+
+        let pair_seed = mix_seed(trial_seed, 0x5EED_0000 + step as u64);
+        let (pairs, step_skipped) = sample_pairs(topo, &mask, config.pairs, pair_seed);
+        pairs_total += pairs.len() + step_skipped;
+        skipped += step_skipped;
+
+        let mut survivors: Vec<Route> = Vec::with_capacity(pairs.len());
+        let mut baseline: Vec<Route> = Vec::with_capacity(pairs.len());
+        for &(s, d) in &pairs {
+            match topo.route_avoiding(s, d, &mask) {
+                Ok(route) => {
+                    routed += 1;
+                    tiers.record(RouteTier::Primary);
+                    attempts_total += 1;
+                    let hops = route.link_hops() as u64;
+                    hops_sum += hops;
+                    let fault_free = topo.route(s, d)?;
+                    let free_hops = fault_free.link_hops();
+                    let stretch = if free_hops == 0 {
+                        1.0
+                    } else {
+                        hops as f64 / free_hops as f64
+                    };
+                    stretch_sum += stretch;
+                    max_stretch = max_stretch.max(stretch);
+                    if config.measure_throughput {
+                        survivors.push(route);
+                        baseline.push(fault_free);
+                    }
+                }
+                Err(RouteError::Unreachable { .. }) => unreachable += 1,
+                Err(RouteError::GaveUp { .. }) => gave_up += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        if config.measure_throughput {
+            let (agg, min) = allocate(net, &survivors);
+            let (base_agg, _) = allocate(net, &baseline);
+            aggregate += agg / steps as f64;
+            min_rate += min / steps as f64;
+            retention += if base_agg == 0.0 { 1.0 } else { agg / base_agg } / steps as f64;
+        } else {
+            retention += 1.0 / steps as f64;
+        }
+    }
+
+    dcn_telemetry::counter!("resilience.pairs_routed").add(routed as u64);
+    dcn_telemetry::counter!("resilience.pairs_unroutable").add((unreachable + gave_up) as u64);
+    dcn_telemetry::histogram!("resilience.trial_attempts").record(attempts_total);
+
+    let decided = routed + unreachable + gave_up;
+    Ok(TrialReport {
+        trial,
+        seed: trial_seed,
+        steps,
+        failed_nodes,
+        failed_links,
+        connectivity_fraction: connectivity,
+        pairs_total,
+        pairs_skipped_endpoint: skipped,
+        routed,
+        unreachable,
+        gave_up,
+        route_completion: if decided == 0 {
+            1.0
+        } else {
+            routed as f64 / decided as f64
+        },
+        mean_stretch: if routed == 0 {
+            0.0
+        } else {
+            stretch_sum / routed as f64
+        },
+        max_stretch,
+        mean_hops: if routed == 0 {
+            0.0
+        } else {
+            hops_sum as f64 / routed as f64
+        },
+        aggregate_rate: aggregate,
+        min_rate,
+        throughput_retention: retention,
+        tier_counts: tiers,
+        attempts_total,
+        backoff_units_total: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abccc::AbcccParams;
+    use dcn_baselines::prelude::*;
+
+    fn cube() -> Abccc {
+        Abccc::new(AbcccParams::new(3, 2, 2).unwrap()).unwrap()
+    }
 
     fn base() -> CampaignConfig {
-        CampaignConfig::new(AbcccParams::new(3, 2, 2).unwrap())
-            .trials(3)
-            .pairs_per_trial(24)
-            .seed(11)
+        CampaignConfig::new().trials(3).pairs_per_trial(24).seed(11)
     }
 
     #[test]
     fn reports_are_thread_count_independent() {
-        let serial = base().threads(1).run().unwrap();
-        let parallel = base().threads(4).run().unwrap();
+        let t = cube();
+        let serial = base().threads(1).run_on(&t).unwrap();
+        let parallel = base().threads(4).run_on(&t).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn zero_trials_is_invalid() {
-        let e = base().trials(0).run().unwrap_err();
+        let e = base().trials(0).run_on(&cube()).unwrap_err();
         assert!(matches!(e, RouteError::Network(_)), "{e}");
     }
 
@@ -521,7 +712,7 @@ mod tests {
         let report = base()
             .router(RouterSpec::Digit(PermStrategy::DestinationAware))
             .measure_throughput(false)
-            .run()
+            .run_on(&cube())
             .unwrap();
         // A fault-oblivious router never escalates.
         assert_eq!(report.summary.tier_counts.deterministic, 0);
@@ -531,13 +722,12 @@ mod tests {
 
     #[test]
     fn level_outage_caps_connectivity_at_one_over_n() {
-        let p = AbcccParams::new(3, 2, 2).unwrap();
-        let report = CampaignConfig::new(p)
+        let report = CampaignConfig::new()
             .scenario(ScenarioKind::LevelSwitches { level: 0 })
             .trials(2)
             .pairs_per_trial(16)
             .measure_throughput(false)
-            .run()
+            .run_on(&cube())
             .unwrap();
         let expect = 1.0 / 3.0;
         for t in &report.trials {
@@ -554,7 +744,7 @@ mod tests {
                 steps: 3,
             })
             .measure_throughput(false)
-            .run()
+            .run_on(&cube())
             .unwrap();
         for t in &report.trials {
             assert_eq!(t.steps, 3);
@@ -573,5 +763,42 @@ mod tests {
             pairs.len() as u64,
             p.label_space() * u64::from(p.group_size())
         );
+    }
+
+    #[test]
+    fn native_plane_reports_are_thread_count_independent() {
+        let t = Jellyfish::new(JellyfishParams::new(10, 3, 1, 7).unwrap()).unwrap();
+        let serial = base().threads(1).run_on(&t).unwrap();
+        let parallel = base().threads(4).run_on(&t).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.router, "native");
+        assert_eq!(serial.topology, t.name());
+        assert!(serial.summary.routed > 0);
+        // Every completed native route is a single primary attempt.
+        assert_eq!(serial.summary.tier_counts.primary, serial.summary.routed);
+        assert_eq!(serial.summary.attempts_total, serial.summary.routed);
+    }
+
+    #[test]
+    fn native_plane_runs_space_shuffle_under_faults() {
+        let t = SpaceShuffle::new(SpaceShuffleParams::new(8, 2, 1, 7).unwrap()).unwrap();
+        let report = base().measure_throughput(false).run_on(&t).unwrap();
+        assert!(report.summary.route_completion > 0.0);
+        assert!(report.summary.mean_stretch >= 1.0 || report.summary.routed == 0);
+    }
+
+    #[test]
+    fn native_plane_rejects_cube_only_configuration() {
+        let t = Jellyfish::new(JellyfishParams::new(8, 3, 1, 7).unwrap()).unwrap();
+        let cube_scenario = base()
+            .scenario(ScenarioKind::CrossbarGroups { groups: 1 })
+            .run_on(&t)
+            .unwrap_err();
+        assert!(matches!(cube_scenario, RouteError::Network(_)));
+        let convergent = base()
+            .sampling(PairSampling::Convergent)
+            .run_on(&t)
+            .unwrap_err();
+        assert!(matches!(convergent, RouteError::Network(_)));
     }
 }

@@ -19,12 +19,20 @@
 //! on the campaign seed — per-trial RNG streams are derived by index, so
 //! reports are byte-identical across runs and thread counts.
 //!
+//! Campaigns are topology-agnostic: hand [`CampaignConfig::run_on`] any
+//! materialized [`Topology`](netgraph::Topology). An ABCCC instance is
+//! driven through the configured router control plane (escalation tiers,
+//! retry accounting); any other family — Jellyfish, Space Shuffle, the
+//! trees and cubes of `dcn-baselines` — is driven through its native
+//! fault-avoiding `route_avoiding` plane under the same seeded scenarios.
+//!
 //! ```
-//! use abccc::AbcccParams;
+//! use abccc::{Abccc, AbcccParams};
 //! use dcn_resilience::{CampaignConfig, ScenarioKind};
 //!
 //! # fn main() -> Result<(), netgraph::RouteError> {
-//! let report = CampaignConfig::new(AbcccParams::new(3, 2, 2)?)
+//! let topo = Abccc::new(AbcccParams::new(3, 2, 2)?)?;
+//! let report = CampaignConfig::new()
 //!     .scenario(ScenarioKind::Uniform {
 //!         server_rate: 0.05,
 //!         switch_rate: 0.05,
@@ -33,7 +41,7 @@
 //!     .trials(4)
 //!     .pairs_per_trial(32)
 //!     .seed(7)
-//!     .run()?;
+//!     .run_on(&topo)?;
 //! assert_eq!(report.trials.len(), 4);
 //! assert!(report.summary.route_completion > 0.0);
 //! # Ok(())

@@ -1,7 +1,7 @@
 //! Campaign fault scenarios: what breaks, per trial.
 
 use crate::mix_seed;
-use abccc::{Abccc, AbcccParams};
+use abccc::Abccc;
 use netgraph::{FaultMask, FaultScenario, NetworkError, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -66,13 +66,25 @@ impl ScenarioKind {
         }
     }
 
-    /// Checks rates and ranges against a parameterization.
+    /// Whether the scenario needs ABCCC cube structure (crossbar groups,
+    /// level switches) rather than plain element populations.
+    pub fn needs_cube(&self) -> bool {
+        matches!(
+            self,
+            ScenarioKind::CrossbarGroups { .. } | ScenarioKind::LevelSwitches { .. }
+        )
+    }
+
+    /// Checks rates and ranges against the topology the campaign will run
+    /// on. Element-population scenarios (uniform, flapping) accept any
+    /// [`Topology`]; the cube-structured scenarios (crossbar groups, level
+    /// switches) require an ABCCC instance.
     ///
     /// # Errors
     ///
     /// Returns [`NetworkError::InvalidParameter`] describing the first
-    /// malformed field.
-    pub fn validate(&self, p: &AbcccParams) -> Result<(), NetworkError> {
+    /// malformed field, or the scenario/topology mismatch.
+    pub fn validate_for(&self, topo: &dyn Topology) -> Result<(), NetworkError> {
         let frac = |name: &'static str, v: f64| {
             if (0.0..=1.0).contains(&v) {
                 Ok(())
@@ -82,6 +94,18 @@ impl ScenarioKind {
                     reason: format!("must be in [0,1], got {v}"),
                 })
             }
+        };
+        let cube = || {
+            topo.as_any()
+                .downcast_ref::<Abccc>()
+                .ok_or_else(|| NetworkError::InvalidParameter {
+                    name: "scenario",
+                    reason: format!(
+                        "{} requires an ABCCC topology, got {}",
+                        self.label(),
+                        topo.name()
+                    ),
+                })
         };
         match *self {
             ScenarioKind::Uniform {
@@ -94,6 +118,7 @@ impl ScenarioKind {
                 frac("link_rate", link_rate)
             }
             ScenarioKind::CrossbarGroups { groups } => {
+                let p = cube()?.params();
                 if groups as u64 > p.label_space() {
                     return Err(NetworkError::InvalidParameter {
                         name: "groups",
@@ -107,6 +132,7 @@ impl ScenarioKind {
                 Ok(())
             }
             ScenarioKind::LevelSwitches { level } => {
+                let p = cube()?.params();
                 if level > p.k() {
                     return Err(NetworkError::InvalidParameter {
                         name: "level",
@@ -129,10 +155,16 @@ impl ScenarioKind {
     }
 
     /// Materializes the mask for time step `step` of the trial whose
-    /// derived seed is `trial_seed`.
-    pub(crate) fn mask_for(&self, topo: &Abccc, trial_seed: u64, step: usize) -> FaultMask {
+    /// derived seed is `trial_seed`. Cube-structured scenarios must have
+    /// passed [`ScenarioKind::validate_for`] first.
+    pub(crate) fn mask_for(&self, topo: &dyn Topology, trial_seed: u64, step: usize) -> FaultMask {
         let net = topo.network();
         let seed = mix_seed(trial_seed, step as u64);
+        let cube = || {
+            topo.as_any()
+                .downcast_ref::<Abccc>()
+                .expect("cube scenario validated for an ABCCC topology")
+        };
         match *self {
             ScenarioKind::Uniform {
                 server_rate,
@@ -146,10 +178,10 @@ impl ScenarioKind {
             ScenarioKind::CrossbarGroups { groups } => {
                 use rand::SeedableRng;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                dcn_workloads::correlated::fail_abccc_groups(topo.params(), net, groups, &mut rng)
+                dcn_workloads::correlated::fail_abccc_groups(cube().params(), net, groups, &mut rng)
             }
             ScenarioKind::LevelSwitches { level } => {
-                dcn_workloads::correlated::fail_abccc_level(topo.params(), net, level)
+                dcn_workloads::correlated::fail_abccc_level(cube().params(), net, level)
             }
             ScenarioKind::FlappingLinks { rate, .. } => {
                 FaultScenario::seeded(seed).fail_links_frac(rate).build(net)
@@ -161,6 +193,7 @@ impl ScenarioKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abccc::AbcccParams;
 
     fn topo() -> Abccc {
         Abccc::new(AbcccParams::new(3, 2, 2).unwrap()).unwrap()
@@ -195,28 +228,54 @@ mod tests {
 
     #[test]
     fn validate_rejects_malformed_fields() {
-        let p = AbcccParams::new(3, 2, 2).unwrap();
+        let t = topo();
         assert!(ScenarioKind::Uniform {
             server_rate: 1.5,
             switch_rate: 0.0,
             link_rate: 0.0,
         }
-        .validate(&p)
+        .validate_for(&t)
         .is_err());
         assert!(ScenarioKind::LevelSwitches { level: 9 }
-            .validate(&p)
+            .validate_for(&t)
             .is_err());
         assert!(ScenarioKind::FlappingLinks {
             rate: 0.1,
             steps: 0
         }
-        .validate(&p)
+        .validate_for(&t)
         .is_err());
         assert!(ScenarioKind::CrossbarGroups { groups: 1_000_000 }
-            .validate(&p)
+            .validate_for(&t)
             .is_err());
         assert!(ScenarioKind::CrossbarGroups { groups: 2 }
-            .validate(&p)
+            .validate_for(&t)
             .is_ok());
+    }
+
+    #[test]
+    fn cube_scenarios_reject_non_cube_topologies() {
+        use dcn_baselines::prelude::*;
+        let t = Jellyfish::new(JellyfishParams::new(8, 3, 1, 7).unwrap()).unwrap();
+        assert!(ScenarioKind::CrossbarGroups { groups: 1 }
+            .validate_for(&t)
+            .is_err());
+        assert!(ScenarioKind::LevelSwitches { level: 0 }
+            .validate_for(&t)
+            .is_err());
+        assert!(ScenarioKind::Uniform {
+            server_rate: 0.1,
+            switch_rate: 0.1,
+            link_rate: 0.0,
+        }
+        .validate_for(&t)
+        .is_ok());
+        assert!(!ScenarioKind::Uniform {
+            server_rate: 0.1,
+            switch_rate: 0.1,
+            link_rate: 0.0,
+        }
+        .needs_cube());
+        assert!(ScenarioKind::LevelSwitches { level: 0 }.needs_cube());
     }
 }

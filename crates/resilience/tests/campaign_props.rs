@@ -1,12 +1,16 @@
 //! Campaign-engine invariants: seed determinism and the zero-fault
 //! oracle.
 
-use abccc::{AbcccParams, PermStrategy, RetryBudget, RouteTier};
+use abccc::{Abccc, AbcccParams, PermStrategy, RetryBudget, RouteTier};
 use dcn_resilience::{CampaignConfig, PairSampling, RouterSpec, ScenarioKind};
 use proptest::prelude::*;
 
+fn cube() -> Abccc {
+    Abccc::new(AbcccParams::new(3, 2, 2).expect("params")).expect("topology")
+}
+
 fn config(seed: u64, rate_milli: u64, router: RouterSpec) -> CampaignConfig {
-    CampaignConfig::new(AbcccParams::new(3, 2, 2).expect("params"))
+    CampaignConfig::new()
         .scenario(ScenarioKind::Uniform {
             server_rate: rate_milli as f64 / 1000.0,
             switch_rate: rate_milli as f64 / 1000.0,
@@ -32,11 +36,11 @@ proptest! {
     ) {
         let a = config(seed, rate_milli, RouterSpec::Resilient(RetryBudget::default()))
             .threads(1)
-            .run()
+            .run_on(&cube())
             .expect("campaign");
         let b = config(seed, rate_milli, RouterSpec::Resilient(RetryBudget::default()))
             .threads(threads)
-            .run()
+            .run_on(&cube())
             .expect("campaign");
         prop_assert_eq!(&a, &b);
         let ja = serde_json::to_string_pretty(&a).expect("serialize");
@@ -53,8 +57,8 @@ proptest! {
             RouterSpec::Digit(PermStrategy::DestinationAware),
             RouterSpec::Vlb { seed: 5 },
         ][which];
-        let a = config(seed, 80, router).measure_throughput(false).run().expect("campaign");
-        let b = config(seed, 80, router).measure_throughput(false).run().expect("campaign");
+        let a = config(seed, 80, router).measure_throughput(false).run_on(&cube()).expect("campaign");
+        let b = config(seed, 80, router).measure_throughput(false).run_on(&cube()).expect("campaign");
         prop_assert_eq!(a, b);
     }
 }
@@ -65,7 +69,7 @@ proptest! {
 /// attempt and no backoff.
 #[test]
 fn zero_fault_rate_matches_fault_free_baseline_exactly() {
-    let report = CampaignConfig::new(AbcccParams::new(3, 2, 2).expect("params"))
+    let report = CampaignConfig::new()
         .scenario(ScenarioKind::Uniform {
             server_rate: 0.0,
             switch_rate: 0.0,
@@ -74,7 +78,7 @@ fn zero_fault_rate_matches_fault_free_baseline_exactly() {
         .trials(4)
         .pairs_per_trial(32)
         .seed(99)
-        .run()
+        .run_on(&cube())
         .expect("campaign");
     for t in &report.trials {
         assert_eq!(t.failed_nodes, 0.0);
@@ -101,7 +105,7 @@ fn zero_fault_rate_matches_fault_free_baseline_exactly() {
 /// primary-tier outcomes (it never escalates).
 #[test]
 fn convergent_vlb_campaign_reports_primary_only() {
-    let report = CampaignConfig::new(AbcccParams::new(3, 2, 2).expect("params"))
+    let report = CampaignConfig::new()
         .scenario(ScenarioKind::Uniform {
             server_rate: 0.05,
             switch_rate: 0.0,
@@ -112,7 +116,7 @@ fn convergent_vlb_campaign_reports_primary_only() {
         .trials(2)
         .measure_throughput(false)
         .seed(4)
-        .run()
+        .run_on(&cube())
         .expect("campaign");
     let tiers = &report.summary.tier_counts;
     assert_eq!(tiers.total(), tiers.primary);

@@ -54,8 +54,42 @@ for rows in "$EXP_A"/*.json; do
   fi
 done
 count="$(ls "$EXP_A"/*.json | grep -cv '\.manifest\.json$')"
-if [ "$count" -ne 22 ]; then
-  echo "FAIL: expected 22 rows artifacts, found $count" >&2
+if [ "$count" -ne 23 ]; then
+  echo "FAIL: expected 23 rows artifacts, found $count" >&2
+  exit 1
+fi
+
+echo "== arena gate (7-family report, 1-vs-4-thread determinism, jellyfish digest)"
+ARENA_A="$(mktemp -d)"
+ARENA_B="$(mktemp -d)"
+trap 'rm -rf "$EXP_A" "$EXP_B" "$ARENA_A" "$ARENA_B"' EXIT
+"$CLI" experiments run arena --preset tiny --threads 1 --json "$ARENA_A" >"$ARENA_A/stdout.txt" 2>/dev/null
+"$CLI" experiments run arena --preset tiny --threads 4 --json "$ARENA_B" >"$ARENA_B/stdout.txt" 2>/dev/null
+if ! cmp -s "$ARENA_A/stdout.txt" "$ARENA_B/stdout.txt"; then
+  echo "FAIL: arena stdout differs between 1 and 4 worker threads" >&2
+  exit 1
+fi
+if ! cmp -s "$ARENA_A/arena.json" "$ARENA_B/arena.json"; then
+  echo "FAIL: arena rows differ between 1 and 4 worker threads" >&2
+  exit 1
+fi
+for fam in ABCCC BCCC BCube DCell FatTree Jellyfish SpaceShuffle; do
+  if ! grep -q "\"structure\": \"$fam(" "$ARENA_A/arena.json"; then
+    echo "FAIL: arena rows missing family $fam" >&2
+    exit 1
+  fi
+done
+# The native-plane campaign on a fixed-seed Jellyfish pins the random
+# graph's wiring: a digest change means the seeded generator's stream
+# moved, which silently invalidates every recorded jellyfish result.
+JF=(resilience jellyfish:v=16,r=4,seed=7
+    --trials 4 --seed 1 --rate 0.1 --pairs 32 --no-throughput --json)
+JF_DIGEST="$("$CLI" "${JF[@]}" | sha256sum | cut -d' ' -f1)"
+JF_WANT=505700969b5567d1986e45ad7847c1cb8872213d92d9a60ff6408e6367fe9938
+if [ "$JF_DIGEST" != "$JF_WANT" ]; then
+  echo "FAIL: fixed-seed jellyfish campaign digest moved" >&2
+  echo "  want $JF_WANT" >&2
+  echo "  got  $JF_DIGEST" >&2
   exit 1
 fi
 
