@@ -92,18 +92,6 @@ impl std::str::FromStr for BcccParams {
     }
 }
 
-impl Bccc {
-    /// Raw-integer shim from the pre-`Params` constructor era.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
-    #[deprecated(since = "0.8.0", note = "use `Bccc::new(BcccParams::new(n, k)?)`")]
-    pub fn from_dims(n: u32, k: u32) -> Result<Self, NetworkError> {
-        Self::new(BcccParams::new(n, k)?)
-    }
-}
-
 /// A materialized `BCCC(n, k)` network.
 #[derive(Debug, Clone)]
 pub struct Bccc {

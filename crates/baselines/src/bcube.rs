@@ -134,18 +134,6 @@ impl std::str::FromStr for BCubeParams {
     }
 }
 
-impl BCube {
-    /// Raw-integer shim from the pre-`Params` constructor era.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
-    #[deprecated(since = "0.8.0", note = "use `BCube::new(BCubeParams::new(n, k)?)`")]
-    pub fn from_dims(n: u32, k: u32) -> Result<Self, NetworkError> {
-        Self::new(BCubeParams::new(n, k)?)
-    }
-}
-
 /// A materialized `BCube(n, k)` network with its native single-path routing
 /// (digit correction in a fixed order).
 #[derive(Debug, Clone)]

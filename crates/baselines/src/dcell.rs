@@ -124,18 +124,6 @@ impl std::str::FromStr for DCellParams {
     }
 }
 
-impl DCell {
-    /// Raw-integer shim from the pre-`Params` constructor era.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
-    #[deprecated(since = "0.8.0", note = "use `DCell::new(DCellParams::new(n, k)?)`")]
-    pub fn from_dims(n: u32, k: u32) -> Result<Self, NetworkError> {
-        Self::new(DCellParams::new(n, k)?)
-    }
-}
-
 /// A materialized `DCell(n, k)` network with native `DCellRouting`.
 #[derive(Debug, Clone)]
 pub struct DCell {

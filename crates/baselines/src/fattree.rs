@@ -121,18 +121,6 @@ impl std::str::FromStr for FatTreeParams {
     }
 }
 
-impl FatTree {
-    /// Raw-integer shim from the pre-`Params` constructor era.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetworkError::InvalidParameter`] on an invalid port count.
-    #[deprecated(since = "0.8.0", note = "use `FatTree::new(FatTreeParams::new(p)?)`")]
-    pub fn from_ports(p: u32) -> Result<Self, NetworkError> {
-        Self::new(FatTreeParams::new(p)?)
-    }
-}
-
 /// A materialized `FatTree(p)` with deterministic ECMP-style routing (the
 /// core/aggregation choice is a hash of the endpoint pair, spreading flows
 /// across the equal-cost paths as flow-level ECMP would).

@@ -107,21 +107,6 @@ impl std::str::FromStr for HypercubeParams {
     }
 }
 
-impl Hypercube {
-    /// Raw-integer shim from the pre-`Params` constructor era.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetworkError::InvalidParameter`] on out-of-range values.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `Hypercube::new(HypercubeParams::new(n, d)?)`"
-    )]
-    pub fn from_dims(n: u32, d: u32) -> Result<Self, NetworkError> {
-        Self::new(HypercubeParams::new(n, d)?)
-    }
-}
-
 /// A materialized generalized hypercube with e-cube (dimension-ordered)
 /// routing.
 #[derive(Debug, Clone)]

@@ -15,31 +15,31 @@ fn bench_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulation");
     g.sample_size(20);
     g.bench_function("flowsim_maxmin_permutation_192flows", |b| {
-        b.iter(|| flowsim::FlowSim::new(&topo).run(&perm).expect("run"))
+        b.iter(|| dcn_sim::FlowSim::new(&topo).run(&perm).expect("run"))
     });
 
-    let flows: Vec<packetsim::FlowSpec> = perm
+    let flows: Vec<dcn_sim::FlowSpec> = perm
         .iter()
         .take(32)
-        .map(|&(s, d)| packetsim::FlowSpec::bulk(s, d, 50))
+        .map(|&(s, d)| dcn_sim::FlowSpec::bulk(s, d, 50))
         .collect();
     g.bench_function("packetsim_32flows_x50pkts", |b| {
         b.iter(|| {
-            packetsim::PacketSim::new(&topo, packetsim::PacketSimConfig::default())
+            dcn_sim::PacketSim::new(&topo, dcn_sim::PacketSimConfig::default())
                 .run(&flows)
                 .expect("run")
         })
     });
     g.bench_function("packetsim_aimd_32flows_x50pkts", |b| {
         b.iter(|| {
-            packetsim::PacketSim::new(&topo, packetsim::PacketSimConfig::default())
-                .run_aimd(&flows, packetsim::AimdConfig::default())
+            dcn_sim::PacketSim::new(&topo, dcn_sim::PacketSimConfig::default())
+                .run_aimd(&flows, dcn_sim::AimdConfig::default())
                 .expect("run")
         })
     });
     g.bench_function("flowsim_multipath_x2", |b| {
         b.iter(|| {
-            flowsim::FlowSim::new(&topo)
+            dcn_sim::FlowSim::new(&topo)
                 .run_multipath(&perm, 2)
                 .expect("run")
         })

@@ -12,6 +12,7 @@ mod packet;
 mod routing;
 mod scale;
 mod structural;
+mod traffic_arena;
 mod traffic_sims;
 
 use crate::registry::{Experiment, Preset};
@@ -52,4 +53,5 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &fib::FibThroughput,
     &frontier::ScaleFrontier,
     &arena::Arena,
+    &traffic_arena::TrafficArena,
 ];

@@ -5,8 +5,8 @@ use super::titled;
 use crate::cache::TopoKey;
 use crate::fmt_f;
 use crate::registry::{Experiment, PointCtx, PointSpec, Preset, Row};
+use dcn_sim::{AimdConfig, FlowSpec, PacketSim, PacketSimConfig, PacketSimReport};
 use dcn_workloads::traffic;
-use packetsim::{AimdConfig, FlowSpec, PacketSim, PacketSimConfig, PacketSimReport};
 use rand::SeedableRng;
 use serde::Serialize;
 

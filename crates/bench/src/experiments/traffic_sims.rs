@@ -6,9 +6,9 @@ use super::titled;
 use crate::cache::TopoKey;
 use crate::fmt_f;
 use crate::registry::{Experiment, PointCtx, PointSpec, Preset, Row};
+use dcn_sim::{FlowSim, FlowSimReport};
+use dcn_sim::{FlowSpec, PacketSim, PacketSimConfig};
 use dcn_workloads::traffic;
-use flowsim::{FlowSim, FlowSimReport};
-use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
 use rand::SeedableRng;
 use serde::Serialize;
 

@@ -194,6 +194,11 @@ const USAGE: &str = "usage:
                                              sampling (diameter lower bound, APL ± CI,
                                              bisection upper bound) at any scale
   abccc-cli experiments list                 index of registered paper experiments
+  abccc-cli sim list                         production scenario catalog (unified engine)
+  abccc-cli sim run <scenario> <family…> [--seed N]
+                                             run one workload scenario through the
+                                             unified traffic engine; reports the FCT
+                                             distribution, goodput, and fault impact
   abccc-cli experiments run <name…> | --all [--preset tiny|paper|scale]
       [--json DIR] [--threads N]             run experiments through the sweep engine
                                              (--json here takes a directory for rows +
@@ -222,7 +227,7 @@ global flags:
   --trace-out FILE     write a Chrome Trace Event JSON (chrome://tracing, Perfetto)
   --flame-out FILE     write folded flamegraph stacks (self-time weighted)
   --json               JSON report instead of a table
-                       (props/simulate/capex/trace/broadcast/resilience/fib/topo/perf)";
+                       (props/simulate/sim/capex/trace/broadcast/resilience/fib/topo/perf)";
 
 type DynTopo = Box<dyn Topology>;
 
@@ -315,6 +320,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<ExitCode, String> {
             cmd.as_str(),
             "props"
                 | "simulate"
+                | "sim"
                 | "capex"
                 | "trace"
                 | "broadcast"
@@ -335,6 +341,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<ExitCode, String> {
         "route" => done(route(rest)),
         "parallel" => done(parallel(rest)),
         "simulate" => done(simulate(rest, json)),
+        "sim" => done(sim_cmd(rest, json)),
         "expand" => done(expand(rest)),
         "capex" => done(capex(rest, json)),
         "dot" => done(dot(rest)),
@@ -505,7 +512,7 @@ fn simulate(args: &[String], json: bool) -> Result<(), String> {
         }
         other => return Err(format!("unknown pattern `{other}`")),
     };
-    let report = flowsim::FlowSim::new(topo.as_ref())
+    let report = dcn_sim::FlowSim::new(topo.as_ref())
         .run(&pairs)
         .map_err(|e| e.to_string())?;
     if json {
@@ -524,6 +531,107 @@ fn simulate(args: &[String], json: bool) -> Result<(), String> {
     println!("  per-flow min     {:.4} Gbps", report.min_rate);
     println!("  ABT              {:.2} Gbps", report.abt);
     println!("  mean hops        {:.2}", report.mean_hops);
+    Ok(())
+}
+
+/// One-line blurbs for the scenario catalog, display order.
+const SCENARIO_BLURBS: [(&str, &str); 5] = [
+    (
+        "all_reduce",
+        "ring all-reduce collective (reduce-scatter + all-gather phases)",
+    ),
+    (
+        "all_to_all",
+        "shuffle: every ordered participant pair exchanges one chunk",
+    ),
+    (
+        "incast",
+        "packet-level fan-in microburst onto one target's last hop",
+    ),
+    (
+        "storage_rebuild",
+        "reconstruction storm with a mid-flow server fault",
+    ),
+    (
+        "diurnal",
+        "sinusoidal load, 10% elephants, flash crowd at the peak",
+    ),
+];
+
+fn sim_cmd(args: &[String], json: bool) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for (name, blurb) in SCENARIO_BLURBS {
+                println!("{name:<16} {blurb}");
+            }
+            Ok(())
+        }
+        Some("run") => sim_run(&args[1..], json),
+        _ => Err("sim expects `list` or `run <scenario> <family…>`".into()),
+    }
+}
+
+fn sim_run(args: &[String], json: bool) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or("missing scenario (try `abccc-cli sim list`)")?
+        .clone();
+    let head = args.get(1).ok_or("missing topology spec")?;
+    // The engine's batch runner shares the topology across threads, so
+    // build through the family registry (Send + Sync) rather than
+    // `parse_topology`; the legacy `family n k …` tail folds into a
+    // one-token spec.
+    let topo: Box<dyn Topology + Send + Sync> = if is_topology_spec(head) {
+        family::build_spec(head).map_err(|e| e.to_string())?
+    } else {
+        let params: Vec<String> = args[2..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .cloned()
+            .collect();
+        family::build_spec(&format!("{head}:{}", params.join(","))).map_err(|e| e.to_string())?
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "--seed expects a number"))
+        .transpose()?
+        .unwrap_or(1);
+    let servers = topo.network().server_count();
+    let scenario = dcn_workloads::scenarios::by_name(&name, servers, seed)
+        .ok_or_else(|| format!("unknown scenario `{name}` (see `abccc-cli sim list`)"))?;
+    let report = dcn_sim::TrafficEngine::new(topo.as_ref())
+        .run(&scenario)
+        .map_err(|e| e.to_string())?;
+    if json {
+        return print_json(&with_entries(
+            report.to_value(),
+            vec![("seed", Value::U64(seed))],
+        ));
+    }
+    println!(
+        "{} `{}` ({}, plane {}, seed {seed})",
+        report.topology, report.scenario, report.fidelity, report.plane
+    );
+    println!(
+        "  flows            {} ({} completed, {} unroutable)",
+        report.flows, report.completed, report.unroutable
+    );
+    println!("  phases           {}", report.phases);
+    println!("  faults fired     {}", report.faults_fired);
+    println!(
+        "  bytes            {} offered = {} delivered + {} dropped + {} killed",
+        report.bytes_offered, report.bytes_delivered, report.bytes_dropped, report.bytes_killed
+    );
+    println!(
+        "  makespan         {:.3} ms",
+        report.makespan_ns as f64 / 1e6
+    );
+    println!("  goodput          {:.3} Gbps", report.goodput_gbps);
+    println!(
+        "  fct p50/p99/p999 {:.1} / {:.1} / {:.1} µs",
+        report.fct.p50_ns as f64 / 1000.0,
+        report.fct.p99_ns as f64 / 1000.0,
+        report.fct.p999_ns as f64 / 1000.0
+    );
     Ok(())
 }
 
@@ -612,7 +720,7 @@ fn trace_cmd(args: &[String], json: bool) -> Result<(), String> {
         .iter()
         .map(dcn_workloads::trace::TraceFlow::pair)
         .collect();
-    let report = flowsim::FlowSim::new(topo.as_ref())
+    let report = dcn_sim::FlowSim::new(topo.as_ref())
         .run(&pairs)
         .map_err(|e| e.to_string())?;
     if json {

@@ -336,9 +336,10 @@ fn experiments_list_indexes_registry() {
     assert!(out.contains("fib_throughput"));
     assert!(out.contains("scale_frontier"));
     assert!(out.contains("arena"));
+    assert!(out.contains("traffic_arena"));
     assert!(out.contains("Figure 11"));
     // One row per registered experiment plus header and trailer.
-    assert_eq!(out.lines().count(), 25, "unexpected index length:\n{out}");
+    assert_eq!(out.lines().count(), 26, "unexpected index length:\n{out}");
 }
 
 #[test]
@@ -683,4 +684,44 @@ fn fib_bench_reports_hop_quantiles() {
     assert!(out.contains("p50≤"), "{out}");
     assert!(out.contains("p9999≤"), "{out}");
     assert!(out.contains("lookup ns"), "{out}");
+}
+
+#[test]
+fn sim_list_prints_catalog() {
+    let out = stdout(&["sim", "list"]);
+    for name in [
+        "all_reduce",
+        "all_to_all",
+        "incast",
+        "storage_rebuild",
+        "diurnal",
+    ] {
+        assert!(out.contains(name), "catalog missing {name}:\n{out}");
+    }
+}
+
+#[test]
+fn sim_run_reports_scenario() {
+    let out = stdout(&[
+        "sim", "run", "incast", "abccc", "2", "1", "2", "--seed", "7",
+    ]);
+    assert!(out.contains("`incast`"));
+    assert!(out.contains("packet"));
+    assert!(out.contains("offered"));
+    assert!(out.contains("fct p50/p99/p999"));
+}
+
+#[test]
+fn sim_run_emits_json_with_midflow_fault() {
+    let out = stdout(&["--json", "sim", "run", "storage_rebuild", "fattree:6"]);
+    assert!(out.contains("\"scenario\": \"storage_rebuild\""));
+    assert!(out.contains("\"faults_fired\": 1"));
+    assert!(out.contains("\"per_flow\""));
+}
+
+#[test]
+fn sim_rejects_unknown_scenario() {
+    let out = cli(&["sim", "run", "nope", "abccc", "2", "1", "2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
 }

@@ -1,11 +1,11 @@
-//! # flowsim — flow-level simulator with max-min fair allocation
+//! # flowsim — compatibility shim over [`dcn_sim`]
 //!
-//! The ABCCC paper evaluates structures with flow-level simulation: route
-//! every flow with the family's native routing algorithm, then give the
-//! flow set the **max-min fair** bandwidth allocation (progressive
-//! filling, the steady state TCP-fair sharing approximates). Links are
-//! full duplex: each cable carries its capacity independently per
-//! direction.
+//! The flow-level simulator now lives in the unified traffic engine
+//! (`dcn-sim`), whose fluid fidelity backend runs the same
+//! progressive-filling max-min allocator event by event. This crate
+//! re-exports the historical API unchanged, so existing callers keep
+//! compiling; new code should depend on `dcn-sim` directly and consider
+//! the scenario-level [`dcn_sim::TrafficEngine`].
 //!
 //! ```
 //! use abccc::{Abccc, AbcccParams};
@@ -24,8 +24,4 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod maxmin;
-mod sim;
-
-pub use maxmin::{max_min_allocation, DirectedLink};
-pub use sim::{FlowSim, FlowSimReport};
+pub use dcn_sim::{max_min_allocation, DirectedLink, FlowSim, FlowSimReport};

@@ -89,7 +89,7 @@ pub fn bisection_bound<T: Topology + ?Sized>(topo: &T, link_capacity: f64) -> f6
 mod tests {
     use super::*;
     use abccc::{Abccc, AbcccParams};
-    use flowsim::FlowSim;
+    use dcn_sim::FlowSim;
     use rand::SeedableRng;
 
     fn topo() -> Abccc {

@@ -1,10 +1,12 @@
-//! # packetsim — discrete-event packet-level simulator
+//! # packetsim — compatibility shim over [`dcn_sim`]
 //!
-//! A compact store-and-forward simulator for validating the flow-level
-//! results at packet granularity: FIFO output queues per directed link,
-//! finite buffers with tail drop, per-packet latency accounting. Packets
-//! follow the node path produced by the topology's native routing, so the
-//! simulator exercises exactly the algorithms the paper proposes.
+//! The packet-level simulator now lives in the unified traffic engine
+//! (`dcn-sim`): one discrete-event loop drives both the historical open
+//! loop and the AIMD closed loop, plus fault timelines and
+//! bulk-synchronous phases the old crate never had. This crate re-exports
+//! the historical API unchanged, so existing callers keep compiling; new
+//! code should depend on `dcn-sim` directly and consider the
+//! scenario-level [`dcn_sim::TrafficEngine`].
 //!
 //! ```
 //! use abccc::{Abccc, AbcccParams};
@@ -23,10 +25,4 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cc;
-mod report;
-mod sim;
-
-pub use cc::AimdConfig;
-pub use report::{FlowOutcome, PacketSimReport};
-pub use sim::{FlowSpec, PacketSim, PacketSimConfig};
+pub use dcn_sim::{AimdConfig, FlowOutcome, FlowSpec, PacketSim, PacketSimConfig, PacketSimReport};

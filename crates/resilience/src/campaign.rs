@@ -6,7 +6,7 @@ use abccc::{
     routing, Abccc, CubeLabel, DigitRouter, PermStrategy, ResilientRouter, RetryBudget, RouteTier,
     Router, ServerAddr, VlbRouter,
 };
-use flowsim::{max_min_allocation, DirectedLink};
+use dcn_sim::{max_min_allocation, DirectedLink};
 use netgraph::{FaultMask, Network, NetworkError, NodeId, Route, RouteError, Topology};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};

@@ -8,7 +8,7 @@
 //! * connectivity fraction (largest surviving component),
 //! * route-completion rate of the configured [`Router`](abccc::Router),
 //! * mean/max path stretch versus the fault-free closed-form distance,
-//! * throughput retention under max-min fair allocation ([`flowsim`]),
+//! * throughput retention under max-min fair allocation ([`dcn_sim`]),
 //! * escalation-tier counts, attempt totals and deterministic backoff.
 //!
 //! Scenarios cover uniform element failures ([`ScenarioKind::Uniform`]),

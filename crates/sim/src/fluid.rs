@@ -1,4 +1,11 @@
-//! The flow-level simulation driver.
+//! The fluid (flow-level) fidelity backend.
+//!
+//! [`FlowSim`] is the classic one-shot driver: route every pair, hand the
+//! flow set to the max-min allocator, report steady-state rates. It is an
+//! allocator, not an event loop — the event-driven fluid backend in
+//! [`crate::engine`] calls the same [`max_min_allocation`] whenever the
+//! active-flow set changes (arrival, completion, fault), so both views
+//! share one rate model.
 
 use crate::{max_min_allocation, DirectedLink};
 use netgraph::{FaultMask, NodeId, RouteError, Topology};

@@ -1,0 +1,50 @@
+//! `dcn-sim` — the unified seeded discrete-event traffic engine.
+//!
+//! One event core, two fidelity backends, three routing planes:
+//!
+//! * **Core** — a binary-heap [`EventQueue`] keyed `(time, seq)` so event
+//!   order is time-then-insertion, and [`SplitMix64`] per-entity RNG
+//!   streams ([`mix_seed`] matches the campaign engine's seed discipline).
+//!   Nothing in the engine reads wall clocks or global RNG state, so every
+//!   run is byte-deterministic at any thread count.
+//! * **Fluid backend** — flows are rates under progressive-filling max-min
+//!   fairness ([`max_min_allocation`]), recomputed event by event.
+//! * **Packet backend** — store-and-forward with FIFO output queues, tail
+//!   drop, and open-loop or AIMD injection.
+//! * **Planes** — the topology's native routing, any [`abccc::Router`],
+//!   or a compiled [`dcn_fib::RouteService`] FIB.
+//!
+//! A [`Scenario`] describes traffic (flows in bulk-synchronous phases), a
+//! fault timeline ([`FaultInjection`] — faults fire *mid-flow*), and a
+//! [`Fidelity`]; [`TrafficEngine::run`] turns it into a
+//! [`ScenarioReport`] with HDR FCT quantiles and byte-conservation
+//! accounting, and [`TrafficEngine::run_batch`] sweeps batches with
+//! work-stealing workers and slot-ordered, thread-count-independent
+//! results.
+//!
+//! The historical `flowsim` ([`FlowSim`]) and `packetsim` ([`PacketSim`])
+//! APIs live on as thin veneers over the same internals; the old crates
+//! re-export them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod fluid;
+pub mod maxmin;
+mod packet;
+mod queue;
+mod report;
+mod rng;
+mod scenario;
+mod stats;
+
+pub use engine::{EngineError, RoutePlane, TrafficEngine};
+pub use fluid::{FlowSim, FlowSimReport};
+pub use maxmin::{max_min_allocation, DirectedLink};
+pub use packet::{AimdConfig, FlowSpec, PacketSim, PacketSimConfig};
+pub use queue::EventQueue;
+pub use report::{retention, FctSummary, FlowResult, ScenarioReport};
+pub use rng::{mix_seed, SplitMix64};
+pub use scenario::{FaultInjection, Fidelity, Scenario, ScenarioFlow, Transport};
+pub use stats::{FlowOutcome, PacketSimReport};

@@ -1,0 +1,113 @@
+//! The deterministic event queue.
+//!
+//! A binary heap keyed `(time, seq)` where `seq` is a global insertion
+//! counter: ties in simulated time break by insertion order, which is
+//! itself deterministic, so a run's event sequence is a pure function of
+//! its inputs — never of heap internals or thread scheduling. This is the
+//! same key discipline both historical simulators used; the queue hoists
+//! it into one place so every backend shares it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A popped event: `(time_ns, seq, payload)`.
+pub type Popped<P> = (u64, u64, P);
+
+/// Min-heap of `(time_ns, seq, payload)` with an internal insertion
+/// counter. `P` needs `Ord` only to satisfy the heap; the `(time, seq)`
+/// prefix is unique per event, so payload ordering never decides anything.
+#[derive(Debug, Clone)]
+pub struct EventQueue<P: Ord> {
+    heap: BinaryHeap<Reverse<(u64, u64, P)>>,
+    seq: u64,
+}
+
+impl<P: Ord> Default for EventQueue<P> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<P: Ord> EventQueue<P> {
+    /// An empty queue with the sequence counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time_ns`, assigning the next sequence
+    /// number. Returns the sequence number assigned.
+    pub fn push(&mut self, time_ns: u64, payload: P) -> u64 {
+        let s = self.seq;
+        self.heap.push(Reverse((time_ns, s, payload)));
+        self.seq += 1;
+        s
+    }
+
+    /// Pops the earliest event (`(time, seq)` order).
+    pub fn pop(&mut self) -> Option<Popped<P>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// The `(time, seq)` key of the next event without popping it.
+    pub fn peek_key(&self) -> Option<(u64, u64)> {
+        self.heap.peek().map(|Reverse((t, s, _))| (*t, *s))
+    }
+
+    /// Pending event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Sequence numbers handed out so far (the total events ever pushed).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(10, "late");
+        q.push(5, "first-at-5");
+        q.push(5, "second-at-5");
+        q.push(1, "earliest");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, ["earliest", "first-at-5", "second-at-5", "late"]);
+    }
+
+    #[test]
+    fn seq_is_monotone_and_counted() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.push(3, ()), 0);
+        assert_eq!(q.push(1, ()), 1);
+        assert_eq!(q.pushed(), 2);
+        let (t, s, ()) = q.pop().unwrap();
+        assert_eq!((t, s), (1, 1));
+        assert_eq!(q.peek_key(), Some((3, 0)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_key(), None);
+    }
+}

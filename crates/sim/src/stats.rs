@@ -1,4 +1,4 @@
-//! Packet-level statistics.
+//! Packet-level statistics (the historical `packetsim` report shape).
 
 use crate::PacketSimConfig;
 use netgraph::NodeId;

@@ -5,8 +5,10 @@
 //! permutation, all-to-all, incast, one-to-many, uniform random, bisection
 //! stress, MapReduce shuffle, elephant/mice), [`failures`] samples uniform
 //! [`netgraph::FaultMask`]s, [`correlated`] builds structured outages
-//! (rack loss, level loss, cable-bundle cuts), and [`trace`] replays CSV
-//! flow traces.
+//! (rack loss, level loss, cable-bundle cuts), [`trace`] replays CSV
+//! flow traces, and [`scenarios`] builds production [`dcn_sim::Scenario`]
+//! values for the unified traffic engine (collectives, incast,
+//! storage-reconstruction storms, diurnal load with flash crowds).
 //!
 //! ```
 //! use rand::SeedableRng;
@@ -22,6 +24,7 @@
 
 pub mod correlated;
 pub mod failures;
+pub mod scenarios;
 pub mod trace;
 pub mod traffic;
 

@@ -1,0 +1,283 @@
+//! Production traffic scenarios for the unified engine.
+//!
+//! Each builder turns a server count and a seed into a pure
+//! [`Scenario`] value: collectives (ring all-reduce, all-to-all), incast
+//! fan-in, storage-reconstruction storms (a server dies mid-run and its
+//! replicas are rebuilt by fan-in reads while background traffic keeps
+//! flowing), and diurnal load with a flash crowd. All randomness comes
+//! from [`SplitMix64`] streams split off the scenario seed, so the same
+//! `(name, servers, seed)` triple always yields byte-identical traffic
+//! regardless of call order or thread count.
+
+use dcn_sim::{FaultInjection, Fidelity, Scenario, ScenarioFlow, SplitMix64};
+use netgraph::{FaultScenario, NodeId};
+
+/// Scenario names [`by_name`] understands, in catalog order.
+pub const NAMES: &[&str] = &[
+    "all_reduce",
+    "all_to_all",
+    "incast",
+    "storage_rebuild",
+    "diurnal",
+];
+
+/// Picks `k` distinct servers out of `n` (partial Fisher–Yates on the
+/// identity permutation; deterministic under the stream).
+fn pick_distinct(n: usize, k: usize, rng: &mut SplitMix64) -> Vec<NodeId> {
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let k = k.min(n);
+    for i in 0..k {
+        let j = i + rng.below((n - i) as u64) as usize;
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.into_iter().map(NodeId).collect()
+}
+
+/// Ring all-reduce over `group` servers: the classic reduce-scatter +
+/// all-gather schedule, `2 * (group - 1)` bulk-synchronous phases in which
+/// every participant sends one `chunk_bytes` chunk to its ring successor.
+pub fn all_reduce(
+    n_servers: usize,
+    group: usize,
+    chunk_bytes: u64,
+    seed: u64,
+    fidelity: Fidelity,
+) -> Scenario {
+    let mut rng = SplitMix64::stream(seed, 0);
+    let g = group.clamp(2, n_servers.max(2));
+    let parts = pick_distinct(n_servers, g, &mut rng);
+    let mut s = Scenario::new("all_reduce", seed, fidelity);
+    let steps = 2 * (g - 1);
+    for phase in 0..steps {
+        for (i, &src) in parts.iter().enumerate() {
+            let dst = parts[(i + 1) % g];
+            s.flows
+                .push(ScenarioFlow::bulk(src, dst, chunk_bytes).in_phase(phase as u16));
+        }
+    }
+    s
+}
+
+/// All-to-all (the shuffle collective): every ordered pair of the `group`
+/// participants exchanges `pair_bytes` in one phase.
+pub fn all_to_all(
+    n_servers: usize,
+    group: usize,
+    pair_bytes: u64,
+    seed: u64,
+    fidelity: Fidelity,
+) -> Scenario {
+    let mut rng = SplitMix64::stream(seed, 0);
+    let g = group.clamp(2, n_servers.max(2));
+    let parts = pick_distinct(n_servers, g, &mut rng);
+    let mut s = Scenario::new("all_to_all", seed, fidelity);
+    for &src in &parts {
+        for &dst in &parts {
+            if src != dst {
+                s.flows.push(ScenarioFlow::bulk(src, dst, pair_bytes));
+            }
+        }
+    }
+    s
+}
+
+/// Incast fan-in: `fan_in` servers burst `bytes_per_source` at one target
+/// simultaneously — the partition-aggregate microburst that stresses the
+/// target's last hop buffer.
+pub fn incast(
+    n_servers: usize,
+    fan_in: usize,
+    bytes_per_source: u64,
+    seed: u64,
+    fidelity: Fidelity,
+) -> Scenario {
+    let mut rng = SplitMix64::stream(seed, 0);
+    let picks = pick_distinct(
+        n_servers,
+        fan_in.clamp(1, n_servers.saturating_sub(1)) + 1,
+        &mut rng,
+    );
+    let (target, sources) = picks.split_first().expect("at least two servers");
+    let mut s = Scenario::new("incast", seed, fidelity);
+    for &src in sources {
+        s.flows
+            .push(ScenarioFlow::burst(src, *target, bytes_per_source, 0));
+    }
+    s
+}
+
+/// Storage-reconstruction storm: background permutation traffic is mid
+/// transfer when one storage server dies; `rebuild_sources` replica
+/// holders immediately fan `rebuild_bytes` each into a rebuild target.
+/// The fault fires *mid-flow* — background flows through the dead server
+/// are killed, the rest reroute on the engine's plane.
+pub fn storage_rebuild(
+    n_servers: usize,
+    background: usize,
+    rebuild_sources: usize,
+    rebuild_bytes: u64,
+    seed: u64,
+    fidelity: Fidelity,
+) -> Scenario {
+    let mut rng = SplitMix64::stream(seed, 0);
+    let mut s = Scenario::new("storage_rebuild", seed, fidelity);
+
+    // Background permutation: a random partial matching, `bg_bytes` each.
+    let bg_bytes = rebuild_bytes * 2;
+    let bg = background.min(n_servers / 2);
+    let picks = pick_distinct(n_servers, 2 * bg, &mut rng);
+    for pair in picks.chunks_exact(2) {
+        s.flows.push(ScenarioFlow::bulk(pair[0], pair[1], bg_bytes));
+    }
+
+    // The casualty and the rebuild set are disjoint from each other.
+    let actors = pick_distinct(
+        n_servers,
+        rebuild_sources.min(n_servers.saturating_sub(2)) + 2,
+        &mut rng,
+    );
+    let dead = actors[0];
+    let target = actors[1];
+    let at_ns = bg_bytes * 2; // ~quarter of the lone-flow transfer time
+    for &src in &actors[2..] {
+        s.flows
+            .push(ScenarioFlow::bulk(src, target, rebuild_bytes).starting_at(at_ns));
+    }
+    s.faults.push(FaultInjection {
+        at_ns,
+        scenario: FaultScenario::seeded(SplitMix64::stream(seed, 1).next()).fail_nodes([dead]),
+    });
+    s
+}
+
+/// Diurnal load with a flash crowd: `flows` transfers whose start times
+/// follow a sinusoidal intensity over `window_ns` (rejection-sampled), a
+/// 10% elephant mix, and a burst of mice onto one hot server at the peak.
+pub fn diurnal(
+    n_servers: usize,
+    flows: usize,
+    window_ns: u64,
+    seed: u64,
+    fidelity: Fidelity,
+) -> Scenario {
+    let mut rng = SplitMix64::stream(seed, 0);
+    let mut s = Scenario::new("diurnal", seed, fidelity);
+    let mouse = 16_000u64;
+    let elephant = 512_000u64;
+    for _ in 0..flows {
+        // λ(t) ∝ 1 + sin(2πt/T): rejection sampling keeps the draw exact.
+        let t = loop {
+            let u = rng.unit();
+            let lambda = 0.5 * (1.0 + (std::f64::consts::TAU * u).sin());
+            if rng.unit() <= lambda {
+                break (u * window_ns as f64) as u64;
+            }
+        };
+        let pair = pick_distinct(n_servers, 2, &mut rng);
+        let bytes = if rng.below(10) == 0 { elephant } else { mouse };
+        s.flows
+            .push(ScenarioFlow::bulk(pair[0], pair[1], bytes).starting_at(t));
+    }
+    // Flash crowd: a fan-in burst of mice at the intensity peak (T/4).
+    let crowd = pick_distinct(n_servers, (n_servers / 4).clamp(2, 9), &mut rng);
+    let (hot, fans) = crowd.split_first().expect("at least two servers");
+    for &src in fans {
+        s.flows
+            .push(ScenarioFlow::burst(src, *hot, mouse, window_ns / 4));
+    }
+    s
+}
+
+/// Builds a named scenario with catalog defaults sized to `n_servers`:
+/// collectives and diurnal load run fluid, incast runs packet-level (its
+/// whole point is buffer pressure), and `storage_rebuild` carries a
+/// mid-flow fault. Returns `None` for unknown names.
+#[must_use]
+pub fn by_name(name: &str, n_servers: usize, seed: u64) -> Option<Scenario> {
+    let n = n_servers;
+    Some(match name {
+        "all_reduce" => all_reduce(n, n.min(8), 64_000, seed, Fidelity::Fluid),
+        "all_to_all" => all_to_all(n, n.min(6), 32_000, seed, Fidelity::Fluid),
+        "incast" => incast(
+            n,
+            n.saturating_sub(1).min(8),
+            15_000,
+            seed,
+            Fidelity::packet_open(),
+        ),
+        "storage_rebuild" => storage_rebuild(
+            n,
+            (n / 2).min(24),
+            n.saturating_sub(2).min(6),
+            128_000,
+            seed,
+            Fidelity::Fluid,
+        ),
+        "diurnal" => diurnal(n, (2 * n).clamp(16, 48), 2_000_000, seed, Fidelity::Fluid),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_every_name() {
+        for &name in NAMES {
+            let s = by_name(name, 24, 7).unwrap();
+            assert_eq!(s.name, name);
+            assert!(!s.flows.is_empty(), "{name} generated no flows");
+            assert!(s
+                .flows
+                .iter()
+                .all(|f| f.src != f.dst || s.name == "diurnal"));
+        }
+        assert!(by_name("nope", 24, 7).is_none());
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        for &name in NAMES {
+            let a = by_name(name, 16, 99).unwrap();
+            let b = by_name(name, 16, 99).unwrap();
+            assert_eq!(a, b, "{name} must be seed-deterministic");
+        }
+    }
+
+    #[test]
+    fn all_reduce_has_ring_phases() {
+        let s = all_reduce(16, 4, 1000, 3, Fidelity::Fluid);
+        assert_eq!(s.phase_count(), 6); // 2 * (4 - 1)
+        assert_eq!(s.flows.len(), 24); // 4 flows per phase
+    }
+
+    #[test]
+    fn storage_rebuild_carries_midflow_fault() {
+        let s = by_name("storage_rebuild", 24, 5).unwrap();
+        assert_eq!(s.faults.len(), 1);
+        assert!(s.faults[0].at_ns > 0);
+        // Rebuild reads start exactly when the fault fires.
+        assert!(s.flows.iter().any(|f| f.start_ns == s.faults[0].at_ns));
+    }
+
+    #[test]
+    fn incast_is_a_synchronized_burst() {
+        let s = by_name("incast", 24, 5).unwrap();
+        let target = s.flows[0].dst;
+        assert!(s.flows.iter().all(|f| f.dst == target));
+        assert!(s.flows.iter().all(|f| f.gap_ns == Some(0)));
+        assert!(matches!(s.fidelity, Fidelity::Packet { .. }));
+    }
+
+    #[test]
+    fn distinct_picks_are_distinct() {
+        let mut rng = SplitMix64::stream(1, 0);
+        let picks = pick_distinct(50, 20, &mut rng);
+        let mut seen: Vec<u32> = picks.iter().map(|n| n.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 20);
+    }
+}

@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         buffer_packets: 32,
         ..Default::default()
     };
-    let pkt = PacketSim::new(&topo, cfg).run_aimd(&specs, packetsim::AimdConfig::default())?;
+    let pkt = PacketSim::new(&topo, cfg).run_aimd(&specs, dcn_sim::AimdConfig::default())?;
     println!(
         "packet level : {:.2}% loss, p99 latency {:.0} µs, mean FCT {:.1} ms",
         pkt.loss_rate() * 100.0,

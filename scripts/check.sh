@@ -54,8 +54,8 @@ for rows in "$EXP_A"/*.json; do
   fi
 done
 count="$(ls "$EXP_A"/*.json | grep -cv '\.manifest\.json$')"
-if [ "$count" -ne 23 ]; then
-  echo "FAIL: expected 23 rows artifacts, found $count" >&2
+if [ "$count" -ne 24 ]; then
+  echo "FAIL: expected 24 rows artifacts, found $count" >&2
   exit 1
 fi
 
@@ -90,6 +90,34 @@ if [ "$JF_DIGEST" != "$JF_WANT" ]; then
   echo "FAIL: fixed-seed jellyfish campaign digest moved" >&2
   echo "  want $JF_WANT" >&2
   echo "  got  $JF_DIGEST" >&2
+  exit 1
+fi
+
+echo "== traffic gate (scenario sweep 1-vs-4-thread determinism, pinned incast digest)"
+TRAF_A="$(mktemp -d)"
+TRAF_B="$(mktemp -d)"
+trap 'rm -rf "$EXP_A" "$EXP_B" "$ARENA_A" "$ARENA_B" "$TRAF_A" "$TRAF_B"' EXIT
+"$CLI" experiments run traffic_arena --preset tiny --threads 1 --json "$TRAF_A" >"$TRAF_A/stdout.txt" 2>/dev/null
+"$CLI" experiments run traffic_arena --preset tiny --threads 4 --json "$TRAF_B" >"$TRAF_B/stdout.txt" 2>/dev/null
+if ! cmp -s "$TRAF_A/stdout.txt" "$TRAF_B/stdout.txt"; then
+  echo "FAIL: traffic_arena stdout differs between 1 and 4 worker threads" >&2
+  exit 1
+fi
+if ! cmp -s "$TRAF_A/traffic_arena.json" "$TRAF_B/traffic_arena.json"; then
+  echo "FAIL: traffic_arena rows differ between 1 and 4 worker threads" >&2
+  exit 1
+fi
+# A fixed-seed incast through the unified engine pins the packet loop's
+# event ordering end to end: injection schedule, per-hop store-and-forward
+# arithmetic, FCT accounting, and the JSON field order. A digest change
+# means the discrete-event core's behaviour moved.
+INCAST=(--json sim run incast abccc 2 1 2 --seed 7)
+TRAFFIC_DIGEST="$("$CLI" "${INCAST[@]}" | sha256sum | cut -d' ' -f1)"
+TRAFFIC_WANT=5bb517dcc804626e11b5dcc94adc47d407dfd4becfcbb788f9622b21af0fe1c6
+if [ "$TRAFFIC_DIGEST" != "$TRAFFIC_WANT" ]; then
+  echo "FAIL: fixed-seed incast scenario digest moved" >&2
+  echo "  want $TRAFFIC_WANT" >&2
+  echo "  got  $TRAFFIC_DIGEST" >&2
   exit 1
 fi
 

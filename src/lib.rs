@@ -9,8 +9,10 @@
 //! * [`dcn_baselines`] — BCube, BCCC, DCell, fat-tree, hypercube;
 //! * [`netgraph`] — the graph substrate (BFS, max-flow, disjoint paths);
 //! * [`dcn_metrics`] — diameter/bisection/CAPEX/expansion metrics;
-//! * [`flowsim`] / [`packetsim`] — the two simulators;
-//! * [`dcn_workloads`] — traffic and failure generators;
+//! * [`dcn_sim`] — the unified traffic engine (fluid + packet fidelity;
+//!   `flowsim`/`packetsim` are compatibility shims over it);
+//! * [`dcn_workloads`] — traffic patterns, failure generators, and the
+//!   production scenario library;
 //! * [`dcn_fib`] — compiled forwarding tables + the route-query service.
 //!
 //! ```
@@ -30,6 +32,7 @@ pub use abccc;
 pub use dcn_baselines;
 pub use dcn_fib;
 pub use dcn_metrics;
+pub use dcn_sim;
 pub use dcn_workloads;
 pub use flowsim;
 pub use netgraph;
@@ -47,7 +50,9 @@ pub mod prelude {
     };
     pub use dcn_fib::{Fib, FibCompiler, RouteService};
     pub use dcn_metrics::{CostModel, TopologyStats};
-    pub use flowsim::FlowSim;
+    pub use dcn_sim::{
+        Fidelity, FlowSim, FlowSpec, PacketSim, PacketSimConfig, Scenario, ScenarioFlow,
+        ScenarioReport, TrafficEngine,
+    };
     pub use netgraph::{FaultMask, Network, NodeId, Route, Topology};
-    pub use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
 }

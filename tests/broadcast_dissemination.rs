@@ -2,8 +2,8 @@
 //! at packet level, and reducing it back along the aggregation schedule.
 
 use abccc::{broadcast, Abccc, AbcccParams};
+use dcn_sim::{FlowSpec, PacketSim, PacketSimConfig};
 use netgraph::NodeId;
-use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
 
 /// Every tree edge becomes one parent→child transfer; rounds are staggered
 /// by depth so a child only forwards after it could have received.

@@ -3,9 +3,9 @@
 //! workloads.
 
 use abccc::{Abccc, AbcccParams};
-use flowsim::{DirectedLink, FlowSim};
+use dcn_sim::{DirectedLink, FlowSim};
+use dcn_sim::{FlowSpec, PacketSim, PacketSimConfig};
 use netgraph::Topology;
-use packetsim::{FlowSpec, PacketSim, PacketSimConfig};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
