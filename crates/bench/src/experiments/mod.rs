@@ -11,6 +11,7 @@ mod frontier;
 mod packet;
 mod routing;
 mod scale;
+mod serve;
 mod structural;
 mod traffic_arena;
 mod traffic_sims;
@@ -54,4 +55,5 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &frontier::ScaleFrontier,
     &arena::Arena,
     &traffic_arena::TrafficArena,
+    &serve::RouteServerExperiment,
 ];

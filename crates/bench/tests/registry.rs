@@ -31,7 +31,7 @@ impl Drop for Scratch {
 #[test]
 fn registry_names_are_unique_and_resolvable() {
     let specs = all();
-    assert_eq!(specs.len(), 24, "the evaluation defines 24 experiments");
+    assert_eq!(specs.len(), 25, "the evaluation defines 25 experiments");
     let names: BTreeSet<&str> = specs.iter().map(|s| s.name()).collect();
     assert_eq!(
         names.len(),

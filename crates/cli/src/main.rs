@@ -189,6 +189,16 @@ const USAGE: &str = "usage:
       [--fail-rate R] [--layout dense|hier] [--digest FILE]
                                              batched route-service throughput; --digest
                                              writes a deterministic result digest (JSON)
+  abccc-cli serve  <spec>|<n> <k> <h> [--port P] [--shards N] [--layout dense|hier]
+      [--max-inflight N] [--max-batch N]      serve the compiled FIB over TCP
+                                             (127.0.0.1, --port 0 = ephemeral; prints
+                                             the bound address, runs until stdin EOF,
+                                             then drains and exits 0)
+  abccc-cli loadgen <spec>|<n> <k> <h> [--connections N] [--frames N] [--batch N]
+      [--window N] [--seed N] [--shards N] [--layout dense|hier]
+                                             loopback load generator: spawn a server,
+                                             drive it, report throughput + RTT
+                                             quantiles + the deterministic digest
   abccc-cli topo stats  <family…> [--estimate [--samples N] [--seed S] [--trials T]]
                                              graph metrics; --estimate uses seeded
                                              sampling (diameter lower bound, APL ± CI,
@@ -227,7 +237,7 @@ global flags:
   --trace-out FILE     write a Chrome Trace Event JSON (chrome://tracing, Perfetto)
   --flame-out FILE     write folded flamegraph stacks (self-time weighted)
   --json               JSON report instead of a table
-                       (props/simulate/sim/capex/trace/broadcast/resilience/fib/topo/perf)";
+                       (props/simulate/sim/capex/trace/broadcast/resilience/fib/topo/perf/loadgen)";
 
 type DynTopo = Box<dyn Topology>;
 
@@ -328,6 +338,7 @@ fn run(args: &[String], opts: &CliOptions) -> Result<ExitCode, String> {
                 | "fib"
                 | "topo"
                 | "perf"
+                | "loadgen"
         )
     {
         return Err(format!("--json is not supported for `{cmd}`"));
@@ -351,6 +362,8 @@ fn run(args: &[String], opts: &CliOptions) -> Result<ExitCode, String> {
         "broadcast" => done(broadcast_cmd(rest, json)),
         "resilience" => done(resilience_cmd(rest, json)),
         "fib" => done(fib_cmd(rest, json)),
+        "serve" => done(serve_cmd(rest)),
+        "loadgen" => done(loadgen_cmd(rest, json)),
         "topo" => done(topo_cmd(rest, json)),
         "experiments" => done(experiments_cmd(rest)),
         "perf" => perf_cmd(rest, json),
@@ -1218,6 +1231,134 @@ fn fib_cmd(args: &[String], json: bool) -> Result<(), String> {
         }
         other => Err(format!("unknown fib subcommand `{other}`")),
     }
+}
+
+/// Parses the ABCCC head shared by `serve` and `loadgen`: an
+/// `abccc:n,k,h` spec or the legacy `<n> <k> <h>` form (the served FIB is
+/// digit-indexed, so only ABCCC applies).
+fn parse_abccc_head(rest: &[String], what: &str) -> Result<AbcccParams, String> {
+    match rest.first().map(|a| is_topology_spec(a)) {
+        Some(true) => {
+            let (fam, params) = family::parse_spec(&rest[0]).map_err(|e| e.to_string())?;
+            if fam.name() != "abccc" {
+                return Err(format!(
+                    "{what} requires an ABCCC topology, got `{}`",
+                    fam.name()
+                ));
+            }
+            params.parse::<AbcccParams>().map_err(|e| e.to_string())
+        }
+        _ => {
+            if rest.len() < 3 {
+                return Err(format!("{what} needs a topology spec or <n> <k> <h>"));
+            }
+            let n = parse_u32(&rest[0], "n")?;
+            let k = parse_u32(&rest[1], "k")?;
+            let h = parse_u32(&rest[2], "h")?;
+            AbcccParams::new(n, k, h).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Compiles a route service for `serve`/`loadgen` from the shared flags.
+fn compile_for_serving(rest: &[String], p: AbcccParams) -> Result<dcn_fib::RouteService, String> {
+    let shards: usize = match flag_value(rest, "--shards") {
+        None => 8,
+        Some(s) => s.parse().map_err(|_| "--shards expects a number")?,
+    };
+    let layout = match flag_value(rest, "--layout") {
+        None => dcn_fib::FibLayout::Dense,
+        Some(s) => dcn_fib::FibLayout::parse(&s)
+            .ok_or_else(|| format!("unknown layout `{s}` (dense|hier)"))?,
+    };
+    let topo = Abccc::new(p).map_err(|e| e.to_string())?;
+    dcn_fib::RouteService::compile_with_layout(topo, layout, shards).map_err(|e| e.to_string())
+}
+
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use dcn_serve::{RouteServer, ServeConfig};
+    let p = parse_abccc_head(args, "serve")?;
+    let num = |flag: &str, default: u64| -> Result<u64, String> {
+        flag_value(args, flag)
+            .map(|s| s.parse().map_err(|_| format!("{flag} expects a number")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let port = num("--port", 0)? as u16;
+    let mut cfg = ServeConfig {
+        port,
+        ..ServeConfig::default()
+    };
+    cfg.max_inflight = num("--max-inflight", cfg.max_inflight as u64)? as usize;
+    cfg.max_batch = num("--max-batch", cfg.max_batch as u64)? as usize;
+    let svc = compile_for_serving(args, p)?;
+    let servers = svc.table().servers();
+    let shards = svc.shard_count();
+    let server = RouteServer::spawn(svc, cfg).map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "listening on {} ({p}, servers {servers}, shards {shards})",
+        server.addr()
+    );
+    // Serve until stdin closes — the portable "run until the operator
+    // stops us" signal (Ctrl-D interactively, closed pipe in scripts).
+    let _ = std::io::copy(&mut std::io::stdin(), &mut std::io::sink());
+    let drain = server.shutdown();
+    println!(
+        "drained {} connection(s) at epoch {}",
+        drain.connections, drain.epoch
+    );
+    Ok(())
+}
+
+fn loadgen_cmd(args: &[String], json: bool) -> Result<(), String> {
+    use dcn_serve::loadgen::{run_loopback, LoadgenConfig};
+    use dcn_serve::ServeConfig;
+    let p = parse_abccc_head(args, "loadgen")?;
+    let num = |flag: &str, default: u64| -> Result<u64, String> {
+        flag_value(args, flag)
+            .map(|s| s.parse().map_err(|_| format!("{flag} expects a number")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let defaults = LoadgenConfig::default();
+    let cfg = LoadgenConfig {
+        connections: num("--connections", defaults.connections as u64)? as usize,
+        frames: num("--frames", defaults.frames as u64)? as usize,
+        batch: num("--batch", defaults.batch as u64)? as usize,
+        window: num("--window", defaults.window as u64)? as usize,
+        seed: num("--seed", defaults.seed)?,
+    };
+    let svc = compile_for_serving(args, p)?;
+    let shards = svc.shard_count();
+    let (report, drain) =
+        run_loopback(svc, ServeConfig::default(), &cfg).map_err(|e| e.to_string())?;
+    if json {
+        return print_json(&with_entries(
+            report.to_value(),
+            vec![
+                ("topology", Value::Str(p.to_string())),
+                ("shards", Value::U64(shards as u64)),
+                ("drained_connections", Value::U64(drain.connections as u64)),
+            ],
+        ));
+    }
+    println!(
+        "{p}: {} connections × {} frames × {} pairs over {shards} shards",
+        report.connections, report.frames, report.batch
+    );
+    println!("  requests       {}", report.requests);
+    println!("  ok / errors    {} / {}", report.ok, report.route_errors);
+    println!("  rejects        {}", report.rejects);
+    println!(
+        "  throughput     {:.0} lookups/s over TCP",
+        report.lookups_per_sec
+    );
+    println!(
+        "  frame rtt ns   p50≤{} p99≤{} p999≤{}",
+        report.rtt_p50_ns, report.rtt_p99_ns, report.rtt_p999_ns
+    );
+    println!("  digest         {}", report.digest);
+    Ok(())
 }
 
 fn topo_cmd(args: &[String], json: bool) -> Result<(), String> {

@@ -337,9 +337,10 @@ fn experiments_list_indexes_registry() {
     assert!(out.contains("scale_frontier"));
     assert!(out.contains("arena"));
     assert!(out.contains("traffic_arena"));
+    assert!(out.contains("route_server"));
     assert!(out.contains("Figure 11"));
     // One row per registered experiment plus header and trailer.
-    assert_eq!(out.lines().count(), 26, "unexpected index length:\n{out}");
+    assert_eq!(out.lines().count(), 27, "unexpected index length:\n{out}");
 }
 
 #[test]
@@ -724,4 +725,85 @@ fn sim_rejects_unknown_scenario() {
     let out = cli(&["sim", "run", "nope", "abccc", "2", "1", "2"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}
+
+#[test]
+fn loadgen_reports_throughput_and_digest() {
+    let out = stdout(&[
+        "loadgen",
+        "2",
+        "1",
+        "2",
+        "--connections",
+        "2",
+        "--frames",
+        "16",
+        "--batch",
+        "4",
+        "--window",
+        "2",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.contains("2 connections × 16 frames × 4 pairs"));
+    assert!(out.contains("requests       128"));
+    assert!(out.contains("rejects        0"));
+    assert!(out.contains("lookups/s over TCP"));
+    assert!(out.contains("digest         0x"));
+}
+
+#[test]
+fn loadgen_json_digest_is_seed_stable() {
+    let args = [
+        "--json",
+        "loadgen",
+        "abccc:2,1,2",
+        "--connections",
+        "2",
+        "--frames",
+        "16",
+        "--batch",
+        "4",
+        "--window",
+        "2",
+        "--seed",
+        "7",
+    ];
+    let digest_of = |out: String| -> String {
+        out.lines()
+            .find(|l| l.contains("\"digest\""))
+            .expect("digest field")
+            .to_string()
+    };
+    let a = digest_of(stdout(&args));
+    let b = digest_of(stdout(&args));
+    assert_eq!(a, b, "fixed seed must reproduce the digest");
+    assert!(stdout(&args).contains("\"drained_connections\": 2"));
+}
+
+#[test]
+fn loadgen_accepts_abccc_specs_only() {
+    let out = cli(&["loadgen", "fattree:4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires an ABCCC topology"));
+}
+
+#[test]
+fn serve_binds_ephemeral_port_and_drains_on_stdin_eof() {
+    // `--port 0` binds an ephemeral port; with stdin already at EOF the
+    // server prints the bound address, drains and exits 0.
+    let out = cli(&["serve", "abccc:2,1,2", "--port", "0", "--shards", "3"]);
+    assert!(out.status.success(), "serve must exit 0 on stdin EOF");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("listening on 127.0.0.1:"));
+    // Shard counts round to the next power of two, visible in the banner.
+    assert!(text.contains("shards 4"));
+    assert!(text.contains("drained 0 connection(s) at epoch 0"));
+}
+
+#[test]
+fn serve_rejects_json_flag() {
+    let out = cli(&["--json", "serve", "2", "1", "2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--json is not supported"));
 }

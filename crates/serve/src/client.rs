@@ -1,0 +1,196 @@
+//! A small blocking client for the `dcn-serve` wire protocol.
+//!
+//! [`ServeClient`] offers one-shot request/reply calls plus the raw
+//! `send_frame`/`recv_reply` primitives the load generator uses for
+//! windowed pipelining.
+
+use crate::wire::{split_frame, Reply, Request, WireError, DEFAULT_MAX_FRAME};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Anything that can go wrong talking to a route server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode.
+    Wire(WireError),
+    /// The peer closed the connection mid-reply.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Wire(e) => write!(f, "wire: {e}"),
+            ServeError::Closed => write!(f, "connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// A blocking connection to a route server.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl ServeClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream,
+            rbuf: Vec::with_capacity(16 * 1024),
+            next_id: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// A fresh monotonically increasing frame id.
+    pub fn next_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Encodes and sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_frame(&mut self, req: &Request) -> Result<(), ServeError> {
+        let mut buf = Vec::with_capacity(64);
+        req.encode(&mut buf);
+        self.stream.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Reads the next reply frame, returning its decoded form plus the
+    /// raw payload bytes (version through body — what the deterministic
+    /// loadgen digest hashes).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] on EOF between frames, [`WireError`] on
+    /// malformed or truncated bytes.
+    pub fn recv_reply(&mut self) -> Result<(Reply, Vec<u8>), ServeError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match split_frame(&self.rbuf, self.max_frame)? {
+                Some((range, consumed)) => {
+                    let payload = self.rbuf[range].to_vec();
+                    self.rbuf.drain(..consumed);
+                    let reply = Reply::decode(&payload)?;
+                    return Ok((reply, payload));
+                }
+                None => {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return if self.rbuf.is_empty() {
+                            Err(ServeError::Closed)
+                        } else {
+                            Err(ServeError::Wire(WireError::Truncated {
+                                promised: self.rbuf.len() + 1,
+                                have: self.rbuf.len(),
+                            }))
+                        };
+                    }
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// One request, one reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::send_frame`] / [`Self::recv_reply`] failures.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ServeError> {
+        self.send_frame(req)?;
+        Ok(self.recv_reply()?.0)
+    }
+
+    /// Routes one src→dst pair.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; a routing failure or reject comes back as a
+    /// normal [`Reply`].
+    pub fn query(&mut self, src: u32, dst: u32) -> Result<Reply, ServeError> {
+        let id = self.next_id();
+        self.call(&Request::Query { id, src, dst })
+    }
+
+    /// Routes a batch of pairs in one frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn query_batch(&mut self, pairs: Vec<(u32, u32)>) -> Result<Reply, ServeError> {
+        let id = self.next_id();
+        self.call(&Request::QueryBatch { id, pairs })
+    }
+
+    /// Pushes a fault mask (failed node + link id lists).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn push_mask(&mut self, nodes: Vec<u32>, links: Vec<u32>) -> Result<Reply, ServeError> {
+        let id = self.next_id();
+        self.call(&Request::MaskPush {
+            id,
+            clear: false,
+            nodes,
+            links,
+        })
+    }
+
+    /// Clears all faults on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn clear_mask(&mut self) -> Result<Reply, ServeError> {
+        let id = self.next_id();
+        self.call(&Request::MaskPush {
+            id,
+            clear: true,
+            nodes: Vec::new(),
+            links: Vec::new(),
+        })
+    }
+
+    /// Asks for server facts.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn info(&mut self) -> Result<Reply, ServeError> {
+        let id = self.next_id();
+        self.call(&Request::Info { id })
+    }
+}

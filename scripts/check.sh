@@ -54,8 +54,8 @@ for rows in "$EXP_A"/*.json; do
   fi
 done
 count="$(ls "$EXP_A"/*.json | grep -cv '\.manifest\.json$')"
-if [ "$count" -ne 24 ]; then
-  echo "FAIL: expected 24 rows artifacts, found $count" >&2
+if [ "$count" -ne 25 ]; then
+  echo "FAIL: expected 25 rows artifacts, found $count" >&2
   exit 1
 fi
 
@@ -159,6 +159,39 @@ if [ "$SA" != "$SB" ]; then
 fi
 if ! grep -q '"diameter_lower_bound"' <<<"$SA"; then
   echo "FAIL: sampled topo stats missing diameter_lower_bound" >&2
+  exit 1
+fi
+
+echo "== serve gate (loadgen digest determinism, shard invariance, clean serve exit)"
+# The loopback loadgen's reply digest must be byte-identical across runs
+# and shard counts for a fixed seed: the server's thread interleavings,
+# frame coalescing, and sharded batch execution are all invisible in the
+# reply bytes. `serve` with stdin at EOF must bind, drain, and exit 0.
+SERVE_GEN=(--json loadgen 2 2 2 --connections 4 --frames 32 --batch 8 --window 4 --seed 11)
+SV_A="$("$CLI" "${SERVE_GEN[@]}" --shards 1 | grep '"digest"')"
+SV_B="$("$CLI" "${SERVE_GEN[@]}" --shards 1 | grep '"digest"')"
+SV_C="$("$CLI" "${SERVE_GEN[@]}" --shards 8 | grep '"digest"')"
+if [ "$SV_A" != "$SV_B" ]; then
+  echo "FAIL: fixed-seed loadgen digest differs between runs" >&2
+  exit 1
+fi
+if [ "$SV_A" != "$SV_C" ]; then
+  echo "FAIL: loadgen digest differs between 1 and 8 shards" >&2
+  exit 1
+fi
+if ! "$CLI" serve 2 1 2 --port 0 </dev/null | grep -q 'listening on 127.0.0.1:'; then
+  echo "FAIL: serve did not bind and drain cleanly on stdin EOF" >&2
+  exit 1
+fi
+# The route_server experiment's artifact is its own shard-invariance pin:
+# the same (connections, batch) combo at different shard counts must
+# reproduce the same digest (seeds derive from the combo, not the point).
+SERVE_EXP="$(mktemp -d)"
+trap 'rm -rf "$EXP_A" "$EXP_B" "$ARENA_A" "$ARENA_B" "$TRAF_A" "$TRAF_B" "$FIB_A" "$FIB_B" "$SCALE_A" "$SCALE_B" "$SERVE_EXP"' EXIT
+"$CLI" experiments run route_server --preset tiny --json "$SERVE_EXP" >/dev/null
+SERVE_DIGESTS="$(grep -o '"digest": "[^"]*"' "$SERVE_EXP/route_server.json" | sort | uniq -c | awk '{print $1}' | sort -u)"
+if [ "$SERVE_DIGESTS" != "2" ]; then
+  echo "FAIL: route_server digests are not paired across shard counts" >&2
   exit 1
 fi
 
